@@ -1,0 +1,105 @@
+//! Allocator input: the placement state of one application partition.
+
+use sm_solver::SearchConfig;
+use sm_types::{LoadVector, Location, MetricId, RegionId, ServerId, ShardId};
+use std::collections::BTreeMap;
+
+/// One application server available as a placement target.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerInfo {
+    /// Server id.
+    pub id: ServerId,
+    /// Fault-domain coordinates.
+    pub location: Location,
+    /// Capacity per metric.
+    pub capacity: LoadVector,
+    /// True when the server should be evacuated (pending maintenance or
+    /// upgrade) — soft goal 3.
+    pub draining: bool,
+}
+
+/// One shard's replicas and their current placement.
+#[derive(Clone, Debug)]
+pub struct ShardPlacement {
+    /// Shard id.
+    pub shard: ShardId,
+    /// Load of each replica (replicas of a shard share the shard's
+    /// per-replica load).
+    pub load_per_replica: LoadVector,
+    /// Current placement of each replica; `None` needs (re)placement.
+    pub replicas: Vec<Option<ServerId>>,
+}
+
+impl ShardPlacement {
+    /// A shard whose `n` replicas are all unplaced.
+    pub fn unplaced(shard: ShardId, load: LoadVector, n: usize) -> Self {
+        Self {
+            shard,
+            load_per_replica: load,
+            replicas: vec![None; n],
+        }
+    }
+}
+
+/// Allocator configuration distilled from an [`sm_types::AppPolicy`].
+#[derive(Clone, Debug)]
+pub struct AllocConfig {
+    /// Metrics to balance (and cap) — from the app's LB policy.
+    pub lb_metrics: Vec<MetricId>,
+    /// Preferred per-server utilization ceiling (soft goal 4).
+    pub utilization_threshold: f64,
+    /// Allowed deviation above mean utilization (soft goals 5/6).
+    pub balance_tolerance: f64,
+    /// Per-shard regional placement preferences (soft goal 1).
+    pub region_preferences: BTreeMap<ShardId, (RegionId, f64)>,
+    /// Whether to spread replicas across regions (geo-distributed
+    /// deployments) in addition to racks.
+    pub spread_across_regions: bool,
+    /// Solver tuning/ablation switches.
+    pub search: SearchConfig,
+}
+
+impl AllocConfig {
+    /// A reasonable default for `metrics`.
+    pub fn new(lb_metrics: Vec<MetricId>) -> Self {
+        Self {
+            lb_metrics,
+            utilization_threshold: 0.9,
+            balance_tolerance: 0.1,
+            region_preferences: BTreeMap::new(),
+            spread_across_regions: true,
+            search: SearchConfig::default(),
+        }
+    }
+}
+
+/// The full input of one allocation run.
+#[derive(Clone, Debug)]
+pub struct AllocInput {
+    /// Available servers (failed servers must be excluded by the caller).
+    pub servers: Vec<ServerInfo>,
+    /// Shards with current replica placements.
+    pub shards: Vec<ShardPlacement>,
+    /// Policy knobs.
+    pub config: AllocConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_types::Metric;
+
+    #[test]
+    fn unplaced_shard_has_no_servers() {
+        let sp = ShardPlacement::unplaced(ShardId(1), LoadVector::single(Metric::Cpu.id(), 1.0), 3);
+        assert_eq!(sp.replicas, vec![None, None, None]);
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = AllocConfig::new(vec![Metric::Cpu.id()]);
+        assert_eq!(c.utilization_threshold, 0.9);
+        assert_eq!(c.balance_tolerance, 0.1);
+        assert!(c.spread_across_regions);
+    }
+}

@@ -1,0 +1,454 @@
+//! Problem construction and the two allocation modes.
+
+use crate::input::AllocInput;
+use crate::plan::{AllocationPlan, ReplicaMove};
+use sm_solver::{
+    AffinitySpec, Bin, BinId, CapacitySpec, DrainSpec, Entity, ExclusionSpec, LocalSearch, Problem,
+    Scope, Spec, SpecSet, UtilizationCapSpec,
+};
+use sm_types::{FaultDomain, ServerId};
+use std::collections::{BTreeMap, HashSet};
+
+/// Goal priorities, matching the §5.1 ordering.
+const PRIO_PLACEMENT: u8 = 0; // region preference + spread of replicas
+const PRIO_DRAIN: u8 = 1; // planned maintenance
+const PRIO_UTIL: u8 = 2; // utilization threshold
+const PRIO_BALANCE: u8 = 3; // global/regional load balancing
+
+/// Default goal weights. Spread outweighs region preference so that a
+/// shard preferring region R lands *one* replica in R while its
+/// siblings spread elsewhere — the steady state of the §8.3 experiment.
+const WEIGHT_SPREAD_REGION: f64 = 4.0;
+const WEIGHT_SPREAD_DC: f64 = 2.0;
+const WEIGHT_SPREAD_RACK: f64 = 1.0;
+const WEIGHT_DRAIN: f64 = 8.0;
+const WEIGHT_UTIL: f64 = 2.0;
+const WEIGHT_BALANCE: f64 = 1.0;
+
+/// The SM allocator over one application partition.
+pub struct Allocator;
+
+impl Allocator {
+    /// Periodic mode (§5.1): optimize the placement of all shards under
+    /// the full goal list.
+    pub fn plan_periodic(input: &AllocInput) -> AllocationPlan {
+        Self::plan(input, u8::MAX)
+    }
+
+    /// Emergency mode (§5.1): place unassigned replicas as quickly as
+    /// possible while satisfying hard constraints; soft goals beyond
+    /// placement-critical ones (preference/spread) are not optimized.
+    pub fn plan_emergency(input: &AllocInput) -> AllocationPlan {
+        let unplaced: usize = input
+            .shards
+            .iter()
+            .map(|s| s.replicas.iter().filter(|r| r.is_none()).count())
+            .sum();
+        let mut limited = input.clone();
+        // The move budget covers exactly the unplaced replicas, so the
+        // run cannot drift into load-balancing work.
+        limited.search_mut().max_moves = unplaced;
+        Self::plan(&limited, PRIO_PLACEMENT)
+    }
+
+    fn plan(input: &AllocInput, max_priority: u8) -> AllocationPlan {
+        let (problem, specs, server_ids, slot_index) = build_problem(input, max_priority);
+        let solver = LocalSearch::new(input.config.search.clone());
+        let mut specs = specs;
+        // Drop the goals above the active priority so batching doesn't
+        // schedule them at all (emergency mode).
+        specs.goals.retain(|g| g.priority() <= max_priority);
+        let (assignment, stats) = solver.solve(&problem, &specs);
+
+        // Diff into moves and the per-shard target table.
+        let mut moves = Vec::new();
+        let mut target: Vec<(sm_types::ShardId, Vec<Option<ServerId>>)> = input
+            .shards
+            .iter()
+            .map(|s| (s.shard, vec![None; s.replicas.len()]))
+            .collect();
+        let live: HashSet<ServerId> = input.servers.iter().map(|s| s.id).collect();
+        for (entity_idx, &(shard_idx, slot)) in slot_index.iter().enumerate() {
+            let new_server = assignment[entity_idx].map(|b| server_ids[b.0]);
+            target[shard_idx].1[slot] = new_server;
+            // A source server that is no longer offered (failed) makes
+            // this a fresh placement, not a graceful relocation.
+            let old_server = input.shards[shard_idx].replicas[slot].filter(|s| live.contains(s));
+            if let Some(to) = new_server {
+                if old_server != Some(to) {
+                    moves.push(ReplicaMove {
+                        shard: input.shards[shard_idx].shard,
+                        replica: slot,
+                        from: old_server,
+                        to,
+                    });
+                }
+            }
+        }
+        // Fresh placements first: restoring availability beats balance.
+        moves.sort_by_key(|m| (m.from.is_some(), m.shard, m.replica));
+
+        let eval =
+            sm_solver::Evaluator::with_assignment(&problem, &specs, max_priority, &assignment);
+        AllocationPlan {
+            moves,
+            target,
+            violations: eval.violations(),
+            search: stats,
+        }
+    }
+}
+
+impl AllocInput {
+    fn search_mut(&mut self) -> &mut sm_solver::SearchConfig {
+        &mut self.config.search
+    }
+}
+
+/// Builds the solver problem. Returns the problem, specs, the bin->
+/// server mapping, and per entity its (shard index, replica slot).
+fn build_problem(
+    input: &AllocInput,
+    max_priority: u8,
+) -> (Problem, SpecSet, Vec<ServerId>, Vec<(usize, usize)>) {
+    let _ = max_priority;
+    let mut problem = Problem::new();
+    let mut server_ids = Vec::with_capacity(input.servers.len());
+    let mut server_index: BTreeMap<ServerId, BinId> = BTreeMap::new();
+    for s in &input.servers {
+        let bin = problem.add_bin(Bin {
+            capacity: s.capacity,
+            location: s.location,
+            draining: s.draining,
+        });
+        server_ids.push(s.id);
+        server_index.insert(s.id, bin);
+    }
+
+    // Count distinct domains to decide which spread scopes are feasible.
+    let distinct = |level: FaultDomain| -> usize {
+        input
+            .servers
+            .iter()
+            .map(|s| s.location.domain(level))
+            .collect::<HashSet<_>>()
+            .len()
+    };
+    let n_regions = distinct(FaultDomain::Region);
+    let n_dcs = distinct(FaultDomain::DataCenter);
+    let n_racks = distinct(FaultDomain::Rack);
+
+    let mut slot_index = Vec::new();
+    let mut affinities = Vec::new();
+    let mut spread_groups = Vec::new();
+    let mut max_replicas = 1usize;
+    for (shard_idx, shard) in input.shards.iter().enumerate() {
+        let group = (shard.replicas.len() > 1).then(|| problem.new_group());
+        if let Some(g) = group {
+            spread_groups.push(g);
+        }
+        max_replicas = max_replicas.max(shard.replicas.len());
+        let pref = input.config.region_preferences.get(&shard.shard);
+        for (slot, placed) in shard.replicas.iter().enumerate() {
+            // A replica placed on a server that is no longer offered
+            // (failed/removed) is treated as unplaced.
+            let initial = placed.and_then(|srv| server_index.get(&srv).copied());
+            let e = problem.add_entity(
+                Entity {
+                    load: shard.load_per_replica,
+                    group,
+                },
+                initial,
+            );
+            slot_index.push((shard_idx, slot));
+            if let Some(&(region, weight)) = pref {
+                affinities.push((e, u64::from(region.raw()), weight));
+            }
+        }
+    }
+
+    let mut specs = SpecSet::new();
+    specs.forbid_group_colocation = true;
+    for &m in &input.config.lb_metrics {
+        specs.add_constraint(CapacitySpec { metric: m });
+    }
+    if !affinities.is_empty() {
+        specs.add_goal(Spec::Affinity(AffinitySpec {
+            scope: Scope::Region,
+            affinities,
+            priority: PRIO_PLACEMENT,
+        }));
+    }
+    if !spread_groups.is_empty() {
+        // Spread at every level with enough distinct domains to host
+        // each replica separately; always spread across racks.
+        if input.config.spread_across_regions && n_regions >= max_replicas {
+            specs.add_goal(Spec::Exclusion(ExclusionSpec {
+                scope: Scope::Region,
+                groups: spread_groups.clone(),
+                weight: WEIGHT_SPREAD_REGION,
+                priority: PRIO_PLACEMENT,
+            }));
+        }
+        if n_dcs >= max_replicas {
+            specs.add_goal(Spec::Exclusion(ExclusionSpec {
+                scope: Scope::DataCenter,
+                groups: spread_groups.clone(),
+                weight: WEIGHT_SPREAD_DC,
+                priority: PRIO_PLACEMENT,
+            }));
+        }
+        if n_racks >= max_replicas {
+            specs.add_goal(Spec::Exclusion(ExclusionSpec {
+                scope: Scope::Rack,
+                groups: spread_groups,
+                weight: WEIGHT_SPREAD_RACK,
+                priority: PRIO_PLACEMENT,
+            }));
+        }
+    }
+    if input.servers.iter().any(|s| s.draining) {
+        specs.add_goal(Spec::Drain(DrainSpec {
+            weight: WEIGHT_DRAIN,
+            priority: PRIO_DRAIN,
+        }));
+    }
+    for &m in &input.config.lb_metrics {
+        specs.add_goal(Spec::UtilizationCap(UtilizationCapSpec {
+            metric: m,
+            threshold: input.config.utilization_threshold,
+            weight: WEIGHT_UTIL,
+            priority: PRIO_UTIL,
+        }));
+        specs.add_goal(Spec::Balance(sm_solver::BalanceSpec {
+            metric: m,
+            tolerance: input.config.balance_tolerance,
+            weight: WEIGHT_BALANCE,
+            priority: PRIO_BALANCE,
+        }));
+    }
+    (problem, specs, server_ids, slot_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{AllocConfig, ServerInfo, ShardPlacement};
+    use sm_types::{LoadVector, Location, MachineId, Metric, RegionId, ShardId};
+
+    fn server(id: u32, region: u16, rack: u32, cap: f64) -> ServerInfo {
+        ServerInfo {
+            id: ServerId(id),
+            location: Location {
+                region: RegionId(region),
+                datacenter: u32::from(region),
+                rack: u32::from(region) * 1000 + rack,
+                machine: MachineId(id),
+            },
+            capacity: LoadVector::single(Metric::Cpu.id(), cap),
+            draining: false,
+        }
+    }
+
+    fn cpu(v: f64) -> LoadVector {
+        LoadVector::single(Metric::Cpu.id(), v)
+    }
+
+    fn config() -> AllocConfig {
+        let mut c = AllocConfig::new(vec![Metric::Cpu.id()]);
+        c.search.seed = 42;
+        c
+    }
+
+    #[test]
+    fn periodic_places_and_spreads_replicas() {
+        // 3 regions x 2 servers; 10 shards x 2 replicas, all unplaced.
+        let servers: Vec<ServerInfo> = (0..6)
+            .map(|i| server(i, (i / 2) as u16, i, 100.0))
+            .collect();
+        let shards: Vec<ShardPlacement> = (0..10)
+            .map(|s| ShardPlacement::unplaced(ShardId(s), cpu(5.0), 2))
+            .collect();
+        let input = AllocInput {
+            servers,
+            shards,
+            config: config(),
+        };
+        let plan = Allocator::plan_periodic(&input);
+        assert_eq!(plan.unplaced(), 0);
+        assert_eq!(plan.violations.total(), 0);
+        // Replicas of each shard are in different regions.
+        for (_, replicas) in &plan.target {
+            let r0 = replicas[0].unwrap();
+            let r1 = replicas[1].unwrap();
+            assert_ne!(r0.raw() / 2, r1.raw() / 2, "replicas share a region");
+            assert_ne!(r0, r1);
+        }
+    }
+
+    #[test]
+    fn region_preference_places_one_replica_in_region() {
+        let servers: Vec<ServerInfo> = (0..6)
+            .map(|i| server(i, (i / 2) as u16, i, 100.0))
+            .collect();
+        let mut cfg = config();
+        for s in 0..8u64 {
+            cfg.region_preferences
+                .insert(ShardId(s), (RegionId(1), 1.0));
+        }
+        let shards: Vec<ShardPlacement> = (0..8)
+            .map(|s| ShardPlacement::unplaced(ShardId(s), cpu(4.0), 2))
+            .collect();
+        let input = AllocInput {
+            servers,
+            shards,
+            config: cfg,
+        };
+        let plan = Allocator::plan_periodic(&input);
+        assert_eq!(plan.unplaced(), 0);
+        for (_, replicas) in &plan.target {
+            let regions: Vec<u32> = replicas.iter().map(|r| r.unwrap().raw() / 2).collect();
+            assert!(
+                regions.contains(&1),
+                "no replica in preferred region: {regions:?}"
+            );
+            assert_ne!(regions[0], regions[1], "spread still holds");
+        }
+    }
+
+    #[test]
+    fn emergency_only_places_missing_replicas() {
+        let servers: Vec<ServerInfo> = (0..4).map(|i| server(i, 0, i, 100.0)).collect();
+        // Shard 0 fully placed; shard 1 lost a replica.
+        let shards = vec![
+            ShardPlacement {
+                shard: ShardId(0),
+                load_per_replica: cpu(5.0),
+                replicas: vec![Some(ServerId(0)), Some(ServerId(1))],
+            },
+            ShardPlacement {
+                shard: ShardId(1),
+                load_per_replica: cpu(5.0),
+                replicas: vec![Some(ServerId(2)), None],
+            },
+        ];
+        let input = AllocInput {
+            servers,
+            shards,
+            config: config(),
+        };
+        let plan = Allocator::plan_emergency(&input);
+        assert_eq!(plan.unplaced(), 0);
+        // Exactly one move: the missing replica; existing ones untouched.
+        assert_eq!(plan.moves.len(), 1);
+        let mv = plan.moves[0];
+        assert_eq!(mv.shard, ShardId(1));
+        assert_eq!(mv.from, None);
+        assert_ne!(mv.to, ServerId(2), "not colocated with its sibling");
+    }
+
+    #[test]
+    fn replicas_on_failed_servers_are_replaced() {
+        // Server 9 is not in the input (failed); its replica re-places.
+        let servers: Vec<ServerInfo> = (0..3).map(|i| server(i, 0, i, 100.0)).collect();
+        let shards = vec![ShardPlacement {
+            shard: ShardId(0),
+            load_per_replica: cpu(5.0),
+            replicas: vec![Some(ServerId(9)), Some(ServerId(0))],
+        }];
+        let input = AllocInput {
+            servers,
+            shards,
+            config: config(),
+        };
+        let plan = Allocator::plan_emergency(&input);
+        assert_eq!(plan.unplaced(), 0);
+        assert_eq!(plan.moves.len(), 1);
+        assert_eq!(plan.moves[0].from, None, "failed source is gone");
+    }
+
+    #[test]
+    fn draining_server_is_evacuated() {
+        let mut servers: Vec<ServerInfo> = (0..4).map(|i| server(i, 0, i, 100.0)).collect();
+        servers[0].draining = true;
+        let shards: Vec<ShardPlacement> = (0..6)
+            .map(|s| ShardPlacement {
+                shard: ShardId(s),
+                load_per_replica: cpu(5.0),
+                replicas: vec![Some(ServerId(0))],
+            })
+            .collect();
+        let input = AllocInput {
+            servers,
+            shards,
+            config: config(),
+        };
+        let plan = Allocator::plan_periodic(&input);
+        for (_, replicas) in &plan.target {
+            assert_ne!(
+                replicas[0],
+                Some(ServerId(0)),
+                "shard left on draining server"
+            );
+        }
+        assert_eq!(plan.violations.drain, 0);
+    }
+
+    #[test]
+    fn overload_is_rebalanced() {
+        let servers: Vec<ServerInfo> = (0..4).map(|i| server(i, 0, i, 100.0)).collect();
+        // 16 shards of 10 CPU all on server 0: utilization 160% -> must move.
+        let shards: Vec<ShardPlacement> = (0..16)
+            .map(|s| ShardPlacement {
+                shard: ShardId(s),
+                load_per_replica: cpu(10.0),
+                replicas: vec![Some(ServerId(0))],
+            })
+            .collect();
+        let input = AllocInput {
+            servers,
+            shards,
+            config: config(),
+        };
+        let plan = Allocator::plan_periodic(&input);
+        assert_eq!(plan.violations.total(), 0);
+        assert!(!plan.moves.is_empty());
+        // Final spread: 40 load per server, all within the 10% band.
+        let mut usage = BTreeMap::new();
+        for (_, replicas) in &plan.target {
+            *usage.entry(replicas[0].unwrap()).or_insert(0.0) += 10.0;
+        }
+        for (_, u) in usage {
+            assert!(u <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moves_list_fresh_placements_first() {
+        let servers: Vec<ServerInfo> = (0..4).map(|i| server(i, 0, i, 100.0)).collect();
+        let shards = vec![
+            ShardPlacement {
+                shard: ShardId(0),
+                load_per_replica: cpu(60.0),
+                replicas: vec![Some(ServerId(0))],
+            },
+            ShardPlacement {
+                shard: ShardId(1),
+                load_per_replica: cpu(60.0),
+                replicas: vec![Some(ServerId(0))],
+            },
+            ShardPlacement::unplaced(ShardId(2), cpu(10.0), 1),
+        ];
+        let input = AllocInput {
+            servers,
+            shards,
+            config: config(),
+        };
+        let plan = Allocator::plan_periodic(&input);
+        if plan.moves.len() > 1 {
+            let first_from_none: Vec<bool> = plan.moves.iter().map(|m| m.from.is_none()).collect();
+            let first_true_run = first_from_none.iter().take_while(|&&b| b).count();
+            assert!(first_true_run >= 1, "fresh placement ordered first");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! System-stability move throttling (§5.1 hard constraint 1).
+//!
+//! A computed plan may contain thousands of moves; executing them all at
+//! once would churn the system. The [`MoveScheduler`] releases moves in
+//! waves subject to three caps: total concurrent moves, concurrent
+//! moves touching any one server, and concurrent moves of any one
+//! shard's replicas.
+
+use crate::plan::ReplicaMove;
+use sm_types::{ServerId, ShardId};
+use std::collections::HashMap;
+
+/// Concurrency caps for plan execution.
+#[derive(Clone, Copy, Debug)]
+pub struct MoveCaps {
+    /// Max moves in flight overall (the per-application cap).
+    pub max_total: usize,
+    /// Max in-flight moves touching one server (source or destination).
+    pub max_per_server: usize,
+    /// Max in-flight moves of one shard's replicas.
+    pub max_per_shard: usize,
+}
+
+impl Default for MoveCaps {
+    fn default() -> Self {
+        Self {
+            max_total: 64,
+            max_per_server: 2,
+            max_per_shard: 1,
+        }
+    }
+}
+
+/// Releases a plan's moves in cap-respecting waves.
+#[derive(Debug)]
+pub struct MoveScheduler {
+    queue: Vec<ReplicaMove>,
+    caps: MoveCaps,
+    in_flight: Vec<ReplicaMove>,
+    server_load: HashMap<ServerId, usize>,
+    shard_load: HashMap<ShardId, usize>,
+}
+
+impl MoveScheduler {
+    /// Creates a scheduler over the plan's moves, preserving order.
+    pub fn new(moves: Vec<ReplicaMove>, caps: MoveCaps) -> Self {
+        Self {
+            // Pop from the back; keep plan order by reversing.
+            queue: moves.into_iter().rev().collect(),
+            caps,
+            in_flight: Vec::new(),
+            server_load: HashMap::new(),
+            shard_load: HashMap::new(),
+        }
+    }
+
+    /// Moves not yet released.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Moves currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True when every move has been released and completed.
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.is_empty()
+    }
+
+    fn servers_of(mv: &ReplicaMove) -> impl Iterator<Item = ServerId> {
+        mv.from.into_iter().chain(std::iter::once(mv.to))
+    }
+
+    fn can_start(&self, mv: &ReplicaMove) -> bool {
+        if self.in_flight.len() >= self.caps.max_total {
+            return false;
+        }
+        if *self.shard_load.get(&mv.shard).unwrap_or(&0) >= self.caps.max_per_shard {
+            return false;
+        }
+        Self::servers_of(mv)
+            .all(|s| *self.server_load.get(&s).unwrap_or(&0) < self.caps.max_per_server)
+    }
+
+    /// Releases the next wave of startable moves (possibly empty if the
+    /// caps are saturated).
+    pub fn release(&mut self) -> Vec<ReplicaMove> {
+        let mut released = Vec::new();
+        let mut skipped = Vec::new();
+        while let Some(mv) = self.queue.pop() {
+            if self.can_start(&mv) {
+                for s in Self::servers_of(&mv) {
+                    *self.server_load.entry(s).or_insert(0) += 1;
+                }
+                *self.shard_load.entry(mv.shard).or_insert(0) += 1;
+                self.in_flight.push(mv);
+                released.push(mv);
+            } else {
+                skipped.push(mv);
+            }
+            if self.in_flight.len() >= self.caps.max_total {
+                break;
+            }
+        }
+        // Blocked moves return to the head in their original order.
+        for mv in skipped.into_iter().rev() {
+            self.queue.push(mv);
+        }
+        released
+    }
+
+    /// Marks a released move complete, freeing its cap slots.
+    ///
+    /// Unknown moves are ignored (idempotent completion).
+    pub fn complete(&mut self, mv: &ReplicaMove) {
+        let Some(pos) = self.in_flight.iter().position(|m| m == mv) else {
+            return;
+        };
+        self.in_flight.swap_remove(pos);
+        for s in Self::servers_of(mv) {
+            if let Some(n) = self.server_load.get_mut(&s) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        if let Some(n) = self.shard_load.get_mut(&mv.shard) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(shard: u64, from: Option<u32>, to: u32) -> ReplicaMove {
+        ReplicaMove {
+            shard: ShardId(shard),
+            replica: 0,
+            from: from.map(ServerId),
+            to: ServerId(to),
+        }
+    }
+
+    #[test]
+    fn respects_total_cap() {
+        let moves: Vec<ReplicaMove> = (0..10)
+            .map(|i| mv(i, Some(100 + i as u32), i as u32))
+            .collect();
+        let mut sched = MoveScheduler::new(
+            moves,
+            MoveCaps {
+                max_total: 3,
+                max_per_server: 10,
+                max_per_shard: 10,
+            },
+        );
+        let wave = sched.release();
+        assert_eq!(wave.len(), 3);
+        assert_eq!(sched.in_flight(), 3);
+        assert_eq!(sched.pending(), 7);
+        // Nothing more until a completion.
+        assert!(sched.release().is_empty());
+        sched.complete(&wave[0]);
+        assert_eq!(sched.release().len(), 1);
+    }
+
+    #[test]
+    fn respects_per_server_cap() {
+        // All moves target server 5.
+        let moves: Vec<ReplicaMove> = (0..4).map(|i| mv(i, None, 5)).collect();
+        let mut sched = MoveScheduler::new(moves, MoveCaps::default());
+        let wave = sched.release();
+        assert_eq!(wave.len(), 2, "per-server cap of 2");
+        sched.complete(&wave[0]);
+        sched.complete(&wave[1]);
+        assert_eq!(sched.release().len(), 2);
+        assert!(sched.is_done() || sched.in_flight() > 0);
+    }
+
+    #[test]
+    fn respects_per_shard_cap() {
+        // Two replica moves of the same shard.
+        let moves = vec![mv(7, Some(1), 2), mv(7, Some(3), 4)];
+        let mut sched = MoveScheduler::new(moves, MoveCaps::default());
+        let wave = sched.release();
+        assert_eq!(wave.len(), 1, "one replica of a shard moves at a time");
+        sched.complete(&wave[0]);
+        assert_eq!(sched.release().len(), 1);
+    }
+
+    #[test]
+    fn preserves_order_for_blocked_moves() {
+        let moves = vec![
+            mv(1, None, 5),
+            mv(2, None, 5),
+            mv(3, None, 5),
+            mv(4, None, 6),
+        ];
+        let mut sched = MoveScheduler::new(
+            moves,
+            MoveCaps {
+                max_total: 10,
+                max_per_server: 1,
+                max_per_shard: 1,
+            },
+        );
+        let wave = sched.release();
+        // Shard 1 takes server 5; shards 2,3 blocked; shard 4 proceeds.
+        assert_eq!(
+            wave.iter().map(|m| m.shard.raw()).collect::<Vec<_>>(),
+            vec![1, 4]
+        );
+        sched.complete(&wave[0]);
+        let wave2 = sched.release();
+        assert_eq!(wave2[0].shard, ShardId(2), "blocked moves keep order");
+    }
+
+    #[test]
+    fn drains_to_done() {
+        let moves: Vec<ReplicaMove> = (0..20)
+            .map(|i| mv(i, Some(i as u32), 50 + i as u32))
+            .collect();
+        let mut sched = MoveScheduler::new(moves, MoveCaps::default());
+        let mut executed = 0;
+        while !sched.is_done() {
+            let wave = sched.release();
+            assert!(!wave.is_empty() || sched.in_flight() > 0, "no deadlock");
+            for m in wave {
+                executed += 1;
+                sched.complete(&m);
+            }
+        }
+        assert_eq!(executed, 20);
+    }
+
+    #[test]
+    fn complete_unknown_move_is_noop() {
+        let mut sched = MoveScheduler::new(vec![], MoveCaps::default());
+        sched.complete(&mv(1, None, 2));
+        assert!(sched.is_done());
+    }
+}

@@ -1,0 +1,269 @@
+//! Server-side shard hosting with the §4.3 forwarding states.
+//!
+//! [`ShardHost`] is the bookkeeping every SM application server needs:
+//! which shards it holds in which role, plus the three migration states
+//! of the graceful primary handover —
+//!
+//! - **prepare-add** (new primary, step 1): requests are accepted only
+//!   when forwarded from the current owner;
+//! - **prepare-drop** (old primary, step 2): every request is forwarded
+//!   to the new owner;
+//! - **tombstone** (old primary, step 5): after `drop_shard` the server
+//!   keeps forwarding stragglers to the new owner, so no request that
+//!   reached it under a stale routing table is ever dropped.
+
+use sm_types::{ReplicaRole, ServerId, ShardId, SmError};
+use std::collections::BTreeMap;
+
+/// What to do with a request that reached this server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppResponse {
+    /// Serve it here.
+    Serve,
+    /// Forward to the server now responsible (graceful migration).
+    Forward(ServerId),
+    /// Reject: this server does not (or no longer) host the shard and
+    /// has nowhere to forward — the client saw a stale map.
+    NotMine,
+}
+
+/// Shard-hosting state for one application server.
+#[derive(Clone, Debug, Default)]
+pub struct ShardHost {
+    shards: BTreeMap<ShardId, ReplicaRole>,
+    /// Step-1 state: shard -> current owner we expect forwards from.
+    pre_add: BTreeMap<ShardId, ServerId>,
+    /// Step-2 state: shard -> new owner we forward to (replica kept).
+    forward_to: BTreeMap<ShardId, ServerId>,
+    /// Step-5 state: dropped shards that still forward stragglers.
+    tombstones: BTreeMap<ShardId, ServerId>,
+}
+
+impl ShardHost {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The role held for `shard`, if hosted.
+    pub fn role_of(&self, shard: ShardId) -> Option<ReplicaRole> {
+        self.shards.get(&shard).copied()
+    }
+
+    /// Number of hosted shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hosted shards with roles.
+    pub fn shards(&self) -> impl Iterator<Item = (&ShardId, &ReplicaRole)> {
+        self.shards.iter()
+    }
+
+    /// Implements `add_shard` (also step 3 of graceful migration).
+    pub fn add_shard(&mut self, shard: ShardId, role: ReplicaRole) -> Result<(), SmError> {
+        self.pre_add.remove(&shard);
+        self.tombstones.remove(&shard);
+        self.shards.insert(shard, role);
+        Ok(())
+    }
+
+    /// Implements `drop_shard` (also step 5). If the shard was in the
+    /// forwarding state, the forward target is kept as a tombstone.
+    pub fn drop_shard(&mut self, shard: ShardId) -> Result<(), SmError> {
+        if self.shards.remove(&shard).is_none() && !self.pre_add.contains_key(&shard) {
+            return Err(SmError::not_found(shard));
+        }
+        self.pre_add.remove(&shard);
+        if let Some(target) = self.forward_to.remove(&shard) {
+            self.tombstones.insert(shard, target);
+        }
+        Ok(())
+    }
+
+    /// Implements `change_role`.
+    pub fn change_role(
+        &mut self,
+        shard: ShardId,
+        current: ReplicaRole,
+        new: ReplicaRole,
+    ) -> Result<(), SmError> {
+        let role = self
+            .shards
+            .get_mut(&shard)
+            .ok_or_else(|| SmError::not_found(shard))?;
+        if *role != current {
+            return Err(SmError::conflict(format!(
+                "{shard} role is {role}, not {current}"
+            )));
+        }
+        *role = new;
+        Ok(())
+    }
+
+    /// Implements `prepare_add_shard` (step 1).
+    pub fn prepare_add_shard(
+        &mut self,
+        shard: ShardId,
+        current_owner: ServerId,
+        _role: ReplicaRole,
+    ) -> Result<(), SmError> {
+        self.pre_add.insert(shard, current_owner);
+        self.tombstones.remove(&shard);
+        Ok(())
+    }
+
+    /// Implements `prepare_drop_shard` (step 2).
+    pub fn prepare_drop_shard(
+        &mut self,
+        shard: ShardId,
+        new_owner: ServerId,
+        _role: ReplicaRole,
+    ) -> Result<(), SmError> {
+        if !self.shards.contains_key(&shard) {
+            return Err(SmError::not_found(shard));
+        }
+        self.forward_to.insert(shard, new_owner);
+        Ok(())
+    }
+
+    /// Decides what to do with a request for `shard`. `forwarded` is
+    /// true when the request came from the shard's previous owner rather
+    /// than directly from a client.
+    pub fn admit(&self, shard: ShardId, forwarded: bool) -> AppResponse {
+        // Step-2/-5 forwarding takes precedence: the handover is in
+        // progress or completed and the new owner serves.
+        if let Some(&target) = self.forward_to.get(&shard) {
+            return AppResponse::Forward(target);
+        }
+        if let Some(&target) = self.tombstones.get(&shard) {
+            return AppResponse::Forward(target);
+        }
+        if self.pre_add.contains_key(&shard) {
+            // Step 1: only the old owner's forwards are accepted.
+            return if forwarded {
+                AppResponse::Serve
+            } else {
+                AppResponse::NotMine
+            };
+        }
+        if self.shards.contains_key(&shard) {
+            AppResponse::Serve
+        } else {
+            AppResponse::NotMine
+        }
+    }
+
+    /// Clears everything — a process restart losing soft state.
+    pub fn wipe(&mut self) {
+        self.shards.clear();
+        self.pre_add.clear();
+        self.forward_to.clear();
+        self.tombstones.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: ShardId = ShardId(1);
+    const OLD: ServerId = ServerId(10);
+    const NEW: ServerId = ServerId(20);
+
+    #[test]
+    fn plain_hosting() {
+        let mut h = ShardHost::new();
+        assert_eq!(h.admit(S, false), AppResponse::NotMine);
+        h.add_shard(S, ReplicaRole::Primary).unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::Serve);
+        assert_eq!(h.role_of(S), Some(ReplicaRole::Primary));
+        h.drop_shard(S).unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::NotMine);
+        assert!(h.drop_shard(S).is_err(), "double drop");
+    }
+
+    #[test]
+    fn graceful_handover_never_rejects() {
+        // Walk both sides of the §4.3 protocol and check admission at
+        // every step.
+        let mut old = ShardHost::new();
+        let mut new = ShardHost::new();
+        old.add_shard(S, ReplicaRole::Primary).unwrap();
+
+        // Step 1: new primary prepared; direct requests rejected there,
+        // forwarded ones accepted.
+        new.prepare_add_shard(S, OLD, ReplicaRole::Primary).unwrap();
+        assert_eq!(new.admit(S, false), AppResponse::NotMine);
+        assert_eq!(new.admit(S, true), AppResponse::Serve);
+        // Clients still reach the old primary directly.
+        assert_eq!(old.admit(S, false), AppResponse::Serve);
+
+        // Step 2: old primary forwards everything.
+        old.prepare_drop_shard(S, NEW, ReplicaRole::Primary)
+            .unwrap();
+        assert_eq!(old.admit(S, false), AppResponse::Forward(NEW));
+
+        // Step 3: new primary officially owns the shard.
+        new.add_shard(S, ReplicaRole::Primary).unwrap();
+        assert_eq!(new.admit(S, false), AppResponse::Serve);
+        assert_eq!(new.admit(S, true), AppResponse::Serve);
+
+        // Step 5: old primary dropped the replica but keeps forwarding
+        // stragglers via the tombstone.
+        old.drop_shard(S).unwrap();
+        assert_eq!(old.admit(S, false), AppResponse::Forward(NEW));
+        assert_eq!(old.shard_count(), 0);
+    }
+
+    #[test]
+    fn abrupt_drop_rejects_stale_requests() {
+        let mut h = ShardHost::new();
+        h.add_shard(S, ReplicaRole::Primary).unwrap();
+        // No prepare_drop first: nothing to forward to.
+        h.drop_shard(S).unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::NotMine);
+    }
+
+    #[test]
+    fn change_role_validates() {
+        let mut h = ShardHost::new();
+        h.add_shard(S, ReplicaRole::Secondary).unwrap();
+        assert!(h
+            .change_role(S, ReplicaRole::Primary, ReplicaRole::Secondary)
+            .is_err());
+        h.change_role(S, ReplicaRole::Secondary, ReplicaRole::Primary)
+            .unwrap();
+        assert_eq!(h.role_of(S), Some(ReplicaRole::Primary));
+        assert!(h
+            .change_role(ShardId(99), ReplicaRole::Primary, ReplicaRole::Secondary)
+            .is_err());
+    }
+
+    #[test]
+    fn prepare_drop_requires_hosting() {
+        let mut h = ShardHost::new();
+        assert!(h.prepare_drop_shard(S, NEW, ReplicaRole::Primary).is_err());
+    }
+
+    #[test]
+    fn readd_clears_tombstone() {
+        let mut h = ShardHost::new();
+        h.add_shard(S, ReplicaRole::Primary).unwrap();
+        h.prepare_drop_shard(S, NEW, ReplicaRole::Primary).unwrap();
+        h.drop_shard(S).unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::Forward(NEW));
+        // The shard migrates back later.
+        h.add_shard(S, ReplicaRole::Primary).unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::Serve);
+    }
+
+    #[test]
+    fn wipe_models_process_restart() {
+        let mut h = ShardHost::new();
+        h.add_shard(S, ReplicaRole::Primary).unwrap();
+        h.wipe();
+        assert_eq!(h.shard_count(), 0);
+        assert_eq!(h.admit(S, false), AppResponse::NotMine);
+    }
+}

@@ -1,0 +1,1400 @@
+//! The integrated simulation world.
+//!
+//! Wires every substrate into one deterministic discrete-event world:
+//! regional cluster managers (`sm-cluster`), ZooKeeper failure detection
+//! (`sm-zk`), the orchestrator and TaskController (`sm-core`), service
+//! discovery and client routers (`sm-routing`), application servers
+//! (this crate), and geo latencies (`sm-sim`). The paper's experiment
+//! figures (17–20) and the runnable examples are all thin drivers over
+//! this world: configure, inject events (rolling upgrades, region
+//! failures, preference changes), run, and read the trace.
+
+use crate::forwarding::AppResponse;
+use crate::kv::{ExternalStore, KvServer};
+use crate::queue::QueueServer;
+use sm_cluster::{ClusterManager, Machine, MaintenanceImpact, OpId, OpKind};
+use sm_core::{
+    AvailabilityView, OrchCommand, Orchestrator, OrchestratorConfig, ServerRpc, ShardServer,
+    TaskController,
+};
+use sm_routing::{DiscoveryService, ServiceRouter, SubscriberId};
+use sm_sim::{Ctx, LatencyModel, SimDuration, SimTime, TraceLog, World};
+use sm_types::{
+    AppId, AppKey, AppPolicy, ContainerId, LoadVector, Location, MachineId, Metric, RegionId,
+    ServerId, ShardId, ShardMap, ShardingSpec, SmError,
+};
+use sm_zk::{CreateMode, SessionId, ZkStore};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Which application logic the servers run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppKind {
+    /// Laser-like key-value store.
+    Kv,
+    /// In-order queue service.
+    Queue,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// `(region, servers in that region)`.
+    pub regions: Vec<(RegionId, u32)>,
+    /// Shard count (uniform u64 key ranges).
+    pub shards: u64,
+    /// Application policy.
+    pub policy: AppPolicy,
+    /// Application logic.
+    pub app: AppKind,
+    /// Use the §4.3 graceful protocol for primary moves.
+    pub graceful_migration: bool,
+    /// Use the TaskController; when false, pending container ops are
+    /// executed blindly up to `no_tc_concurrency`.
+    pub use_taskcontroller: bool,
+    /// Concurrency of blind execution when the TaskController is off.
+    pub no_tc_concurrency: usize,
+    /// Region-pair latencies.
+    pub latency: LatencyModel,
+    /// Client request rate, per client, per second.
+    pub request_rate: f64,
+    /// Clients per region.
+    pub clients_per_region: u32,
+    /// Retries before a request counts as failed.
+    pub retries: u32,
+    /// Pause before a retry.
+    pub retry_delay: SimDuration,
+    /// Container restart downtime.
+    pub restart_duration: SimDuration,
+    /// ZooKeeper session timeout (failure-detection latency).
+    pub failure_detection: SimDuration,
+    /// TaskControl negotiation interval.
+    pub tc_review_interval: SimDuration,
+    /// Load-report pull interval.
+    pub load_report_interval: SimDuration,
+    /// Periodic allocator interval.
+    pub periodic_alloc_interval: SimDuration,
+    /// Discovery-tree per-hop delay.
+    pub map_hop_delay: SimDuration,
+    /// Debounce window for coalescing shard-map publications.
+    pub map_debounce: SimDuration,
+    /// Time a server needs to (re)build a shard's state from the
+    /// external store when it was not warmed beforehand. Graceful
+    /// migration's `prepare_add_shard` warms the destination (§4.3), so
+    /// only abrupt moves and failovers pay this.
+    pub shard_load_time: SimDuration,
+    /// Shard-count capacity per server (for the balance band).
+    pub shard_capacity: f64,
+    /// Route reads to the nearest replica (geo experiments) instead of
+    /// the primary.
+    pub route_nearest: bool,
+    /// Diurnal modulation of the client request rate: amplitude in
+    /// `[0, 1]` over a 24 h period (0 disables).
+    pub diurnal_amplitude: f64,
+    /// Restrict client keys to this contiguous shard range (e.g. the
+    /// east-coast shards of §8.3). `None` = whole key space.
+    pub target_shards: Option<std::ops::Range<u64>>,
+    /// Place clients only in these regions; `None` = all regions.
+    pub client_regions: Option<Vec<RegionId>>,
+    /// Delay before clients start issuing requests, letting the
+    /// bootstrap placement finish.
+    pub client_start: SimDuration,
+}
+
+impl ExperimentConfig {
+    /// A single-region primary-only KV deployment — the Figure 17 shape.
+    pub fn single_region(servers: u32, shards: u64) -> Self {
+        Self {
+            seed: 42,
+            regions: vec![(RegionId(0), servers)],
+            shards,
+            policy: AppPolicy::primary_only(),
+            app: AppKind::Kv,
+            graceful_migration: true,
+            use_taskcontroller: true,
+            no_tc_concurrency: (servers as usize / 10).max(1),
+            latency: LatencyModel::uniform(1, 1.0, 1.0),
+            request_rate: 20.0,
+            clients_per_region: 10,
+            retries: 5,
+            retry_delay: SimDuration::from_millis(150),
+            restart_duration: SimDuration::from_secs(30),
+            failure_detection: SimDuration::from_secs(20),
+            tc_review_interval: SimDuration::from_secs(5),
+            load_report_interval: SimDuration::from_secs(10),
+            periodic_alloc_interval: SimDuration::from_secs(60),
+            map_hop_delay: SimDuration::from_millis(100),
+            map_debounce: SimDuration::from_millis(200),
+            shard_load_time: SimDuration::from_secs(10),
+            shard_capacity: 0.0,
+            route_nearest: false,
+            diurnal_amplitude: 0.0,
+            target_shards: None,
+            client_regions: None,
+            client_start: SimDuration::from_secs(30),
+        }
+    }
+
+    /// The three-region geo deployment of §8.3.
+    pub fn three_region_geo(servers_per_region: u32, shards: u64) -> Self {
+        let mut cfg = Self::single_region(servers_per_region, shards);
+        cfg.regions = vec![
+            (RegionId(0), servers_per_region),
+            (RegionId(1), servers_per_region),
+            (RegionId(2), servers_per_region),
+        ];
+        cfg.latency = LatencyModel::frc_prn_odn();
+        cfg.route_nearest = true;
+        cfg
+    }
+}
+
+/// Outcome counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldStats {
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests that exhausted retries.
+    pub failed: u64,
+    /// Forward hops taken (graceful migrations at work).
+    pub forwarded: u64,
+    /// Requests bounced off a server that no longer owns the shard.
+    pub not_mine: u64,
+    /// Retry attempts.
+    pub retries: u64,
+    /// Failures whose final attempt died at routing (no map / no entry).
+    pub failed_route: u64,
+    /// Failures whose final attempt hit a non-serving server.
+    pub failed_refused: u64,
+    /// Failures whose final attempt exceeded the forward-hop limit.
+    pub failed_hops: u64,
+}
+
+impl WorldStats {
+    /// Success fraction over everything completed so far.
+    pub fn success_rate(&self) -> f64 {
+        let total = self.ok + self.failed;
+        if total == 0 {
+            1.0
+        } else {
+            self.ok as f64 / total as f64
+        }
+    }
+}
+
+/// An in-flight client request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    client: usize,
+    key: AppKey,
+    shard: ShardId,
+    target: ServerId,
+    forwarded_from: Option<ServerId>,
+    sent_at: SimTime,
+    attempts: u32,
+    hops: u32,
+}
+
+/// World events.
+#[derive(Clone, Debug)]
+pub enum WorldEvent {
+    /// A client issues its next request.
+    ClientTick(usize),
+    /// Retry a failed request.
+    Retry {
+        /// Issuing client index.
+        client: usize,
+        /// The key being retried.
+        key: AppKey,
+        /// Attempts so far.
+        attempts: u32,
+        /// Original send time (latency is end-to-end).
+        sent_at: SimTime,
+    },
+    /// A request arrives at a server.
+    Deliver(Request),
+    /// A response (ok or not) arrives back at the client.
+    Respond {
+        /// The request being answered.
+        req: Request,
+        /// Whether it was served.
+        ok: bool,
+    },
+    /// An orchestrator RPC arrives at a server.
+    OrchDeliver {
+        /// Destination server.
+        server: ServerId,
+        /// The call.
+        rpc: ServerRpc,
+    },
+    /// The server's ack arrives back at the orchestrator.
+    OrchAck {
+        /// Acking server.
+        server: ServerId,
+        /// The call being acknowledged.
+        rpc: ServerRpc,
+        /// Whether the server applied it.
+        ok: bool,
+    },
+    /// A shard-map update reaches a subscriber.
+    MapDeliver {
+        /// Destination subscriber.
+        subscriber: SubscriberId,
+        /// The shared map snapshot.
+        map: Rc<ShardMap>,
+    },
+    /// Publish the orchestrator's current map (debounced).
+    MapFlush,
+    /// Initial placement of all shards at t=0.
+    Bootstrap,
+    /// TaskControl negotiation round.
+    TcReview,
+    /// An approved container operation finished.
+    OpDone {
+        /// The cluster manager's region.
+        region: RegionId,
+        /// The completed operation.
+        op: OpId,
+    },
+    /// ZooKeeper session-expiry check for a down server.
+    SessionCheck {
+        /// The server whose session is checked.
+        server: ServerId,
+        /// When it went down (stale checks are ignored).
+        down_since: SimTime,
+    },
+    /// Servers report load.
+    LoadReport,
+    /// Periodic allocation runs.
+    PeriodicAlloc,
+    /// Start a rolling upgrade in one region.
+    StartUpgrade {
+        /// Target region.
+        region: RegionId,
+        /// New binary version.
+        version: u32,
+    },
+    /// Restart the first `count` containers of a region (a small-scale
+    /// canary wave, §8.2).
+    CanaryRestart {
+        /// Target region.
+        region: RegionId,
+        /// Containers to restart.
+        count: usize,
+    },
+    /// A whole region fails (§8.3).
+    RegionFail(RegionId),
+    /// The failed region recovers.
+    RegionRecover(RegionId),
+    /// Crash one server (unplanned).
+    ServerCrash(ServerId),
+    /// Update a shard's regional placement preference (Figure 20).
+    SetPreference {
+        /// The shard.
+        shard: ShardId,
+        /// Newly preferred region.
+        region: RegionId,
+        /// Preference weight.
+        weight: f64,
+    },
+    /// Advance notice of non-negotiable maintenance (§4.2): demote
+    /// primaries off the affected servers ahead of time.
+    MaintenancePrepare {
+        /// Servers in the blast radius.
+        servers: Vec<ServerId>,
+    },
+    /// The maintenance window opens: affected servers stop serving.
+    MaintenanceStart {
+        /// Region of the affected servers.
+        region: RegionId,
+        /// Servers going down.
+        servers: Vec<ServerId>,
+        /// What the event costs the machines.
+        impact: MaintenanceImpact,
+    },
+    /// The maintenance window closes: servers resume (except after full
+    /// machine loss).
+    MaintenanceEnd {
+        /// Region of the affected servers.
+        region: RegionId,
+        /// Servers coming back.
+        servers: Vec<ServerId>,
+        /// The event's impact class.
+        impact: MaintenanceImpact,
+    },
+    /// The active control-plane replica dies; a standby takes over by
+    /// restoring the ZooKeeper-persisted state (§6.2).
+    ControlPlaneFailover,
+    /// Record a trace sample of current success rate and move counts.
+    Sample,
+}
+
+enum AppLogic {
+    Kv(KvServer),
+    Queue(QueueServer),
+}
+
+impl AppLogic {
+    fn as_shard_server(&mut self) -> &mut dyn ShardServer {
+        match self {
+            AppLogic::Kv(s) => s,
+            AppLogic::Queue(s) => s,
+        }
+    }
+    fn admit(&self, shard: ShardId, forwarded: bool) -> AppResponse {
+        match self {
+            AppLogic::Kv(s) => s.admit(shard, forwarded),
+            AppLogic::Queue(s) => s.admit(shard, forwarded),
+        }
+    }
+    fn serve(&mut self, shard: ShardId, key: &AppKey) {
+        match self {
+            AppLogic::Kv(s) => {
+                let _ = s.get(shard, key);
+            }
+            AppLogic::Queue(s) => {
+                let _ = s.enqueue(shard, key.0.clone());
+            }
+        }
+    }
+    fn restart(&mut self) {
+        match self {
+            AppLogic::Kv(s) => s.restart(),
+            AppLogic::Queue(s) => *s = QueueServer::new(),
+        }
+    }
+    /// Whether the shard's state is already materialized here (warmed by
+    /// a prior `prepare_add_shard` or still cached).
+    fn is_warm(&self, shard: ShardId) -> bool {
+        match self {
+            AppLogic::Kv(s) => s.is_warm(shard),
+            AppLogic::Queue(s) => s.is_warm(shard),
+        }
+    }
+}
+
+struct Host {
+    logic: AppLogic,
+    region: RegionId,
+    location: Location,
+    capacity: LoadVector,
+    serving: bool,
+    down_since: Option<SimTime>,
+    zk_session: SessionId,
+}
+
+struct Client {
+    router: ServiceRouter,
+    region: RegionId,
+    subscriber: SubscriberId,
+}
+
+/// The simulation world. Implements [`World`] for `sm-sim`.
+pub struct SimWorld {
+    /// Configuration (read-only after construction).
+    pub cfg: ExperimentConfig,
+    app: AppId,
+    spec: Rc<ShardingSpec>,
+    external: Rc<RefCell<ExternalStore>>,
+    cms: BTreeMap<RegionId, ClusterManager>,
+    tc: TaskController,
+    orch: Orchestrator,
+    orch_cfg: OrchestratorConfig,
+    discovery: DiscoveryService,
+    zk: ZkStore,
+    servers: BTreeMap<ServerId, Host>,
+    clients: Vec<Client>,
+    /// Outcome counters.
+    pub stats: WorldStats,
+    /// Recorded series: `success_rate`, `latency_ms`, `moves`,
+    /// `err_rate`.
+    pub trace: TraceLog,
+    /// Success/total in the current sampling window.
+    window_ok: u64,
+    window_total: u64,
+    map_flush_scheduled: bool,
+    moves_at_last_sample: u64,
+    orch_region: RegionId,
+    /// Stop issuing client ticks after this time (None = forever).
+    pub client_deadline: Option<SimTime>,
+    /// Sampling interval for the `Sample` event.
+    pub sample_interval: SimDuration,
+}
+
+impl SimWorld {
+    /// Builds the world and performs the synchronous setup: machines,
+    /// containers, servers, bootstrap placement, and initial map
+    /// publication all happen at t=0 when the first events run.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        let app = AppId(0);
+        let spec = Rc::new(ShardingSpec::uniform_u64(cfg.shards));
+        let external = Rc::new(RefCell::new(ExternalStore::new()));
+        let mut zk = ZkStore::new();
+        let zk_root = zk.connect();
+        zk.create(zk_root, "/servers", Vec::new(), CreateMode::Persistent)
+            .expect("zk root");
+
+        // Orchestrator configuration.
+        let mut alloc = sm_allocator_config(&cfg);
+        alloc.search.seed = cfg.seed;
+        let orch_cfg = OrchestratorConfig {
+            graceful_migration: cfg.graceful_migration,
+            // Generous caps: a server loads many shards in parallel
+            // (cold-load time is per shard, not serialized), so the
+            // stability cap sits well above the bootstrap fan-out.
+            move_caps: sm_allocator::MoveCaps {
+                max_total: 4096,
+                max_per_server: 256,
+                max_per_shard: 1,
+            },
+            alloc,
+        };
+        let mut orch = Orchestrator::new(app, cfg.policy.clone(), orch_cfg.clone());
+        orch.register_shards((0..cfg.shards).map(ShardId));
+
+        let mut cms = BTreeMap::new();
+        let mut servers = BTreeMap::new();
+        let mut next_server = 0u32;
+        let mut next_rack = 0u32;
+        // Default shard-count capacity: 4x the fair share, so the
+        // capacity hard constraint exists but only the balance band
+        // normally binds.
+        let total_servers: u32 = cfg.regions.iter().map(|(_, n)| *n).sum();
+        let replicas = cfg.policy.replication.replicas_per_shard() as f64;
+        let fair_share = cfg.shards as f64 * replicas / f64::from(total_servers.max(1));
+        let cap_value = if cfg.shard_capacity > 0.0 {
+            cfg.shard_capacity
+        } else {
+            (fair_share * 4.0).max(4.0)
+        };
+        for &(region, count) in &cfg.regions {
+            let mut cm = ClusterManager::new(region, cfg.restart_duration);
+            for _ in 0..count {
+                let id = next_server;
+                next_server += 1;
+                let location = Location {
+                    region,
+                    datacenter: u32::from(region.raw()),
+                    rack: {
+                        // Two servers per rack.
+                        if id % 2 == 0 {
+                            next_rack += 1;
+                        }
+                        next_rack
+                    },
+                    machine: MachineId(id),
+                };
+                let capacity = LoadVector::single(Metric::ShardCount.id(), cap_value);
+                cm.add_machine(Machine::new(location, capacity, false));
+                cm.deploy(ContainerId(id), app, MachineId(id), 1)
+                    .expect("deploy");
+                orch.register_server(ServerId(id), location, capacity);
+
+                let session = zk.connect();
+                zk.create(
+                    session,
+                    &format!("/servers/srv{id}"),
+                    Vec::new(),
+                    CreateMode::Ephemeral,
+                )
+                .expect("ephemeral");
+                let logic = match cfg.app {
+                    AppKind::Kv => {
+                        AppLogic::Kv(KvServer::new(ServerId(id), spec.clone(), external.clone()))
+                    }
+                    AppKind::Queue => AppLogic::Queue(QueueServer::new()),
+                };
+                servers.insert(
+                    ServerId(id),
+                    Host {
+                        logic,
+                        region,
+                        location,
+                        capacity,
+                        serving: true,
+                        down_since: None,
+                        zk_session: session,
+                    },
+                );
+            }
+            cms.insert(region, cm);
+        }
+
+        let mut discovery = DiscoveryService::new(4, cfg.map_hop_delay);
+        let mut clients = Vec::new();
+        for &(region, _) in &cfg.regions {
+            if let Some(only) = &cfg.client_regions {
+                if !only.contains(&region) {
+                    continue;
+                }
+            }
+            for _ in 0..cfg.clients_per_region {
+                let subscriber = discovery.subscribe();
+                let mut router = ServiceRouter::new();
+                router.register_app(app, (*spec).clone());
+                for (&sid, host) in &servers {
+                    router.set_server_region(sid, host.region);
+                }
+                clients.push(Client {
+                    router,
+                    region,
+                    subscriber,
+                });
+            }
+        }
+
+        let tc = TaskController::new(cfg.policy.clone());
+        let orch_region = cfg.regions[0].0;
+        Self {
+            cfg,
+            app,
+            spec,
+            external,
+            cms,
+            tc,
+            orch,
+            orch_cfg,
+            discovery,
+            zk,
+            servers,
+            clients,
+            stats: WorldStats::default(),
+            trace: TraceLog::new(),
+            window_ok: 0,
+            window_total: 0,
+            map_flush_scheduled: false,
+            moves_at_last_sample: 0,
+            orch_region,
+            client_deadline: None,
+            sample_interval: SimDuration::from_secs(10),
+        }
+    }
+
+    /// The application's sharding spec.
+    pub fn spec(&self) -> &ShardingSpec {
+        &self.spec
+    }
+
+    /// The cluster manager of `region` (inspection).
+    pub fn cluster_manager(&self, region: RegionId) -> Option<&ClusterManager> {
+        self.cms.get(&region)
+    }
+
+    /// The TaskController (inspection).
+    pub fn taskcontroller(&self) -> &TaskController {
+        &self.tc
+    }
+
+    /// Servers currently serving.
+    pub fn serving_count(&self) -> usize {
+        self.servers.values().filter(|h| h.serving).count()
+    }
+
+    /// The region a server lives in.
+    pub fn server_region(&self, server: ServerId) -> Option<RegionId> {
+        self.servers.get(&server).map(|h| h.region)
+    }
+
+    /// The orchestrator (for assertions in tests/examples).
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+
+    /// The external store shared by KV servers.
+    pub fn external(&self) -> Rc<RefCell<ExternalStore>> {
+        self.external.clone()
+    }
+
+    /// Builds a primed simulation: bootstrap placement at t=0, recurring
+    /// control loops, and client ticks scheduled.
+    pub fn primed(cfg: ExperimentConfig) -> sm_sim::Simulation<SimWorld> {
+        let world = SimWorld::new(cfg);
+        let n_clients = world.clients.len();
+        let cfg2 = world.cfg.clone();
+        let mut sim = sm_sim::Simulation::new(world, cfg2.seed);
+        sim.schedule_at(SimTime::ZERO, WorldEvent::Bootstrap);
+        sim.schedule_at(SimTime::ZERO, WorldEvent::TcReview);
+        sim.schedule_in(cfg2.load_report_interval, WorldEvent::LoadReport);
+        sim.schedule_in(cfg2.periodic_alloc_interval, WorldEvent::PeriodicAlloc);
+        sim.schedule_in(SimDuration::from_secs(1), WorldEvent::Sample);
+        for c in 0..n_clients {
+            // Stagger client starts over one second after the warm-up.
+            let offset = SimDuration::from_millis(((c as u64) * 997) % 1000);
+            sim.schedule_at(
+                SimTime::ZERO + cfg2.client_start + offset,
+                WorldEvent::ClientTick(c),
+            );
+        }
+        sim
+    }
+
+    fn flush_orch(&mut self, ctx: &mut Ctx<'_, WorldEvent>) {
+        let cmds = self.orch.take_commands();
+        for c in cmds {
+            match c {
+                OrchCommand::Rpc { server, rpc } => {
+                    let delay = self.rpc_latency(server, ctx);
+                    ctx.schedule_in(delay, WorldEvent::OrchDeliver { server, rpc });
+                }
+                OrchCommand::MapChanged { .. } => {
+                    // Debounce: bursts of assignment changes coalesce
+                    // into one publication per window.
+                    if !self.map_flush_scheduled {
+                        self.map_flush_scheduled = true;
+                        ctx.schedule_in(self.cfg.map_debounce, WorldEvent::MapFlush);
+                    }
+                }
+            }
+        }
+    }
+
+    fn publish_current_map(&mut self, ctx: &mut Ctx<'_, WorldEvent>) {
+        let map = Rc::new(self.orch.current_map());
+        if let Ok(deliveries) = self.discovery.publish(self.app, map.clone(), ctx.rng()) {
+            for (subscriber, delay) in deliveries {
+                ctx.schedule_in(
+                    delay,
+                    WorldEvent::MapDeliver {
+                        subscriber,
+                        map: map.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn rpc_latency(&mut self, server: ServerId, ctx: &mut Ctx<'_, WorldEvent>) -> SimDuration {
+        let to = self
+            .servers
+            .get(&server)
+            .map(|h| h.region)
+            .unwrap_or(self.orch_region);
+        let from = self.orch_region;
+        self.cfg.latency.sample(from, to, ctx.rng())
+    }
+
+    fn region_of_client(&self, client: usize) -> RegionId {
+        self.clients[client].region
+    }
+
+    fn client_server_latency(
+        &mut self,
+        client_region: RegionId,
+        server: ServerId,
+        ctx: &mut Ctx<'_, WorldEvent>,
+    ) -> SimDuration {
+        let server_region = self
+            .servers
+            .get(&server)
+            .map(|h| h.region)
+            .unwrap_or(client_region);
+        self.cfg
+            .latency
+            .sample(client_region, server_region, ctx.rng())
+    }
+
+    fn server_serving(&self, server: ServerId) -> bool {
+        self.servers
+            .get(&server)
+            .map(|h| h.serving)
+            .unwrap_or(false)
+    }
+
+    /// Marks a server down and schedules ZooKeeper session expiry.
+    fn take_server_down(&mut self, server: ServerId, now: SimTime, ctx: &mut Ctx<'_, WorldEvent>) {
+        if let Some(host) = self.servers.get_mut(&server) {
+            if host.serving {
+                host.serving = false;
+                host.down_since = Some(now);
+                host.logic.restart();
+                ctx.schedule_in(
+                    self.cfg.failure_detection,
+                    WorldEvent::SessionCheck {
+                        server,
+                        down_since: now,
+                    },
+                );
+            }
+        }
+    }
+
+    fn bring_server_up(
+        &mut self,
+        server: ServerId,
+        detected_down: bool,
+        ctx: &mut Ctx<'_, WorldEvent>,
+    ) {
+        let Some(host) = self.servers.get_mut(&server) else {
+            return;
+        };
+        host.serving = true;
+        host.down_since = None;
+        if !self.zk.session_alive(host.zk_session) {
+            let session = self.zk.connect();
+            let _ = self.zk.create(
+                session,
+                &format!("/servers/srv{}", server.raw()),
+                Vec::new(),
+                CreateMode::Ephemeral,
+            );
+            host.zk_session = session;
+        }
+        if detected_down {
+            self.orch.server_up(server);
+            self.orch.run_emergency();
+        } else {
+            // Restarted before detection: the orchestrator still thinks
+            // the shards are here — reconcile re-adds them.
+            self.orch.reconcile_server(server);
+        }
+        self.flush_orch(ctx);
+    }
+
+    fn route(&mut self, client: usize, key: &AppKey) -> Result<(ShardId, ServerId), SmError> {
+        let region = self.clients[client].region;
+        if self.cfg.route_nearest {
+            let c = &self.clients[client];
+            c.router
+                .route_nearest(self.app, key, region, &self.cfg.latency)
+                .map(|d| (d.shard, d.server))
+        } else {
+            self.clients[client]
+                .router
+                .route(self.app, key)
+                .map(|d| (d.shard, d.server))
+        }
+    }
+
+    fn try_send(
+        &mut self,
+        client: usize,
+        key: AppKey,
+        attempts: u32,
+        sent_at: SimTime,
+        ctx: &mut Ctx<'_, WorldEvent>,
+    ) {
+        match self.route(client, &key) {
+            Ok((shard, server)) => {
+                let region = self.region_of_client(client);
+                let delay = self.client_server_latency(region, server, ctx);
+                ctx.schedule_in(
+                    delay,
+                    WorldEvent::Deliver(Request {
+                        client,
+                        key,
+                        shard,
+                        target: server,
+                        forwarded_from: None,
+                        sent_at,
+                        attempts,
+                        hops: 0,
+                    }),
+                );
+            }
+            Err(_) => {
+                self.stats.failed_route += u64::from(attempts >= self.cfg.retries);
+                self.fail_or_retry(client, key, attempts, sent_at, ctx)
+            }
+        }
+    }
+
+    fn fail_or_retry(
+        &mut self,
+        client: usize,
+        key: AppKey,
+        attempts: u32,
+        sent_at: SimTime,
+        ctx: &mut Ctx<'_, WorldEvent>,
+    ) {
+        if attempts < self.cfg.retries {
+            self.stats.retries += 1;
+            ctx.schedule_in(
+                self.cfg.retry_delay,
+                WorldEvent::Retry {
+                    client,
+                    key,
+                    attempts: attempts + 1,
+                    sent_at,
+                },
+            );
+        } else {
+            self.stats.failed += 1;
+            self.window_total += 1;
+            self.trace.record("success", ctx.now(), 0.0);
+        }
+    }
+
+    fn complete_ok(&mut self, req: &Request, ctx: &mut Ctx<'_, WorldEvent>) {
+        self.stats.ok += 1;
+        self.window_ok += 1;
+        self.window_total += 1;
+        let latency = ctx.now().since(req.sent_at);
+        self.trace.record("success", ctx.now(), 1.0);
+        self.trace
+            .record("latency_ms", ctx.now(), latency.as_millis_f64());
+    }
+
+    /// Builds the TaskController's availability view from the current
+    /// orchestrator assignment and server liveness.
+    fn availability_view(&self) -> AvailabilityView {
+        let mut view = AvailabilityView::default();
+        for (&sid, host) in &self.servers {
+            let container = ContainerId(sid.raw());
+            let shards = self.orch.shards_on(sid);
+            if !host.serving {
+                view.containers_down += 1;
+                for (shard, _) in &shards {
+                    *view.failed_replicas.entry(*shard).or_insert(0) += 1;
+                }
+            }
+            view.shards_on.insert(container, shards);
+        }
+        view
+    }
+
+    fn tc_review(&mut self, now: SimTime, ctx: &mut Ctx<'_, WorldEvent>) {
+        // Release any drains that have completed; re-issue drains that
+        // stalled (e.g. their moves were superseded by a periodic plan).
+        for server in self.tc.pending_drains() {
+            if self.orch.is_drained(server) {
+                self.tc.drain_complete(server);
+            } else {
+                self.orch.drain_server(server);
+                self.flush_orch(ctx);
+            }
+        }
+        let regions: Vec<RegionId> = self.cms.keys().copied().collect();
+        for region in regions {
+            let ops = self.cms.get(&region).expect("region exists").pending_ops();
+            if ops.is_empty() {
+                continue;
+            }
+            let (approved, drains) = if self.cfg.use_taskcontroller {
+                let view = self.availability_view();
+                let review = self.tc.review(region, &ops, &view);
+                (review.approved, review.drains_needed)
+            } else {
+                // Blind execution: take ops up to the concurrency limit.
+                let executing = self.cms[&region].executing_count();
+                let budget = self.cfg.no_tc_concurrency.saturating_sub(executing);
+                (ops.iter().take(budget).map(|o| o.id).collect(), Vec::new())
+            };
+            for server in drains {
+                self.orch.drain_server(server);
+                self.flush_orch(ctx);
+            }
+            for op_id in approved {
+                let cm = self.cms.get_mut(&region).expect("region exists");
+                if let Ok(started) = cm.begin_op(op_id, now) {
+                    // The container is down for the restart window.
+                    if let OpKind::Restart | OpKind::Move { .. } | OpKind::Stop = started.op.kind {
+                        self.take_server_down(ServerId(started.op.container.raw()), now, ctx);
+                    }
+                    if let Some(resume) = started.resume_at {
+                        ctx.schedule_at(resume, WorldEvent::OpDone { region, op: op_id });
+                    }
+                }
+            }
+        }
+        ctx.schedule_in(self.cfg.tc_review_interval, WorldEvent::TcReview);
+    }
+}
+
+fn sm_allocator_config(cfg: &ExperimentConfig) -> sm_allocator::AllocConfig {
+    let mut alloc = sm_allocator::AllocConfig::new(vec![Metric::ShardCount.id()]);
+    alloc.region_preferences = cfg.policy.region_preferences.clone();
+    alloc
+}
+
+impl World for SimWorld {
+    type Event = WorldEvent;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, WorldEvent>, event: WorldEvent) {
+        let now = ctx.now();
+        match event {
+            WorldEvent::ClientTick(client) => {
+                if self.client_deadline.map(|d| now >= d).unwrap_or(false) {
+                    return;
+                }
+                let key = match &self.cfg.target_shards {
+                    Some(range) => {
+                        // Pick a shard in the range, then a key inside
+                        // its slice of the uniform key space.
+                        let shard = ctx.rng().range_u64(range.start, range.end);
+                        let step = u64::MAX / self.cfg.shards;
+                        AppKey::from_u64(shard * step + ctx.rng().range_u64(0, step))
+                    }
+                    None => AppKey::from_u64(ctx.rng().range_u64(0, u64::MAX)),
+                };
+                self.try_send(client, key, 0, now, ctx);
+                let mut rate = self.cfg.request_rate.max(1e-9);
+                if self.cfg.diurnal_amplitude > 0.0 {
+                    let x = now.as_secs_f64() / 86_400.0;
+                    rate *=
+                        1.0 + self.cfg.diurnal_amplitude * (2.0 * std::f64::consts::PI * x).sin();
+                    rate = rate.max(self.cfg.request_rate * 0.05);
+                }
+                let gap = ctx.rng().exponential(1.0 / rate);
+                ctx.schedule_in(
+                    SimDuration::from_millis_f64(gap * 1000.0),
+                    WorldEvent::ClientTick(client),
+                );
+            }
+            WorldEvent::Retry {
+                client,
+                key,
+                attempts,
+                sent_at,
+            } => self.try_send(client, key, attempts, sent_at, ctx),
+            WorldEvent::Deliver(mut req) => {
+                if req.hops > 4 {
+                    let key = req.key.clone();
+                    self.stats.failed_hops += u64::from(req.attempts >= self.cfg.retries);
+                    self.fail_or_retry(req.client, key, req.attempts, req.sent_at, ctx);
+                    return;
+                }
+                if !self.server_serving(req.target) {
+                    // Connection refused: the client learns after the RTT.
+                    let region = self.region_of_client(req.client);
+                    let delay = self.client_server_latency(region, req.target, ctx);
+                    ctx.schedule_in(delay, WorldEvent::Respond { req, ok: false });
+                    return;
+                }
+                let host = self.servers.get_mut(&req.target).expect("serving server");
+                match host.logic.admit(req.shard, req.forwarded_from.is_some()) {
+                    AppResponse::Serve => {
+                        host.logic.serve(req.shard, &req.key);
+                        let region = self.region_of_client(req.client);
+                        let delay = self.client_server_latency(region, req.target, ctx);
+                        ctx.schedule_in(delay, WorldEvent::Respond { req, ok: true });
+                    }
+                    AppResponse::Forward(next) => {
+                        self.stats.forwarded += 1;
+                        let from_region = self.servers[&req.target].region;
+                        let to_region = self
+                            .servers
+                            .get(&next)
+                            .map(|h| h.region)
+                            .unwrap_or(from_region);
+                        let delay = self.cfg.latency.sample(from_region, to_region, ctx.rng());
+                        req.forwarded_from = Some(req.target);
+                        req.target = next;
+                        req.hops += 1;
+                        ctx.schedule_in(delay, WorldEvent::Deliver(req));
+                    }
+                    AppResponse::NotMine => {
+                        self.stats.not_mine += 1;
+                        let region = self.region_of_client(req.client);
+                        let delay = self.client_server_latency(region, req.target, ctx);
+                        ctx.schedule_in(delay, WorldEvent::Respond { req, ok: false });
+                    }
+                }
+            }
+            WorldEvent::Respond { req, ok } => {
+                if ok {
+                    self.complete_ok(&req, ctx);
+                } else {
+                    let key = req.key.clone();
+                    self.stats.failed_refused += u64::from(req.attempts >= self.cfg.retries);
+                    self.fail_or_retry(req.client, key, req.attempts, req.sent_at, ctx);
+                }
+            }
+            WorldEvent::OrchDeliver { server, rpc } => {
+                if !self.server_serving(server) {
+                    let delay = self.rpc_latency(server, ctx);
+                    ctx.schedule_in(
+                        delay,
+                        WorldEvent::OrchAck {
+                            server,
+                            rpc,
+                            ok: false,
+                        },
+                    );
+                    return;
+                }
+                let host = self.servers.get_mut(&server).expect("serving");
+                // A cold add must rebuild the shard's state from the
+                // external store before acknowledging; a destination
+                // warmed by prepare_add_shard acknowledges immediately.
+                let cold =
+                    matches!(rpc, ServerRpc::AddShard { shard, .. } if !host.logic.is_warm(shard));
+                let result = rpc.dispatch(host.logic.as_shard_server());
+                // Dropping a shard the server no longer has is a
+                // success from the control plane's perspective.
+                let ok = match (&rpc, &result) {
+                    (_, Ok(())) => true,
+                    (ServerRpc::DropShard { .. }, Err(SmError::NotFound(_))) => true,
+                    _ => false,
+                };
+                let mut delay = self.rpc_latency(server, ctx);
+                if cold && ok {
+                    delay = delay + self.cfg.shard_load_time;
+                }
+                ctx.schedule_in(delay, WorldEvent::OrchAck { server, rpc, ok });
+            }
+            WorldEvent::OrchAck { server, rpc, ok } => {
+                if ok {
+                    self.orch.rpc_acked(server, rpc);
+                } else {
+                    self.orch.rpc_failed(server, rpc);
+                }
+                self.flush_orch(ctx);
+            }
+            WorldEvent::MapDeliver { subscriber, map } => {
+                for client in &mut self.clients {
+                    if client.subscriber == subscriber {
+                        client.router.install_map(self.app, map);
+                        break;
+                    }
+                }
+            }
+            WorldEvent::MapFlush => {
+                self.map_flush_scheduled = false;
+                // Persist the orchestrator's durable state to ZooKeeper
+                // (§3.2): the standby path reads it on takeover.
+                let snap = self.orch.snapshot();
+                if self.zk.exists("/sm") {
+                    let _ = self.zk.set("/sm/state", snap, None);
+                } else {
+                    let session = self.zk.connect();
+                    let _ = self
+                        .zk
+                        .create(session, "/sm", Vec::new(), CreateMode::Persistent);
+                    let _ = self
+                        .zk
+                        .create(session, "/sm/state", snap, CreateMode::Persistent);
+                }
+                if std::env::var("SM_DEBUG_MAP").is_ok() {
+                    let map = self.orch.current_map();
+                    if (map.entries.len() as u64) < self.cfg.shards {
+                        eprintln!(
+                            "{}: map v{} has {} entries (missing {})",
+                            now,
+                            map.version,
+                            map.entries.len(),
+                            self.cfg.shards - map.entries.len() as u64
+                        );
+                    }
+                }
+                self.publish_current_map(ctx);
+            }
+            WorldEvent::Bootstrap => {
+                self.orch.run_emergency();
+                self.flush_orch(ctx);
+            }
+            WorldEvent::TcReview => self.tc_review(now, ctx),
+            WorldEvent::OpDone { region, op } => {
+                let cm = self.cms.get_mut(&region).expect("region exists");
+                if let Ok(ev) = cm.complete_op(op) {
+                    if let sm_cluster::CmEvent::ContainerUp { container } = ev {
+                        let server = ServerId(container.raw());
+                        let detected = !self.orch.server_alive(server);
+                        self.orch.drain_finished(server);
+                        self.tc.op_finished(region, op);
+                        self.bring_server_up(server, detected, ctx);
+                    } else {
+                        self.tc.op_finished(region, op);
+                    }
+                }
+            }
+            WorldEvent::SessionCheck { server, down_since } => {
+                let still_down = self
+                    .servers
+                    .get(&server)
+                    .map(|h| !h.serving && h.down_since == Some(down_since))
+                    .unwrap_or(false);
+                if still_down {
+                    let session = self.servers[&server].zk_session;
+                    self.zk.expire_session(session);
+                    self.orch.server_down(server);
+                    self.flush_orch(ctx);
+                }
+            }
+            WorldEvent::LoadReport => {
+                let reports: Vec<(ServerId, Vec<(ShardId, LoadVector)>)> = self
+                    .servers
+                    .iter()
+                    .filter(|(_, h)| h.serving)
+                    .map(|(&sid, h)| {
+                        let loads = match &h.logic {
+                            AppLogic::Kv(s) => s.report_load(),
+                            AppLogic::Queue(s) => s.report_load(),
+                        };
+                        (sid, loads)
+                    })
+                    .collect();
+                for (sid, loads) in reports {
+                    self.orch.report_load(sid, loads);
+                }
+                ctx.schedule_in(self.cfg.load_report_interval, WorldEvent::LoadReport);
+            }
+            WorldEvent::PeriodicAlloc => {
+                self.orch.run_periodic();
+                self.flush_orch(ctx);
+                ctx.schedule_in(self.cfg.periodic_alloc_interval, WorldEvent::PeriodicAlloc);
+            }
+            WorldEvent::StartUpgrade { region, version } => {
+                if let Some(cm) = self.cms.get_mut(&region) {
+                    cm.start_rolling_upgrade(self.app, version);
+                }
+            }
+            WorldEvent::CanaryRestart { region, count } => {
+                let targets: Vec<ContainerId> = self
+                    .servers
+                    .iter()
+                    .filter(|(_, h)| h.region == region)
+                    .take(count)
+                    .map(|(&s, _)| ContainerId(s.raw()))
+                    .collect();
+                if let Some(cm) = self.cms.get_mut(&region) {
+                    for c in targets {
+                        let _ = cm.request_op(c, OpKind::Restart, sm_cluster::OpReason::Upgrade);
+                    }
+                }
+            }
+            WorldEvent::RegionFail(region) => {
+                let affected: Vec<ServerId> = self
+                    .servers
+                    .iter()
+                    .filter(|(_, h)| h.region == region)
+                    .map(|(&s, _)| s)
+                    .collect();
+                if let Some(cm) = self.cms.get_mut(&region) {
+                    cm.fail_all_machines();
+                }
+                for s in affected {
+                    self.take_server_down(s, now, ctx);
+                }
+            }
+            WorldEvent::RegionRecover(region) => {
+                let affected: Vec<ServerId> = self
+                    .servers
+                    .iter()
+                    .filter(|(_, h)| h.region == region)
+                    .map(|(&s, _)| s)
+                    .collect();
+                if let Some(cm) = self.cms.get_mut(&region) {
+                    cm.recover_all_machines();
+                }
+                for s in affected {
+                    self.bring_server_up(s, true, ctx);
+                }
+                // Rebalance soon to move preferred shards home.
+                ctx.schedule_in(SimDuration::from_secs(5), WorldEvent::PeriodicAlloc);
+            }
+            WorldEvent::ServerCrash(server) => {
+                let region = self.servers.get(&server).map(|h| h.region);
+                if let Some(region) = region {
+                    if let Some(cm) = self.cms.get_mut(&region) {
+                        let _ = cm.crash_container(ContainerId(server.raw()));
+                    }
+                }
+                self.take_server_down(server, now, ctx);
+            }
+            WorldEvent::SetPreference {
+                shard,
+                region,
+                weight,
+            } => {
+                self.orch.set_region_preference(shard, region, weight);
+            }
+            WorldEvent::MaintenancePrepare { servers } => {
+                self.orch.prepare_for_maintenance(&servers);
+                self.flush_orch(ctx);
+            }
+            WorldEvent::MaintenanceStart {
+                region,
+                servers,
+                impact,
+            } => {
+                let machines: Vec<MachineId> = servers.iter().map(|s| MachineId(s.raw())).collect();
+                if let Some(cm) = self.cms.get_mut(&region) {
+                    cm.begin_maintenance(&machines, impact);
+                }
+                for s in servers {
+                    self.take_server_down(s, now, ctx);
+                }
+            }
+            WorldEvent::MaintenanceEnd {
+                region,
+                servers,
+                impact,
+            } => {
+                let machines: Vec<MachineId> = servers.iter().map(|s| MachineId(s.raw())).collect();
+                if let Some(cm) = self.cms.get_mut(&region) {
+                    cm.end_maintenance(&machines, impact);
+                }
+                if impact != MaintenanceImpact::FullMachineLoss {
+                    for s in servers {
+                        let detected = !self.orch.server_alive(s);
+                        self.bring_server_up(s, detected, ctx);
+                    }
+                }
+            }
+            WorldEvent::ControlPlaneFailover => {
+                let mut standby =
+                    Orchestrator::new(self.app, self.cfg.policy.clone(), self.orch_cfg.clone());
+                for (&sid, host) in &self.servers {
+                    standby.register_server(sid, host.location, host.capacity);
+                }
+                if let Ok((snap, _)) = self.zk.get("/sm/state") {
+                    standby.restore(&snap).expect("persisted state is valid");
+                }
+                // Reconcile reality: servers that died while (or before)
+                // the takeover are processed like fresh failures.
+                let dead: Vec<ServerId> = self
+                    .servers
+                    .iter()
+                    .filter(|(_, h)| !h.serving)
+                    .map(|(&s, _)| s)
+                    .collect();
+                for s in dead {
+                    standby.server_down(s);
+                }
+                self.orch = standby;
+                // A fresh emergency run places anything the old
+                // incumbent still had in flight.
+                self.orch.run_emergency();
+                self.flush_orch(ctx);
+            }
+            WorldEvent::Sample => {
+                let rate = if self.window_total == 0 {
+                    1.0
+                } else {
+                    self.window_ok as f64 / self.window_total as f64
+                };
+                self.trace.record("success_rate", now, rate);
+                self.trace.record("err_rate", now, 1.0 - rate);
+                // A control-plane failover resets the counter, so the
+                // delta saturates rather than underflows.
+                let moves = self.orch.stats().completed_moves;
+                self.trace.record(
+                    "moves",
+                    now,
+                    moves.saturating_sub(self.moves_at_last_sample) as f64,
+                );
+                self.moves_at_last_sample = moves;
+                self.window_ok = 0;
+                self.window_total = 0;
+                ctx.schedule_in(self.sample_interval, WorldEvent::Sample);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(cfg: &mut ExperimentConfig) {
+        cfg.request_rate = 5.0;
+        cfg.clients_per_region = 4;
+    }
+
+    #[test]
+    fn bootstrap_serves_requests() {
+        let mut cfg = ExperimentConfig::single_region(6, 50);
+        quiet(&mut cfg);
+        let mut sim = SimWorld::primed(cfg);
+        sim.run_until(SimTime::from_secs(60));
+        let w = sim.world();
+        assert!(w.stats.ok > 100, "requests flowing: {:?}", w.stats);
+        assert!(
+            w.stats.success_rate() > 0.95,
+            "steady state is healthy: {:?}",
+            w.stats
+        );
+        assert_eq!(w.orchestrator().assignment().shard_count(), 50);
+    }
+
+    #[test]
+    fn rolling_upgrade_with_full_sm_keeps_availability() {
+        let mut cfg = ExperimentConfig::single_region(10, 100);
+        quiet(&mut cfg);
+        let mut sim = SimWorld::primed(cfg);
+        sim.run_until(SimTime::from_secs(30));
+        let before = sim.world().stats;
+        sim.schedule_at(
+            SimTime::from_secs(31),
+            WorldEvent::StartUpgrade {
+                region: RegionId(0),
+                version: 2,
+            },
+        );
+        sim.run_until(SimTime::from_secs(600));
+        let w = sim.world();
+        let after_ok = w.stats.ok - before.ok;
+        let after_failed = w.stats.failed - before.failed;
+        let rate = after_ok as f64 / (after_ok + after_failed).max(1) as f64;
+        assert!(rate > 0.995, "graceful upgrade success rate {rate}");
+        // Upgrade actually converged.
+        let cm = &w.cms[&RegionId(0)];
+        assert!(cm.upgrade_finished(AppId(0)), "upgrade done");
+        assert!(w.stats.forwarded > 0, "graceful forwarding exercised");
+    }
+
+    #[test]
+    fn upgrade_without_taskcontroller_drops_requests() {
+        let mut cfg = ExperimentConfig::single_region(10, 100);
+        quiet(&mut cfg);
+        cfg.use_taskcontroller = false;
+        cfg.graceful_migration = false;
+        let mut sim = SimWorld::primed(cfg);
+        sim.run_until(SimTime::from_secs(30));
+        let before = sim.world().stats;
+        sim.schedule_at(
+            SimTime::from_secs(31),
+            WorldEvent::StartUpgrade {
+                region: RegionId(0),
+                version: 2,
+            },
+        );
+        sim.run_until(SimTime::from_secs(600));
+        let w = sim.world();
+        let after_ok = w.stats.ok - before.ok;
+        let after_failed = w.stats.failed - before.failed;
+        let rate = after_ok as f64 / (after_ok + after_failed).max(1) as f64;
+        assert!(
+            rate < 0.99,
+            "blind upgrade must visibly hurt availability, got {rate}"
+        );
+    }
+
+    #[test]
+    fn server_crash_triggers_failover() {
+        let mut cfg = ExperimentConfig::single_region(6, 30);
+        quiet(&mut cfg);
+        cfg.failure_detection = SimDuration::from_secs(5);
+        let mut sim = SimWorld::primed(cfg);
+        sim.run_until(SimTime::from_secs(20));
+        sim.schedule_at(SimTime::from_secs(21), WorldEvent::ServerCrash(ServerId(0)));
+        sim.run_until(SimTime::from_secs(120));
+        let w = sim.world();
+        // All shards placed, none on the dead server.
+        assert_eq!(w.orchestrator().assignment().shard_count(), 30);
+        assert!(w.orchestrator().shards_on(ServerId(0)).is_empty());
+    }
+
+    #[test]
+    fn geo_world_routes_locally() {
+        let mut cfg = ExperimentConfig::three_region_geo(4, 30);
+        cfg.policy = AppPolicy::secondary_only(2);
+        quiet(&mut cfg);
+        let mut sim = SimWorld::primed(cfg);
+        sim.run_until(SimTime::from_secs(120));
+        let w = sim.world();
+        assert!(w.stats.ok > 0);
+        // Latencies should mostly be local (~2 ms RTT), far below the
+        // 70+ ms cross-region RTT.
+        let lat = w.trace.series("latency_ms").expect("latency recorded");
+        let median = sm_sim::percentile(
+            &lat.points().iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            50.0,
+        )
+        .unwrap();
+        assert!(median < 20.0, "median latency {median} ms too high");
+    }
+}

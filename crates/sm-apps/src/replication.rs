@@ -1,0 +1,377 @@
+//! A compact replicated log for primary-secondary stores.
+//!
+//! ZippyDB (§2.5) runs a Paxos group per shard: the primary is the
+//! leader/proposer, secondaries are acceptors/learners. This module
+//! implements the steady-state (single-leader) portion of that
+//! machinery: the leader appends entries, replicates them to followers,
+//! and commits once a majority acknowledges. Leader changes are driven
+//! externally by SM's `change_role` — the paper's point is precisely
+//! that SM elects primaries, so the log does not need its own election.
+//!
+//! Safety invariants maintained and tested here:
+//! - the commit index never exceeds the match index of a quorum;
+//! - followers' logs are always prefixes of the leader's log;
+//! - committed entries are never lost across a failover to any follower
+//!   whose ack was counted toward a quorum.
+
+use sm_types::SmError;
+use std::collections::BTreeMap;
+
+/// A log entry: opaque payload plus the term-like epoch of the leader
+/// that appended it (epochs bump on failover).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogEntry {
+    /// Leadership epoch at append time.
+    pub epoch: u64,
+    /// Payload.
+    pub data: Vec<u8>,
+}
+
+/// One replica's log state.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaLog {
+    entries: Vec<LogEntry>,
+    committed: usize,
+}
+
+impl ReplicaLog {
+    /// Entries appended so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of committed entries.
+    pub fn committed(&self) -> usize {
+        self.committed
+    }
+
+    /// The committed prefix.
+    pub fn committed_entries(&self) -> &[LogEntry] {
+        &self.entries[..self.committed]
+    }
+
+    /// All entries, committed or not.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+}
+
+/// The shard's replication group, driven by the leader.
+#[derive(Clone, Debug)]
+pub struct ReplicationGroup<Id: Ord + Copy> {
+    epoch: u64,
+    leader: Option<Id>,
+    logs: BTreeMap<Id, ReplicaLog>,
+    /// How many entries each follower has acknowledged.
+    acked: BTreeMap<Id, usize>,
+}
+
+impl<Id: Ord + Copy + std::fmt::Debug> ReplicationGroup<Id> {
+    /// Creates a group over the given members with no leader yet.
+    pub fn new(members: impl IntoIterator<Item = Id>) -> Self {
+        let logs: BTreeMap<Id, ReplicaLog> = members
+            .into_iter()
+            .map(|m| (m, ReplicaLog::default()))
+            .collect();
+        let acked = logs.keys().map(|&m| (m, 0)).collect();
+        Self {
+            epoch: 0,
+            leader: None,
+            logs,
+            acked,
+        }
+    }
+
+    /// Current leader.
+    pub fn leader(&self) -> Option<Id> {
+        self.leader
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Group size.
+    pub fn members(&self) -> usize {
+        self.logs.len()
+    }
+
+    fn quorum(&self) -> usize {
+        self.logs.len() / 2 + 1
+    }
+
+    /// A member's election key: Raft's up-to-date comparison, (epoch of
+    /// the last entry, log length).
+    fn election_key(&self, id: Id) -> (u64, usize) {
+        let log = &self.logs[&id];
+        let last_epoch = log.entries.last().map(|e| e.epoch).unwrap_or(0);
+        (last_epoch, log.len())
+    }
+
+    /// Makes `id` the leader (SM `change_role` to primary). Bumps the
+    /// epoch. The candidate's log must be at least as up-to-date as a
+    /// majority of members (Raft's election rule) — that majority
+    /// intersects every commit quorum, so every committed entry is in
+    /// the new leader's log.
+    pub fn elect(&mut self, id: Id) -> Result<(), SmError> {
+        if !self.logs.contains_key(&id) {
+            return Err(SmError::not_found(format!("{id:?}")));
+        }
+        let candidate_key = self.election_key(id);
+        let supporters = self
+            .logs
+            .keys()
+            .filter(|&&m| candidate_key >= self.election_key(m))
+            .count();
+        if supporters < self.quorum() {
+            return Err(SmError::conflict(format!(
+                "{id:?} is not up-to-date ({supporters} of a needed {} supporters)",
+                self.quorum()
+            )));
+        }
+        self.epoch += 1;
+        self.leader = Some(id);
+        // Ack state from earlier epochs is stale (followers may hold
+        // divergent suffixes); it resets and rebuilds via replication.
+        let leader_len = self.logs[&id].len();
+        for (m, ack) in self.acked.iter_mut() {
+            *ack = if *m == id { leader_len } else { 0 };
+        }
+        Ok(())
+    }
+
+    /// Removes a member (its server died permanently).
+    pub fn remove_member(&mut self, id: Id) {
+        self.logs.remove(&id);
+        self.acked.remove(&id);
+        if self.leader == Some(id) {
+            self.leader = None;
+        }
+    }
+
+    /// Adds a new empty member (a replacement replica); it catches up on
+    /// the next replication round.
+    pub fn add_member(&mut self, id: Id) {
+        self.logs.entry(id).or_default();
+        self.acked.entry(id).or_insert(0);
+    }
+
+    /// Leader appends an entry to its own log. Not yet committed.
+    pub fn append(&mut self, leader: Id, data: Vec<u8>) -> Result<usize, SmError> {
+        if self.leader != Some(leader) {
+            return Err(SmError::Rejected(format!("{leader:?} is not leader")));
+        }
+        let epoch = self.epoch;
+        let log = self.logs.get_mut(&leader).expect("leader is a member");
+        log.entries.push(LogEntry { epoch, data });
+        self.acked.insert(leader, log.len());
+        Ok(log.len() - 1)
+    }
+
+    /// Replicates the leader's log to one follower (one message
+    /// exchange): the follower truncates divergence, appends missing
+    /// entries, and acks its new length.
+    pub fn replicate_to(&mut self, follower: Id) -> Result<usize, SmError> {
+        let leader = self
+            .leader
+            .ok_or_else(|| SmError::Unavailable("no leader".into()))?;
+        if follower == leader {
+            return Ok(self.logs[&leader].len());
+        }
+        let leader_entries = self.logs[&leader].entries.clone();
+        let log = self
+            .logs
+            .get_mut(&follower)
+            .ok_or_else(|| SmError::not_found(format!("{follower:?}")))?;
+        // Truncate divergence (entries from a deposed leader). Safe
+        // elections guarantee the committed prefix is shared, so the
+        // truncation point never cuts committed entries.
+        let mut common = 0;
+        while common < log.entries.len()
+            && common < leader_entries.len()
+            && log.entries[common] == leader_entries[common]
+        {
+            common += 1;
+        }
+        debug_assert!(common >= log.committed, "truncating a committed entry");
+        log.entries.truncate(common);
+        log.entries.extend_from_slice(&leader_entries[common..]);
+        let n = log.entries.len();
+        self.acked.insert(follower, n);
+        Ok(n)
+    }
+
+    /// Advances the commit index to the largest index acknowledged by a
+    /// quorum, and propagates it to every member's view — but only up to
+    /// what each member has actually acknowledged this epoch, so a
+    /// diverged follower never marks unsynced entries committed.
+    pub fn advance_commit(&mut self) -> usize {
+        let mut acks: Vec<usize> = self.acked.values().copied().collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        let commit = acks.get(self.quorum() - 1).copied().unwrap_or(0);
+        for (m, log) in self.logs.iter_mut() {
+            let acked = self.acked.get(m).copied().unwrap_or(0);
+            log.committed = commit.min(acked).min(log.entries.len()).max(log.committed);
+        }
+        commit
+    }
+
+    /// The group-wide commit index.
+    pub fn committed(&self) -> usize {
+        self.logs.values().map(|l| l.committed).max().unwrap_or(0)
+    }
+
+    /// A member's log (reads).
+    pub fn log(&self, id: Id) -> Option<&ReplicaLog> {
+        self.logs.get(&id)
+    }
+
+    /// All members except the leader — the replication targets.
+    pub fn follower_ids(&self) -> Vec<Id> {
+        self.logs
+            .keys()
+            .copied()
+            .filter(|id| Some(*id) != self.leader)
+            .collect()
+    }
+
+    /// Members that could win an election right now — the safe
+    /// candidates for promotion after the leader fails (their logs are
+    /// at least as up-to-date as a majority's, so they hold every
+    /// committed entry).
+    pub fn safe_successors(&self) -> Vec<Id> {
+        self.logs
+            .keys()
+            .filter(|&&id| {
+                if Some(id) == self.leader {
+                    return false;
+                }
+                let key = self.election_key(id);
+                let supporters = self
+                    .logs
+                    .keys()
+                    .filter(|&&m| key >= self.election_key(m))
+                    .count();
+                supporters >= self.quorum()
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group3() -> ReplicationGroup<u32> {
+        let mut g = ReplicationGroup::new([1u32, 2, 3]);
+        g.elect(1).unwrap();
+        g
+    }
+
+    #[test]
+    fn append_replicate_commit() {
+        let mut g = group3();
+        g.append(1, b"a".to_vec()).unwrap();
+        g.append(1, b"b".to_vec()).unwrap();
+        assert_eq!(g.advance_commit(), 0, "no follower acked yet");
+        g.replicate_to(2).unwrap();
+        assert_eq!(g.advance_commit(), 2, "leader + one follower = quorum of 3");
+        assert_eq!(g.log(2).unwrap().committed(), 2);
+        // Third replica still behind but commit holds.
+        assert_eq!(g.log(3).unwrap().len(), 0);
+        g.replicate_to(3).unwrap();
+        g.advance_commit();
+        assert_eq!(g.log(3).unwrap().committed(), 2);
+    }
+
+    #[test]
+    fn non_leader_append_rejected() {
+        let mut g = group3();
+        assert!(matches!(
+            g.append(2, b"x".to_vec()),
+            Err(SmError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn committed_entries_survive_failover() {
+        let mut g = group3();
+        g.append(1, b"committed".to_vec()).unwrap();
+        g.replicate_to(2).unwrap();
+        g.advance_commit();
+        // Leader 1 also has an uncommitted entry that reached nobody.
+        g.append(1, b"uncommitted".to_vec()).unwrap();
+
+        // Leader dies. Only replica 2 holds the committed entry; 3 is
+        // empty and must not be elected.
+        g.remove_member(1);
+        let safe = g.safe_successors();
+        assert_eq!(safe, vec![2]);
+        assert!(g.elect(3).is_err(), "stale replica cannot lead");
+        g.elect(2).unwrap();
+        assert_eq!(g.epoch(), 2);
+
+        // The committed entry is intact; the uncommitted one is gone.
+        g.replicate_to(3).unwrap();
+        g.advance_commit();
+        let log3 = g.log(3).unwrap();
+        assert_eq!(log3.committed_entries().len(), 1);
+        assert_eq!(log3.committed_entries()[0].data, b"committed");
+    }
+
+    #[test]
+    fn divergent_follower_truncates() {
+        let mut g = group3();
+        g.append(1, b"a".to_vec()).unwrap();
+        g.replicate_to(2).unwrap();
+        g.replicate_to(3).unwrap();
+        g.advance_commit();
+        // Leader 1 appends an entry that never replicates, then dies.
+        g.append(1, b"lost".to_vec()).unwrap();
+        g.remove_member(1);
+        g.elect(2).unwrap();
+        // New leader writes a different entry at the same index.
+        g.append(2, b"winner".to_vec()).unwrap();
+        g.replicate_to(3).unwrap();
+        g.advance_commit();
+        let log3 = g.log(3).unwrap();
+        assert_eq!(log3.len(), 2);
+        assert_eq!(log3.entries[1].data, b"winner");
+        assert_eq!(log3.entries[1].epoch, 2);
+    }
+
+    #[test]
+    fn replacement_member_catches_up() {
+        let mut g = group3();
+        for i in 0..10u8 {
+            g.append(1, vec![i]).unwrap();
+        }
+        g.replicate_to(2).unwrap();
+        g.advance_commit();
+        g.remove_member(3);
+        g.add_member(4);
+        assert_eq!(g.members(), 3);
+        g.replicate_to(4).unwrap();
+        g.advance_commit();
+        assert_eq!(g.log(4).unwrap().committed(), 10);
+    }
+
+    #[test]
+    fn commit_requires_majority_of_current_members() {
+        // 5 members: quorum is 3.
+        let mut g = ReplicationGroup::new([1u32, 2, 3, 4, 5]);
+        g.elect(1).unwrap();
+        g.append(1, b"x".to_vec()).unwrap();
+        g.replicate_to(2).unwrap();
+        assert_eq!(g.advance_commit(), 0, "2 of 5 acked");
+        g.replicate_to(3).unwrap();
+        assert_eq!(g.advance_commit(), 1, "3 of 5 acked");
+    }
+}

@@ -1,0 +1,241 @@
+//! A ZippyDB-like primary-secondary replicated store (§2.5).
+//!
+//! Each shard is a [`ReplicationGroup`]:
+//! the SM-elected primary is the log leader handling writes; secondaries
+//! replicate and serve eventually-consistent reads. The store exists to
+//! exercise SM's primary-secondary machinery end to end — role changes
+//! arriving through `change_role` drive leader elections in the log.
+//!
+//! The group state is shared between the replicas of a shard via
+//! `Rc<RefCell<...>>`: in the real system that shared state *is* the
+//! network protocol; in this deterministic simulation a shared cell is
+//! the faithful single-threaded equivalent.
+
+use crate::forwarding::ShardHost;
+use crate::replication::ReplicationGroup;
+use crate::AppResponse;
+use sm_core::ShardServer;
+use sm_types::{LoadVector, Metric, ReplicaRole, ServerId, ShardId, SmError};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The shared replication groups of one deployment, one per shard.
+pub type SharedGroups = Rc<RefCell<BTreeMap<ShardId, ReplicationGroup<ServerId>>>>;
+
+/// Creates an empty shared group table.
+pub fn shared_groups() -> SharedGroups {
+    Rc::new(RefCell::new(BTreeMap::new()))
+}
+
+/// One replicated-store application server.
+#[derive(Debug)]
+pub struct ReplStoreServer {
+    /// This server's id.
+    pub id: ServerId,
+    host: ShardHost,
+    groups: SharedGroups,
+}
+
+impl ReplStoreServer {
+    /// Creates a server over the deployment's shared groups.
+    pub fn new(id: ServerId, groups: SharedGroups) -> Self {
+        Self {
+            id,
+            host: ShardHost::new(),
+            groups,
+        }
+    }
+
+    /// Routing decision for a request on `shard`.
+    pub fn admit(&self, shard: ShardId, forwarded: bool) -> AppResponse {
+        self.host.admit(shard, forwarded)
+    }
+
+    /// Writes through the shard's log (primary only): appends,
+    /// replicates to every live member, and advances the commit index.
+    pub fn write(&mut self, shard: ShardId, data: Vec<u8>) -> Result<usize, SmError> {
+        if self.host.role_of(shard) != Some(ReplicaRole::Primary) {
+            return Err(SmError::Rejected(format!("{shard} not primary here")));
+        }
+        let mut groups = self.groups.borrow_mut();
+        let group = groups
+            .get_mut(&shard)
+            .ok_or_else(|| SmError::not_found(shard))?;
+        let idx = group.append(self.id, data)?;
+        // Replicate to all followers; in the simulation replication is a
+        // synchronous round (latency is charged by the harness).
+        for f in group.follower_ids() {
+            let _ = group.replicate_to(f);
+        }
+        group.advance_commit();
+        Ok(idx)
+    }
+
+    /// Reads the committed length at this replica (an eventually-
+    /// consistent read).
+    pub fn committed_len(&self, shard: ShardId) -> usize {
+        self.groups
+            .borrow()
+            .get(&shard)
+            .and_then(|g| g.log(self.id).map(|l| l.committed()))
+            .unwrap_or(0)
+    }
+}
+
+impl ShardServer for ReplStoreServer {
+    fn add_shard(&mut self, shard: ShardId, role: ReplicaRole) -> Result<(), SmError> {
+        self.host.add_shard(shard, role)?;
+        let mut groups = self.groups.borrow_mut();
+        let group = groups
+            .entry(shard)
+            .or_insert_with(|| ReplicationGroup::new([]));
+        group.add_member(self.id);
+        if role.is_primary() {
+            group.elect(self.id)?;
+        }
+        Ok(())
+    }
+
+    fn drop_shard(&mut self, shard: ShardId) -> Result<(), SmError> {
+        self.host.drop_shard(shard)?;
+        if let Some(group) = self.groups.borrow_mut().get_mut(&shard) {
+            group.remove_member(self.id);
+        }
+        Ok(())
+    }
+
+    fn change_role(
+        &mut self,
+        shard: ShardId,
+        current: ReplicaRole,
+        new: ReplicaRole,
+    ) -> Result<(), SmError> {
+        self.host.change_role(shard, current, new)?;
+        if new.is_primary() {
+            self.groups
+                .borrow_mut()
+                .get_mut(&shard)
+                .ok_or_else(|| SmError::not_found(shard))?
+                .elect(self.id)?;
+        }
+        Ok(())
+    }
+
+    fn prepare_add_shard(
+        &mut self,
+        shard: ShardId,
+        current_owner: ServerId,
+        role: ReplicaRole,
+    ) -> Result<(), SmError> {
+        self.host.prepare_add_shard(shard, current_owner, role)?;
+        // Join the group early so the log is caught up before takeover.
+        let mut groups = self.groups.borrow_mut();
+        if let Some(group) = groups.get_mut(&shard) {
+            group.add_member(self.id);
+            let _ = group.replicate_to(self.id);
+            group.advance_commit();
+        }
+        Ok(())
+    }
+
+    fn prepare_drop_shard(
+        &mut self,
+        shard: ShardId,
+        new_owner: ServerId,
+        role: ReplicaRole,
+    ) -> Result<(), SmError> {
+        self.host.prepare_drop_shard(shard, new_owner, role)
+    }
+
+    fn report_load(&self) -> Vec<(ShardId, LoadVector)> {
+        self.host
+            .shards()
+            .map(|(shard, _)| {
+                let storage = self
+                    .groups
+                    .borrow()
+                    .get(shard)
+                    .and_then(|g| g.log(self.id).map(|l| l.len() as f64))
+                    .unwrap_or(0.0);
+                let mut v = LoadVector::zero();
+                v.set(Metric::ShardCount.id(), 1.0);
+                v.set(Metric::Storage.id(), storage);
+                (*shard, v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: ShardId = ShardId(0);
+
+    fn deployment() -> (ReplStoreServer, ReplStoreServer, ReplStoreServer) {
+        let groups = shared_groups();
+        let mut a = ReplStoreServer::new(ServerId(1), groups.clone());
+        let mut b = ReplStoreServer::new(ServerId(2), groups.clone());
+        let mut c = ReplStoreServer::new(ServerId(3), groups);
+        a.add_shard(S, ReplicaRole::Primary).unwrap();
+        b.add_shard(S, ReplicaRole::Secondary).unwrap();
+        c.add_shard(S, ReplicaRole::Secondary).unwrap();
+        (a, b, c)
+    }
+
+    #[test]
+    fn writes_replicate_and_commit() {
+        let (mut a, b, c) = deployment();
+        a.write(S, b"hello".to_vec()).unwrap();
+        a.write(S, b"world".to_vec()).unwrap();
+        assert_eq!(a.committed_len(S), 2);
+        assert_eq!(b.committed_len(S), 2);
+        assert_eq!(c.committed_len(S), 2);
+    }
+
+    #[test]
+    fn secondary_write_rejected() {
+        let (_a, mut b, _c) = deployment();
+        assert!(matches!(
+            b.write(S, b"x".to_vec()),
+            Err(SmError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn sm_driven_failover_preserves_commits() {
+        let (mut a, mut b, _c) = deployment();
+        a.write(S, b"durable".to_vec()).unwrap();
+        // Primary's server dies; SM promotes b via change_role.
+        a.drop_shard(S).unwrap();
+        b.change_role(S, ReplicaRole::Secondary, ReplicaRole::Primary)
+            .unwrap();
+        assert_eq!(b.committed_len(S), 1);
+        b.write(S, b"after".to_vec()).unwrap();
+        assert_eq!(b.committed_len(S), 2);
+    }
+
+    #[test]
+    fn graceful_takeover_catches_up_first() {
+        let (mut a, _b, _c) = deployment();
+        a.write(S, b"x".to_vec()).unwrap();
+        let groups = a.groups.clone();
+        let mut d = ReplStoreServer::new(ServerId(4), groups);
+        // Step 1 of migration joins the group and catches up.
+        d.prepare_add_shard(S, ServerId(1), ReplicaRole::Primary)
+            .unwrap();
+        assert_eq!(d.committed_len(S), 1);
+        // Step 3: official takeover elects it.
+        d.add_shard(S, ReplicaRole::Primary).unwrap();
+        assert!(d.write(S, b"y".to_vec()).is_ok());
+    }
+
+    #[test]
+    fn load_report_includes_storage() {
+        let (mut a, _b, _c) = deployment();
+        a.write(S, b"abc".to_vec()).unwrap();
+        let report = a.report_load();
+        assert_eq!(report[0].1.get(Metric::Storage.id()), 1.0);
+    }
+}

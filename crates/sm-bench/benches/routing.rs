@@ -1,0 +1,100 @@
+//! Routing benchmarks: the per-request costs on the client hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sm_routing::ServiceRouter;
+use sm_sim::LatencyModel;
+use sm_types::{
+    AppId, AppKey, Assignment, RegionId, ReplicaRole, ServerId, ShardId, ShardMap, ShardingSpec,
+};
+use std::rc::Rc;
+
+const APP: AppId = AppId(0);
+
+fn build_router(shards: u64, servers: u32) -> ServiceRouter {
+    let mut assignment = Assignment::new();
+    for s in 0..shards {
+        assignment
+            .add_replica(
+                ShardId(s),
+                ServerId((s % u64::from(servers)) as u32),
+                ReplicaRole::Primary,
+            )
+            .expect("add");
+        assignment
+            .add_replica(
+                ShardId(s),
+                ServerId(((s + 7) % u64::from(servers)) as u32),
+                ReplicaRole::Secondary,
+            )
+            .expect("add");
+    }
+    let mut router = ServiceRouter::new();
+    router.register_app(APP, ShardingSpec::uniform_u64(shards));
+    router.install_map(APP, Rc::new(ShardMap::from_assignment(1, &assignment)));
+    for i in 0..servers {
+        router.set_server_region(ServerId(i), RegionId((i % 3) as u16));
+    }
+    router
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut router = build_router(10_000, 100);
+    let mut k = 0u64;
+    c.bench_function("route_primary_10k_shards", |b| {
+        b.iter(|| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(router.route(APP, &AppKey::from_u64(k)))
+        })
+    });
+}
+
+fn bench_route_nearest(c: &mut Criterion) {
+    let router = build_router(10_000, 100);
+    let latency = LatencyModel::frc_prn_odn();
+    let mut k = 0u64;
+    c.bench_function("route_nearest_10k_shards", |b| {
+        b.iter(|| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(router.route_nearest(
+                APP,
+                &AppKey::from_u64(k),
+                RegionId(0),
+                &latency,
+            ))
+        })
+    });
+}
+
+fn bench_install_map(c: &mut Criterion) {
+    let mut assignment = Assignment::new();
+    for s in 0..10_000u64 {
+        assignment
+            .add_replica(ShardId(s), ServerId((s % 100) as u32), ReplicaRole::Primary)
+            .expect("add");
+    }
+    let mut router = build_router(10_000, 100);
+    let mut version = 2u64;
+    c.bench_function("install_map_10k_shards", |b| {
+        b.iter(|| {
+            version += 1;
+            let map = Rc::new(ShardMap::from_assignment(version, &assignment));
+            std::hint::black_box(router.install_map(APP, map))
+        })
+    });
+}
+
+fn bench_prefix_shards(c: &mut Criterion) {
+    let router = build_router(10_000, 100);
+    c.bench_function("prefix_scan_shard_set", |b| {
+        b.iter(|| std::hint::black_box(router.shards_for_prefix(APP, &[0x10, 0x20])))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_route,
+    bench_route_nearest,
+    bench_install_map,
+    bench_prefix_shards
+);
+criterion_main!(benches);

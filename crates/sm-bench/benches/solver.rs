@@ -1,0 +1,134 @@
+//! Solver micro-benchmarks: the costs §5.3 is about.
+//!
+//! - `penalty_tree_update`: one O(log n) objective update.
+//! - `eval_move`: one incremental move evaluation.
+//! - `local_search_75_per_server`: a full solve at the paper's 75:1
+//!   shard/server ratio (small scale).
+//! - `greedy_place`: the hand-crafted-heuristic baseline on the same
+//!   problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_solver::penalty_tree::PenaltyTree;
+use sm_solver::{
+    baseline, BalanceSpec, Bin, CapacitySpec, Entity, Evaluator, LocalSearch, Problem,
+    SearchConfig, Spec, SpecSet, UtilizationCapSpec,
+};
+use sm_types::{LoadVector, Location, MachineId, Metric, RegionId};
+
+fn cpu(v: f64) -> LoadVector {
+    LoadVector::single(Metric::Cpu.id(), v)
+}
+
+fn loc(i: u32) -> Location {
+    Location {
+        region: RegionId((i % 3) as u16),
+        datacenter: i % 3,
+        rack: i / 2,
+        machine: MachineId(i),
+    }
+}
+
+fn build_problem(servers: u32, shards_per_server: u32) -> (Problem, SpecSet) {
+    let mut p = Problem::new();
+    for i in 0..servers {
+        p.add_bin(Bin {
+            capacity: cpu(shards_per_server as f64 * 2.0),
+            location: loc(i),
+            draining: false,
+        });
+    }
+    let n = servers * shards_per_server;
+    for i in 0..n {
+        // Everything starts on the first 10% of servers: heavy skew.
+        p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: None,
+            },
+            Some(sm_solver::BinId((i % (servers / 10).max(1)) as usize)),
+        );
+    }
+    let mut specs = SpecSet::new();
+    specs.add_constraint(CapacitySpec {
+        metric: Metric::Cpu.id(),
+    });
+    specs.add_goal(Spec::UtilizationCap(UtilizationCapSpec {
+        metric: Metric::Cpu.id(),
+        threshold: 0.9,
+        weight: 2.0,
+        priority: 0,
+    }));
+    specs.add_goal(Spec::Balance(BalanceSpec {
+        metric: Metric::Cpu.id(),
+        tolerance: 0.1,
+        weight: 1.0,
+        priority: 1,
+    }));
+    (p, specs)
+}
+
+fn bench_penalty_tree(c: &mut Criterion) {
+    let mut tree = PenaltyTree::new(4096);
+    for i in 0..4096 {
+        tree.set(i, (i % 17) as f64);
+    }
+    let mut i = 0usize;
+    c.bench_function("penalty_tree_update_4096", |b| {
+        b.iter(|| {
+            i = (i * 31 + 7) % 4096;
+            tree.set(i, (i % 13) as f64);
+            std::hint::black_box(tree.total())
+        })
+    });
+}
+
+fn bench_eval_move(c: &mut Criterion) {
+    let (p, specs) = build_problem(200, 75);
+    let eval = Evaluator::new(&p, &specs, u8::MAX);
+    let mut i = 0usize;
+    c.bench_function("eval_move_15k_entities", |b| {
+        b.iter(|| {
+            i = (i * 131 + 13) % p.entity_count();
+            let target = sm_solver::BinId((i * 7) % p.bin_count());
+            std::hint::black_box(eval.eval_move(sm_solver::EntityId(i), target))
+        })
+    });
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search");
+    group.sample_size(10);
+    for servers in [50u32, 100] {
+        let (p, specs) = build_problem(servers, 75);
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{}x75", servers)),
+            &servers,
+            |b, _| {
+                b.iter(|| {
+                    let solver = LocalSearch::new(SearchConfig {
+                        seed: 3,
+                        ..Default::default()
+                    });
+                    std::hint::black_box(solver.solve(&p, &specs))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let (p, specs) = build_problem(100, 75);
+    c.bench_function("greedy_place_7500", |b| {
+        b.iter(|| std::hint::black_box(baseline::greedy_place(&p, &specs)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_penalty_tree,
+    bench_eval_move,
+    bench_local_search,
+    bench_greedy
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 15: the scale of SM application deployments (servers vs
+//! shards scatter).
+//!
+//! Prints the scatter envelope of the synthetic census: size
+//! percentiles, the largest deployment, and the fraction of deployments
+//! at or above 1,000 servers (the paper reports 14%).
+
+use sm_bench::{banner, compare, table};
+use sm_sim::percentile;
+use sm_workloads::census::{Census, CensusConfig};
+
+fn main() {
+    banner("Figure 15", "scale of SM application deployments");
+    let census = Census::generate(CensusConfig {
+        apps: 600,
+        seed: 2021,
+    });
+    let deployments: Vec<(u64, u64)> = census.sm_apps().map(|a| (a.servers, a.shards)).collect();
+
+    // Log-binned scatter summary.
+    let mut rows = Vec::new();
+    for (lo, hi) in [
+        (1u64, 10),
+        (10, 100),
+        (100, 1_000),
+        (1_000, 10_000),
+        (10_000, 100_000),
+    ] {
+        let in_bin: Vec<&(u64, u64)> = deployments
+            .iter()
+            .filter(|(s, _)| *s >= lo && *s < hi)
+            .collect();
+        if in_bin.is_empty() {
+            continue;
+        }
+        let max_shards = in_bin.iter().map(|(_, sh)| *sh).max().unwrap_or(0);
+        rows.push(vec![
+            format!("{lo}-{hi}"),
+            in_bin.len().to_string(),
+            max_shards.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["servers (bin)", "deployments", "max shards in bin"],
+            &rows
+        )
+    );
+
+    let servers: Vec<f64> = deployments.iter().map(|(s, _)| *s as f64).collect();
+    let max_servers = deployments.iter().map(|(s, _)| *s).max().unwrap_or(0);
+    let max_shards = deployments.iter().map(|(_, sh)| *sh).max().unwrap_or(0);
+    let big = deployments.iter().filter(|(s, _)| *s >= 1_000).count();
+    compare(
+        "largest deployment servers",
+        "~19K",
+        format!("{max_servers}"),
+    );
+    compare(
+        "largest deployment shards",
+        "~2.6M",
+        format!("{max_shards}"),
+    );
+    compare(
+        "deployments with >= 1,000 servers",
+        "14%",
+        format!("{:.1}%", big as f64 / deployments.len() as f64 * 100.0),
+    );
+    compare(
+        "median deployment servers",
+        "small (most deployments)",
+        format!("{:.0}", percentile(&servers, 50.0).unwrap_or(0.0)),
+    );
+}

@@ -1,0 +1,116 @@
+//! Figure 19: SM migrates a geo-distributed application's shards across
+//! regions to handle a whole-region failure (§8.3).
+//!
+//! A secondary-only application (two replicas per shard) spans FRC, PRN
+//! and ODN. 40% of the shards are "east-coast" shards with a region
+//! preference for FRC, where the measuring client also lives. At t=90 s
+//! every FRC server fails: latency jumps as requests fail over to west-
+//! coast/European replicas. At t=450 s FRC recovers and SM migrates one
+//! replica of each EC shard back, restoring local latency.
+
+use sm_apps::harness::{ExperimentConfig, SimWorld, WorldEvent};
+use sm_bench::{banner, compare, table, Scale};
+use sm_sim::SimTime;
+use sm_types::{AppPolicy, RegionId, ShardId};
+
+fn main() {
+    banner(
+        "Figure 19",
+        "client latency through a region failure and recovery",
+    );
+    let (servers_per_region, shards) = match Scale::from_env() {
+        Scale::Paper => (30, 1_000),
+        Scale::Small => (10, 300),
+    };
+    let ec_shards = shards * 2 / 5; // 400 of 1,000 in the paper
+
+    let mut cfg = ExperimentConfig::three_region_geo(servers_per_region, shards);
+    let mut policy = AppPolicy::secondary_only(2);
+    for s in 0..ec_shards {
+        policy
+            .region_preferences
+            .insert(ShardId(s), (RegionId(0), 2.0));
+    }
+    cfg.policy = policy;
+    cfg.clients_per_region = 8;
+    cfg.client_regions = Some(vec![RegionId(0)]); // the FRC client
+    cfg.target_shards = Some(0..ec_shards); // it accesses EC shards
+    cfg.request_rate = 8.0;
+    cfg.failure_detection = sm_sim::SimDuration::from_secs(10);
+    cfg.periodic_alloc_interval = sm_sim::SimDuration::from_secs(30);
+    let mut sim = SimWorld::primed(cfg);
+    sim.world_mut().sample_interval = sm_sim::SimDuration::from_secs(10);
+
+    sim.schedule_at(SimTime::from_secs(90), WorldEvent::RegionFail(RegionId(0)));
+    sim.schedule_at(
+        SimTime::from_secs(450),
+        WorldEvent::RegionRecover(RegionId(0)),
+    );
+    sim.run_until(SimTime::from_secs(700));
+
+    let w = sim.world();
+    let lat = w
+        .trace
+        .series("latency_ms")
+        .map(|s| s.bucket_mean(10))
+        .unwrap_or_default();
+    let rows: Vec<Vec<String>> = lat
+        .iter()
+        .map(|(t, v)| vec![t.to_string(), format!("{v:.1}")])
+        .collect();
+    println!("{}", table(&["time (s)", "mean latency (ms)"], &rows));
+
+    let lat_series = w.trace.series("latency_ms").expect("latency recorded");
+    let mean = |from: u64, to: u64| {
+        lat_series
+            .mean_in(SimTime::from_secs(from), SimTime::from_secs(to))
+            .unwrap_or(f64::NAN)
+    };
+    let steady = mean(40, 90);
+    let failed_over = mean(150, 440);
+    let spike = mean(90, 130);
+    let recovered = mean(560, 700);
+    compare(
+        "steady-state latency (local replicas)",
+        "low (~ms)",
+        format!("{steady:.1} ms"),
+    );
+    compare(
+        "latency right after failure (retries/bouncing)",
+        "initial spike",
+        format!("{spike:.1} ms"),
+    );
+    compare(
+        "latency while failed over to remote regions",
+        "higher plateau",
+        format!("{failed_over:.1} ms"),
+    );
+    compare(
+        "latency after shards move back",
+        "back to normal",
+        format!("{recovered:.1} ms"),
+    );
+    compare(
+        "shape check: steady < failover, recovered ~ steady",
+        "holds",
+        format!(
+            "{}",
+            steady < failed_over && (recovered - steady).abs() < 0.5 * failed_over
+        ),
+    );
+    // How many EC shards have a replica back at FRC after recovery.
+    let back = (0..ec_shards)
+        .filter(|&s| {
+            w.orchestrator()
+                .assignment()
+                .replicas(ShardId(s))
+                .iter()
+                .any(|r| w.server_region(r.server) == Some(RegionId(0)))
+        })
+        .count();
+    compare(
+        "EC shards with a replica back in FRC",
+        "all 400",
+        format!("{back} / {ec_shards}"),
+    );
+}

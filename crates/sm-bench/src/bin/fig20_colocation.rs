@@ -1,0 +1,153 @@
+//! Figure 20: SM migrates AppShards across regions to follow DBShards.
+//!
+//! Models the instant-messaging pipeline of §8.3: a sharded SQL database
+//! (DBShards, not SM-managed) is paired 1:1 with an SM-managed
+//! primary-only application (AppShards). All accesses to a DBShard go
+//! through its AppShard, so the pair must share a region. An
+//! administrator moves two batches of DBShards between regions; after
+//! each batch the impacted AppShards' region preferences are updated
+//! and SM migrates them, restoring the app-db latency.
+
+use sm_apps::harness::{ExperimentConfig, SimWorld, WorldEvent};
+use sm_bench::{banner, compare, table, Scale};
+use sm_sim::{LatencyModel, SimTime};
+use sm_types::{RegionId, ShardId};
+
+fn main() {
+    banner(
+        "Figure 20",
+        "AppShards follow DBShards across regions to restore latency",
+    );
+    let (servers_per_region, shards) = match Scale::from_env() {
+        Scale::Paper => (20, 900),
+        Scale::Small => (8, 300),
+    };
+    let latency = LatencyModel::frc_prn_odn();
+
+    // DBShard placement: shard k's database lives in region k % 3.
+    let db_region = |s: u64, epoch: usize| -> RegionId {
+        let batch1 = s < shards / 3;
+        let batch2 = (shards / 3..shards * 2 / 3).contains(&s);
+        let base = (s % 3) as u16;
+        match epoch {
+            0 => RegionId(base),
+            1 if batch1 => RegionId((base + 1) % 3), // admin moved batch 1
+            _ if batch1 => RegionId((base + 1) % 3),
+            2 if batch2 => RegionId((base + 2) % 3), // admin moved batch 2
+            _ => RegionId(base),
+        }
+    };
+
+    let mut cfg = ExperimentConfig::three_region_geo(servers_per_region, shards);
+    cfg.route_nearest = false;
+    cfg.clients_per_region = 2;
+    cfg.request_rate = 2.0;
+    cfg.periodic_alloc_interval = sm_sim::SimDuration::from_secs(30);
+    // Initial preferences colocate every AppShard with its DBShard.
+    for s in 0..shards {
+        cfg.policy
+            .region_preferences
+            .insert(ShardId(s), (db_region(s, 0), 2.0));
+    }
+    let mut sim = SimWorld::primed(cfg);
+
+    // Admin timeline: batch 1 DB move at t=300 (prefs updated at 360),
+    // batch 2 at t=900 (prefs updated at 960).
+    for s in 0..shards / 3 {
+        sim.schedule_at(
+            SimTime::from_secs(360),
+            WorldEvent::SetPreference {
+                shard: ShardId(s),
+                region: db_region(s, 1),
+                weight: 2.0,
+            },
+        );
+    }
+    for s in shards / 3..shards * 2 / 3 {
+        sim.schedule_at(
+            SimTime::from_secs(960),
+            WorldEvent::SetPreference {
+                shard: ShardId(s),
+                region: db_region(s, 2),
+                weight: 2.0,
+            },
+        );
+    }
+
+    // Sample app-db latency over time.
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut last_moves = 0u64;
+    for t in (30..=1500).step_by(30) {
+        sim.run_until(SimTime::from_secs(t));
+        let epoch = if t >= 900 {
+            2
+        } else if t >= 300 {
+            1
+        } else {
+            0
+        };
+        let w = sim.world();
+        let mut total_ms = 0.0;
+        let mut n = 0usize;
+        for s in 0..shards {
+            let Some(primary) = w.orchestrator().assignment().primary_of(ShardId(s)) else {
+                continue;
+            };
+            let Some(app_region) = w.server_region(primary) else {
+                continue;
+            };
+            total_ms += latency.base_ms(app_region, db_region(s, epoch));
+            n += 1;
+        }
+        let mean = total_ms / n.max(1) as f64;
+        let moves = w.orchestrator().stats().completed_moves;
+        rows.push(vec![
+            t.to_string(),
+            format!("{mean:.1}"),
+            (moves - last_moves).to_string(),
+        ]);
+        series.push((t, mean));
+        last_moves = moves;
+    }
+    println!(
+        "{}",
+        table(
+            &["time (s)", "app-db latency (ms)", "AppShard moves"],
+            &rows
+        )
+    );
+
+    let at = |t: u64| {
+        series
+            .iter()
+            .find(|(x, _)| *x == t)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    compare(
+        "latency before any DB move",
+        "~1 ms (colocated)",
+        format!("{:.1} ms", at(270)),
+    );
+    compare(
+        "latency right after DB batch 1 moves",
+        "spike",
+        format!("{:.1} ms", at(330)),
+    );
+    compare(
+        "latency after SM migrates AppShards (batch 1)",
+        "back to normal",
+        format!("{:.1} ms", at(870)),
+    );
+    compare(
+        "latency right after DB batch 2 moves",
+        "second spike",
+        format!("{:.1} ms", at(930)),
+    );
+    compare(
+        "latency at the end",
+        "back to normal",
+        format!("{:.1} ms", at(1500)),
+    );
+}

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every evaluation figure of the paper has a binary under `src/bin/`
+//! (`fig17_upgrade_availability`, `fig21_solver_scale`, ...). Each
+//! prints the same series the paper plots, plus a `paper vs measured`
+//! footer; `EXPERIMENTS.md` records the comparisons. Criterion
+//! micro-benchmarks live under `benches/`.
+
+use std::fmt::Write as _;
+
+/// Experiment scale selected via the `SM_SCALE` environment variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Laptop-sized problems preserving every distributional property.
+    Small,
+    /// The paper's full problem sizes (slower).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `SM_SCALE` (`small` default, `paper` for full size).
+    pub fn from_env() -> Self {
+        match std::env::var("SM_SCALE").as_deref() {
+            Ok("paper") | Ok("full") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!("==================================================================");
+    println!("{figure}: {caption}");
+    println!("==================================================================");
+}
+
+/// Prints a `paper vs measured` comparison line.
+pub fn compare(what: &str, paper: &str, measured: impl std::fmt::Display) {
+    println!("  {what:<52} paper: {paper:<18} measured: {measured}");
+}
+
+/// Renders aligned columns from rows of strings.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:<width$}  ", h, width = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["a", "metric"],
+            &[
+                vec!["1".into(), "x".into()],
+                vec!["223".into(), "yy".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("1    "));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.543), "54.3%");
+    }
+
+    #[test]
+    fn scale_default_is_small() {
+        // Unless the caller exported SM_SCALE=paper, default holds.
+        if std::env::var("SM_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Small);
+        }
+    }
+}

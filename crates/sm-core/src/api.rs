@@ -1,0 +1,286 @@
+//! The SM programming model (Figure 11).
+//!
+//! An application server implements [`ShardServer`]; the orchestrator
+//! drives it with [`ServerRpc`] calls. The model is deliberately tiny —
+//! the paper credits this simplicity with lowering the adoption barrier
+//! (§3.3) — yet rich enough to express the graceful primary migration
+//! protocol: the two `prepare_*` calls set up request forwarding between
+//! the old and new primary before ownership officially changes hands.
+
+use sm_types::{LoadVector, ReplicaRole, ServerId, ShardId, SmError};
+
+/// The callbacks an application server implements (Figure 11).
+pub trait ShardServer {
+    /// Take ownership of `shard` in `role`; the server must be ready to
+    /// serve requests for it when this returns.
+    fn add_shard(&mut self, shard: ShardId, role: ReplicaRole) -> Result<(), SmError>;
+
+    /// Release `shard`; the server stops serving it.
+    fn drop_shard(&mut self, shard: ShardId) -> Result<(), SmError>;
+
+    /// Switch the replica of `shard` from `current` to `new` role.
+    fn change_role(
+        &mut self,
+        shard: ShardId,
+        current: ReplicaRole,
+        new: ReplicaRole,
+    ) -> Result<(), SmError>;
+
+    /// Step 1 of graceful migration (§4.3): prepare to take over `shard`
+    /// from `current_owner`. Until `add_shard`, primary-type requests
+    /// are only accepted when forwarded from the current owner.
+    fn prepare_add_shard(
+        &mut self,
+        shard: ShardId,
+        current_owner: ServerId,
+        role: ReplicaRole,
+    ) -> Result<(), SmError>;
+
+    /// Step 2 of graceful migration (§4.3): `new_owner` is taking over;
+    /// start forwarding primary-type requests to it.
+    fn prepare_drop_shard(
+        &mut self,
+        shard: ShardId,
+        new_owner: ServerId,
+        role: ReplicaRole,
+    ) -> Result<(), SmError>;
+
+    /// Current per-shard load, pulled periodically by the orchestrator.
+    fn report_load(&self) -> Vec<(ShardId, LoadVector)>;
+}
+
+/// One orchestrator-to-server RPC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServerRpc {
+    /// `add_shard(shard, role)`.
+    AddShard {
+        /// Target shard.
+        shard: ShardId,
+        /// Role to assume.
+        role: ReplicaRole,
+    },
+    /// `drop_shard(shard)`.
+    DropShard {
+        /// Target shard.
+        shard: ShardId,
+    },
+    /// `change_role(shard, current, new)`.
+    ChangeRole {
+        /// Target shard.
+        shard: ShardId,
+        /// Current role.
+        current: ReplicaRole,
+        /// New role.
+        new: ReplicaRole,
+    },
+    /// `prepare_add_shard(shard, current_owner, role)`.
+    PrepareAddShard {
+        /// Target shard.
+        shard: ShardId,
+        /// The server currently holding the role.
+        current_owner: ServerId,
+        /// Role being transferred.
+        role: ReplicaRole,
+    },
+    /// `prepare_drop_shard(shard, new_owner, role)`.
+    PrepareDropShard {
+        /// Target shard.
+        shard: ShardId,
+        /// The server taking over the role.
+        new_owner: ServerId,
+        /// Role being transferred.
+        role: ReplicaRole,
+    },
+}
+
+impl ServerRpc {
+    /// The shard this RPC concerns.
+    pub fn shard(&self) -> ShardId {
+        match self {
+            ServerRpc::AddShard { shard, .. }
+            | ServerRpc::DropShard { shard }
+            | ServerRpc::ChangeRole { shard, .. }
+            | ServerRpc::PrepareAddShard { shard, .. }
+            | ServerRpc::PrepareDropShard { shard, .. } => *shard,
+        }
+    }
+
+    /// Dispatches this RPC onto a [`ShardServer`] implementation.
+    pub fn dispatch<S: ShardServer + ?Sized>(&self, server: &mut S) -> Result<(), SmError> {
+        match *self {
+            ServerRpc::AddShard { shard, role } => server.add_shard(shard, role),
+            ServerRpc::DropShard { shard } => server.drop_shard(shard),
+            ServerRpc::ChangeRole {
+                shard,
+                current,
+                new,
+            } => server.change_role(shard, current, new),
+            ServerRpc::PrepareAddShard {
+                shard,
+                current_owner,
+                role,
+            } => server.prepare_add_shard(shard, current_owner, role),
+            ServerRpc::PrepareDropShard {
+                shard,
+                new_owner,
+                role,
+            } => server.prepare_drop_shard(shard, new_owner, role),
+        }
+    }
+}
+
+/// A command emitted by the orchestrator for the embedding world to
+/// carry out.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrchCommand {
+    /// Deliver an RPC to an application server and report the ack back
+    /// via [`crate::Orchestrator::rpc_acked`].
+    Rpc {
+        /// Destination server.
+        server: ServerId,
+        /// The call.
+        rpc: ServerRpc,
+    },
+    /// The shard map changed: the world should (re)publish the
+    /// orchestrator's current map through service discovery. Carrying
+    /// only the version keeps the hot path O(1); the world pulls the
+    /// full map lazily (and may debounce bursts of changes).
+    MapChanged {
+        /// The new map version.
+        version: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Minimal recording implementation used across sm-core tests.
+    #[derive(Default)]
+    struct Recorder {
+        shards: BTreeMap<ShardId, ReplicaRole>,
+        calls: Vec<String>,
+    }
+
+    impl ShardServer for Recorder {
+        fn add_shard(&mut self, shard: ShardId, role: ReplicaRole) -> Result<(), SmError> {
+            self.calls.push(format!("add {shard} {role}"));
+            self.shards.insert(shard, role);
+            Ok(())
+        }
+        fn drop_shard(&mut self, shard: ShardId) -> Result<(), SmError> {
+            self.calls.push(format!("drop {shard}"));
+            self.shards
+                .remove(&shard)
+                .map(|_| ())
+                .ok_or_else(|| SmError::not_found(shard))
+        }
+        fn change_role(
+            &mut self,
+            shard: ShardId,
+            current: ReplicaRole,
+            new: ReplicaRole,
+        ) -> Result<(), SmError> {
+            self.calls.push(format!("role {shard} {current}->{new}"));
+            let r = self
+                .shards
+                .get_mut(&shard)
+                .ok_or_else(|| SmError::not_found(shard))?;
+            if *r != current {
+                return Err(SmError::conflict("role mismatch"));
+            }
+            *r = new;
+            Ok(())
+        }
+        fn prepare_add_shard(
+            &mut self,
+            shard: ShardId,
+            _current_owner: ServerId,
+            _role: ReplicaRole,
+        ) -> Result<(), SmError> {
+            self.calls.push(format!("prep_add {shard}"));
+            Ok(())
+        }
+        fn prepare_drop_shard(
+            &mut self,
+            shard: ShardId,
+            _new_owner: ServerId,
+            _role: ReplicaRole,
+        ) -> Result<(), SmError> {
+            self.calls.push(format!("prep_drop {shard}"));
+            Ok(())
+        }
+        fn report_load(&self) -> Vec<(ShardId, LoadVector)> {
+            self.shards
+                .keys()
+                .map(|s| (*s, LoadVector::zero()))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn dispatch_routes_to_trait_methods() {
+        let mut srv = Recorder::default();
+        let s = ShardId(3);
+        ServerRpc::AddShard {
+            shard: s,
+            role: ReplicaRole::Primary,
+        }
+        .dispatch(&mut srv)
+        .unwrap();
+        ServerRpc::ChangeRole {
+            shard: s,
+            current: ReplicaRole::Primary,
+            new: ReplicaRole::Secondary,
+        }
+        .dispatch(&mut srv)
+        .unwrap();
+        ServerRpc::PrepareDropShard {
+            shard: s,
+            new_owner: ServerId(9),
+            role: ReplicaRole::Secondary,
+        }
+        .dispatch(&mut srv)
+        .unwrap();
+        ServerRpc::DropShard { shard: s }
+            .dispatch(&mut srv)
+            .unwrap();
+        assert_eq!(
+            srv.calls,
+            vec![
+                "add shard3 primary",
+                "role shard3 primary->secondary",
+                "prep_drop shard3",
+                "drop shard3"
+            ]
+        );
+    }
+
+    #[test]
+    fn rpc_shard_accessor() {
+        assert_eq!(
+            ServerRpc::DropShard { shard: ShardId(7) }.shard(),
+            ShardId(7)
+        );
+        assert_eq!(
+            ServerRpc::PrepareAddShard {
+                shard: ShardId(1),
+                current_owner: ServerId(2),
+                role: ReplicaRole::Primary
+            }
+            .shard(),
+            ShardId(1)
+        );
+    }
+
+    #[test]
+    fn change_role_validates_current() {
+        let mut srv = Recorder::default();
+        srv.add_shard(ShardId(1), ReplicaRole::Secondary).unwrap();
+        let err = srv
+            .change_role(ShardId(1), ReplicaRole::Primary, ReplicaRole::Secondary)
+            .unwrap_err();
+        assert!(matches!(err, SmError::Conflict(_)));
+    }
+}

@@ -1,0 +1,554 @@
+//! The scale-out global control plane (§6.1, Figure 14).
+//!
+//! A single SM control plane cannot manage millions of servers and
+//! billions of shards, so SM shards *itself*: applications are divided
+//! into partitions (thousands of servers, hundreds of thousands of
+//! replicas each), partitions are assigned to mini-SMs, and mini-SMs
+//! scale out horizontally. This module is that bookkeeping layer:
+//!
+//! - [`ApplicationRegistry`] — applications and their policies;
+//! - [`ApplicationManager`] — splits an application's servers/shards
+//!   into partitions;
+//! - [`PartitionRegistry`] — assigns partitions to mini-SMs,
+//!   least-loaded first, adding mini-SMs as capacity demands;
+//! - [`ReadService`] — indices over control-plane metadata for queries.
+
+use crate::orchestrator::{Orchestrator, OrchestratorConfig};
+use sm_types::{AppId, AppPolicy, MiniSmId, PartitionId, ServerId, ShardId};
+use std::collections::BTreeMap;
+
+/// Per-application record in the registry.
+#[derive(Clone, Debug)]
+pub struct AppRecord {
+    /// Human name.
+    pub name: String,
+    /// Policy.
+    pub policy: AppPolicy,
+    /// The application's partitions, in creation order.
+    pub partitions: Vec<PartitionId>,
+}
+
+/// The application registry: the entry point of Figure 14.
+#[derive(Debug, Default)]
+pub struct ApplicationRegistry {
+    apps: BTreeMap<AppId, AppRecord>,
+    next_app: u32,
+}
+
+impl ApplicationRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an application, returning its id.
+    pub fn register(&mut self, name: impl Into<String>, policy: AppPolicy) -> AppId {
+        let id = AppId(self.next_app);
+        self.next_app += 1;
+        self.apps.insert(
+            id,
+            AppRecord {
+                name: name.into(),
+                policy,
+                partitions: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Looks up an application.
+    pub fn get(&self, app: AppId) -> Option<&AppRecord> {
+        self.apps.get(&app)
+    }
+
+    /// Records that `app` gained a partition.
+    pub fn add_partition(&mut self, app: AppId, partition: PartitionId) {
+        if let Some(rec) = self.apps.get_mut(&app) {
+            rec.partitions.push(partition);
+        }
+    }
+
+    /// Number of registered applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when no application is registered.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Iterates over all applications.
+    pub fn iter(&self) -> impl Iterator<Item = (&AppId, &AppRecord)> {
+        self.apps.iter()
+    }
+}
+
+/// A partition: a disjoint slice of one application's servers and
+/// shards, managed by exactly one mini-SM (§6.1). A shard's replicas
+/// always stay within one partition.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Identifier.
+    pub id: PartitionId,
+    /// Owning application.
+    pub app: AppId,
+    /// Servers in this partition.
+    pub servers: Vec<ServerId>,
+    /// Shards in this partition.
+    pub shards: Vec<ShardId>,
+}
+
+/// Splits applications into partitions.
+#[derive(Debug)]
+pub struct ApplicationManager {
+    /// Maximum servers per partition (the paper: "thousands").
+    pub max_servers_per_partition: usize,
+    next_partition: u32,
+}
+
+impl ApplicationManager {
+    /// Creates a manager with the given partition size limit.
+    pub fn new(max_servers_per_partition: usize) -> Self {
+        assert!(max_servers_per_partition > 0);
+        Self {
+            max_servers_per_partition,
+            next_partition: 0,
+        }
+    }
+
+    /// Divides an application into partitions: servers are split into
+    /// chunks of at most `max_servers_per_partition`, and shards are
+    /// distributed round-robin so every partition gets a proportional
+    /// slice. Replicas of one shard live in one partition by
+    /// construction (the shard itself belongs to exactly one).
+    pub fn partition_app(
+        &mut self,
+        app: AppId,
+        servers: &[ServerId],
+        shards: &[ShardId],
+    ) -> Vec<Partition> {
+        let n_parts = servers
+            .len()
+            .div_ceil(self.max_servers_per_partition)
+            .max(1);
+        let mut parts: Vec<Partition> = (0..n_parts)
+            .map(|_| {
+                let id = PartitionId(self.next_partition);
+                self.next_partition += 1;
+                Partition {
+                    id,
+                    app,
+                    servers: Vec::new(),
+                    shards: Vec::new(),
+                }
+            })
+            .collect();
+        for (i, &srv) in servers.iter().enumerate() {
+            parts[i % n_parts].servers.push(srv);
+        }
+        for (i, &shard) in shards.iter().enumerate() {
+            parts[i % n_parts].shards.push(shard);
+        }
+        parts
+    }
+}
+
+/// Capacity bookkeeping for one mini-SM.
+#[derive(Clone, Debug, Default)]
+pub struct MiniSmInfo {
+    /// Partitions assigned.
+    pub partitions: Vec<PartitionId>,
+    /// Servers managed (sum over partitions).
+    pub servers: usize,
+    /// Shard replicas managed (sum over partitions).
+    pub replicas: usize,
+}
+
+/// Assigns partitions to mini-SMs (Figure 14's partition registry).
+#[derive(Debug)]
+pub struct PartitionRegistry {
+    mini_sms: BTreeMap<MiniSmId, MiniSmInfo>,
+    assignment: BTreeMap<PartitionId, MiniSmId>,
+    /// A mini-SM takes new partitions until it manages this many servers.
+    pub max_servers_per_minism: usize,
+    /// ... or this many shard replicas, whichever fills first.
+    pub max_replicas_per_minism: usize,
+    next_minism: u32,
+}
+
+impl PartitionRegistry {
+    /// Creates a registry; mini-SMs are added on demand.
+    pub fn new(max_servers_per_minism: usize) -> Self {
+        assert!(max_servers_per_minism > 0);
+        Self {
+            mini_sms: BTreeMap::new(),
+            assignment: BTreeMap::new(),
+            max_servers_per_minism,
+            max_replicas_per_minism: usize::MAX,
+            next_minism: 0,
+        }
+    }
+
+    /// Sets the replica capacity of a mini-SM (builder style).
+    pub fn with_replica_cap(mut self, max_replicas: usize) -> Self {
+        assert!(max_replicas > 0);
+        self.max_replicas_per_minism = max_replicas;
+        self
+    }
+
+    /// Assigns a partition to the least-loaded mini-SM with room,
+    /// scaling out with a fresh mini-SM when none fits.
+    pub fn assign(&mut self, partition: &Partition, replica_count: usize) -> MiniSmId {
+        let fit = self
+            .mini_sms
+            .iter()
+            .filter(|(_, info)| {
+                info.servers + partition.servers.len() <= self.max_servers_per_minism
+                    && info.replicas + replica_count <= self.max_replicas_per_minism
+            })
+            .min_by_key(|(_, info)| info.servers)
+            .map(|(id, _)| *id);
+        let id = fit.unwrap_or_else(|| {
+            let id = MiniSmId(self.next_minism);
+            self.next_minism += 1;
+            self.mini_sms.insert(id, MiniSmInfo::default());
+            id
+        });
+        let info = self.mini_sms.get_mut(&id).expect("just ensured");
+        info.partitions.push(partition.id);
+        info.servers += partition.servers.len();
+        info.replicas += replica_count;
+        self.assignment.insert(partition.id, id);
+        id
+    }
+
+    /// The mini-SM managing `partition`.
+    pub fn minism_of(&self, partition: PartitionId) -> Option<MiniSmId> {
+        self.assignment.get(&partition).copied()
+    }
+
+    /// All mini-SMs with their loads.
+    pub fn mini_sms(&self) -> impl Iterator<Item = (&MiniSmId, &MiniSmInfo)> {
+        self.mini_sms.iter()
+    }
+
+    /// Number of mini-SMs in service.
+    pub fn minism_count(&self) -> usize {
+        self.mini_sms.len()
+    }
+}
+
+/// Read-only indices over control-plane metadata (Figure 14's read
+/// service): answers "which partition/mini-SM serves shard X of app Y"
+/// and "what does server Z belong to" without touching the mini-SMs.
+#[derive(Debug, Default)]
+pub struct ReadService {
+    shard_to_partition: BTreeMap<(AppId, ShardId), PartitionId>,
+    server_to_partition: BTreeMap<ServerId, PartitionId>,
+}
+
+impl ReadService {
+    /// Creates an empty read service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes a partition's membership.
+    pub fn index_partition(&mut self, partition: &Partition) {
+        for &shard in &partition.shards {
+            self.shard_to_partition
+                .insert((partition.app, shard), partition.id);
+        }
+        for &server in &partition.servers {
+            self.server_to_partition.insert(server, partition.id);
+        }
+    }
+
+    /// The partition holding `(app, shard)`.
+    pub fn partition_of_shard(&self, app: AppId, shard: ShardId) -> Option<PartitionId> {
+        self.shard_to_partition.get(&(app, shard)).copied()
+    }
+
+    /// The partition a server belongs to.
+    pub fn partition_of_server(&self, server: ServerId) -> Option<PartitionId> {
+        self.server_to_partition.get(&server).copied()
+    }
+}
+
+/// One mini-SM instance (Figure 14's "Mini-SM Control Plane"): a
+/// process hosting the orchestrators of the partitions assigned to it.
+///
+/// Each partition gets its own [`Orchestrator`]; the mini-SM is a thin
+/// multiplexer that owns them and routes by partition id. In production
+/// each mini-SM is the Figure 10 control plane (orchestrator +
+/// allocator + ZooKeeper client) for its partitions.
+pub struct MiniSm {
+    /// Identifier.
+    pub id: MiniSmId,
+    orchestrators: BTreeMap<PartitionId, Orchestrator>,
+}
+
+impl MiniSm {
+    /// Creates an empty mini-SM.
+    pub fn new(id: MiniSmId) -> Self {
+        Self {
+            id,
+            orchestrators: BTreeMap::new(),
+        }
+    }
+
+    /// Takes over a partition: builds its orchestrator from the
+    /// partition's membership and the app's policy.
+    pub fn adopt_partition(
+        &mut self,
+        partition: &Partition,
+        policy: AppPolicy,
+        config: OrchestratorConfig,
+        locate: impl Fn(ServerId) -> sm_types::Location,
+        capacity: sm_types::LoadVector,
+    ) -> &mut Orchestrator {
+        let mut orch = Orchestrator::new(partition.app, policy, config);
+        for &server in &partition.servers {
+            orch.register_server(server, locate(server), capacity);
+        }
+        orch.register_shards(partition.shards.iter().copied());
+        self.orchestrators.insert(partition.id, orch);
+        self.orchestrators
+            .get_mut(&partition.id)
+            .expect("just inserted")
+    }
+
+    /// Releases a partition (it is being rebalanced to another mini-SM).
+    pub fn release_partition(&mut self, partition: PartitionId) -> Option<Orchestrator> {
+        self.orchestrators.remove(&partition)
+    }
+
+    /// The orchestrator of one partition.
+    pub fn orchestrator(&mut self, partition: PartitionId) -> Option<&mut Orchestrator> {
+        self.orchestrators.get_mut(&partition)
+    }
+
+    /// Partitions currently managed.
+    pub fn partitions(&self) -> impl Iterator<Item = &PartitionId> {
+        self.orchestrators.keys()
+    }
+
+    /// Total shard replicas under management.
+    pub fn replica_count(&self) -> usize {
+        self.orchestrators
+            .values()
+            .map(|o| o.assignment().replica_count())
+            .sum()
+    }
+}
+
+/// The global entry point (Figure 14's frontend): resolves an
+/// application's shard to the mini-SM responsible for it, composing the
+/// application registry, read service, and partition registry.
+pub struct Frontend<'a> {
+    /// Application registry.
+    pub apps: &'a ApplicationRegistry,
+    /// Metadata indices.
+    pub reads: &'a ReadService,
+    /// Partition-to-mini-SM assignment.
+    pub partitions: &'a PartitionRegistry,
+}
+
+impl<'a> Frontend<'a> {
+    /// The mini-SM managing `(app, shard)`, if registered.
+    pub fn minism_for_shard(&self, app: AppId, shard: ShardId) -> Option<MiniSmId> {
+        let partition = self.reads.partition_of_shard(app, shard)?;
+        self.partitions.minism_of(partition)
+    }
+
+    /// The mini-SM managing a server, if registered.
+    pub fn minism_for_server(&self, server: ServerId) -> Option<MiniSmId> {
+        let partition = self.reads.partition_of_server(server)?;
+        self.partitions.minism_of(partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u32) -> Vec<ServerId> {
+        (0..n).map(ServerId).collect()
+    }
+    fn shards(n: u64) -> Vec<ShardId> {
+        (0..n).map(ShardId).collect()
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = ApplicationRegistry::new();
+        let a = reg.register("kvstore", AppPolicy::primary_only());
+        let b = reg.register("queue", AppPolicy::secondary_only(2));
+        assert_ne!(a, b);
+        assert_eq!(reg.get(a).unwrap().name, "kvstore");
+        assert_eq!(reg.len(), 2);
+        reg.add_partition(a, PartitionId(0));
+        assert_eq!(reg.get(a).unwrap().partitions, vec![PartitionId(0)]);
+    }
+
+    #[test]
+    fn small_app_is_one_partition() {
+        let mut mgr = ApplicationManager::new(1000);
+        let parts = mgr.partition_app(AppId(0), &servers(10), &shards(100));
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].servers.len(), 10);
+        assert_eq!(parts[0].shards.len(), 100);
+    }
+
+    #[test]
+    fn large_app_splits_evenly() {
+        let mut mgr = ApplicationManager::new(100);
+        let parts = mgr.partition_app(AppId(0), &servers(250), &shards(1000));
+        assert_eq!(parts.len(), 3);
+        // Servers split near-evenly; shards proportional.
+        for p in &parts {
+            assert!(p.servers.len() >= 83 && p.servers.len() <= 84);
+            assert!(p.shards.len() >= 333 && p.shards.len() <= 334);
+        }
+        // Disjoint shard sets.
+        let mut all: Vec<ShardId> = parts.iter().flat_map(|p| p.shards.clone()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn partition_ids_are_unique_across_apps() {
+        let mut mgr = ApplicationManager::new(100);
+        let p1 = mgr.partition_app(AppId(0), &servers(150), &shards(10));
+        let p2 = mgr.partition_app(AppId(1), &servers(150), &shards(10));
+        let mut ids: Vec<PartitionId> = p1.iter().chain(p2.iter()).map(|p| p.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn partition_registry_scales_out() {
+        let mut mgr = ApplicationManager::new(50);
+        let mut reg = PartitionRegistry::new(100);
+        // 8 partitions of 50 servers: 2 per mini-SM -> 4 mini-SMs.
+        let parts = mgr.partition_app(AppId(0), &servers(400), &shards(800));
+        for p in &parts {
+            reg.assign(p, p.shards.len() * 2);
+        }
+        assert_eq!(reg.minism_count(), 4);
+        for (_, info) in reg.mini_sms() {
+            assert_eq!(info.servers, 100);
+            assert_eq!(info.partitions.len(), 2);
+        }
+        // Every partition resolvable.
+        for p in &parts {
+            assert!(reg.minism_of(p.id).is_some());
+        }
+    }
+
+    #[test]
+    fn registry_prefers_least_loaded() {
+        let mut mgr = ApplicationManager::new(10);
+        let mut reg = PartitionRegistry::new(100);
+        let small = mgr.partition_app(AppId(0), &servers(10), &shards(1));
+        let m0 = reg.assign(&small[0], 1);
+        // Next assignment goes to the same (only) mini-SM while it fits.
+        let small2 = mgr.partition_app(AppId(1), &servers(10), &shards(1));
+        let m1 = reg.assign(&small2[0], 1);
+        assert_eq!(m0, m1);
+    }
+
+    #[test]
+    fn minism_hosts_partition_orchestrators() {
+        use sm_allocator::{AllocConfig, MoveCaps};
+        use sm_types::{LoadVector, Location, MachineId, Metric, RegionId};
+        let mut mgr = ApplicationManager::new(4);
+        let parts = mgr.partition_app(AppId(0), &servers(8), &shards(16));
+        assert_eq!(parts.len(), 2);
+        let mut minism = MiniSm::new(MiniSmId(0));
+        let config = OrchestratorConfig {
+            graceful_migration: true,
+            move_caps: MoveCaps::default(),
+            alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+        };
+        for p in &parts {
+            let orch = minism.adopt_partition(
+                p,
+                AppPolicy::primary_only(),
+                config.clone(),
+                |s| Location {
+                    region: RegionId(0),
+                    datacenter: 0,
+                    rack: s.raw(),
+                    machine: MachineId(s.raw()),
+                },
+                LoadVector::single(Metric::ShardCount.id(), 100.0),
+            );
+            // Bootstrap each partition and settle synchronously.
+            orch.run_emergency();
+            loop {
+                let cmds = orch.take_commands();
+                if cmds.is_empty() {
+                    break;
+                }
+                for c in cmds {
+                    if let crate::api::OrchCommand::Rpc { server, rpc } = c {
+                        orch.rpc_acked(server, rpc);
+                    }
+                }
+            }
+        }
+        assert_eq!(minism.partitions().count(), 2);
+        assert_eq!(minism.replica_count(), 16);
+        // Partitions can be released for rebalancing to another mini-SM.
+        let moved = minism.release_partition(parts[0].id).expect("released");
+        assert_eq!(moved.assignment().shard_count(), 8);
+        assert_eq!(minism.replica_count(), 8);
+    }
+
+    #[test]
+    fn frontend_resolves_shard_to_minism() {
+        let mut registry = ApplicationRegistry::new();
+        let app = registry.register("kv", AppPolicy::primary_only());
+        let mut mgr = ApplicationManager::new(50);
+        let mut partitions = PartitionRegistry::new(60);
+        let mut reads = ReadService::new();
+        for p in mgr.partition_app(app, &servers(100), &shards(400)) {
+            partitions.assign(&p, p.shards.len());
+            reads.index_partition(&p);
+        }
+        let frontend = Frontend {
+            apps: &registry,
+            reads: &reads,
+            partitions: &partitions,
+        };
+        let m = frontend
+            .minism_for_shard(app, ShardId(123))
+            .expect("resolved");
+        let via_server = frontend.minism_for_server(ServerId(3)).expect("resolved");
+        let _ = (m, via_server);
+        assert!(frontend.minism_for_shard(AppId(9), ShardId(0)).is_none());
+    }
+
+    #[test]
+    fn read_service_indices() {
+        let mut mgr = ApplicationManager::new(100);
+        let parts = mgr.partition_app(AppId(3), &servers(150), &shards(10));
+        let mut rs = ReadService::new();
+        for p in &parts {
+            rs.index_partition(p);
+        }
+        for p in &parts {
+            for &s in &p.shards {
+                assert_eq!(rs.partition_of_shard(AppId(3), s), Some(p.id));
+            }
+            for &srv in &p.servers {
+                assert_eq!(rs.partition_of_server(srv), Some(p.id));
+            }
+        }
+        assert!(rs.partition_of_shard(AppId(9), ShardId(0)).is_none());
+    }
+}

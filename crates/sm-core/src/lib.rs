@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Shard Manager's control plane — the paper's primary contribution.
+//!
+//! - [`api`] — the programming model (Figure 11): the five callbacks an
+//!   application server implements (`add_shard`, `drop_shard`,
+//!   `change_role`, `prepare_add_shard`, `prepare_drop_shard`) and the
+//!   RPC/command vocabulary the orchestrator speaks.
+//! - [`orchestrator`] — per-partition shard orchestration: desired
+//!   assignment, the five-step graceful primary migration (§4.3),
+//!   failure-driven emergency re-placement, load collection, periodic
+//!   load balancing, and drain execution.
+//! - [`taskcontroller`] — the TaskControl endpoint (§4.1): reviews
+//!   pending container operations from *all* regional cluster managers
+//!   and approves the maximal subset that keeps every shard within its
+//!   availability caps, requesting drains first where policy demands.
+//! - [`control_plane`] — the scale-out architecture (Figure 14):
+//!   application registry, partitioning, partition registry, mini-SM
+//!   bookkeeping, and the read service.
+//! - [`scaler`] — the shard scaler: per-shard replica-count adjustment
+//!   in response to load.
+
+pub mod api;
+pub mod control_plane;
+pub mod orchestrator;
+pub mod scaler;
+pub mod taskcontroller;
+
+pub use api::{OrchCommand, ServerRpc, ShardServer};
+pub use control_plane::{
+    ApplicationManager, ApplicationRegistry, Frontend, MiniSm, Partition, PartitionRegistry,
+    ReadService,
+};
+pub use orchestrator::{Orchestrator, OrchestratorConfig, ServerEntry};
+pub use scaler::{ScaleDecision, ShardScaler, ShardScalerConfig};
+pub use taskcontroller::{AvailabilityView, TaskController, TcReview};

@@ -1,0 +1,1671 @@
+//! The per-partition orchestrator.
+//!
+//! One orchestrator manages one application partition (§6.1): it owns
+//! the desired shard-to-server assignment, reacts to server failures
+//! with emergency re-placement and primary promotion, collects load,
+//! runs the allocator periodically, executes allocation plans under the
+//! system-stability move caps, drains servers ahead of planned events,
+//! and drives the five-step graceful primary migration of §4.3:
+//!
+//! 1. `prepare_add_shard` → new primary (accept only forwarded writes);
+//! 2. `prepare_drop_shard` → old primary (start forwarding);
+//! 3. `add_shard` → new primary (officially owns the role);
+//! 4. publish the new shard map through service discovery;
+//! 5. `drop_shard` → old primary (drain residual forwarded traffic).
+//!
+//! The orchestrator is a synchronous state machine: methods mutate state
+//! and append [`OrchCommand`]s to an outbox the embedding world drains,
+//! delivering RPCs to application servers and feeding acks back in.
+
+use crate::api::{OrchCommand, ServerRpc};
+use sm_allocator::{
+    AllocConfig, AllocInput, Allocator, MoveCaps, MoveScheduler, ReplicaMove, ServerInfo,
+    ShardPlacement,
+};
+use sm_types::{
+    AppId, AppPolicy, Assignment, LoadVector, Location, ReplicaRole, ServerId, ShardId, ShardMap,
+};
+use std::collections::BTreeMap;
+
+/// Orchestrator tuning and ablation switches.
+#[derive(Clone, Debug)]
+pub struct OrchestratorConfig {
+    /// Use the §4.3 graceful protocol for primary moves; when false,
+    /// primaries move abruptly (drop-then-add) — the middle curve of
+    /// Figure 17.
+    pub graceful_migration: bool,
+    /// System-stability caps on concurrent moves (§5.1 hard
+    /// constraint 1).
+    pub move_caps: MoveCaps,
+    /// Allocator configuration.
+    pub alloc: AllocConfig,
+}
+
+/// A server known to the orchestrator.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerEntry {
+    /// Fault-domain coordinates.
+    pub location: Location,
+    /// Capacity per metric.
+    pub capacity: LoadVector,
+    /// False once the server is detected down.
+    pub alive: bool,
+    /// True while the server is being evacuated.
+    pub draining: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MigrationKind {
+    /// §4.3 five-step protocol (primary with a live source).
+    GracefulPrimary,
+    /// Add-then-drop (secondaries; safe to double-host briefly).
+    SecondaryMove,
+    /// Drop-then-add (ablation mode for primaries).
+    AbruptMove,
+    /// Fresh placement (no source).
+    FreshAdd,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    PrepareAdd,
+    PrepareDrop,
+    Add,
+    Drop,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Migration {
+    shard: ShardId,
+    from: Option<ServerId>,
+    to: ServerId,
+    role: ReplicaRole,
+    kind: MigrationKind,
+    phase: Phase,
+    mv: ReplicaMove,
+}
+
+/// Counters exposed for tests and experiment reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrchStats {
+    /// Completed replica moves/placements.
+    pub completed_moves: u64,
+    /// Migrations aborted by failures.
+    pub aborted_moves: u64,
+    /// Primary promotions performed after failures.
+    pub promotions: u64,
+    /// Shard map versions published.
+    pub maps_published: u64,
+}
+
+/// The per-partition orchestrator.
+pub struct Orchestrator {
+    app: AppId,
+    policy: AppPolicy,
+    config: OrchestratorConfig,
+    servers: BTreeMap<ServerId, ServerEntry>,
+    shards: Vec<ShardId>,
+    desired_replicas: BTreeMap<ShardId, u32>,
+    assignment: Assignment,
+    loads: BTreeMap<ShardId, LoadVector>,
+    map_version: u64,
+    outbox: Vec<OrchCommand>,
+    migrations: Vec<Migration>,
+    /// Pending promotions: `(shard, server)` awaiting a ChangeRole ack.
+    promotions: Vec<(ShardId, ServerId)>,
+    scheduler: Option<MoveScheduler>,
+    stats: OrchStats,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator for one application partition.
+    pub fn new(app: AppId, policy: AppPolicy, config: OrchestratorConfig) -> Self {
+        Self {
+            app,
+            policy,
+            config,
+            servers: BTreeMap::new(),
+            shards: Vec::new(),
+            desired_replicas: BTreeMap::new(),
+            assignment: Assignment::new(),
+            loads: BTreeMap::new(),
+            map_version: 0,
+            outbox: Vec::new(),
+            migrations: Vec::new(),
+            promotions: Vec::new(),
+            scheduler: None,
+            stats: OrchStats::default(),
+        }
+    }
+
+    /// The application this orchestrator manages.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// Current desired assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> OrchStats {
+        self.stats
+    }
+
+    /// Updates one shard's regional placement preference (§5.1 soft
+    /// goal 1). Takes effect on the next allocation run — the Figure 20
+    /// workflow, where an administrator repoints AppShards at the region
+    /// their DBShards moved to.
+    pub fn set_region_preference(
+        &mut self,
+        shard: ShardId,
+        region: sm_types::RegionId,
+        weight: f64,
+    ) {
+        self.config
+            .alloc
+            .region_preferences
+            .insert(shard, (region, weight));
+    }
+
+    /// True if `server` is registered and alive.
+    pub fn server_alive(&self, server: ServerId) -> bool {
+        self.servers.get(&server).map(|e| e.alive).unwrap_or(false)
+    }
+
+    /// Registers an application server.
+    pub fn register_server(&mut self, id: ServerId, location: Location, capacity: LoadVector) {
+        self.servers.insert(
+            id,
+            ServerEntry {
+                location,
+                capacity,
+                alive: true,
+                draining: false,
+            },
+        );
+    }
+
+    /// Registers the application's shards (app-defined, §3.1), each with
+    /// the policy's default replica count.
+    pub fn register_shards(&mut self, shards: impl IntoIterator<Item = ShardId>) {
+        let n = self.policy.replication.replicas_per_shard();
+        for s in shards {
+            self.shards.push(s);
+            self.desired_replicas.insert(s, n);
+        }
+    }
+
+    /// Adjusts one shard's desired replica count (driven by the shard
+    /// scaler). Takes effect on the next allocation run; shrinking drops
+    /// excess secondaries immediately.
+    pub fn set_desired_replicas(&mut self, shard: ShardId, n: u32) {
+        self.desired_replicas.insert(shard, n.max(1));
+        let current = self.assignment.replicas(shard).len() as u32;
+        if current > n {
+            // Drop excess replicas, secondaries first.
+            let mut victims: Vec<(ServerId, ReplicaRole)> = self
+                .assignment
+                .replicas(shard)
+                .iter()
+                .map(|r| (r.server, r.role))
+                .collect();
+            victims.sort_by_key(|(_, role)| role.is_primary());
+            for (server, _) in victims.into_iter().take((current - n) as usize) {
+                self.assignment.remove_replica(shard, server);
+                self.send_rpc(server, ServerRpc::DropShard { shard });
+            }
+            self.publish_map();
+        }
+    }
+
+    /// Drains the outbox; the world executes these commands.
+    pub fn take_commands(&mut self) -> Vec<OrchCommand> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn send_rpc(&mut self, server: ServerId, rpc: ServerRpc) {
+        self.outbox.push(OrchCommand::Rpc { server, rpc });
+    }
+
+    fn publish_map(&mut self) {
+        self.map_version += 1;
+        self.stats.maps_published += 1;
+        // Collapse consecutive change notices: the world only needs to
+        // know the latest version.
+        if let Some(OrchCommand::MapChanged { version }) = self.outbox.last_mut() {
+            *version = self.map_version;
+            return;
+        }
+        self.outbox.push(OrchCommand::MapChanged {
+            version: self.map_version,
+        });
+    }
+
+    /// The current shard map at the latest published version.
+    pub fn current_map(&self) -> ShardMap {
+        ShardMap::from_assignment(self.map_version, &self.assignment)
+    }
+
+    /// Stores a server's load report (pulled periodically in §3.2).
+    pub fn report_load(&mut self, _server: ServerId, loads: Vec<(ShardId, LoadVector)>) {
+        for (shard, load) in loads {
+            self.loads.insert(shard, load);
+        }
+    }
+
+    // ---- Allocation ----
+
+    fn build_input(&self) -> AllocInput {
+        let servers: Vec<ServerInfo> = self
+            .servers
+            .iter()
+            .filter(|(_, e)| e.alive)
+            .map(|(id, e)| ServerInfo {
+                id: *id,
+                location: e.location,
+                capacity: e.capacity,
+                draining: e.draining,
+            })
+            .collect();
+        let shards: Vec<ShardPlacement> = self
+            .shards
+            .iter()
+            .map(|&shard| {
+                let desired = *self.desired_replicas.get(&shard).unwrap_or(&1) as usize;
+                let mut replicas: Vec<Option<ServerId>> = self
+                    .assignment
+                    .replicas(shard)
+                    .iter()
+                    .map(|r| Some(r.server))
+                    .collect();
+                replicas.resize(desired, None);
+                replicas.truncate(desired.max(replicas.len()));
+                ShardPlacement {
+                    shard,
+                    load_per_replica: self
+                        .loads
+                        .get(&shard)
+                        .copied()
+                        .unwrap_or_else(default_shard_load),
+                    replicas,
+                }
+            })
+            .collect();
+        AllocInput {
+            servers,
+            shards,
+            config: self.config.alloc.clone(),
+        }
+    }
+
+    /// Runs the periodic allocation (§5.1 periodic mode) and begins
+    /// executing the plan under the move caps.
+    pub fn run_periodic(&mut self) -> usize {
+        let input = self.build_input();
+        let plan = Allocator::plan_periodic(&input);
+        let n = plan.moves.len();
+        self.install_plan(plan.moves);
+        n
+    }
+
+    /// Runs the emergency allocation (§5.1 emergency mode): places only
+    /// the replicas that currently lack a server.
+    pub fn run_emergency(&mut self) -> usize {
+        let input = self.build_input();
+        let plan = Allocator::plan_emergency(&input);
+        // Emergency placements are fresh adds only.
+        let moves: Vec<ReplicaMove> = plan
+            .moves
+            .into_iter()
+            .filter(|m| m.from.is_none())
+            .collect();
+        let n = moves.len();
+        self.install_plan(moves);
+        n
+    }
+
+    fn install_plan(&mut self, moves: Vec<ReplicaMove>) {
+        self.scheduler = Some(MoveScheduler::new(moves, self.config.move_caps));
+        self.pump_scheduler();
+    }
+
+    fn pump_scheduler(&mut self) {
+        let Some(mut scheduler) = self.scheduler.take() else {
+            return;
+        };
+        let wave = scheduler.release();
+        self.scheduler = Some(scheduler);
+        for mv in wave {
+            self.start_move(mv);
+        }
+    }
+
+    fn start_move(&mut self, mv: ReplicaMove) {
+        let shard = mv.shard;
+        // Plans can be superseded (a drain or emergency run replaces a
+        // periodic plan), so a released move may be stale by the time it
+        // starts. Skip moves whose source no longer hosts the shard and
+        // moves for shards already migrating — the next allocation run
+        // re-plans anything still suboptimal.
+        let stale_source = mv
+            .from
+            .map(|f| {
+                !self
+                    .assignment
+                    .replicas(shard)
+                    .iter()
+                    .any(|r| r.server == f)
+            })
+            .unwrap_or(false);
+        let already_migrating = self.migrations.iter().any(|m| m.shard == shard);
+        let target_occupied = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .any(|r| r.server == mv.to);
+        if stale_source || already_migrating || target_occupied {
+            if let Some(s) = self.scheduler.as_mut() {
+                s.complete(&mv);
+            }
+            return;
+        }
+        // Role: keep the role held at the source; fresh adds become
+        // primary if the shard needs one.
+        let role = match mv.from {
+            Some(from) => self
+                .assignment
+                .replicas(shard)
+                .iter()
+                .find(|r| r.server == from)
+                .map(|r| r.role),
+            None => None,
+        }
+        .unwrap_or_else(|| {
+            let promotion_pending = self.promotions.iter().any(|&(s, _)| s == shard);
+            if self.policy.replication.has_primary()
+                && self.assignment.primary_of(shard).is_none()
+                && !promotion_pending
+            {
+                ReplicaRole::Primary
+            } else {
+                ReplicaRole::Secondary
+            }
+        });
+
+        let source_alive = mv
+            .from
+            .map(|s| self.servers.get(&s).map(|e| e.alive).unwrap_or(false))
+            .unwrap_or(false);
+
+        let kind = match (mv.from, role, source_alive) {
+            (None, _, _) => MigrationKind::FreshAdd,
+            (Some(_), ReplicaRole::Primary, true) if self.config.graceful_migration => {
+                MigrationKind::GracefulPrimary
+            }
+            (Some(_), ReplicaRole::Primary, true) => MigrationKind::AbruptMove,
+            (Some(_), ReplicaRole::Secondary, true) => MigrationKind::SecondaryMove,
+            // Source dead: nothing to hand off.
+            (Some(_), _, false) => MigrationKind::FreshAdd,
+        };
+
+        let (phase, first_rpc, target) = match kind {
+            MigrationKind::GracefulPrimary => (
+                Phase::PrepareAdd,
+                ServerRpc::PrepareAddShard {
+                    shard,
+                    current_owner: mv.from.expect("graceful move has a source"),
+                    role,
+                },
+                mv.to,
+            ),
+            MigrationKind::AbruptMove => (
+                Phase::Drop,
+                ServerRpc::DropShard { shard },
+                mv.from.expect("abrupt move has a source"),
+            ),
+            MigrationKind::SecondaryMove | MigrationKind::FreshAdd => {
+                (Phase::Add, ServerRpc::AddShard { shard, role }, mv.to)
+            }
+        };
+        self.migrations.push(Migration {
+            shard,
+            from: mv.from,
+            to: mv.to,
+            role,
+            kind,
+            phase,
+            mv,
+        });
+        self.send_rpc(target, first_rpc);
+    }
+
+    /// Handles an RPC acknowledgement from an application server,
+    /// advancing the corresponding migration/promotion state machine.
+    pub fn rpc_acked(&mut self, server: ServerId, rpc: ServerRpc) {
+        // Promotions first: ChangeRole to primary.
+        if let ServerRpc::ChangeRole { shard, new, .. } = rpc {
+            if let Some(pos) = self
+                .promotions
+                .iter()
+                .position(|&(s, srv)| s == shard && srv == server)
+            {
+                self.promotions.swap_remove(pos);
+                if new.is_primary() {
+                    let _ = self.assignment.change_role(shard, server, new);
+                    self.stats.promotions += 1;
+                    self.publish_map();
+                }
+                return;
+            }
+        }
+
+        let Some(idx) = self.migrations.iter().position(|m| match m.phase {
+            Phase::PrepareAdd => {
+                server == m.to
+                    && rpc
+                        == ServerRpc::PrepareAddShard {
+                            shard: m.shard,
+                            current_owner: m.from.expect("graceful"),
+                            role: m.role,
+                        }
+            }
+            Phase::PrepareDrop => {
+                Some(server) == m.from
+                    && rpc
+                        == ServerRpc::PrepareDropShard {
+                            shard: m.shard,
+                            new_owner: m.to,
+                            role: m.role,
+                        }
+            }
+            Phase::Add => {
+                server == m.to
+                    && rpc
+                        == ServerRpc::AddShard {
+                            shard: m.shard,
+                            role: m.role,
+                        }
+            }
+            Phase::Drop => {
+                let drop_target = match m.kind {
+                    MigrationKind::AbruptMove if m.phase == Phase::Drop => m.from,
+                    _ => m.from,
+                };
+                Some(server) == drop_target && rpc == ServerRpc::DropShard { shard: m.shard }
+            }
+        }) else {
+            return;
+        };
+
+        let mut mig = self.migrations[idx];
+        match (mig.kind, mig.phase) {
+            // -- Graceful primary: steps 1..5 --
+            (MigrationKind::GracefulPrimary, Phase::PrepareAdd) => {
+                mig.phase = Phase::PrepareDrop;
+                self.migrations[idx] = mig;
+                self.send_rpc(
+                    mig.from.expect("graceful"),
+                    ServerRpc::PrepareDropShard {
+                        shard: mig.shard,
+                        new_owner: mig.to,
+                        role: mig.role,
+                    },
+                );
+            }
+            (MigrationKind::GracefulPrimary, Phase::PrepareDrop) => {
+                mig.phase = Phase::Add;
+                self.migrations[idx] = mig;
+                self.send_rpc(
+                    mig.to,
+                    ServerRpc::AddShard {
+                        shard: mig.shard,
+                        role: mig.role,
+                    },
+                );
+            }
+            (MigrationKind::GracefulPrimary, Phase::Add) => {
+                // Step 4: record the handover and publish before the
+                // final drop.
+                let _ =
+                    self.assignment
+                        .move_replica(mig.shard, mig.from.expect("graceful"), mig.to);
+                self.publish_map();
+                mig.phase = Phase::Drop;
+                self.migrations[idx] = mig;
+                self.send_rpc(
+                    mig.from.expect("graceful"),
+                    ServerRpc::DropShard { shard: mig.shard },
+                );
+            }
+            (MigrationKind::GracefulPrimary, Phase::Drop) => {
+                self.finish_migration(idx);
+            }
+
+            // -- Abrupt primary move: drop, then add --
+            (MigrationKind::AbruptMove, Phase::Drop) => {
+                self.assignment
+                    .remove_replica(mig.shard, mig.from.expect("abrupt"));
+                mig.phase = Phase::Add;
+                self.migrations[idx] = mig;
+                self.send_rpc(
+                    mig.to,
+                    ServerRpc::AddShard {
+                        shard: mig.shard,
+                        role: mig.role,
+                    },
+                );
+            }
+            (MigrationKind::AbruptMove, Phase::Add) => {
+                let _ = self.assignment.add_replica(mig.shard, mig.to, mig.role);
+                self.publish_map();
+                self.finish_migration(idx);
+            }
+
+            // -- Secondary move: add, publish, then drop --
+            (MigrationKind::SecondaryMove, Phase::Add) => {
+                let _ = self.assignment.add_replica(mig.shard, mig.to, mig.role);
+                self.publish_map();
+                mig.phase = Phase::Drop;
+                self.migrations[idx] = mig;
+                self.send_rpc(
+                    mig.from.expect("secondary move"),
+                    ServerRpc::DropShard { shard: mig.shard },
+                );
+            }
+            (MigrationKind::SecondaryMove, Phase::Drop) => {
+                self.assignment
+                    .remove_replica(mig.shard, mig.from.expect("secondary move"));
+                self.publish_map();
+                self.finish_migration(idx);
+            }
+
+            // -- Fresh add --
+            (MigrationKind::FreshAdd, Phase::Add) => {
+                let mut role = mig.role;
+                if role.is_primary() && self.assignment.primary_of(mig.shard).is_some() {
+                    // A concurrent promotion won the primary role while
+                    // this add was in flight; demote the newcomer and
+                    // record it as a secondary.
+                    role = ReplicaRole::Secondary;
+                    self.send_rpc(
+                        mig.to,
+                        ServerRpc::ChangeRole {
+                            shard: mig.shard,
+                            current: ReplicaRole::Primary,
+                            new: ReplicaRole::Secondary,
+                        },
+                    );
+                }
+                let _ = self.assignment.add_replica(mig.shard, mig.to, role);
+                self.publish_map();
+                self.finish_migration(idx);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_migration(&mut self, idx: usize) {
+        let mig = self.migrations.swap_remove(idx);
+        self.stats.completed_moves += 1;
+        if let Some(s) = self.scheduler.as_mut() {
+            s.complete(&mig.mv);
+        }
+        // A shard can end a migration without a primary (e.g. its
+        // promotion failed while this replacement replica was being
+        // placed); re-elect as soon as the shard is quiescent.
+        self.ensure_primary_for(mig.shard);
+        self.pump_scheduler();
+    }
+
+    /// Handles an RPC failure: the migration is aborted; failure-driven
+    /// repair happens through [`Self::server_down`].
+    pub fn rpc_failed(&mut self, server: ServerId, rpc: ServerRpc) {
+        let shard = rpc.shard();
+        if let Some(idx) = self
+            .migrations
+            .iter()
+            .position(|m| m.shard == shard && (m.to == server || m.from == Some(server)))
+        {
+            let mig = self.migrations.swap_remove(idx);
+            self.stats.aborted_moves += 1;
+            if let Some(s) = self.scheduler.as_mut() {
+                s.complete(&mig.mv);
+            }
+            // If the target had been prepared (step 1) it still holds
+            // prepare-state and warmed data; tell it to discard unless
+            // the shard's record actually lives there.
+            if mig.kind == MigrationKind::GracefulPrimary
+                && mig.to != server
+                && self.server_alive(mig.to)
+                && !self
+                    .assignment
+                    .replicas(mig.shard)
+                    .iter()
+                    .any(|r| r.server == mig.to)
+            {
+                self.send_rpc(mig.to, ServerRpc::DropShard { shard: mig.shard });
+            }
+            self.pump_scheduler();
+        }
+        self.promotions
+            .retain(|&(s, srv)| !(s == shard && srv == server));
+        // An aborted fresh add can leave the shard with no replica at
+        // all (e.g. the target restarted mid-placement). Re-place it
+        // immediately instead of waiting for the next periodic run.
+        if self.assignment.replicas(shard).is_empty()
+            && !self.migrations.iter().any(|m| m.shard == shard)
+        {
+            self.run_emergency();
+        }
+    }
+
+    // ---- Failure handling ----
+
+    /// Marks a server down (ZooKeeper ephemeral expired, §3.2): its
+    /// replicas are dropped from the assignment, surviving secondaries
+    /// are promoted where the primary was lost, a new map is published,
+    /// and the emergency allocator refills the missing replicas.
+    pub fn server_down(&mut self, server: ServerId) {
+        let Some(entry) = self.servers.get_mut(&server) else {
+            return;
+        };
+        if !entry.alive {
+            return;
+        }
+        entry.alive = false;
+
+        // Abort migrations touching the dead server.
+        let doomed: Vec<usize> = self
+            .migrations
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.to == server || m.from == Some(server))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in doomed.into_iter().rev() {
+            let mig = self.migrations.swap_remove(idx);
+            self.stats.aborted_moves += 1;
+            if let Some(s) = self.scheduler.as_mut() {
+                s.complete(&mig.mv);
+            }
+        }
+
+        let lost = self.assignment.drop_server(server);
+        // Promote a surviving secondary wherever a primary was lost.
+        for (shard, role) in &lost {
+            if role.is_primary() {
+                let survivor = self
+                    .assignment
+                    .replicas(*shard)
+                    .iter()
+                    .find(|r| {
+                        !r.role.is_primary()
+                            && self
+                                .servers
+                                .get(&r.server)
+                                .map(|e| e.alive)
+                                .unwrap_or(false)
+                    })
+                    .map(|r| r.server);
+                if let Some(new_primary) = survivor {
+                    self.promotions.push((*shard, new_primary));
+                    self.send_rpc(
+                        new_primary,
+                        ServerRpc::ChangeRole {
+                            shard: *shard,
+                            current: ReplicaRole::Secondary,
+                            new: ReplicaRole::Primary,
+                        },
+                    );
+                }
+            }
+        }
+        self.publish_map();
+        if !lost.is_empty() {
+            self.run_emergency();
+        }
+        self.ensure_primaries();
+        self.pump_scheduler();
+    }
+
+    /// Marks a recovered server available again (it returns empty; the
+    /// next periodic run will use it).
+    pub fn server_up(&mut self, server: ServerId) {
+        if let Some(e) = self.servers.get_mut(&server) {
+            e.alive = true;
+            e.draining = false;
+        }
+    }
+
+    // ---- Drain (planned events, §4.1/§4.2) ----
+
+    /// Begins evacuating `server`: every replica it hosts is migrated to
+    /// a greedily chosen target (graceful for primaries). Returns the
+    /// number of migrations started; zero means it was already empty.
+    pub fn drain_server(&mut self, server: ServerId) -> usize {
+        if let Some(e) = self.servers.get_mut(&server) {
+            e.draining = true;
+        }
+        let victims: Vec<(ShardId, sm_types::ReplicaRole)> = self
+            .assignment
+            .shards_on(server)
+            .into_iter()
+            .filter(|(shard, _)| !self.migrations.iter().any(|m| m.shard == *shard))
+            .collect();
+        let mut moves = Vec::new();
+        // Track hypothetical extra load per target so consecutive picks
+        // spread rather than pile onto one cold server.
+        let mut extra: BTreeMap<ServerId, LoadVector> = BTreeMap::new();
+        for (shard, _) in &victims {
+            let load = self
+                .loads
+                .get(shard)
+                .copied()
+                .unwrap_or_else(default_shard_load);
+            let target = self.pick_drain_target(*shard, &extra, &load);
+            let Some(target) = target else { continue };
+            *extra.entry(target).or_insert_with(LoadVector::zero) += load;
+            moves.push(ReplicaMove {
+                shard: *shard,
+                replica: 0,
+                from: Some(server),
+                to: target,
+            });
+        }
+        let n = moves.len();
+        self.install_plan(moves);
+        n
+    }
+
+    fn pick_drain_target(
+        &self,
+        shard: ShardId,
+        extra: &BTreeMap<ServerId, LoadVector>,
+        load: &LoadVector,
+    ) -> Option<ServerId> {
+        let hosts: Vec<ServerId> = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .map(|r| r.server)
+            .collect();
+        self.servers
+            .iter()
+            .filter(|(id, e)| e.alive && !e.draining && !hosts.contains(id))
+            .filter(|(id, e)| {
+                // Honor capacity where configured.
+                let mut usage = self.usage_of(**id);
+                if let Some(x) = extra.get(id) {
+                    usage += *x;
+                }
+                usage += *load;
+                usage.fits_within(&e.capacity) || e.capacity == LoadVector::zero()
+            })
+            .min_by(|(a, ea), (b, eb)| {
+                let ua = self.usage_of(**a).max_utilization(&ea.capacity);
+                let ub = self.usage_of(**b).max_utilization(&eb.capacity);
+                ua.partial_cmp(&ub).expect("finite")
+            })
+            .map(|(id, _)| *id)
+    }
+
+    fn usage_of(&self, server: ServerId) -> LoadVector {
+        let mut usage = LoadVector::zero();
+        for (shard, _) in self.assignment.shards_on(server) {
+            usage += self
+                .loads
+                .get(&shard)
+                .copied()
+                .unwrap_or_else(default_shard_load);
+        }
+        usage
+    }
+
+    /// True once `server` hosts nothing and no migration still involves
+    /// it — the signal the TaskController waits for before approving the
+    /// container operation.
+    pub fn is_drained(&self, server: ServerId) -> bool {
+        self.assignment.shards_on(server).is_empty()
+            && !self
+                .migrations
+                .iter()
+                .any(|m| m.from == Some(server) || m.to == server)
+    }
+
+    /// Clears the draining mark after the container operation completes.
+    pub fn drain_finished(&mut self, server: ServerId) {
+        if let Some(e) = self.servers.get_mut(&server) {
+            e.draining = false;
+        }
+    }
+
+    // ---- Non-negotiable maintenance preparation (§4.2) ----
+
+    /// Prepares for an announced, non-delayable maintenance event on
+    /// `servers`: for a short-impact event (e.g. rack-switch network
+    /// loss), secondaries may stay, but every primary on an affected
+    /// server is demoted while a secondary on an unaffected server is
+    /// promoted. Returns the number of role swaps started.
+    ///
+    /// Shards whose every replica sits on an affected server have
+    /// nowhere to promote to; they are left as-is (the event's downtime
+    /// hits them regardless — placement spread exists to make this
+    /// rare).
+    pub fn prepare_for_maintenance(&mut self, servers: &[ServerId]) -> usize {
+        let affected: std::collections::BTreeSet<ServerId> = servers.iter().copied().collect();
+        let mut swaps = 0;
+        let shard_list: Vec<ShardId> = self.shards.clone();
+        for shard in shard_list {
+            let Some(primary) = self.assignment.primary_of(shard) else {
+                continue;
+            };
+            if !affected.contains(&primary) {
+                continue;
+            }
+            let successor = self
+                .assignment
+                .replicas(shard)
+                .iter()
+                .find(|r| {
+                    !r.role.is_primary()
+                        && !affected.contains(&r.server)
+                        && self
+                            .servers
+                            .get(&r.server)
+                            .map(|e| e.alive)
+                            .unwrap_or(false)
+                })
+                .map(|r| r.server);
+            let Some(new_primary) = successor else {
+                continue; // every replica is in the blast radius
+            };
+            // Demote in place, then promote through the normal
+            // promotion path (ack-driven, publishes the map).
+            let _ = self
+                .assignment
+                .change_role(shard, primary, ReplicaRole::Secondary);
+            self.send_rpc(
+                primary,
+                ServerRpc::ChangeRole {
+                    shard,
+                    current: ReplicaRole::Primary,
+                    new: ReplicaRole::Secondary,
+                },
+            );
+            self.promotions.push((shard, new_primary));
+            self.send_rpc(
+                new_primary,
+                ServerRpc::ChangeRole {
+                    shard,
+                    current: ReplicaRole::Secondary,
+                    new: ReplicaRole::Primary,
+                },
+            );
+            swaps += 1;
+        }
+        if swaps > 0 {
+            self.publish_map();
+        }
+        swaps
+    }
+
+    /// Replicas currently hosted per server (for the TaskController's
+    /// availability view).
+    pub fn shards_on(&self, server: ServerId) -> Vec<(ShardId, ReplicaRole)> {
+        self.assignment.shards_on(server)
+    }
+
+    /// Role reconciliation: promotes a live secondary wherever a shard
+    /// that should have a primary lacks one and no promotion or
+    /// migration is already in flight. Covers the corner where a
+    /// promotion RPC fails (e.g. the chosen successor dies before
+    /// acking) — without this, the shard would stay primary-less until
+    /// an unrelated event.
+    fn ensure_primaries(&mut self) {
+        if !self.policy.replication.has_primary() {
+            return;
+        }
+        let shards: Vec<ShardId> = self.shards.clone();
+        for shard in shards {
+            self.ensure_primary_for(shard);
+        }
+    }
+
+    /// Per-shard variant of the role reconciliation, cheap enough for
+    /// hot paths like migration completion.
+    fn ensure_primary_for(&mut self, shard: ShardId) {
+        if !self.policy.replication.has_primary()
+            || self.assignment.primary_of(shard).is_some()
+            || self.assignment.replicas(shard).is_empty()
+            || self.promotions.iter().any(|&(s, _)| s == shard)
+            || self.migrations.iter().any(|m| m.shard == shard)
+        {
+            return;
+        }
+        let successor = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .find(|r| {
+                self.servers
+                    .get(&r.server)
+                    .map(|e| e.alive)
+                    .unwrap_or(false)
+            })
+            .map(|r| r.server);
+        if let Some(server) = successor {
+            self.promotions.push((shard, server));
+            self.send_rpc(
+                server,
+                ServerRpc::ChangeRole {
+                    shard,
+                    current: ReplicaRole::Secondary,
+                    new: ReplicaRole::Primary,
+                },
+            );
+        }
+    }
+
+    // ---- Shard scaling (§3.4) ----
+
+    /// Runs the shard scaler over the latest load reports: each shard's
+    /// total load (per-replica load x replica count) is evaluated and
+    /// replica counts adjusted. Returns the number of shards resized;
+    /// scale-ups are placed immediately through the emergency path.
+    pub fn run_scaler(&mut self, scaler: &crate::ShardScaler) -> usize {
+        let mut totals = BTreeMap::new();
+        let mut counts = BTreeMap::new();
+        for (&shard, load) in &self.loads {
+            let n = self.assignment.replicas(shard).len() as u32;
+            if n == 0 {
+                continue;
+            }
+            totals.insert(shard, load.scale(f64::from(n)));
+            counts.insert(shard, n);
+        }
+        let decisions = scaler.evaluate(&totals, &counts);
+        let changed = decisions.len();
+        let mut grew = false;
+        for d in decisions {
+            grew |= d.to > d.from;
+            self.set_desired_replicas(d.shard, d.to);
+        }
+        if grew {
+            self.run_emergency();
+        }
+        changed
+    }
+
+    // ---- State persistence (§3.2, §6.2) ----
+
+    /// Serializes the orchestrator's durable state — the assignment,
+    /// desired replica counts, and map version — in a compact
+    /// line-oriented format. The production system stores this in
+    /// ZooKeeper so that a standby replica of the control plane can
+    /// take over ([`Self::restore`]) and application servers can
+    /// bootstrap their assignment without the control plane.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut out = String::from("smorch v1\n");
+        let _ = writeln!(out, "version {}", self.map_version);
+        for (shard, n) in &self.desired_replicas {
+            let _ = writeln!(out, "desired {} {}", shard.raw(), n);
+        }
+        for (shard, replica) in self.assignment.iter() {
+            let _ = writeln!(
+                out,
+                "replica {} {} {}",
+                shard.raw(),
+                replica.server.raw(),
+                if replica.role.is_primary() { "P" } else { "S" }
+            );
+        }
+        out.into_bytes()
+    }
+
+    /// Restores the durable state written by [`Self::snapshot`] into a
+    /// freshly constructed orchestrator (servers must be registered by
+    /// the caller, as in a normal start-up). Replaces the shard list
+    /// and assignment wholesale.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), sm_types::SmError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| sm_types::SmError::InvalidArgument(format!("snapshot not utf-8: {e}")))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("smorch v1") {
+            return Err(sm_types::SmError::InvalidArgument(
+                "unknown snapshot header".into(),
+            ));
+        }
+        let mut assignment = Assignment::new();
+        let mut desired = BTreeMap::new();
+        let mut version = 0u64;
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let parse = |v: Option<&str>| -> Result<u64, sm_types::SmError> {
+                v.and_then(|x| x.parse().ok())
+                    .ok_or_else(|| sm_types::SmError::InvalidArgument(format!("bad line: {line}")))
+            };
+            match parts.next() {
+                Some("version") => version = parse(parts.next())?,
+                Some("desired") => {
+                    let shard = ShardId(parse(parts.next())?);
+                    let n = parse(parts.next())? as u32;
+                    desired.insert(shard, n);
+                }
+                Some("replica") => {
+                    let shard = ShardId(parse(parts.next())?);
+                    let server = ServerId(parse(parts.next())? as u32);
+                    let role = match parts.next() {
+                        Some("P") => ReplicaRole::Primary,
+                        Some("S") => ReplicaRole::Secondary,
+                        other => {
+                            return Err(sm_types::SmError::InvalidArgument(format!(
+                                "bad role {other:?} in line: {line}"
+                            )))
+                        }
+                    };
+                    assignment
+                        .add_replica(shard, server, role)
+                        .map_err(sm_types::SmError::InvalidArgument)?;
+                }
+                Some(other) => {
+                    return Err(sm_types::SmError::InvalidArgument(format!(
+                        "unknown record {other:?}"
+                    )))
+                }
+                None => {}
+            }
+        }
+        self.shards = desired.keys().copied().collect();
+        self.desired_replicas = desired;
+        self.assignment = assignment;
+        self.map_version = version;
+        self.migrations.clear();
+        self.promotions.clear();
+        self.scheduler = None;
+        Ok(())
+    }
+
+    /// Re-sends `add_shard` for everything assigned to `server` — called
+    /// when a container restarted in place and came back empty (§3.2:
+    /// on start-up a server also reads its assignment from ZooKeeper;
+    /// this is the control-plane push side of that reconciliation).
+    pub fn reconcile_server(&mut self, server: ServerId) {
+        if let Some(e) = self.servers.get_mut(&server) {
+            e.alive = true;
+        }
+        for (shard, role) in self.assignment.shards_on(server) {
+            self.send_rpc(server, ServerRpc::AddShard { shard, role });
+        }
+    }
+
+    /// Count of in-flight migrations (tests / metrics).
+    pub fn in_flight_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+}
+
+fn default_shard_load() -> LoadVector {
+    LoadVector::single(sm_types::Metric::ShardCount.id(), 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_types::{MachineId, Metric, RegionId};
+
+    fn loc(region: u16, machine: u32) -> Location {
+        Location {
+            region: RegionId(region),
+            datacenter: u32::from(region),
+            rack: u32::from(region) * 1000 + machine,
+            machine: MachineId(machine),
+        }
+    }
+
+    fn config() -> OrchestratorConfig {
+        let mut alloc = AllocConfig::new(vec![Metric::ShardCount.id()]);
+        alloc.search.seed = 7;
+        OrchestratorConfig {
+            graceful_migration: true,
+            move_caps: MoveCaps {
+                max_total: 1000,
+                max_per_server: 1000,
+                max_per_shard: 1,
+            },
+            alloc,
+        }
+    }
+
+    fn cap(v: f64) -> LoadVector {
+        LoadVector::single(Metric::ShardCount.id(), v)
+    }
+
+    /// Orchestrator with `n` servers in one region.
+    fn orch(policy: AppPolicy, n: u32, shards: u64) -> Orchestrator {
+        let mut o = Orchestrator::new(AppId(1), policy, config());
+        for i in 0..n {
+            o.register_server(ServerId(i), loc(0, i), cap(1000.0));
+        }
+        o.register_shards((0..shards).map(ShardId));
+        o
+    }
+
+    /// Drives all outstanding RPCs to acked completion, like a perfectly
+    /// responsive world. Returns all commands processed.
+    fn settle(o: &mut Orchestrator) -> Vec<OrchCommand> {
+        let mut all = Vec::new();
+        loop {
+            let cmds = o.take_commands();
+            if cmds.is_empty() {
+                break;
+            }
+            for c in &cmds {
+                if let OrchCommand::Rpc { server, rpc } = c {
+                    o.rpc_acked(*server, *rpc);
+                }
+            }
+            all.extend(cmds);
+        }
+        all
+    }
+
+    #[test]
+    fn bootstrap_places_all_shards() {
+        let mut o = orch(AppPolicy::primary_only(), 4, 20);
+        o.run_emergency();
+        settle(&mut o);
+        assert_eq!(o.assignment().shard_count(), 20);
+        for s in 0..20 {
+            assert!(o.assignment().primary_of(ShardId(s)).is_some());
+        }
+        assert_eq!(o.in_flight_migrations(), 0);
+    }
+
+    #[test]
+    fn primary_secondary_bootstrap_assigns_roles() {
+        let mut o = orch(AppPolicy::primary_secondary(2), 6, 10);
+        o.run_emergency();
+        settle(&mut o);
+        for s in 0..10 {
+            let replicas = o.assignment().replicas(ShardId(s));
+            assert_eq!(replicas.len(), 3, "shard {s}");
+            assert_eq!(
+                replicas.iter().filter(|r| r.role.is_primary()).count(),
+                1,
+                "exactly one primary"
+            );
+        }
+    }
+
+    #[test]
+    fn graceful_migration_follows_five_steps() {
+        let mut o = orch(AppPolicy::primary_only(), 2, 1);
+        o.run_emergency();
+        settle(&mut o);
+        let from = o.assignment().primary_of(ShardId(0)).unwrap();
+        let to = if from == ServerId(0) {
+            ServerId(1)
+        } else {
+            ServerId(0)
+        };
+
+        // Hand-inject a move and walk the protocol step by step.
+        o.install_plan(vec![ReplicaMove {
+            shard: ShardId(0),
+            replica: 0,
+            from: Some(from),
+            to,
+        }]);
+        // Step 1: prepare_add to the new primary.
+        let cmds = o.take_commands();
+        assert_eq!(
+            cmds,
+            vec![OrchCommand::Rpc {
+                server: to,
+                rpc: ServerRpc::PrepareAddShard {
+                    shard: ShardId(0),
+                    current_owner: from,
+                    role: ReplicaRole::Primary
+                }
+            }]
+        );
+        o.rpc_acked(
+            to,
+            ServerRpc::PrepareAddShard {
+                shard: ShardId(0),
+                current_owner: from,
+                role: ReplicaRole::Primary,
+            },
+        );
+        // Step 2: prepare_drop to the old primary.
+        let cmds = o.take_commands();
+        assert!(matches!(
+            cmds[0],
+            OrchCommand::Rpc {
+                server,
+                rpc: ServerRpc::PrepareDropShard { .. }
+            } if server == from
+        ));
+        o.rpc_acked(
+            from,
+            ServerRpc::PrepareDropShard {
+                shard: ShardId(0),
+                new_owner: to,
+                role: ReplicaRole::Primary,
+            },
+        );
+        // Step 3: add to the new primary.
+        let cmds = o.take_commands();
+        assert!(matches!(
+            cmds[0],
+            OrchCommand::Rpc {
+                server,
+                rpc: ServerRpc::AddShard { .. }
+            } if server == to
+        ));
+        // Assignment still points at the old primary pre-ack.
+        assert_eq!(o.assignment().primary_of(ShardId(0)), Some(from));
+        o.rpc_acked(
+            to,
+            ServerRpc::AddShard {
+                shard: ShardId(0),
+                role: ReplicaRole::Primary,
+            },
+        );
+        // Step 4: map published; step 5: drop sent to the old primary.
+        let cmds = o.take_commands();
+        assert!(matches!(cmds[0], OrchCommand::MapChanged { .. }));
+        assert!(matches!(
+            cmds[1],
+            OrchCommand::Rpc {
+                server,
+                rpc: ServerRpc::DropShard { .. }
+            } if server == from
+        ));
+        assert_eq!(o.assignment().primary_of(ShardId(0)), Some(to));
+        o.rpc_acked(from, ServerRpc::DropShard { shard: ShardId(0) });
+        assert_eq!(o.in_flight_migrations(), 0);
+        assert_eq!(o.stats().completed_moves, 2, "bootstrap + migration");
+    }
+
+    #[test]
+    fn abrupt_mode_drops_before_adding() {
+        let mut o = Orchestrator::new(AppId(1), AppPolicy::primary_only(), {
+            let mut c = config();
+            c.graceful_migration = false;
+            c
+        });
+        for i in 0..2 {
+            o.register_server(ServerId(i), loc(0, i), cap(1000.0));
+        }
+        o.register_shards([ShardId(0)]);
+        o.run_emergency();
+        settle(&mut o);
+        let from = o.assignment().primary_of(ShardId(0)).unwrap();
+        let to = if from == ServerId(0) {
+            ServerId(1)
+        } else {
+            ServerId(0)
+        };
+        o.install_plan(vec![ReplicaMove {
+            shard: ShardId(0),
+            replica: 0,
+            from: Some(from),
+            to,
+        }]);
+        let cmds = o.take_commands();
+        assert_eq!(
+            cmds,
+            vec![OrchCommand::Rpc {
+                server: from,
+                rpc: ServerRpc::DropShard { shard: ShardId(0) }
+            }],
+            "abrupt mode drops first"
+        );
+        o.rpc_acked(from, ServerRpc::DropShard { shard: ShardId(0) });
+        // Shard is now nowhere — the unavailability window.
+        assert!(o.assignment().primary_of(ShardId(0)).is_none());
+        settle(&mut o);
+        assert_eq!(o.assignment().primary_of(ShardId(0)), Some(to));
+    }
+
+    #[test]
+    fn server_failure_promotes_secondary_and_refills() {
+        let mut o = orch(AppPolicy::primary_secondary(1), 4, 4);
+        o.run_emergency();
+        settle(&mut o);
+        let victim = o.assignment().primary_of(ShardId(0)).unwrap();
+        let shards_lost = o.shards_on(victim).len();
+        assert!(shards_lost > 0);
+
+        o.server_down(victim);
+        settle(&mut o);
+
+        // Every shard has a primary again, on a live server.
+        for s in 0..4 {
+            let p = o.assignment().primary_of(ShardId(s)).unwrap();
+            assert_ne!(p, victim);
+        }
+        // Replica counts restored to 2.
+        for s in 0..4 {
+            assert_eq!(o.assignment().replicas(ShardId(s)).len(), 2, "shard {s}");
+        }
+        assert!(o.stats().promotions >= 1);
+    }
+
+    #[test]
+    fn primary_only_failover_recreates_primaries() {
+        let mut o = orch(AppPolicy::primary_only(), 3, 9);
+        o.run_emergency();
+        settle(&mut o);
+        o.server_down(ServerId(0));
+        settle(&mut o);
+        for s in 0..9 {
+            let p = o.assignment().primary_of(ShardId(s)).expect("replaced");
+            assert_ne!(p, ServerId(0));
+        }
+    }
+
+    #[test]
+    fn drain_empties_server_gracefully() {
+        let mut o = orch(AppPolicy::primary_only(), 4, 12);
+        o.run_emergency();
+        settle(&mut o);
+        let victim = ServerId(0);
+        let before = o.shards_on(victim).len();
+        assert!(before > 0, "victim should host something");
+        assert!(!o.is_drained(victim));
+
+        let started = o.drain_server(victim);
+        assert_eq!(started, before);
+        settle(&mut o);
+        assert!(o.is_drained(victim));
+        assert_eq!(o.assignment().shard_count(), 12, "nothing lost");
+        // Cleared for reuse after the planned event.
+        o.drain_finished(victim);
+        assert!(!o.servers[&victim].draining);
+    }
+
+    #[test]
+    fn drain_of_empty_server_is_immediate() {
+        let mut o = orch(AppPolicy::primary_only(), 2, 1);
+        o.run_emergency();
+        settle(&mut o);
+        let empty = if o.shards_on(ServerId(0)).is_empty() {
+            ServerId(0)
+        } else {
+            ServerId(1)
+        };
+        if o.shards_on(empty).is_empty() {
+            assert_eq!(o.drain_server(empty), 0);
+            assert!(o.is_drained(empty));
+        }
+    }
+
+    #[test]
+    fn scaler_changes_replica_count() {
+        let mut o = orch(AppPolicy::secondary_only(2), 5, 2);
+        o.run_emergency();
+        settle(&mut o);
+        assert_eq!(o.assignment().replicas(ShardId(0)).len(), 2);
+
+        // Scale up to 4: next emergency run fills the new slots.
+        o.set_desired_replicas(ShardId(0), 4);
+        o.run_emergency();
+        settle(&mut o);
+        assert_eq!(o.assignment().replicas(ShardId(0)).len(), 4);
+
+        // Scale down to 1: drops happen immediately.
+        o.set_desired_replicas(ShardId(0), 1);
+        settle(&mut o);
+        assert_eq!(o.assignment().replicas(ShardId(0)).len(), 1);
+    }
+
+    #[test]
+    fn scale_down_prefers_dropping_secondaries() {
+        let mut o = orch(AppPolicy::primary_secondary(2), 5, 1);
+        o.run_emergency();
+        settle(&mut o);
+        let primary = o.assignment().primary_of(ShardId(0)).unwrap();
+        o.set_desired_replicas(ShardId(0), 2);
+        settle(&mut o);
+        assert_eq!(o.assignment().primary_of(ShardId(0)), Some(primary));
+        assert_eq!(o.assignment().replicas(ShardId(0)).len(), 2);
+    }
+
+    #[test]
+    fn rpc_failure_aborts_migration() {
+        let mut o = orch(AppPolicy::primary_only(), 2, 1);
+        o.run_emergency();
+        settle(&mut o);
+        let from = o.assignment().primary_of(ShardId(0)).unwrap();
+        let to = if from == ServerId(0) {
+            ServerId(1)
+        } else {
+            ServerId(0)
+        };
+        o.install_plan(vec![ReplicaMove {
+            shard: ShardId(0),
+            replica: 0,
+            from: Some(from),
+            to,
+        }]);
+        let cmds = o.take_commands();
+        let OrchCommand::Rpc { server, rpc } = cmds[0] else {
+            panic!("expected rpc");
+        };
+        o.rpc_failed(server, rpc);
+        assert_eq!(o.in_flight_migrations(), 0);
+        assert_eq!(o.stats().aborted_moves, 1);
+        // Old primary untouched.
+        assert_eq!(o.assignment().primary_of(ShardId(0)), Some(from));
+    }
+
+    #[test]
+    fn periodic_run_balances_shard_count() {
+        // Shard-count capacity of 16 per server makes the 10% balance
+        // band bind: 16 shards on 4 servers -> avg util 0.25, so no
+        // server may hold more than 16 x 0.35 = 5.6 shards.
+        let mut o = Orchestrator::new(AppId(1), AppPolicy::primary_only(), config());
+        for i in 0..4 {
+            o.register_server(ServerId(i), loc(0, i), cap(16.0));
+        }
+        o.register_shards((0..16).map(ShardId));
+        // Bootstrap everything onto server 0 by failing the others first.
+        o.server_down(ServerId(1));
+        o.server_down(ServerId(2));
+        o.server_down(ServerId(3));
+        o.run_emergency();
+        settle(&mut o);
+        assert_eq!(o.shards_on(ServerId(0)).len(), 16);
+        o.server_up(ServerId(1));
+        o.server_up(ServerId(2));
+        o.server_up(ServerId(3));
+        // Shard-count load reports.
+        for s in 0..16 {
+            o.report_load(
+                ServerId(0),
+                vec![(ShardId(s), LoadVector::single(Metric::ShardCount.id(), 1.0))],
+            );
+        }
+        o.run_periodic();
+        settle(&mut o);
+        // No server may end above the 5.6-shard band; nothing is lost.
+        for i in 0..4 {
+            let n = o.shards_on(ServerId(i)).len();
+            assert!(n <= 5, "server {i} has {n} shards");
+        }
+        assert_eq!(o.assignment().shard_count(), 16);
+    }
+
+    #[test]
+    fn maintenance_preparation_swaps_roles_off_affected_servers() {
+        let mut o = orch(AppPolicy::primary_secondary(1), 4, 8);
+        o.run_emergency();
+        settle(&mut o);
+        // Rack maintenance hits servers 0 and 1.
+        let affected = [ServerId(0), ServerId(1)];
+        let primaries_on_affected: Vec<ShardId> = (0..8)
+            .map(ShardId)
+            .filter(|&s| {
+                o.assignment()
+                    .primary_of(s)
+                    .map(|p| affected.contains(&p))
+                    .unwrap_or(false)
+            })
+            .collect();
+        let escapable = primaries_on_affected
+            .iter()
+            .filter(|&&s| {
+                o.assignment()
+                    .replicas(s)
+                    .iter()
+                    .any(|r| !r.role.is_primary() && !affected.contains(&r.server))
+            })
+            .count();
+        let swaps = o.prepare_for_maintenance(&affected);
+        settle(&mut o);
+        // Every shard that can escape has its primary off the affected
+        // servers; secondaries may stay (§4.2).
+        for s in primaries_on_affected {
+            let p = o.assignment().primary_of(s).expect("still has a primary");
+            let other_replica_outside = o
+                .assignment()
+                .replicas(s)
+                .iter()
+                .any(|r| !affected.contains(&r.server));
+            if other_replica_outside {
+                assert!(
+                    !affected.contains(&p),
+                    "shard {s} primary still in blast radius"
+                );
+            }
+        }
+        assert_eq!(swaps, escapable, "one swap per escapable shard");
+        // No shard lost replicas: demote/promote only.
+        assert_eq!(o.assignment().replica_count(), 16);
+    }
+
+    #[test]
+    fn maintenance_preparation_skips_fully_affected_shards() {
+        let mut o = orch(AppPolicy::primary_secondary(1), 2, 1);
+        o.run_emergency();
+        settle(&mut o);
+        // Both replicas live on the only two servers; nothing to do.
+        let swaps = o.prepare_for_maintenance(&[ServerId(0), ServerId(1)]);
+        assert_eq!(swaps, 0);
+        assert!(o.assignment().primary_of(ShardId(0)).is_some());
+    }
+
+    #[test]
+    fn scaler_grows_hot_shards_and_shrinks_cold_ones() {
+        use crate::{ShardScaler, ShardScalerConfig};
+        let mut o = orch(AppPolicy::secondary_only(2), 6, 4);
+        o.run_emergency();
+        settle(&mut o);
+        // Shard 0 is hot (per-replica synthetic load 30), shard 1 cold.
+        let hot = LoadVector::single(Metric::Synthetic.id(), 30.0);
+        let cold = LoadVector::single(Metric::Synthetic.id(), 0.1);
+        o.report_load(ServerId(0), vec![(ShardId(0), hot), (ShardId(1), cold)]);
+        let scaler = ShardScaler::new(ShardScalerConfig::new(
+            Metric::Synthetic.id(),
+            1.0,
+            20.0,
+            1,
+            6,
+        ));
+        let changed = o.run_scaler(&scaler);
+        settle(&mut o);
+        assert_eq!(changed, 2);
+        // Hot: total 60 over 20-per-replica budget -> 3 replicas.
+        assert_eq!(o.assignment().replicas(ShardId(0)).len(), 3);
+        // Cold: shrinks to the floor.
+        assert_eq!(o.assignment().replicas(ShardId(1)).len(), 1);
+        // Untouched shard keeps its 2 replicas.
+        assert_eq!(o.assignment().replicas(ShardId(2)).len(), 2);
+    }
+
+    #[test]
+    fn failed_promotion_is_retried_until_a_primary_exists() {
+        let mut o = orch(AppPolicy::primary_secondary(2), 5, 3);
+        o.run_emergency();
+        settle(&mut o);
+        let victim = o.assignment().primary_of(ShardId(0)).unwrap();
+        o.server_down(victim);
+        // Intercept the promotion RPC and fail it (the successor
+        // rejects or times out) instead of acking.
+        let cmds = o.take_commands();
+        let mut failed_one = false;
+        for c in &cmds {
+            if let OrchCommand::Rpc { server, rpc } = c {
+                match rpc {
+                    ServerRpc::ChangeRole { new, .. } if new.is_primary() && !failed_one => {
+                        o.rpc_failed(*server, *rpc);
+                        failed_one = true;
+                    }
+                    _ => o.rpc_acked(*server, *rpc),
+                }
+            }
+        }
+        assert!(failed_one, "a promotion was attempted");
+        // ensure_primaries re-elects; settle the retry.
+        settle(&mut o);
+        for s in 0..3 {
+            let p = o.assignment().primary_of(ShardId(s));
+            assert!(p.is_some(), "shard {s} has a primary again: {p:?}");
+            assert_ne!(p, Some(victim));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_through_a_standby() {
+        let mut o = orch(AppPolicy::primary_secondary(1), 5, 20);
+        o.run_emergency();
+        settle(&mut o);
+        o.set_desired_replicas(ShardId(3), 3);
+        settle(&mut o);
+        let snapshot = o.snapshot();
+
+        // A standby control-plane replica takes over (§6.2): fresh
+        // orchestrator, same servers, restored state.
+        let mut standby = Orchestrator::new(AppId(1), AppPolicy::primary_secondary(1), config());
+        for i in 0..5 {
+            standby.register_server(ServerId(i), loc(0, i), cap(1000.0));
+        }
+        standby.restore(&snapshot).expect("restore");
+        assert_eq!(standby.assignment(), o.assignment());
+
+        // The standby is fully operational: it can handle a failure.
+        let victim = standby.assignment().primary_of(ShardId(0)).unwrap();
+        standby.server_down(victim);
+        settle(&mut standby);
+        let p = standby.assignment().primary_of(ShardId(0)).unwrap();
+        assert_ne!(p, victim);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let mut o = orch(AppPolicy::primary_only(), 2, 1);
+        assert!(o.restore(b"not a snapshot").is_err());
+        assert!(o.restore(b"smorch v1\nbogus record 1").is_err());
+        assert!(o.restore(b"smorch v1\nreplica 1 2 X").is_err());
+        assert!(o.restore(&[0xff, 0xfe]).is_err());
+        // Empty-but-valid snapshot restores to an empty assignment.
+        o.restore(b"smorch v1\nversion 9\n").unwrap();
+        assert_eq!(o.assignment().shard_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_server_down_is_idempotent() {
+        let mut o = orch(AppPolicy::primary_only(), 3, 3);
+        o.run_emergency();
+        settle(&mut o);
+        o.server_down(ServerId(0));
+        let published = o.stats().maps_published;
+        o.server_down(ServerId(0));
+        assert_eq!(o.stats().maps_published, published, "second call no-ops");
+    }
+}

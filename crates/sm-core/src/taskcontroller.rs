@@ -1,0 +1,349 @@
+//! The TaskController: negotiating container operations (§4.1).
+//!
+//! Cluster managers (one per region) periodically send the controller
+//! their pending container operations. The controller approves the
+//! maximal subset that keeps the application inside two caps:
+//!
+//! - a **global cap** on concurrent container operations, counting
+//!   containers already down for any reason;
+//! - a **per-shard cap** on simultaneously unavailable replicas,
+//!   counting replicas already down due to unplanned failures.
+//!
+//! Where the application's drain policy requires it, the controller
+//! first asks the orchestrator to drain the affected server and only
+//! approves the operation once the container hosts nothing. Because one
+//! controller serves every region's cluster manager, it is the piece
+//! that prevents two regions from independently restarting two replicas
+//! of the same shard (§2.3's motivating example).
+
+use sm_cluster::{ContainerOp, OpId};
+use sm_types::{AppPolicy, ContainerId, DrainPolicy, RegionId, ReplicaRole, ServerId, ShardId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A snapshot of shard availability the caller provides at review time.
+#[derive(Clone, Debug, Default)]
+pub struct AvailabilityView {
+    /// Replicas hosted per container right now.
+    pub shards_on: BTreeMap<ContainerId, Vec<(ShardId, ReplicaRole)>>,
+    /// Replicas already unavailable per shard (unplanned outages).
+    pub failed_replicas: BTreeMap<ShardId, u32>,
+    /// Containers already down for any reason outside the controller's
+    /// own approvals.
+    pub containers_down: usize,
+}
+
+/// The controller's verdict on one review round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TcReview {
+    /// Operations the cluster manager may execute now.
+    pub approved: Vec<OpId>,
+    /// Servers the orchestrator must drain before the corresponding
+    /// operations can be approved (review again once drained).
+    pub drains_needed: Vec<ServerId>,
+}
+
+#[derive(Clone, Debug)]
+struct InFlightOp {
+    shards: Vec<ShardId>,
+}
+
+/// The per-application TaskController.
+pub struct TaskController {
+    policy: AppPolicy,
+    /// Approved operations not yet reported finished.
+    in_flight: BTreeMap<(RegionId, OpId), InFlightOp>,
+    /// Servers we have asked the orchestrator to drain.
+    drains_requested: BTreeSet<ServerId>,
+}
+
+impl TaskController {
+    /// Creates a controller enforcing `policy`'s caps.
+    pub fn new(policy: AppPolicy) -> Self {
+        Self {
+            policy,
+            in_flight: BTreeMap::new(),
+            drains_requested: BTreeSet::new(),
+        }
+    }
+
+    /// Number of approved, unfinished operations across all regions.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Replicas of `shard` made unavailable by in-flight approved ops.
+    fn planned_unavailable(&self, shard: ShardId) -> u32 {
+        self.in_flight
+            .values()
+            .map(|op| op.shards.iter().filter(|s| **s == shard).count() as u32)
+            .sum()
+    }
+
+    /// Whether this container needs draining before its op may proceed,
+    /// per the drain policies of §2.2.5.
+    fn needs_drain(&self, replicas: &[(ShardId, ReplicaRole)]) -> bool {
+        replicas.iter().any(|(_, role)| {
+            let policy = if role.is_primary() {
+                self.policy.drain_primary
+            } else {
+                self.policy.drain_secondary
+            };
+            policy == DrainPolicy::Drain
+        })
+    }
+
+    /// Reviews one cluster manager's pending operations (the TaskControl
+    /// notification of §4.1) against the availability snapshot.
+    ///
+    /// Containers and application servers share ids in this
+    /// reproduction, so `ContainerId(n)` maps to `ServerId(n)`.
+    pub fn review(
+        &mut self,
+        region: RegionId,
+        ops: &[ContainerOp],
+        view: &AvailabilityView,
+    ) -> TcReview {
+        let mut review = TcReview::default();
+        let global_cap = self.policy.max_concurrent_container_ops as usize;
+        let shard_cap = self.policy.max_unavailable_replicas_per_shard;
+
+        for op in ops {
+            // Global cap counts already-down containers, everything we
+            // have approved fleet-wide, and servers being drained for
+            // ops we are about to approve — otherwise every pending op
+            // would start a drain at once and shards would have nowhere
+            // left to go.
+            let outstanding =
+                self.in_flight.len() + self.drains_requested.len() + view.containers_down;
+            if outstanding >= global_cap {
+                break;
+            }
+            let empty = Vec::new();
+            let replicas = view.shards_on.get(&op.container).unwrap_or(&empty);
+
+            if !replicas.is_empty() && self.needs_drain(replicas) {
+                let server = ServerId(op.container.raw());
+                if self.drains_requested.insert(server) {
+                    review.drains_needed.push(server);
+                }
+                continue; // hold until drained
+            }
+
+            // Per-shard cap: every replica this op takes down must stay
+            // within budget, counting failures and other in-flight ops.
+            // A cap of N means at most N replicas of a shard may be
+            // unavailable at once, counting failures, other in-flight
+            // ops, and the replica this op takes down.
+            let violates = replicas.iter().any(|(shard, _)| {
+                let failed = view.failed_replicas.get(shard).copied().unwrap_or(0);
+                failed + self.planned_unavailable(*shard) + 1 > shard_cap
+            });
+            if violates {
+                continue;
+            }
+            self.in_flight.insert(
+                (region, op.id),
+                InFlightOp {
+                    shards: replicas.iter().map(|(s, _)| *s).collect(),
+                },
+            );
+            review.approved.push(op.id);
+        }
+        review
+    }
+
+    /// Records that an approved operation finished (the cluster manager's
+    /// completion notice), freeing its cap budget.
+    pub fn op_finished(&mut self, region: RegionId, op: OpId) {
+        self.in_flight.remove(&(region, op));
+    }
+
+    /// Records that a requested drain completed; the held operation will
+    /// pass review next round (its container now hosts nothing).
+    pub fn drain_complete(&mut self, server: ServerId) {
+        self.drains_requested.remove(&server);
+    }
+
+    /// Servers with an outstanding drain request.
+    pub fn pending_drains(&self) -> Vec<ServerId> {
+        self.drains_requested.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_cluster::{OpKind, OpReason};
+    use sm_types::AppPolicy;
+
+    fn op(id: u64, container: u32) -> ContainerOp {
+        ContainerOp {
+            id: OpId(id),
+            container: ContainerId(container),
+            kind: OpKind::Restart,
+            reason: OpReason::Upgrade,
+        }
+    }
+
+    fn view_with(
+        entries: &[(u32, &[(u64, ReplicaRole)])],
+        failed: &[(u64, u32)],
+        down: usize,
+    ) -> AvailabilityView {
+        AvailabilityView {
+            shards_on: entries
+                .iter()
+                .map(|(c, shards)| {
+                    (
+                        ContainerId(*c),
+                        shards.iter().map(|(s, r)| (ShardId(*s), *r)).collect(),
+                    )
+                })
+                .collect(),
+            failed_replicas: failed.iter().map(|(s, n)| (ShardId(*s), *n)).collect(),
+            containers_down: down,
+        }
+    }
+
+    fn no_drain_policy(global: u32, per_shard: u32) -> AppPolicy {
+        let mut p = AppPolicy::secondary_only(2);
+        p.max_concurrent_container_ops = global;
+        p.max_unavailable_replicas_per_shard = per_shard;
+        p
+    }
+
+    #[test]
+    fn global_cap_limits_approvals() {
+        let mut tc = TaskController::new(no_drain_policy(2, 5));
+        let view = view_with(
+            &[
+                (0, &[(10, ReplicaRole::Secondary)]),
+                (1, &[(11, ReplicaRole::Secondary)]),
+                (2, &[(12, ReplicaRole::Secondary)]),
+            ],
+            &[],
+            0,
+        );
+        let r = tc.review(RegionId(0), &[op(0, 0), op(1, 1), op(2, 2)], &view);
+        assert_eq!(r.approved.len(), 2, "global cap 2");
+        assert_eq!(tc.in_flight(), 2);
+        // Finishing one frees a slot.
+        tc.op_finished(RegionId(0), OpId(0));
+        let r = tc.review(RegionId(0), &[op(2, 2)], &view);
+        assert_eq!(r.approved, vec![OpId(2)]);
+    }
+
+    #[test]
+    fn already_down_containers_count_toward_global_cap() {
+        let mut tc = TaskController::new(no_drain_policy(2, 5));
+        let view = view_with(&[(0, &[(10, ReplicaRole::Secondary)])], &[], 2);
+        let r = tc.review(RegionId(0), &[op(0, 0)], &view);
+        assert!(r.approved.is_empty(), "2 containers already down");
+    }
+
+    #[test]
+    fn per_shard_cap_blocks_second_replica() {
+        // Cap 1: at most one replica of a shard unavailable at a time.
+        let mut tc = TaskController::new(no_drain_policy(10, 1));
+        // Containers 0 and 1 both host a replica of shard 7.
+        let view = view_with(
+            &[
+                (0, &[(7, ReplicaRole::Secondary)]),
+                (1, &[(7, ReplicaRole::Secondary)]),
+            ],
+            &[],
+            0,
+        );
+        let r = tc.review(RegionId(0), &[op(0, 0), op(1, 1)], &view);
+        assert_eq!(r.approved, vec![OpId(0)], "second replica blocked");
+        tc.op_finished(RegionId(0), OpId(0));
+        let r = tc.review(RegionId(0), &[op(1, 1)], &view);
+        assert_eq!(r.approved, vec![OpId(1)]);
+    }
+
+    #[test]
+    fn cross_region_coordination_prevents_double_outage() {
+        // The §2.3 scenario: two regional cluster managers each want to
+        // restart a container; the two containers hold the two replicas
+        // of shard 7. One controller sees both.
+        let mut tc = TaskController::new(no_drain_policy(10, 1));
+        let view = view_with(
+            &[
+                (0, &[(7, ReplicaRole::Secondary)]),
+                (100, &[(7, ReplicaRole::Secondary)]),
+            ],
+            &[],
+            0,
+        );
+        let r1 = tc.review(RegionId(0), &[op(0, 0)], &view);
+        assert_eq!(r1.approved, vec![OpId(0)]);
+        // Region 1's op on the other replica must wait.
+        let r2 = tc.review(RegionId(1), &[op(0, 100)], &view);
+        assert!(r2.approved.is_empty());
+        // After region 0 finishes, region 1 proceeds.
+        tc.op_finished(RegionId(0), OpId(0));
+        let r2 = tc.review(RegionId(1), &[op(0, 100)], &view);
+        assert_eq!(r2.approved, vec![OpId(0)]);
+    }
+
+    #[test]
+    fn failed_replicas_count_against_shard_cap() {
+        let mut tc = TaskController::new(no_drain_policy(10, 1));
+        // Shard 7 already has one failed replica; restarting its other
+        // replica would take both down.
+        let view = view_with(&[(0, &[(7, ReplicaRole::Secondary)])], &[(7, 1)], 0);
+        let r = tc.review(RegionId(0), &[op(0, 0)], &view);
+        assert!(r.approved.is_empty());
+        // Once the failure heals, the op may proceed.
+        let healed = view_with(&[(0, &[(7, ReplicaRole::Secondary)])], &[], 0);
+        let r = tc.review(RegionId(0), &[op(0, 0)], &healed);
+        assert_eq!(r.approved, vec![OpId(0)]);
+    }
+
+    #[test]
+    fn drain_requested_for_primaries_then_approved() {
+        // Primary-only policy drains primaries before restarts.
+        let mut tc = TaskController::new(AppPolicy::primary_only());
+        let view = view_with(&[(3, &[(7, ReplicaRole::Primary)])], &[], 0);
+        let r = tc.review(RegionId(0), &[op(0, 3)], &view);
+        assert!(r.approved.is_empty());
+        assert_eq!(r.drains_needed, vec![ServerId(3)]);
+        assert_eq!(tc.pending_drains(), vec![ServerId(3)]);
+
+        // Second review while still draining: no duplicate request.
+        let r = tc.review(RegionId(0), &[op(0, 3)], &view);
+        assert!(r.drains_needed.is_empty());
+
+        // Drained: container hosts nothing now.
+        tc.drain_complete(ServerId(3));
+        let drained_view = view_with(&[(3, &[])], &[], 0);
+        let r = tc.review(RegionId(0), &[op(0, 3)], &drained_view);
+        assert_eq!(r.approved, vec![OpId(0)]);
+        assert!(tc.pending_drains().is_empty());
+    }
+
+    #[test]
+    fn secondaries_restart_without_drain_under_cap() {
+        // Default primary-only policy: secondaries don't drain.
+        let mut tc = TaskController::new(AppPolicy::primary_secondary(2));
+        let view = view_with(
+            &[(
+                0,
+                &[(7, ReplicaRole::Secondary), (8, ReplicaRole::Secondary)],
+            )],
+            &[],
+            0,
+        );
+        let r = tc.review(RegionId(0), &[op(0, 0)], &view);
+        assert_eq!(r.approved, vec![OpId(0)], "no drain for secondaries");
+        assert!(r.drains_needed.is_empty());
+    }
+
+    #[test]
+    fn empty_container_always_approvable_under_global_cap() {
+        let mut tc = TaskController::new(AppPolicy::primary_only());
+        let view = view_with(&[], &[], 0);
+        let r = tc.review(RegionId(0), &[op(0, 9)], &view);
+        assert_eq!(r.approved, vec![OpId(0)]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The legacy sharding schemes SM competes with (§2.2.1).
+//!
+//! Figure 4 splits Facebook's sharded applications across four schemes.
+//! Besides SM and the custom control planes, the legacy pair is:
+//!
+//! - **static sharding** — `taskID = key mod total_tasks`, the fixed
+//!   binding Twine's sequential task ids made easy (being deprecated,
+//!   §7): resharding moves almost every key;
+//! - **consistent hashing** — a vnode ring: resharding moves only
+//!   ~1/n of the key space, but placement is hash-determined, so none
+//!   of SM's placement intelligence (region preference, spread, load
+//!   balancing) can apply.
+//!
+//! Both are implemented here so tests and benches can quantify the
+//! trade-off the paper describes: static sharding is ~3x more popular
+//! than consistent hashing despite the resharding cost, because
+//! resharding is rare and soft state is rebuilt from external stores.
+
+use sm_types::{AppKey, ServerId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+fn hash64(value: &impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Static sharding: `task = hash(key) mod total_tasks` with a fixed
+/// task-to-server identity (task i runs on server i).
+#[derive(Clone, Copy, Debug)]
+pub struct StaticSharding {
+    /// Number of tasks (containers) in the job.
+    pub total_tasks: u32,
+}
+
+impl StaticSharding {
+    /// Creates a static sharding over `total_tasks` tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_tasks` is zero.
+    pub fn new(total_tasks: u32) -> Self {
+        assert!(total_tasks > 0, "need at least one task");
+        Self { total_tasks }
+    }
+
+    /// The task (== server) responsible for `key`.
+    pub fn server_for(&self, key: &AppKey) -> ServerId {
+        ServerId((hash64(&key.0) % u64::from(self.total_tasks)) as u32)
+    }
+}
+
+/// A consistent-hash ring with virtual nodes.
+#[derive(Clone, Debug, Default)]
+pub struct ConsistentHashRing {
+    ring: BTreeMap<u64, ServerId>,
+    vnodes: u32,
+}
+
+impl ConsistentHashRing {
+    /// Creates an empty ring with `vnodes` virtual nodes per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn new(vnodes: u32) -> Self {
+        assert!(vnodes > 0, "need at least one vnode per server");
+        Self {
+            ring: BTreeMap::new(),
+            vnodes,
+        }
+    }
+
+    /// Adds a server's vnodes to the ring.
+    pub fn add_server(&mut self, server: ServerId) {
+        for v in 0..self.vnodes {
+            self.ring.insert(hash64(&(server.raw(), v)), server);
+        }
+    }
+
+    /// Removes a server's vnodes.
+    pub fn remove_server(&mut self, server: ServerId) {
+        self.ring.retain(|_, s| *s != server);
+    }
+
+    /// Number of distinct servers on the ring.
+    pub fn server_count(&self) -> usize {
+        let mut servers: Vec<ServerId> = self.ring.values().copied().collect();
+        servers.sort();
+        servers.dedup();
+        servers.len()
+    }
+
+    /// The server owning `key`: the first vnode clockwise from the
+    /// key's hash. Returns `None` on an empty ring.
+    pub fn server_for(&self, key: &AppKey) -> Option<ServerId> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = hash64(&key.0);
+        self.ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Fraction of `keys` whose owner changes between two ownership
+/// functions — the resharding disruption metric.
+pub fn disruption(
+    keys: &[AppKey],
+    before: impl Fn(&AppKey) -> Option<ServerId>,
+    after: impl Fn(&AppKey) -> Option<ServerId>,
+) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let moved = keys.iter().filter(|k| before(k) != after(k)).count();
+    moved as f64 / keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> Vec<AppKey> {
+        (0..n)
+            .map(|i| AppKey::from_u64(i.wrapping_mul(0x9E3779B97F4A7C15)))
+            .collect()
+    }
+
+    #[test]
+    fn static_sharding_is_deterministic_and_bounded() {
+        let s = StaticSharding::new(16);
+        for k in keys(1000) {
+            let a = s.server_for(&k);
+            assert_eq!(a, s.server_for(&k));
+            assert!(a.raw() < 16);
+        }
+    }
+
+    #[test]
+    fn static_sharding_balances_roughly() {
+        let s = StaticSharding::new(10);
+        let mut counts = [0usize; 10];
+        for k in keys(10_000) {
+            counts[s.server_for(&k).raw() as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..=1300).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn ring_covers_all_servers_roughly_evenly() {
+        let mut ring = ConsistentHashRing::new(64);
+        for i in 0..10 {
+            ring.add_server(ServerId(i));
+        }
+        assert_eq!(ring.server_count(), 10);
+        let mut counts = [0usize; 10];
+        for k in keys(10_000) {
+            counts[ring.server_for(&k).unwrap().raw() as usize] += 1;
+        }
+        for c in counts {
+            assert!((500..=1600).contains(&c), "skewed ring bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let ring = ConsistentHashRing::new(8);
+        assert!(ring.server_for(&AppKey::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn consistent_hashing_moves_about_one_nth_on_grow() {
+        // The scheme's selling point: adding the 11th server moves
+        // ~1/11 of keys.
+        let ks = keys(20_000);
+        let mut ring = ConsistentHashRing::new(64);
+        for i in 0..10 {
+            ring.add_server(ServerId(i));
+        }
+        let before: std::collections::HashMap<&AppKey, Option<ServerId>> =
+            ks.iter().map(|k| (k, ring.server_for(k))).collect();
+        ring.add_server(ServerId(10));
+        let moved = disruption(&ks, |k| before[k], |k| ring.server_for(k));
+        assert!(
+            (0.03..=0.20).contains(&moved),
+            "expected ~1/11 ≈ 9% of keys to move, got {:.1}%",
+            moved * 100.0
+        );
+        // And every key that moved went to the new server.
+        for k in &ks {
+            let now = ring.server_for(k);
+            if now != before[k] {
+                assert_eq!(now, Some(ServerId(10)));
+            }
+        }
+    }
+
+    #[test]
+    fn static_sharding_moves_almost_everything_on_grow() {
+        // §2.2.1: resharding a statically sharded app is disruptive —
+        // going from 10 to 11 tasks remaps ~(1 - 1/11) ≈ 91% of keys.
+        let ks = keys(20_000);
+        let s10 = StaticSharding::new(10);
+        let s11 = StaticSharding::new(11);
+        let moved = disruption(
+            &ks,
+            |k| Some(s10.server_for(k)),
+            |k| Some(s11.server_for(k)),
+        );
+        assert!(
+            moved > 0.80,
+            "static resharding should move most keys, got {:.1}%",
+            moved * 100.0
+        );
+    }
+
+    #[test]
+    fn ring_removal_only_moves_the_removed_servers_keys() {
+        let ks = keys(20_000);
+        let mut ring = ConsistentHashRing::new(64);
+        for i in 0..8 {
+            ring.add_server(ServerId(i));
+        }
+        let before: Vec<Option<ServerId>> = ks.iter().map(|k| ring.server_for(k)).collect();
+        ring.remove_server(ServerId(3));
+        for (i, k) in ks.iter().enumerate() {
+            let now = ring.server_for(k);
+            if before[i] != Some(ServerId(3)) {
+                assert_eq!(now, before[i], "unaffected key moved");
+            } else {
+                assert_ne!(now, Some(ServerId(3)));
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The client-side service router library.
+//!
+//! `get_client(app_name, key)` in the paper (§3.3) resolves a key to an
+//! RPC client for the right application server. [`ServiceRouter`] is
+//! that resolution logic: sharding spec (key -> shard) plus the latest
+//! received shard map (shard -> servers), with primary-preferring and
+//! nearest-replica policies.
+
+use sm_sim::LatencyModel;
+use sm_types::{AppId, AppKey, RegionId, ServerId, ShardId, ShardMap, ShardingSpec, SmError};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Where a request should go.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteDecision {
+    /// The shard owning the key.
+    pub shard: ShardId,
+    /// The chosen server.
+    pub server: ServerId,
+    /// The map version the decision was based on (for staleness
+    /// diagnostics).
+    pub map_version: u64,
+}
+
+/// One client process's router state.
+#[derive(Debug, Default)]
+pub struct ServiceRouter {
+    specs: BTreeMap<AppId, ShardingSpec>,
+    maps: BTreeMap<AppId, Rc<ShardMap>>,
+    /// Region of each application server, for nearest-replica routing.
+    server_regions: BTreeMap<ServerId, RegionId>,
+    /// Round-robin cursor for secondary-only apps.
+    rr_cursor: u64,
+}
+
+impl ServiceRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an app's (static, app-defined) sharding spec.
+    pub fn register_app(&mut self, app: AppId, spec: ShardingSpec) {
+        self.specs.insert(app, spec);
+    }
+
+    /// Installs a shard map received from discovery; stale versions are
+    /// ignored and reported as `false`.
+    pub fn install_map(&mut self, app: AppId, map: Rc<ShardMap>) -> bool {
+        match self.maps.get(&app) {
+            Some(existing) if map.version <= existing.version => false,
+            _ => {
+                self.maps.insert(app, map);
+                true
+            }
+        }
+    }
+
+    /// Records a server's region (for nearest-replica routing).
+    pub fn set_server_region(&mut self, server: ServerId, region: RegionId) {
+        self.server_regions.insert(server, region);
+    }
+
+    /// The map version currently installed for `app` (0 if none).
+    pub fn map_version(&self, app: AppId) -> u64 {
+        self.maps.get(&app).map(|m| m.version).unwrap_or(0)
+    }
+
+    /// Resolves the shard owning `key`.
+    pub fn shard_for(&self, app: AppId, key: &AppKey) -> Result<ShardId, SmError> {
+        let spec = self
+            .specs
+            .get(&app)
+            .ok_or_else(|| SmError::not_found(format!("app {app} not registered")))?;
+        spec.shard_for(key)
+            .ok_or_else(|| SmError::not_found(format!("no shard covers key {key}")))
+    }
+
+    /// Routes `key` preferring the shard's primary; secondary-only
+    /// shards round-robin across replicas.
+    pub fn route(&mut self, app: AppId, key: &AppKey) -> Result<RouteDecision, SmError> {
+        let shard = self.shard_for(app, key)?;
+        self.route_shard(app, shard)
+    }
+
+    /// Routes directly to a shard, preferring its primary.
+    pub fn route_shard(&mut self, app: AppId, shard: ShardId) -> Result<RouteDecision, SmError> {
+        let map = self
+            .maps
+            .get(&app)
+            .ok_or_else(|| SmError::Unavailable(format!("no shard map for {app}")))?;
+        let entry = map
+            .entry(shard)
+            .ok_or_else(|| SmError::Unavailable(format!("{shard} not in map v{}", map.version)))?;
+        let server = match entry.primary() {
+            Some(p) => p,
+            None => {
+                let replicas: Vec<ServerId> = entry.servers().collect();
+                if replicas.is_empty() {
+                    return Err(SmError::Unavailable(format!("{shard} has no replicas")));
+                }
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                replicas[(self.rr_cursor as usize) % replicas.len()]
+            }
+        };
+        Ok(RouteDecision {
+            shard,
+            server,
+            map_version: map.version,
+        })
+    }
+
+    /// Routes `key` to the replica whose region is closest to
+    /// `client_region` under `latency` — how geo-distributed reads pick
+    /// a local replica (§8.3).
+    pub fn route_nearest(
+        &self,
+        app: AppId,
+        key: &AppKey,
+        client_region: RegionId,
+        latency: &LatencyModel,
+    ) -> Result<RouteDecision, SmError> {
+        let shard = self.shard_for(app, key)?;
+        let map = self
+            .maps
+            .get(&app)
+            .ok_or_else(|| SmError::Unavailable(format!("no shard map for {app}")))?;
+        let entry = map
+            .entry(shard)
+            .ok_or_else(|| SmError::Unavailable(format!("{shard} not in map v{}", map.version)))?;
+        let server = entry
+            .servers()
+            .min_by(|a, b| {
+                let la = self.server_distance(client_region, *a, latency);
+                let lb = self.server_distance(client_region, *b, latency);
+                la.partial_cmp(&lb).expect("latencies are finite")
+            })
+            .ok_or_else(|| SmError::Unavailable(format!("{shard} has no replicas")))?;
+        Ok(RouteDecision {
+            shard,
+            server,
+            map_version: map.version,
+        })
+    }
+
+    fn server_distance(&self, from: RegionId, server: ServerId, latency: &LatencyModel) -> f64 {
+        match self.server_regions.get(&server) {
+            Some(r) => latency.base_ms(from, *r),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// The shards a prefix scan must visit, in key order (§3.1 —
+    /// app-key sharding preserves key locality).
+    pub fn shards_for_prefix(&self, app: AppId, prefix: &[u8]) -> Result<Vec<ShardId>, SmError> {
+        let spec = self
+            .specs
+            .get(&app)
+            .ok_or_else(|| SmError::not_found(format!("app {app} not registered")))?;
+        Ok(spec.shards_for_prefix(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_types::{Assignment, ReplicaRole};
+
+    const APP: AppId = AppId(1);
+
+    fn router_with(assignment: &Assignment, version: u64) -> ServiceRouter {
+        let mut r = ServiceRouter::new();
+        r.register_app(APP, ShardingSpec::uniform_u64(4));
+        r.install_map(APP, Rc::new(ShardMap::from_assignment(version, assignment)));
+        r
+    }
+
+    fn assignment_with_primary() -> Assignment {
+        let mut a = Assignment::new();
+        for s in 0..4 {
+            a.add_replica(ShardId(s), ServerId(s as u32), ReplicaRole::Primary)
+                .unwrap();
+            a.add_replica(ShardId(s), ServerId(s as u32 + 10), ReplicaRole::Secondary)
+                .unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn routes_to_primary() {
+        let mut r = router_with(&assignment_with_primary(), 1);
+        let d = r.route(APP, &AppKey::from_u64(0)).unwrap();
+        assert_eq!(d.shard, ShardId(0));
+        assert_eq!(d.server, ServerId(0));
+        assert_eq!(d.map_version, 1);
+        let d = r.route(APP, &AppKey::from_u64(u64::MAX)).unwrap();
+        assert_eq!(d.shard, ShardId(3));
+        assert_eq!(d.server, ServerId(3));
+    }
+
+    #[test]
+    fn secondary_only_round_robins() {
+        let mut a = Assignment::new();
+        for srv in [1u32, 2, 3] {
+            a.add_replica(ShardId(0), ServerId(srv), ReplicaRole::Secondary)
+                .unwrap();
+        }
+        let mut r = ServiceRouter::new();
+        r.register_app(APP, ShardingSpec::uniform_u64(1));
+        r.install_map(APP, Rc::new(ShardMap::from_assignment(1, &a)));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..9 {
+            seen.insert(r.route(APP, &AppKey::from_u64(5)).unwrap().server);
+        }
+        assert_eq!(seen.len(), 3, "all replicas used");
+    }
+
+    #[test]
+    fn stale_map_install_is_ignored() {
+        let a = assignment_with_primary();
+        let mut r = router_with(&a, 5);
+        assert!(!r.install_map(APP, Rc::new(ShardMap::from_assignment(4, &a))));
+        assert!(!r.install_map(APP, Rc::new(ShardMap::from_assignment(5, &a))));
+        assert!(r.install_map(APP, Rc::new(ShardMap::from_assignment(6, &a))));
+        assert_eq!(r.map_version(APP), 6);
+    }
+
+    #[test]
+    fn unknown_app_and_missing_map_errors() {
+        let mut r = ServiceRouter::new();
+        let err = r.route(AppId(9), &AppKey::from_u64(1)).unwrap_err();
+        assert!(matches!(err, SmError::NotFound(_)));
+
+        r.register_app(APP, ShardingSpec::uniform_u64(2));
+        let err = r.route(APP, &AppKey::from_u64(1)).unwrap_err();
+        assert!(matches!(err, SmError::Unavailable(_)));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn nearest_replica_routing() {
+        let mut a = Assignment::new();
+        a.add_replica(ShardId(0), ServerId(1), ReplicaRole::Secondary)
+            .unwrap();
+        a.add_replica(ShardId(0), ServerId(2), ReplicaRole::Secondary)
+            .unwrap();
+        let mut r = ServiceRouter::new();
+        r.register_app(APP, ShardingSpec::uniform_u64(1));
+        r.install_map(APP, Rc::new(ShardMap::from_assignment(1, &a)));
+        r.set_server_region(ServerId(1), RegionId(0)); // FRC
+        r.set_server_region(ServerId(2), RegionId(2)); // ODN
+        let latency = LatencyModel::frc_prn_odn();
+        // Client at FRC picks the FRC replica.
+        let d = r
+            .route_nearest(APP, &AppKey::from_u64(3), RegionId(0), &latency)
+            .unwrap();
+        assert_eq!(d.server, ServerId(1));
+        // Client at ODN picks the ODN replica.
+        let d = r
+            .route_nearest(APP, &AppKey::from_u64(3), RegionId(2), &latency)
+            .unwrap();
+        assert_eq!(d.server, ServerId(2));
+    }
+
+    #[test]
+    fn prefix_shards_pass_through() {
+        let r = {
+            let mut r = ServiceRouter::new();
+            r.register_app(APP, ShardingSpec::uniform_u64(8));
+            r
+        };
+        let all = r.shards_for_prefix(APP, b"").unwrap();
+        assert_eq!(all.len(), 8);
+    }
+}

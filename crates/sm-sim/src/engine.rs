@@ -1,0 +1,298 @@
+//! The discrete-event loop.
+//!
+//! A [`Simulation`] owns a user-defined [`World`] plus a priority queue
+//! of timestamped events. `run_until` repeatedly pops the earliest event,
+//! advances the clock, and hands the event to the world, which may
+//! schedule more events through the [`Ctx`] it receives. Ties in time
+//! break by insertion order, so same-instant events are FIFO and runs
+//! are fully deterministic.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The simulated system: owns all component state and reacts to events.
+pub trait World {
+    /// The event alphabet this world understands.
+    type Event;
+
+    /// Handles one event at `ctx.now()`; schedule follow-ups via `ctx`.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Handle given to [`World::handle`] for scheduling and randomness.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    rng: &'a mut SimRng,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run's random source.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Schedules `event` to fire `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` at an absolute time; times in the past fire at
+    /// the current instant (events never travel backwards).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.pending.push((at.max(self.now), event));
+    }
+}
+
+/// The event loop driving a [`World`].
+///
+/// # Examples
+///
+/// ```
+/// use sm_sim::{Ctx, SimDuration, SimTime, Simulation, World};
+///
+/// struct Counter {
+///     fired: u32,
+/// }
+/// impl World for Counter {
+///     type Event = ();
+///     fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+///         self.fired += 1;
+///         if self.fired < 3 {
+///             ctx.schedule_in(SimDuration::from_secs(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Counter { fired: 0 }, 42);
+/// sim.schedule_at(SimTime::ZERO, ());
+/// sim.run();
+/// assert_eq!(sim.world().fired, 3);
+/// assert_eq!(sim.now(), SimTime::from_secs(2));
+/// ```
+pub struct Simulation<W: World> {
+    world: W,
+    queue: BinaryHeap<Reverse<Scheduled<W::Event>>>,
+    now: SimTime,
+    seq: u64,
+    rng: SimRng,
+    steps: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation over `world` with the given RNG seed.
+    pub fn new(world: W, seed: u64) -> Self {
+        Self {
+            world,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: SimRng::seeded(seed),
+            steps: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The simulation's random source (for setup-time sampling).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedules an event at an absolute time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: W::Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Processes a single event; returns false if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(next)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(next.at >= self.now, "time must not go backwards");
+        self.now = next.at;
+        self.steps += 1;
+        let mut ctx = Ctx {
+            now: self.now,
+            rng: &mut self.rng,
+            pending: Vec::new(),
+        };
+        self.world.handle(&mut ctx, next.event);
+        for (at, event) in ctx.pending {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Reverse(Scheduled { at, seq, event }));
+        }
+        true
+    }
+
+    /// Runs until the queue drains or the next event is after `deadline`;
+    /// the clock then rests at `min(deadline, last event time)`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline && self.queue.is_empty() {
+            // Nothing left to do; park the clock at the deadline so
+            // callers can keep scheduling relative to it.
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+            self.seen.push((ctx.now(), ev));
+            if ev == 100 {
+                // Fan out two follow-ups at the same future instant.
+                ctx.schedule_in(SimDuration::from_secs(1), 101);
+                ctx.schedule_in(SimDuration::from_secs(1), 102);
+            }
+        }
+    }
+
+    fn sim() -> Simulation<Recorder> {
+        Simulation::new(Recorder { seen: Vec::new() }, 1)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_secs(3), 3);
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        s.run();
+        let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
+        assert_eq!(evs, vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+        assert_eq!(s.steps(), 3);
+    }
+
+    #[test]
+    fn same_instant_events_are_fifo() {
+        let mut s = sim();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_secs(5), i);
+        }
+        s.run();
+        let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
+        assert_eq!(evs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_secs(1), 100);
+        s.run();
+        let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
+        assert_eq!(evs, vec![100, 101, 102]);
+        assert_eq!(s.world().seen[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(10), 10);
+        s.run_until(SimTime::from_secs(5));
+        assert_eq!(s.world().seen.len(), 1);
+        // Queue still holds the later event.
+        s.run_until(SimTime::from_secs(20));
+        assert_eq!(s.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn run_until_parks_clock_when_idle() {
+        let mut s = sim();
+        s.run_until(SimTime::from_secs(30));
+        assert_eq!(s.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn past_events_fire_now_not_backwards() {
+        let mut s = sim();
+        s.schedule_at(SimTime::from_secs(5), 1);
+        s.run();
+        s.schedule_at(SimTime::from_secs(1), 2); // in the past
+        s.run();
+        assert_eq!(s.world().seen[1].0, SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Deterministic discrete-event simulation substrate.
+//!
+//! Every experiment in this workspace runs on the same single-threaded
+//! event loop with a seeded RNG, so each figure is exactly reproducible
+//! from its seed. This crate substitutes for the paper's production
+//! testbed (§8): the evaluation figures are all *shapes over time* —
+//! request success rate, latency, violation counts — which a
+//! deterministic simulator reproduces faithfully.
+//!
+//! The pieces:
+//!
+//! - [`time`] — simulated clock types ([`SimTime`], [`SimDuration`]).
+//! - [`engine`] — the event loop: a [`Simulation`] drives a user-defined
+//!   [`World`] by delivering timestamped events in order.
+//! - [`rng`] — a seeded RNG with the sampling helpers components need.
+//! - [`net`] — a region-pair latency model (the FRC/PRN/ODN geometry of
+//!   §8.3 ships as a preset).
+//! - [`trace`] — time-series recording for the figure harness.
+//! - [`stats`] — percentiles and windowed counters.
+
+pub mod engine;
+pub mod net;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Simulation, World};
+pub use net::LatencyModel;
+pub use rng::SimRng;
+pub use stats::{percentile, WindowedCounter};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Series, TraceLog};

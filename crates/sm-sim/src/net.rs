@@ -1,0 +1,162 @@
+//! Region-pair network latency model.
+//!
+//! §8.3 runs the geo-failover experiment across FRC (east-coast US),
+//! PRN (west-coast US), and ODN (Odense, Denmark). The latency figures
+//! there show intra-region accesses at a few milliseconds and
+//! cross-region accesses several tens of milliseconds higher. This model
+//! captures exactly that: a symmetric one-way latency matrix plus a
+//! multiplicative jitter.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use sm_types::RegionId;
+
+/// Symmetric one-way latency between regions, with jitter.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// `matrix[a][b]` = base one-way latency in ms between regions a, b.
+    matrix: Vec<Vec<f64>>,
+    /// Jitter fraction: samples are uniform in `[base, base * (1 + jitter)]`.
+    jitter: f64,
+}
+
+impl LatencyModel {
+    /// Builds a model from a base matrix (milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or not symmetric.
+    pub fn new(matrix: Vec<Vec<f64>>, jitter: f64) -> Self {
+        let n = matrix.len();
+        for row in &matrix {
+            assert_eq!(row.len(), n, "latency matrix must be square");
+        }
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert!(
+                    (v - matrix[j][i]).abs() < 1e-9,
+                    "latency matrix must be symmetric"
+                );
+            }
+        }
+        Self { matrix, jitter }
+    }
+
+    /// A uniform model: `intra` ms within a region, `inter` ms across
+    /// any pair of distinct regions.
+    pub fn uniform(regions: usize, intra_ms: f64, inter_ms: f64) -> Self {
+        let matrix = (0..regions)
+            .map(|i| {
+                (0..regions)
+                    .map(|j| if i == j { intra_ms } else { inter_ms })
+                    .collect()
+            })
+            .collect();
+        Self::new(matrix, 0.1)
+    }
+
+    /// The three-region geometry of §8.3.
+    ///
+    /// Region 0 = FRC (Forest City, NC), region 1 = PRN (Prineville, OR),
+    /// region 2 = ODN (Odense, Denmark). One-way base latencies: 1 ms
+    /// intra-region, 35 ms FRC–PRN, 45 ms FRC–ODN, 75 ms PRN–ODN.
+    pub fn frc_prn_odn() -> Self {
+        Self::new(
+            vec![
+                vec![1.0, 35.0, 45.0],
+                vec![35.0, 1.0, 75.0],
+                vec![45.0, 75.0, 1.0],
+            ],
+            0.1,
+        )
+    }
+
+    /// Number of regions the model covers.
+    pub fn region_count(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Base one-way latency between two regions, without jitter.
+    ///
+    /// Regions outside the matrix are treated as maximally distant
+    /// (the matrix's largest entry), which keeps experiments that add
+    /// regions late fail-safe rather than fail-fast.
+    pub fn base_ms(&self, a: RegionId, b: RegionId) -> f64 {
+        let (i, j) = (a.raw() as usize, b.raw() as usize);
+        if i < self.matrix.len() && j < self.matrix.len() {
+            self.matrix[i][j]
+        } else {
+            self.matrix.iter().flatten().copied().fold(1.0, f64::max)
+        }
+    }
+
+    /// Samples a one-way latency between two regions.
+    pub fn sample(&self, a: RegionId, b: RegionId, rng: &mut SimRng) -> SimDuration {
+        let base = self.base_ms(a, b);
+        let ms = base * (1.0 + self.jitter * rng.f64());
+        SimDuration::from_millis_f64(ms)
+    }
+
+    /// Samples a round-trip latency between two regions.
+    pub fn sample_rtt(&self, a: RegionId, b: RegionId, rng: &mut SimRng) -> SimDuration {
+        self.sample(a, b, rng) + self.sample(b, a, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_paper_geometry() {
+        let m = LatencyModel::frc_prn_odn();
+        assert_eq!(m.region_count(), 3);
+        let frc = RegionId(0);
+        let prn = RegionId(1);
+        let odn = RegionId(2);
+        assert_eq!(m.base_ms(frc, frc), 1.0);
+        assert_eq!(m.base_ms(frc, prn), 35.0);
+        assert_eq!(m.base_ms(frc, odn), 45.0);
+        assert_eq!(m.base_ms(prn, odn), 75.0);
+        assert_eq!(m.base_ms(prn, frc), m.base_ms(frc, prn));
+    }
+
+    #[test]
+    fn samples_stay_within_jitter_band() {
+        let m = LatencyModel::frc_prn_odn();
+        let mut rng = SimRng::seeded(9);
+        for _ in 0..1000 {
+            let d = m.sample(RegionId(0), RegionId(1), &mut rng).as_millis_f64();
+            assert!((35.0..=38.6).contains(&d), "latency {d} outside band");
+        }
+    }
+
+    #[test]
+    fn unknown_region_is_maximally_distant() {
+        let m = LatencyModel::frc_prn_odn();
+        assert_eq!(m.base_ms(RegionId(0), RegionId(9)), 75.0);
+    }
+
+    #[test]
+    fn uniform_model() {
+        let m = LatencyModel::uniform(4, 0.5, 40.0);
+        assert_eq!(m.base_ms(RegionId(2), RegionId(2)), 0.5);
+        assert_eq!(m.base_ms(RegionId(0), RegionId(3)), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_rejected() {
+        LatencyModel::new(vec![vec![1.0, 2.0], vec![3.0, 1.0]], 0.1);
+    }
+
+    #[test]
+    fn rtt_is_roughly_double() {
+        let m = LatencyModel::frc_prn_odn();
+        let mut rng = SimRng::seeded(4);
+        let rtt = m
+            .sample_rtt(RegionId(0), RegionId(2), &mut rng)
+            .as_millis_f64();
+        assert!((90.0..=99.1).contains(&rtt));
+    }
+}

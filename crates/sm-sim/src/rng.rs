@@ -1,0 +1,157 @@
+//! Seeded randomness for deterministic simulation.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source shared by a simulation run.
+///
+/// Wraps [`SmallRng`] with the handful of sampling helpers the workspace
+/// needs, so call sites don't each import `rand` traits.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed; equal seeds give equal streams.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        items.shuffle(&mut self.inner);
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (or all of them when
+    /// `k >= n`), in arbitrary order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k >= n {
+            return (0..n).collect();
+        }
+        rand::seq::index::sample(&mut self.inner, n, k).into_vec()
+    }
+
+    /// A draw from Exp(1/mean), for Poisson inter-arrival times.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF sampling; clamp away from 0 to avoid ln(0).
+        let u = self.f64().max(1e-12);
+        -mean * u.ln()
+    }
+
+    /// A draw from a bounded Pareto-like power law on `[lo, hi]` with
+    /// shape `alpha` (> 0); smaller alpha gives a heavier tail.
+    pub fn power_law(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        let u = self.f64();
+        let la = lo.powf(-alpha);
+        let ha = hi.powf(-alpha);
+        (la - u * (la - ha)).powf(-1.0 / alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let same = (0..32).filter(|_| a.index(1000) == b.index(1000)).count();
+        assert!(same < 32);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SimRng::seeded(7);
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.f64_range(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = SimRng::seeded(3);
+        let picked = rng.sample_indices(100, 10);
+        assert_eq!(picked.len(), 10);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(picked.iter().all(|&i| i < 100));
+        assert_eq!(rng.sample_indices(5, 10).len(), 5, "k >= n returns all");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seeded(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean} too far from 4.0");
+    }
+
+    #[test]
+    fn power_law_is_bounded_and_skewed() {
+        let mut rng = SimRng::seeded(13);
+        let draws: Vec<f64> = (0..10_000)
+            .map(|_| rng.power_law(1.0, 100.0, 1.2))
+            .collect();
+        assert!(draws.iter().all(|&v| (1.0..=100.0001).contains(&v)));
+        let below_10 = draws.iter().filter(|&&v| v < 10.0).count();
+        assert!(below_10 > 7_000, "heavy tail means most mass is low");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seeded(5);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

@@ -1,0 +1,1104 @@
+//! Incremental objective evaluation.
+//!
+//! The evaluator maintains, under entity moves:
+//!
+//! - per-bin usage vectors and entity counts;
+//! - a [`PenaltyTree`] whose leaf `b` holds bin `b`'s total attributable
+//!   penalty (balance excess + utilization-cap excess + drain penalty +
+//!   the affinity penalties of entities it hosts), so the objective
+//!   updates in O(log n) per touched bin;
+//! - per-group domain-occupancy counts for exclusion (spread) goals,
+//!   with the set of currently violated groups exposed to the search so
+//!   it can target colocated replicas directly.
+//!
+//! A key simplification the paper also exploits: moves never change the
+//! total load, so per-metric average utilization — and therefore every
+//! balance threshold — is a constant of the run.
+
+use crate::penalty_tree::PenaltyTree;
+use crate::problem::{BinId, EntityId, GroupId, Problem};
+use crate::specs::{Scope, Spec, SpecSet};
+use sm_types::{LoadVector, MetricId};
+use std::collections::{BTreeSet, HashMap};
+
+const UNPLACED: u32 = u32::MAX;
+
+/// Violation counts for reporting (the y-axis of Figures 21–23).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViolationStats {
+    /// Bins over a hard capacity constraint.
+    pub capacity: usize,
+    /// `(bin, balance-goal)` pairs above the balance band.
+    pub balance: usize,
+    /// `(bin, cap-goal)` pairs above the utilization threshold.
+    pub utilization: usize,
+    /// Entities placed outside their preferred domain.
+    pub affinity: usize,
+    /// `(spec, group)` pairs with colocated replicas.
+    pub exclusion: usize,
+    /// Draining bins still hosting entities.
+    pub drain: usize,
+    /// Entities without a placement.
+    pub unplaced: usize,
+}
+
+impl ViolationStats {
+    /// Sum of all violation categories.
+    pub fn total(&self) -> usize {
+        self.capacity
+            + self.balance
+            + self.utilization
+            + self.affinity
+            + self.exclusion
+            + self.drain
+            + self.unplaced
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BalanceGoal {
+    metric: MetricId,
+    weight: f64,
+    /// Per-bin threshold = capacity x limit_util.
+    limit_util: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CapGoal {
+    metric: MetricId,
+    weight: f64,
+    threshold: f64,
+}
+
+#[derive(Clone, Debug)]
+struct ExclusionGoal {
+    scope: Scope,
+    weight: f64,
+    /// `in_goal[group] == true` if the group participates.
+    in_goal: Vec<bool>,
+    /// Per-group domain occupancy: domain id -> entity count.
+    counts: Vec<HashMap<u64, u32>>,
+    /// Per-group: placed members and distinct domains.
+    placed: Vec<u32>,
+    distinct: Vec<u32>,
+}
+
+impl ExclusionGoal {
+    fn group_penalty(&self, g: usize) -> f64 {
+        self.weight * f64::from(self.placed[g].saturating_sub(self.distinct[g]))
+    }
+}
+
+/// The incremental evaluator over one problem and one active goal set.
+pub struct Evaluator {
+    // -- static problem data, copied out for dense access --
+    entity_load: Vec<LoadVector>,
+    entity_group: Vec<u32>, // u32::MAX = no group
+    bin_capacity: Vec<LoadVector>,
+    /// Per bin: domain id at [host, rack, dc, region].
+    bin_domains: Vec<[u64; 4]>,
+    bin_draining: Vec<bool>,
+    /// Entities per group (for targeting colocated replicas).
+    group_members: Vec<Vec<EntityId>>,
+
+    // -- active specs, pre-resolved --
+    hard_metrics: Vec<MetricId>,
+    forbid_group_colocation: bool,
+    balance_goals: Vec<BalanceGoal>,
+    cap_goals: Vec<CapGoal>,
+    /// Per entity: `(scope index, preferred domain, weight)` preferences.
+    entity_prefs: Vec<Vec<(usize, u64, f64)>>,
+    exclusion_goals: Vec<ExclusionGoal>,
+    drain_weight: f64,
+
+    // -- mutable search state --
+    assignment: Vec<u32>,
+    bin_usage: Vec<LoadVector>,
+    bin_entity_count: Vec<u32>,
+    /// Sum of affinity penalties of entities currently on each bin.
+    bin_affinity: Vec<f64>,
+    tree: PenaltyTree,
+    exclusion_total: f64,
+    violated_groups: BTreeSet<(usize, GroupId)>,
+    unplaced_count: usize,
+}
+
+fn scope_index(scope: Scope) -> usize {
+    match scope {
+        Scope::Host => 0,
+        Scope::Rack => 1,
+        Scope::DataCenter => 2,
+        Scope::Region => 3,
+    }
+}
+
+impl Evaluator {
+    /// Builds an evaluator for `problem` with the goals of priority
+    /// `<= max_priority` from `specs` active, seeded with the problem's
+    /// initial assignment.
+    pub fn new(problem: &Problem, specs: &SpecSet, max_priority: u8) -> Self {
+        Self::with_assignment(problem, specs, max_priority, problem.initial_assignment())
+    }
+
+    /// Like [`Self::new`] but seeded from an explicit assignment — used
+    /// by goal batching (§5.3) to carry the working assignment from one
+    /// priority batch into the next.
+    pub fn with_assignment(
+        problem: &Problem,
+        specs: &SpecSet,
+        max_priority: u8,
+        assignment: &[Option<BinId>],
+    ) -> Self {
+        let n_entities = problem.entity_count();
+        let n_bins = problem.bin_count();
+        let n_groups = problem.group_count();
+
+        let entity_load: Vec<LoadVector> = problem.entities().iter().map(|e| e.load).collect();
+        let entity_group: Vec<u32> = problem
+            .entities()
+            .iter()
+            .map(|e| e.group.map(|g| g.0 as u32).unwrap_or(UNPLACED))
+            .collect();
+        let bin_capacity: Vec<LoadVector> = problem.bins().iter().map(|b| b.capacity).collect();
+        let bin_domains: Vec<[u64; 4]> = problem
+            .bins()
+            .iter()
+            .map(|b| {
+                [
+                    b.location.domain(sm_types::FaultDomain::Machine),
+                    b.location.domain(sm_types::FaultDomain::Rack),
+                    b.location.domain(sm_types::FaultDomain::DataCenter),
+                    b.location.domain(sm_types::FaultDomain::Region),
+                ]
+            })
+            .collect();
+        let bin_draining: Vec<bool> = problem.bins().iter().map(|b| b.draining).collect();
+
+        let mut group_members: Vec<Vec<EntityId>> = vec![Vec::new(); n_groups];
+        for (i, g) in entity_group.iter().enumerate() {
+            if *g != UNPLACED {
+                group_members[*g as usize].push(EntityId(i));
+            }
+        }
+
+        // Average utilization per metric over the whole problem —
+        // constant under moves since total load and capacity are fixed.
+        let mut total_load = LoadVector::zero();
+        for load in &entity_load {
+            total_load += *load;
+        }
+        let mut total_cap = LoadVector::zero();
+        for cap in &bin_capacity {
+            total_cap += *cap;
+        }
+        let avg_util = |m: MetricId| -> f64 {
+            let cap = total_cap.get(m);
+            if cap > 0.0 {
+                total_load.get(m) / cap
+            } else {
+                0.0
+            }
+        };
+
+        let hard_metrics = specs.constraints.iter().map(|c| c.metric).collect();
+        let mut balance_goals = Vec::new();
+        let mut cap_goals = Vec::new();
+        let mut entity_prefs: Vec<Vec<(usize, u64, f64)>> = vec![Vec::new(); n_entities];
+        let mut exclusion_goals = Vec::new();
+        let mut drain_weight = 0.0;
+
+        for goal in specs.goals_up_to(max_priority) {
+            match goal {
+                Spec::Balance(s) => balance_goals.push(BalanceGoal {
+                    metric: s.metric,
+                    weight: s.weight,
+                    limit_util: avg_util(s.metric) + s.tolerance,
+                }),
+                Spec::UtilizationCap(s) => cap_goals.push(CapGoal {
+                    metric: s.metric,
+                    weight: s.weight,
+                    threshold: s.threshold,
+                }),
+                Spec::Affinity(s) => {
+                    let si = scope_index(s.scope);
+                    for (e, dom, w) in &s.affinities {
+                        entity_prefs[e.0].push((si, *dom, *w));
+                    }
+                }
+                Spec::Exclusion(s) => {
+                    let mut in_goal = vec![false; n_groups];
+                    for g in &s.groups {
+                        in_goal[g.0] = true;
+                    }
+                    exclusion_goals.push(ExclusionGoal {
+                        scope: s.scope,
+                        weight: s.weight,
+                        in_goal,
+                        counts: vec![HashMap::new(); n_groups],
+                        placed: vec![0; n_groups],
+                        distinct: vec![0; n_groups],
+                    });
+                }
+                Spec::Drain(s) => drain_weight += s.weight,
+            }
+        }
+
+        let mut eval = Self {
+            entity_load,
+            entity_group,
+            bin_capacity,
+            bin_domains,
+            bin_draining,
+            group_members,
+            hard_metrics,
+            forbid_group_colocation: specs.forbid_group_colocation,
+            balance_goals,
+            cap_goals,
+            entity_prefs,
+            exclusion_goals,
+            drain_weight,
+            assignment: vec![UNPLACED; n_entities],
+            bin_usage: vec![LoadVector::zero(); n_bins],
+            bin_entity_count: vec![0; n_bins],
+            bin_affinity: vec![0.0; n_bins],
+            tree: PenaltyTree::new(n_bins),
+            exclusion_total: 0.0,
+            violated_groups: BTreeSet::new(),
+            unplaced_count: n_entities,
+        };
+        for (i, maybe_bin) in assignment.iter().enumerate() {
+            if let Some(bin) = maybe_bin {
+                eval.force_place(EntityId(i), *bin);
+            }
+        }
+        eval
+    }
+
+    /// The affinity penalty entity `e` incurs when placed on `bin`.
+    fn affinity_penalty(&self, e: EntityId, bin: usize) -> f64 {
+        let mut pen = 0.0;
+        for &(si, dom, w) in &self.entity_prefs[e.0] {
+            if self.bin_domains[bin][si] != dom {
+                pen += w;
+            }
+        }
+        pen
+    }
+
+    /// The bin-local penalty of `bin` from its current usage.
+    fn bin_local_penalty(&self, bin: usize) -> f64 {
+        let usage = &self.bin_usage[bin];
+        let cap = &self.bin_capacity[bin];
+        let mut pen = 0.0;
+        for g in &self.balance_goals {
+            let limit = cap.get(g.metric) * g.limit_util;
+            let over = usage.get(g.metric) - limit;
+            if over > 0.0 {
+                pen += g.weight * over;
+            }
+        }
+        for g in &self.cap_goals {
+            let limit = cap.get(g.metric) * g.threshold;
+            let over = usage.get(g.metric) - limit;
+            if over > 0.0 {
+                pen += g.weight * over;
+            }
+        }
+        if self.bin_draining[bin] {
+            pen += self.drain_weight * f64::from(self.bin_entity_count[bin]);
+        }
+        pen + self.bin_affinity[bin]
+    }
+
+    fn refresh_leaf(&mut self, bin: usize) {
+        let pen = self.bin_local_penalty(bin);
+        self.tree.set(bin, pen);
+    }
+
+    /// Places an unplaced entity without checking hard constraints
+    /// (used for seeding from the initial assignment).
+    pub fn force_place(&mut self, e: EntityId, bin: BinId) {
+        debug_assert_eq!(self.assignment[e.0], UNPLACED);
+        let b = bin.0;
+        self.assignment[e.0] = b as u32;
+        self.bin_usage[b] += self.entity_load[e.0];
+        self.bin_entity_count[b] += 1;
+        self.bin_affinity[b] += self.affinity_penalty(e, b);
+        self.unplaced_count -= 1;
+        self.exclusion_add(e, b);
+        self.refresh_leaf(b);
+    }
+
+    fn exclusion_add(&mut self, e: EntityId, bin: usize) {
+        let g = self.entity_group[e.0];
+        if g == UNPLACED {
+            return;
+        }
+        let g = g as usize;
+        let domains = self.bin_domains[bin];
+        for (si, goal) in self.exclusion_goals.iter_mut().enumerate() {
+            if !goal.in_goal[g] {
+                continue;
+            }
+            let dom = domains[scope_index(goal.scope)];
+            let before = goal.group_penalty(g);
+            let count = goal.counts[g].entry(dom).or_insert(0);
+            if *count == 0 {
+                goal.distinct[g] += 1;
+            }
+            *count += 1;
+            goal.placed[g] += 1;
+            let after = goal.group_penalty(g);
+            self.exclusion_total += after - before;
+            if goal.placed[g] > goal.distinct[g] {
+                self.violated_groups.insert((si, GroupId(g)));
+            }
+        }
+    }
+
+    fn exclusion_remove(&mut self, e: EntityId, bin: usize) {
+        let g = self.entity_group[e.0];
+        if g == UNPLACED {
+            return;
+        }
+        let g = g as usize;
+        let domains = self.bin_domains[bin];
+        for (si, goal) in self.exclusion_goals.iter_mut().enumerate() {
+            if !goal.in_goal[g] {
+                continue;
+            }
+            let dom = domains[scope_index(goal.scope)];
+            let before = goal.group_penalty(g);
+            let count = goal.counts[g].get_mut(&dom).expect("entity was counted");
+            *count -= 1;
+            if *count == 0 {
+                goal.counts[g].remove(&dom);
+                goal.distinct[g] -= 1;
+            }
+            goal.placed[g] -= 1;
+            let after = goal.group_penalty(g);
+            self.exclusion_total += after - before;
+            if goal.placed[g] <= goal.distinct[g] {
+                self.violated_groups.remove(&(si, GroupId(g)));
+            }
+        }
+    }
+
+    /// The exclusion-penalty delta of moving `e` from `from` to `to`,
+    /// computed without mutating state.
+    fn exclusion_delta(&self, e: EntityId, from: Option<usize>, to: usize) -> f64 {
+        let g = self.entity_group[e.0];
+        if g == UNPLACED {
+            return 0.0;
+        }
+        let g = g as usize;
+        let mut delta = 0.0;
+        for goal in &self.exclusion_goals {
+            if !goal.in_goal[g] {
+                continue;
+            }
+            let si = scope_index(goal.scope);
+            let to_dom = self.bin_domains[to][si];
+            let from_dom = from.map(|b| self.bin_domains[b][si]);
+            if from_dom == Some(to_dom) {
+                continue; // same domain: penalty unchanged
+            }
+            let mut distinct_delta: i64 = 0;
+            let mut placed_delta: i64 = 0;
+            if let Some(fd) = from_dom {
+                let c = *goal.counts[g].get(&fd).unwrap_or(&0);
+                if c == 1 {
+                    distinct_delta -= 1;
+                }
+            } else {
+                placed_delta += 1;
+            }
+            let to_count = *goal.counts[g].get(&to_dom).unwrap_or(&0);
+            if to_count == 0 {
+                distinct_delta += 1;
+            }
+            delta += goal.weight * (placed_delta - distinct_delta) as f64;
+        }
+        delta
+    }
+
+    /// Returns true if placing `e` on `bin` would break a hard capacity
+    /// constraint.
+    pub fn violates_hard(&self, e: EntityId, bin: BinId) -> bool {
+        let load = &self.entity_load[e.0];
+        let usage = &self.bin_usage[bin.0];
+        let cap = &self.bin_capacity[bin.0];
+        if self.hard_metrics.iter().any(|&m| {
+            let l = load.get(m);
+            l > 0.0 && usage.get(m) + l > cap.get(m)
+        }) {
+            return true;
+        }
+        if self.forbid_group_colocation {
+            let g = self.entity_group[e.0];
+            if g != UNPLACED {
+                let target = bin.0 as u32;
+                return self.group_members[g as usize]
+                    .iter()
+                    .any(|&m| m != e && self.assignment[m.0] == target);
+            }
+        }
+        false
+    }
+
+    /// Evaluates the objective delta of moving `e` to `to`. Returns
+    /// `None` if the move is a no-op or breaks a hard constraint.
+    /// Negative deltas are improvements.
+    pub fn eval_move(&self, e: EntityId, to: BinId) -> Option<f64> {
+        let from = self.assignment[e.0];
+        if from == to.0 as u32 {
+            return None;
+        }
+        if self.violates_hard(e, to) {
+            return None;
+        }
+        let load = self.entity_load[e.0];
+        let aff_to = self.affinity_penalty(e, to.0);
+
+        // Destination leaf after gaining the entity.
+        let to_after = {
+            let usage = self.bin_usage[to.0] + load;
+            let count = self.bin_entity_count[to.0] + 1;
+            self.hypothetical_bin_penalty(to.0, &usage, count, self.bin_affinity[to.0] + aff_to)
+        };
+        let mut delta = to_after - self.tree.get(to.0);
+
+        let from_bin = if from == UNPLACED {
+            None
+        } else {
+            let f = from as usize;
+            let aff_from = self.affinity_penalty(e, f);
+            let usage = self.bin_usage[f] - load;
+            let count = self.bin_entity_count[f] - 1;
+            let from_after =
+                self.hypothetical_bin_penalty(f, &usage, count, self.bin_affinity[f] - aff_from);
+            delta += from_after - self.tree.get(f);
+            Some(f)
+        };
+
+        delta += self.exclusion_delta(e, from_bin, to.0);
+        Some(delta)
+    }
+
+    fn hypothetical_bin_penalty(
+        &self,
+        bin: usize,
+        usage: &LoadVector,
+        count: u32,
+        affinity: f64,
+    ) -> f64 {
+        let cap = &self.bin_capacity[bin];
+        let mut pen = 0.0;
+        for g in &self.balance_goals {
+            let limit = cap.get(g.metric) * g.limit_util;
+            let over = usage.get(g.metric) - limit;
+            if over > 0.0 {
+                pen += g.weight * over;
+            }
+        }
+        for g in &self.cap_goals {
+            let limit = cap.get(g.metric) * g.threshold;
+            let over = usage.get(g.metric) - limit;
+            if over > 0.0 {
+                pen += g.weight * over;
+            }
+        }
+        if self.bin_draining[bin] {
+            pen += self.drain_weight * f64::from(count);
+        }
+        pen + affinity
+    }
+
+    /// Applies a move previously vetted by [`Self::eval_move`].
+    pub fn apply_move(&mut self, e: EntityId, to: BinId) {
+        let from = self.assignment[e.0];
+        debug_assert_ne!(from, to.0 as u32, "no-op move");
+        let load = self.entity_load[e.0];
+        if from != UNPLACED {
+            let f = from as usize;
+            self.exclusion_remove(e, f);
+            self.bin_usage[f] -= load;
+            self.bin_usage[f].clamp_non_negative();
+            self.bin_entity_count[f] -= 1;
+            self.bin_affinity[f] -= self.affinity_penalty(e, f);
+            self.refresh_leaf(f);
+        } else {
+            self.unplaced_count -= 1;
+        }
+        let b = to.0;
+        self.assignment[e.0] = b as u32;
+        self.bin_usage[b] += load;
+        self.bin_entity_count[b] += 1;
+        self.bin_affinity[b] += self.affinity_penalty(e, b);
+        self.exclusion_add(e, b);
+        self.refresh_leaf(b);
+    }
+
+    /// Total objective: bin penalties plus exclusion penalties.
+    pub fn total_penalty(&self) -> f64 {
+        self.tree.total() + self.exclusion_total
+    }
+
+    /// Current bin of an entity.
+    pub fn bin_of(&self, e: EntityId) -> Option<BinId> {
+        let b = self.assignment[e.0];
+        (b != UNPLACED).then(|| BinId(b as usize))
+    }
+
+    /// Current usage of a bin.
+    pub fn usage_of(&self, bin: BinId) -> &LoadVector {
+        &self.bin_usage[bin.0]
+    }
+
+    /// The hottest `k` bins by attributed penalty.
+    pub fn hot_bins(&self, k: usize) -> Vec<BinId> {
+        self.tree.top_k(k).into_iter().map(BinId).collect()
+    }
+
+    /// Entities currently on `bin`, unordered.
+    ///
+    /// O(entities) — callers cache per round, not per candidate.
+    pub fn entities_on(&self, bin: BinId) -> Vec<EntityId> {
+        let b = bin.0 as u32;
+        (0..self.assignment.len())
+            .filter(|&i| self.assignment[i] == b)
+            .map(EntityId)
+            .collect()
+    }
+
+    /// Groups with colocated replicas under some exclusion goal,
+    /// along with their member entities.
+    pub fn violated_groups(&self) -> Vec<(GroupId, &[EntityId])> {
+        self.violated_groups
+            .iter()
+            .map(|(_, g)| (*g, self.group_members[g.0].as_slice()))
+            .collect()
+    }
+
+    /// Load of one entity.
+    pub fn load_of(&self, e: EntityId) -> &LoadVector {
+        &self.entity_load[e.0]
+    }
+
+    /// The affinity penalty entity `e` incurs at its current placement —
+    /// how much moving it *could* recover. Used by the search to rank
+    /// candidates ("prioritizing shards whose constraint or goal
+    /// violations impair the optimization objective the most", §5.3).
+    pub fn entity_misplacement(&self, e: EntityId) -> f64 {
+        let b = self.assignment[e.0];
+        if b == UNPLACED {
+            return 0.0;
+        }
+        let mut pen = self.affinity_penalty(e, b as usize);
+        if self.bin_draining[b as usize] {
+            pen += self.drain_weight;
+        }
+        pen
+    }
+
+    /// Grouping key for grouped target sampling (§5.3 optimization 4):
+    /// the bin's region plus a coarse utilization band, so sampling
+    /// across keys covers every region and both hot and cold servers.
+    pub fn target_group_key(&self, bin: BinId) -> (u64, u8) {
+        let b = bin.0;
+        let region = self.bin_domains[b][3];
+        let util = self.bin_usage[b].max_utilization(&self.bin_capacity[b]);
+        let band = (util * 5.0).floor().clamp(0.0, 10.0) as u8;
+        (region, band)
+    }
+
+    /// Snapshot of the current assignment.
+    pub fn assignment(&self) -> Vec<Option<BinId>> {
+        self.assignment
+            .iter()
+            .map(|&b| (b != UNPLACED).then(|| BinId(b as usize)))
+            .collect()
+    }
+
+    /// Discrete violation counts for reporting. O(bins x goals).
+    pub fn violations(&self) -> ViolationStats {
+        const EPS: f64 = 1e-9;
+        let mut stats = ViolationStats {
+            unplaced: self.unplaced_count,
+            ..Default::default()
+        };
+        for b in 0..self.bin_usage.len() {
+            let usage = &self.bin_usage[b];
+            let cap = &self.bin_capacity[b];
+            for &m in &self.hard_metrics {
+                if usage.get(m) > cap.get(m) + EPS {
+                    stats.capacity += 1;
+                }
+            }
+            for g in &self.balance_goals {
+                if usage.get(g.metric) > cap.get(g.metric) * g.limit_util + EPS {
+                    stats.balance += 1;
+                }
+            }
+            for g in &self.cap_goals {
+                if usage.get(g.metric) > cap.get(g.metric) * g.threshold + EPS {
+                    stats.utilization += 1;
+                }
+            }
+            if self.bin_draining[b] && self.bin_entity_count[b] > 0 {
+                stats.drain += 1;
+            }
+        }
+        for (e, prefs) in self.entity_prefs.iter().enumerate() {
+            let b = self.assignment[e];
+            if b == UNPLACED {
+                continue;
+            }
+            if prefs
+                .iter()
+                .any(|&(si, dom, _)| self.bin_domains[b as usize][si] != dom)
+            {
+                stats.affinity += 1;
+            }
+        }
+        stats.exclusion = self.violated_groups.len();
+        stats
+    }
+
+    /// Recomputes the objective from scratch — test oracle for the
+    /// incremental bookkeeping.
+    pub fn recompute_total(&self) -> f64 {
+        let mut total = 0.0;
+        for b in 0..self.bin_usage.len() {
+            total += self.bin_local_penalty(b);
+        }
+        for goal in &self.exclusion_goals {
+            for g in 0..goal.placed.len() {
+                total += goal.group_penalty(g);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Bin, Entity};
+    use crate::specs::{
+        AffinitySpec, BalanceSpec, CapacitySpec, DrainSpec, ExclusionSpec, UtilizationCapSpec,
+    };
+    use sm_types::{Location, MachineId, Metric, RegionId};
+
+    fn loc(region: u16, machine: u32) -> Location {
+        Location {
+            region: RegionId(region),
+            datacenter: u32::from(region) * 10 + machine / 4,
+            rack: u32::from(region) * 100 + machine / 2,
+            machine: MachineId(machine),
+        }
+    }
+
+    /// Two regions x two bins, capacity 10 CPU each.
+    fn two_region_problem() -> Problem {
+        let mut p = Problem::new();
+        for (r, m) in [(0u16, 0u32), (0, 1), (1, 2), (1, 3)] {
+            p.add_bin(Bin {
+                capacity: LoadVector::single(Metric::Cpu.id(), 10.0),
+                location: loc(r, m),
+                draining: false,
+            });
+        }
+        p
+    }
+
+    fn cpu(v: f64) -> LoadVector {
+        LoadVector::single(Metric::Cpu.id(), v)
+    }
+
+    #[test]
+    fn hard_constraint_rejects_overflow() {
+        let mut p = two_region_problem();
+        let e0 = p.add_entity(
+            Entity {
+                load: cpu(8.0),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let e1 = p.add_entity(
+            Entity {
+                load: cpu(5.0),
+                group: None,
+            },
+            Some(BinId(1)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        let eval = Evaluator::new(&p, &specs, u8::MAX);
+        // Moving e1 (5.0) onto bin 0 (8.0/10) would exceed capacity.
+        assert!(eval.violates_hard(e1, BinId(0)));
+        assert!(eval.eval_move(e1, BinId(0)).is_none());
+        // Moving e0 onto bin 1 (5+8 > 10) rejected too.
+        assert!(eval.eval_move(e0, BinId(1)).is_none());
+        // Empty bins are fine.
+        assert!(eval.eval_move(e0, BinId(2)).is_some());
+    }
+
+    #[test]
+    fn balance_penalty_improves_when_spreading() {
+        let mut p = two_region_problem();
+        // All load on bin 0: 8.0 of 40 total capacity -> avg util 0.2.
+        let entities: Vec<EntityId> = (0..4)
+            .map(|_| {
+                p.add_entity(
+                    Entity {
+                        load: cpu(2.0),
+                        group: None,
+                    },
+                    Some(BinId(0)),
+                )
+            })
+            .collect();
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.1,
+            weight: 1.0,
+            priority: 0,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        // Bin 0 usage 8.0, limit = 10 * (0.2 + 0.1) = 3.0 -> penalty 5.0.
+        assert!((eval.total_penalty() - 5.0).abs() < 1e-9);
+        assert_eq!(eval.violations().balance, 1);
+
+        let delta = eval.eval_move(entities[0], BinId(1)).unwrap();
+        assert!(
+            (delta - (-2.0)).abs() < 1e-9,
+            "moving 2.0 off reduces excess"
+        );
+        eval.apply_move(entities[0], BinId(1));
+        assert!((eval.total_penalty() - 3.0).abs() < 1e-9);
+
+        // Spread fully: 2 per bin on two bins -> still above 3.0? 4.0 > 3 -> 1 each.
+        eval.apply_move(entities[1], BinId(2));
+        eval.apply_move(entities[2], BinId(3));
+        // bins: 2,2,2,2 -> usage 2.0 < 3.0 limit -> zero penalty.
+        assert!(eval.total_penalty().abs() < 1e-9);
+        assert_eq!(eval.violations().total(), 0);
+    }
+
+    #[test]
+    fn utilization_cap_penalty() {
+        let mut p = two_region_problem();
+        let e = p.add_entity(
+            Entity {
+                load: cpu(9.5),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::UtilizationCap(UtilizationCapSpec {
+            metric: Metric::Cpu.id(),
+            threshold: 0.9,
+            weight: 2.0,
+            priority: 0,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        // 9.5 over the 9.0 threshold -> 0.5 x 2.0 = 1.0.
+        assert!((eval.total_penalty() - 1.0).abs() < 1e-9);
+        assert_eq!(eval.violations().utilization, 1);
+        eval.apply_move(e, BinId(1));
+        // Still over on the other bin; unchanged total.
+        assert!((eval.total_penalty() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affinity_penalty_tracks_region() {
+        let mut p = two_region_problem();
+        let e = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Affinity(AffinitySpec {
+            scope: Scope::Region,
+            affinities: vec![(e, 1, 3.0)], // prefers region 1
+            priority: 0,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        assert!((eval.total_penalty() - 3.0).abs() < 1e-9);
+        assert_eq!(eval.violations().affinity, 1);
+
+        let delta = eval.eval_move(e, BinId(2)).unwrap();
+        assert!((delta - (-3.0)).abs() < 1e-9);
+        eval.apply_move(e, BinId(2));
+        assert!(eval.total_penalty().abs() < 1e-9);
+        assert_eq!(eval.violations().affinity, 0);
+
+        // Moving within the preferred region keeps zero penalty.
+        let delta = eval.eval_move(e, BinId(3)).unwrap();
+        assert!(delta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusion_penalty_spreads_replicas() {
+        let mut p = two_region_problem();
+        let g = p.new_group();
+        let e0 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: Some(g),
+            },
+            Some(BinId(0)),
+        );
+        let e1 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: Some(g),
+            },
+            Some(BinId(1)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Exclusion(ExclusionSpec {
+            scope: Scope::Region,
+            groups: vec![g],
+            weight: 4.0,
+            priority: 0,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        // Both replicas in region 0 -> one colocated pair -> 4.0.
+        assert!((eval.total_penalty() - 4.0).abs() < 1e-9);
+        assert_eq!(eval.violations().exclusion, 1);
+        assert_eq!(eval.violated_groups().len(), 1);
+
+        let delta = eval.eval_move(e1, BinId(2)).unwrap();
+        assert!((delta - (-4.0)).abs() < 1e-9);
+        eval.apply_move(e1, BinId(2));
+        assert!(eval.total_penalty().abs() < 1e-9);
+        assert!(eval.violated_groups().is_empty());
+
+        // Moving it back recreates the violation.
+        eval.apply_move(e1, BinId(1));
+        assert!((eval.total_penalty() - 4.0).abs() < 1e-9);
+        let _ = e0;
+    }
+
+    #[test]
+    fn exclusion_delta_within_same_domain_is_zero() {
+        let mut p = two_region_problem();
+        let g = p.new_group();
+        let _e0 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: Some(g),
+            },
+            Some(BinId(0)),
+        );
+        let e1 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: Some(g),
+            },
+            Some(BinId(2)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Exclusion(ExclusionSpec {
+            scope: Scope::Region,
+            groups: vec![g],
+            weight: 4.0,
+            priority: 0,
+        }));
+        let eval = Evaluator::new(&p, &specs, u8::MAX);
+        // Moving e1 from bin 2 to bin 3 stays in region 1.
+        let delta = eval.eval_move(e1, BinId(3)).unwrap();
+        assert!(delta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_penalty_counts_entities() {
+        let mut p = two_region_problem();
+        let e0 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let _e1 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        p.set_draining(BinId(0), true);
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Drain(DrainSpec {
+            weight: 1.5,
+            priority: 0,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        assert!((eval.total_penalty() - 3.0).abs() < 1e-9);
+        assert_eq!(eval.violations().drain, 1);
+        eval.apply_move(e0, BinId(1));
+        assert!((eval.total_penalty() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_move_matches_apply_delta() {
+        // Cross-check: predicted delta == actual total change, across a
+        // mixed goal set.
+        let mut p = two_region_problem();
+        let g = p.new_group();
+        let e0 = p.add_entity(
+            Entity {
+                load: cpu(6.0),
+                group: Some(g),
+            },
+            Some(BinId(0)),
+        );
+        let e1 = p.add_entity(
+            Entity {
+                load: cpu(3.0),
+                group: Some(g),
+            },
+            Some(BinId(0)),
+        );
+        let e2 = p.add_entity(
+            Entity {
+                load: cpu(2.0),
+                group: None,
+            },
+            Some(BinId(2)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.05,
+            weight: 1.0,
+            priority: 0,
+        }));
+        specs.add_goal(Spec::Exclusion(ExclusionSpec {
+            scope: Scope::Rack,
+            groups: vec![g],
+            weight: 2.0,
+            priority: 0,
+        }));
+        specs.add_goal(Spec::Affinity(AffinitySpec {
+            scope: Scope::Region,
+            affinities: vec![(e2, 0, 1.0)],
+            priority: 0,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+
+        for (e, to) in [
+            (e1, BinId(3)),
+            (e2, BinId(1)),
+            (e0, BinId(2)),
+            (e1, BinId(0)),
+        ] {
+            if let Some(delta) = eval.eval_move(e, to) {
+                let before = eval.total_penalty();
+                eval.apply_move(e, to);
+                let after = eval.total_penalty();
+                assert!(
+                    (after - before - delta).abs() < 1e-9,
+                    "delta mismatch for {e:?}->{to:?}: predicted {delta}, actual {}",
+                    after - before
+                );
+                // And the incremental total matches a from-scratch recompute.
+                assert!((after - eval.recompute_total()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn unplaced_entities_counted_and_placeable() {
+        let mut p = two_region_problem();
+        let e = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: None,
+            },
+            None,
+        );
+        let specs = SpecSet::new();
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        assert_eq!(eval.violations().unplaced, 1);
+        assert!(eval.bin_of(e).is_none());
+        eval.apply_move(e, BinId(1));
+        assert_eq!(eval.violations().unplaced, 0);
+        assert_eq!(eval.bin_of(e), Some(BinId(1)));
+        assert_eq!(eval.entities_on(BinId(1)), vec![e]);
+    }
+
+    #[test]
+    fn group_colocation_hard_constraint() {
+        let mut p = two_region_problem();
+        let g = p.new_group();
+        let _e0 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: Some(g),
+            },
+            Some(BinId(0)),
+        );
+        let e1 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: Some(g),
+            },
+            Some(BinId(1)),
+        );
+        let e2 = p.add_entity(
+            Entity {
+                load: cpu(1.0),
+                group: None,
+            },
+            Some(BinId(1)),
+        );
+        let mut specs = SpecSet::new();
+        specs.forbid_group_colocation = true;
+        let eval = Evaluator::new(&p, &specs, u8::MAX);
+        // e1 cannot join its sibling on bin 0.
+        assert!(eval.violates_hard(e1, BinId(0)));
+        assert!(eval.eval_move(e1, BinId(0)).is_none());
+        // Ungrouped entities are unaffected.
+        assert!(!eval.violates_hard(e2, BinId(0)));
+        // And e1 can go anywhere else.
+        assert!(eval.eval_move(e1, BinId(2)).is_some());
+    }
+
+    #[test]
+    fn priority_filter_excludes_later_batches() {
+        let mut p = two_region_problem();
+        let _e = p.add_entity(
+            Entity {
+                load: cpu(9.9),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::UtilizationCap(UtilizationCapSpec {
+            metric: Metric::Cpu.id(),
+            threshold: 0.5,
+            weight: 1.0,
+            priority: 3,
+        }));
+        let eval_p0 = Evaluator::new(&p, &specs, 0);
+        assert_eq!(eval_p0.total_penalty(), 0.0, "goal in later batch inactive");
+        let eval_p3 = Evaluator::new(&p, &specs, 3);
+        assert!(eval_p3.total_penalty() > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A Fenwick (binary indexed) tree over per-bin penalties.
+//!
+//! §5.3: ReBalancer "represents an optimization objective as a tree of
+//! variables ... When evaluating a shard move, it only traverses tree
+//! nodes whose values may change, resulting in O(log(n)) complexity."
+//! A move touches two bins; updating their leaves costs O(log n) each,
+//! and the total objective is read from the accumulated sums in O(1)
+//! (we cache the total) — instead of re-summing all n bins per move.
+
+/// A Fenwick tree of `f64` penalties with a cached total.
+#[derive(Clone, Debug)]
+pub struct PenaltyTree {
+    tree: Vec<f64>,
+    leaves: Vec<f64>,
+    total: f64,
+}
+
+impl PenaltyTree {
+    /// Creates a tree of `n` zero leaves.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0.0; n + 1],
+            leaves: vec![0.0; n],
+            total: 0.0,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True if the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Current value of leaf `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.leaves[i]
+    }
+
+    /// Sets leaf `i` to `value` in O(log n).
+    pub fn set(&mut self, i: usize, value: f64) {
+        let delta = value - self.leaves[i];
+        if delta == 0.0 {
+            return;
+        }
+        self.leaves[i] = value;
+        self.total += delta;
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Sum of leaves `0..=i` in O(log n).
+    pub fn prefix_sum(&self, i: usize) -> f64 {
+        let mut idx = i + 1;
+        let mut sum = 0.0;
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Total penalty across all leaves in O(1).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Indices of the `k` largest leaves, descending by value, skipping
+    /// zero-penalty leaves. O(n) scan — used once per search round, not
+    /// per move evaluation.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut hot: Vec<usize> = (0..self.leaves.len())
+            .filter(|&i| self.leaves[i] > 0.0)
+            .collect();
+        hot.sort_by(|&a, &b| {
+            self.leaves[b]
+                .partial_cmp(&self.leaves[a])
+                .expect("penalties are finite")
+        });
+        hot.truncate(k);
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_total() {
+        let mut t = PenaltyTree::new(8);
+        t.set(0, 5.0);
+        t.set(3, 2.0);
+        t.set(7, 1.0);
+        assert_eq!(t.total(), 8.0);
+        t.set(3, 0.0);
+        assert_eq!(t.total(), 6.0);
+        assert_eq!(t.get(0), 5.0);
+        assert_eq!(t.get(3), 0.0);
+    }
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let mut t = PenaltyTree::new(16);
+        let mut naive = vec![0.0; 16];
+        // Deterministic pseudo-values.
+        for i in 0..16 {
+            let v = ((i * 7 + 3) % 11) as f64;
+            t.set(i, v);
+            naive[i] = v;
+        }
+        for i in 0..16 {
+            let expect: f64 = naive[..=i].iter().sum();
+            assert!((t.prefix_sum(i) - expect).abs() < 1e-9, "prefix {i}");
+        }
+        let total: f64 = naive.iter().sum();
+        assert!((t.total() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_orders_descending_and_skips_zeros() {
+        let mut t = PenaltyTree::new(5);
+        t.set(0, 1.0);
+        t.set(2, 9.0);
+        t.set(4, 5.0);
+        assert_eq!(t.top_k(2), vec![2, 4]);
+        assert_eq!(t.top_k(10), vec![2, 4, 0]);
+        assert!(PenaltyTree::new(3).top_k(2).is_empty());
+    }
+
+    #[test]
+    fn repeated_updates_keep_total_consistent() {
+        let mut t = PenaltyTree::new(4);
+        for round in 0..100 {
+            let i = round % 4;
+            t.set(i, round as f64);
+        }
+        let expect: f64 = (96..100).map(|v| v as f64).sum();
+        assert!((t.total() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! The optimization problem model: entities, bins, and the assignment.
+
+use sm_types::{LoadVector, Location};
+
+/// Index of an entity (a shard replica) in a [`Problem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EntityId(pub usize);
+
+/// Index of a bin (a server) in a [`Problem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BinId(pub usize);
+
+/// A replica group: all replicas of one shard share a group, which is
+/// what spread/exclusion goals operate on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub usize);
+
+/// An entity to place: one shard replica with its load vector.
+#[derive(Clone, Copy, Debug)]
+pub struct Entity {
+    /// Resource demand, added to whichever bin hosts the entity.
+    pub load: LoadVector,
+    /// Replica group (the shard), if the entity has siblings to spread.
+    pub group: Option<GroupId>,
+}
+
+/// A bin that can host entities: one application server.
+#[derive(Clone, Copy, Debug)]
+pub struct Bin {
+    /// Resource capacity.
+    pub capacity: LoadVector,
+    /// Position in the fault-domain hierarchy (region/DC/rack/machine).
+    pub location: Location,
+    /// True if the bin is being drained (pending maintenance or
+    /// upgrade); soft goal 3 steers entities away from such bins.
+    pub draining: bool,
+}
+
+/// A placement problem: entities, bins, and an initial assignment.
+///
+/// `EntityId`/`BinId`/`GroupId` are dense indices minted by the `add_*`
+/// methods, so lookups are plain vector indexing on the hot path.
+#[derive(Clone, Debug, Default)]
+pub struct Problem {
+    entities: Vec<Entity>,
+    bins: Vec<Bin>,
+    initial: Vec<Option<BinId>>,
+    group_count: usize,
+}
+
+impl Problem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a bin, returning its id.
+    pub fn add_bin(&mut self, bin: Bin) -> BinId {
+        self.bins.push(bin);
+        BinId(self.bins.len() - 1)
+    }
+
+    /// Mints a fresh group id for a shard's replicas.
+    pub fn new_group(&mut self) -> GroupId {
+        self.group_count += 1;
+        GroupId(self.group_count - 1)
+    }
+
+    /// Adds an entity with its initial placement (or `None` if it needs
+    /// emergency placement), returning its id.
+    pub fn add_entity(&mut self, entity: Entity, placed_on: Option<BinId>) -> EntityId {
+        self.entities.push(entity);
+        self.initial.push(placed_on);
+        EntityId(self.entities.len() - 1)
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of groups minted.
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// Looks up an entity.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.0]
+    }
+
+    /// Looks up a bin.
+    pub fn bin(&self, id: BinId) -> &Bin {
+        &self.bins[id.0]
+    }
+
+    /// All bins.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// All entities.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// The initial assignment (entity index -> bin).
+    pub fn initial_assignment(&self) -> &[Option<BinId>] {
+        &self.initial
+    }
+
+    /// Marks a bin as draining.
+    pub fn set_draining(&mut self, bin: BinId, draining: bool) {
+        self.bins[bin.0].draining = draining;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_types::{MachineId, RegionId};
+
+    fn loc(machine: u32) -> Location {
+        Location {
+            region: RegionId(0),
+            datacenter: 0,
+            rack: machine / 8,
+            machine: MachineId(machine),
+        }
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut p = Problem::new();
+        let b0 = p.add_bin(Bin {
+            capacity: LoadVector::zero(),
+            location: loc(0),
+            draining: false,
+        });
+        let b1 = p.add_bin(Bin {
+            capacity: LoadVector::zero(),
+            location: loc(1),
+            draining: false,
+        });
+        assert_eq!(b0, BinId(0));
+        assert_eq!(b1, BinId(1));
+
+        let g = p.new_group();
+        let e = p.add_entity(
+            Entity {
+                load: LoadVector::zero(),
+                group: Some(g),
+            },
+            Some(b1),
+        );
+        assert_eq!(e, EntityId(0));
+        assert_eq!(p.initial_assignment()[0], Some(b1));
+        assert_eq!(p.entity_count(), 1);
+        assert_eq!(p.bin_count(), 2);
+        assert_eq!(p.group_count(), 1);
+    }
+
+    #[test]
+    fn draining_flag_toggles() {
+        let mut p = Problem::new();
+        let b = p.add_bin(Bin {
+            capacity: LoadVector::zero(),
+            location: loc(0),
+            draining: false,
+        });
+        p.set_draining(b, true);
+        assert!(p.bin(b).draining);
+    }
+}

@@ -1,0 +1,859 @@
+//! The local-search engine (§5.3).
+//!
+//! Starting from the current assignment, the search repeatedly:
+//!
+//! 1. picks the hottest bins by attributed penalty (plus the replica
+//!    groups that currently violate a spread goal);
+//! 2. enumerates candidate entities on them — large loads first, with
+//!    equivalent entities deduplicated;
+//! 3. samples destination bins, either uniformly or *grouped* by
+//!    (region, utilization band), the domain-knowledge optimization the
+//!    paper credits with the Figure 22 speedup;
+//! 4. evaluates every candidate move incrementally and applies the best
+//!    improving one; when single moves stall it attempts two-way swaps.
+//!
+//! Goals are activated in priority batches (earlier batches get more of
+//! the time budget), and the run stops on convergence, an exhausted
+//! move/time budget, or a zero objective.
+
+use crate::eval::Evaluator;
+use crate::problem::{BinId, EntityId, Problem};
+use crate::specs::SpecSet;
+use sm_types::METRIC_COUNT;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use sm_sim::SimRng;
+
+/// Tuning knobs and ablation switches for [`LocalSearch`].
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum number of applied moves (the paper's "move budget").
+    pub max_moves: usize,
+    /// Wall-clock budget; `None` = unbounded.
+    pub time_budget: Option<Duration>,
+    /// Hot bins examined per round.
+    pub hot_bins_per_round: usize,
+    /// Candidate entities taken from each hot bin.
+    pub entities_per_bin: usize,
+    /// Destination bins sampled per candidate entity.
+    pub targets_per_entity: usize,
+    /// §5.3 optimization 4: sample targets across (region, utilization
+    /// band) groups instead of uniformly.
+    pub use_grouped_sampling: bool,
+    /// §5.3: skip equivalent entities when enumerating candidates.
+    pub use_equivalence: bool,
+    /// §5.3: evaluate large shards before small ones.
+    pub use_large_first: bool,
+    /// §5.3: attempt two-way swaps when single moves stall.
+    pub use_swaps: bool,
+    /// §5.3: activate goals in priority batches.
+    pub use_batching: bool,
+    /// Record a timeline sample every this many applied moves.
+    pub sample_every: usize,
+    /// Consecutive non-improving rounds (with resampled candidates)
+    /// before a batch is declared converged.
+    pub patience: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            max_moves: usize::MAX,
+            time_budget: None,
+            hot_bins_per_round: 8,
+            entities_per_bin: 8,
+            targets_per_entity: 24,
+            use_grouped_sampling: true,
+            use_equivalence: true,
+            use_large_first: true,
+            use_swaps: true,
+            use_batching: true,
+            sample_every: 512,
+            patience: 16,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// The naive configuration used as the Figure 22 ablation baseline:
+    /// uniform random target sampling and none of the §5.3 candidate
+    /// optimizations.
+    pub fn baseline(seed: u64) -> Self {
+        Self {
+            seed,
+            use_grouped_sampling: false,
+            use_equivalence: false,
+            use_large_first: false,
+            use_swaps: false,
+            use_batching: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome statistics of a search run.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Applied moves.
+    pub moves: usize,
+    /// Candidate evaluations performed.
+    pub evaluated: u64,
+    /// Objective before the run.
+    pub initial_penalty: f64,
+    /// Objective after the run.
+    pub final_penalty: f64,
+    /// Total violations after the run.
+    pub final_violations: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// `(elapsed seconds, total violations, penalty)` samples over the
+    /// run — the series plotted in Figures 21 and 22.
+    pub timeline: Vec<(f64, usize, f64)>,
+}
+
+/// Cached (region x utilization band) bin groups for target sampling,
+/// refreshed every `REBUILD_EVERY` uses.
+#[derive(Default)]
+struct GroupCache {
+    inner: std::cell::RefCell<(Vec<Vec<usize>>, u32)>,
+}
+
+impl GroupCache {
+    const REBUILD_EVERY: u32 = 64;
+
+    fn borrow_mut_groups(&self, eval: &Evaluator, n_bins: usize) -> Vec<Vec<usize>> {
+        let mut cached = self.inner.borrow_mut();
+        if cached.1 == 0 || cached.0.is_empty() {
+            let mut groups: HashMap<(u64, u8), Vec<usize>> = HashMap::new();
+            for b in 0..n_bins {
+                let key = eval.target_group_key(BinId(b));
+                groups.entry(key).or_default().push(b);
+            }
+            let mut keys: Vec<(u64, u8)> = groups.keys().copied().collect();
+            keys.sort_unstable();
+            cached.0 = keys
+                .into_iter()
+                .map(|k| groups.remove(&k).expect("key"))
+                .collect();
+            cached.1 = Self::REBUILD_EVERY;
+        }
+        cached.1 -= 1;
+        cached.0.clone()
+    }
+
+    fn invalidate(&self) {
+        self.inner.borrow_mut().1 = 0;
+    }
+}
+
+/// The local-search solver.
+pub struct LocalSearch {
+    config: SearchConfig,
+    groups_cache: GroupCache,
+}
+
+impl LocalSearch {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SearchConfig) -> Self {
+        Self {
+            config,
+            groups_cache: GroupCache::default(),
+        }
+    }
+
+    /// Solves the problem: returns the final assignment and run stats.
+    pub fn solve(&self, problem: &Problem, specs: &SpecSet) -> (Vec<Option<BinId>>, SearchStats) {
+        let start = Instant::now();
+        let mut rng = SimRng::seeded(self.config.seed);
+        let mut stats = SearchStats::default();
+        let mut assignment: Vec<Option<BinId>> = problem.initial_assignment().to_vec();
+
+        let batches: Vec<u8> = if self.config.use_batching {
+            specs.priorities()
+        } else {
+            vec![u8::MAX]
+        };
+        let batches = if batches.is_empty() {
+            vec![u8::MAX]
+        } else {
+            batches
+        };
+        let n_batches = batches.len() as u32;
+
+        for (bi, &prio) in batches.iter().enumerate() {
+            self.groups_cache.invalidate();
+            let mut eval = Evaluator::with_assignment(problem, specs, prio, &assignment);
+            if bi == 0 {
+                stats.initial_penalty = eval.total_penalty();
+                self.place_unplaced(problem, &mut eval, &mut rng, &mut stats);
+            }
+            // Earlier batches get a larger share of the remaining time:
+            // batch k of n gets 1/(n-k) of what is left when it starts.
+            let batch_deadline = self.config.time_budget.map(|budget| {
+                let remaining = budget.saturating_sub(start.elapsed());
+                let share = remaining / (n_batches - bi as u32);
+                start.elapsed() + share
+            });
+            self.run_batch(
+                problem,
+                &mut eval,
+                &mut rng,
+                &mut stats,
+                start,
+                batch_deadline,
+            );
+            assignment = eval.assignment();
+            stats.final_penalty = eval.total_penalty();
+            stats.final_violations = eval.violations().total();
+        }
+        stats.elapsed = start.elapsed();
+        stats.timeline.push((
+            stats.elapsed.as_secs_f64(),
+            stats.final_violations,
+            stats.final_penalty,
+        ));
+        (assignment, stats)
+    }
+
+    /// Emergency-style greedy placement of unplaced entities: sample
+    /// candidate bins, keep the best non-violating one.
+    fn place_unplaced(
+        &self,
+        problem: &Problem,
+        eval: &mut Evaluator,
+        rng: &mut SimRng,
+        stats: &mut SearchStats,
+    ) {
+        let n_bins = problem.bin_count();
+        if n_bins == 0 {
+            return;
+        }
+        for i in 0..problem.entity_count() {
+            let e = EntityId(i);
+            if eval.bin_of(e).is_some() {
+                continue;
+            }
+            let targets = self.sample_targets(eval, rng, n_bins);
+            let mut best: Option<(f64, BinId)> = None;
+            for &t in &targets {
+                stats.evaluated += 1;
+                if let Some(delta) = eval.eval_move(e, t) {
+                    if best.map(|(d, _)| delta < d).unwrap_or(true) {
+                        best = Some((delta, t));
+                    }
+                }
+            }
+            // Fall back to a full scan if sampling found nothing feasible.
+            if best.is_none() {
+                for b in 0..n_bins {
+                    stats.evaluated += 1;
+                    if let Some(delta) = eval.eval_move(e, BinId(b)) {
+                        if best.map(|(d, _)| delta < d).unwrap_or(true) {
+                            best = Some((delta, BinId(b)));
+                        }
+                    }
+                }
+            }
+            if let Some((_, t)) = best {
+                eval.apply_move(e, t);
+                stats.moves += 1;
+            }
+        }
+    }
+
+    fn run_batch(
+        &self,
+        problem: &Problem,
+        eval: &mut Evaluator,
+        rng: &mut SimRng,
+        stats: &mut SearchStats,
+        start: Instant,
+        deadline: Option<Duration>,
+    ) {
+        let n_bins = problem.bin_count();
+        if n_bins < 2 {
+            return;
+        }
+        let mut moves_since_sample = 0usize;
+        let mut dry_rounds = 0usize;
+        loop {
+            if stats.moves >= self.config.max_moves {
+                return;
+            }
+            if let Some(d) = deadline {
+                if start.elapsed() >= d {
+                    return;
+                }
+            }
+            if eval.total_penalty() <= 1e-9 {
+                return;
+            }
+
+            let improved = self.one_round(eval, rng, stats, n_bins);
+            if stats.moves / self.config.sample_every.max(1)
+                != moves_since_sample / self.config.sample_every.max(1)
+            {
+                moves_since_sample = stats.moves;
+                stats.timeline.push((
+                    start.elapsed().as_secs_f64(),
+                    eval.violations().total(),
+                    eval.total_penalty(),
+                ));
+            }
+            if improved {
+                dry_rounds = 0;
+            } else {
+                // Candidates and targets are sampled, so one dry round
+                // does not prove convergence; retry with fresh samples
+                // (and swaps) up to the configured patience.
+                dry_rounds += 1;
+                let swapped = self.config.use_swaps && self.try_swaps(eval, rng, stats, n_bins);
+                if swapped {
+                    dry_rounds = 0;
+                } else if dry_rounds >= self.config.patience.max(1) {
+                    return; // local optimum for this batch
+                }
+            }
+        }
+    }
+
+    /// One improvement round: gather candidates, apply the best move.
+    /// Returns false when no improving move was found.
+    fn one_round(
+        &self,
+        eval: &mut Evaluator,
+        rng: &mut SimRng,
+        stats: &mut SearchStats,
+        n_bins: usize,
+    ) -> bool {
+        let candidates = self.candidate_entities(eval, rng);
+        if candidates.is_empty() {
+            return false;
+        }
+        let targets = self.sample_targets(eval, rng, n_bins);
+        let mut best: Option<(f64, EntityId, BinId)> = None;
+        for &e in &candidates {
+            for &t in &targets {
+                stats.evaluated += 1;
+                if let Some(delta) = eval.eval_move(e, t) {
+                    if delta < -1e-9 && best.map(|(d, _, _)| delta < d).unwrap_or(true) {
+                        best = Some((delta, e, t));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, e, t)) => {
+                eval.apply_move(e, t);
+                stats.moves += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Candidate source entities: from the hottest bins (large loads
+    /// first, deduplicated by equivalence) plus members of violated
+    /// spread groups.
+    fn candidate_entities(&self, eval: &Evaluator, rng: &mut SimRng) -> Vec<EntityId> {
+        let mut out: Vec<EntityId> = Vec::new();
+        for bin in eval.hot_bins(self.config.hot_bins_per_round) {
+            let mut on_bin = eval.entities_on(bin);
+            // Shuffle first so ties in the ranking rotate across rounds
+            // — otherwise unfixable candidates can starve fixable ones.
+            rng.shuffle(&mut on_bin);
+            if self.config.use_large_first {
+                // Rank by how much the entity's own violations hurt the
+                // objective (affinity/drain misplacement), then by load
+                // (§5.3: evaluate large shards earlier).
+                on_bin.sort_by(|a, b| {
+                    let ka = (eval.entity_misplacement(*a), sum_load(eval, *a));
+                    let kb = (eval.entity_misplacement(*b), sum_load(eval, *b));
+                    kb.partial_cmp(&ka).expect("loads are finite")
+                });
+            }
+            if self.config.use_equivalence {
+                let mut seen: HashMap<[u64; METRIC_COUNT], u32> = HashMap::new();
+                on_bin.retain(|e| {
+                    let key = load_key(eval, *e);
+                    let n = seen.entry(key).or_insert(0);
+                    *n += 1;
+                    *n <= 1
+                });
+            }
+            on_bin.truncate(self.config.entities_per_bin);
+            out.extend(on_bin);
+        }
+        // Replica groups violating a spread goal contribute their
+        // members directly — their bins may not be hot.
+        let violated = eval.violated_groups();
+        for (_, members) in violated.iter().take(self.config.hot_bins_per_round) {
+            out.extend(members.iter().copied());
+        }
+        out.truncate(self.config.hot_bins_per_round * self.config.entities_per_bin * 2);
+        out
+    }
+
+    /// Samples destination bins. With grouped sampling, bins are grouped
+    /// by (region, utilization band) and each group contributes samples,
+    /// so region-preference and spread goals always see in-region and
+    /// out-of-region options; otherwise sampling is uniform. The group
+    /// index is rebuilt lazily (utilization bands drift slowly), keeping
+    /// the per-round cost O(k) instead of O(bins).
+    fn sample_targets(&self, eval: &Evaluator, rng: &mut SimRng, n_bins: usize) -> Vec<BinId> {
+        let k = self.config.targets_per_entity.min(n_bins);
+        if !self.config.use_grouped_sampling {
+            return rng
+                .sample_indices(n_bins, k)
+                .into_iter()
+                .map(BinId)
+                .collect();
+        }
+        let groups = self.groups_cache.borrow_mut_groups(eval, n_bins);
+        let per_group = (k / groups.len().max(1)).max(1);
+        let mut out = Vec::with_capacity(k + groups.len());
+        for bins in groups.iter() {
+            for idx in rng.sample_indices(bins.len(), per_group) {
+                out.push(BinId(bins[idx]));
+            }
+        }
+        out
+    }
+
+    /// Attempts two-way swaps between entities on hot bins and entities
+    /// on sampled other bins. Returns true if a swap was applied.
+    fn try_swaps(
+        &self,
+        eval: &mut Evaluator,
+        rng: &mut SimRng,
+        stats: &mut SearchStats,
+        n_bins: usize,
+    ) -> bool {
+        let hot = eval.hot_bins(4);
+        let targets = self.sample_targets(eval, rng, n_bins);
+        for &hot_bin in &hot {
+            let mut hot_entities = eval.entities_on(hot_bin);
+            hot_entities.truncate(4);
+            for &e1 in &hot_entities {
+                for &other_bin in targets.iter().take(8) {
+                    if other_bin == hot_bin {
+                        continue;
+                    }
+                    let mut others = eval.entities_on(other_bin);
+                    others.truncate(2);
+                    for &e2 in &others {
+                        stats.evaluated += 2;
+                        let Some(d1) = eval.eval_move(e1, other_bin) else {
+                            continue;
+                        };
+                        eval.apply_move(e1, other_bin);
+                        let d2 = eval.eval_move(e2, hot_bin);
+                        match d2 {
+                            Some(d2) if d1 + d2 < -1e-9 => {
+                                eval.apply_move(e2, hot_bin);
+                                stats.moves += 2;
+                                return true;
+                            }
+                            _ => {
+                                // Revert the speculative first half.
+                                eval.apply_move(e1, hot_bin);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+fn sum_load(eval: &Evaluator, e: EntityId) -> f64 {
+    let load = eval.load_of(e);
+    (0..METRIC_COUNT)
+        .map(|m| load.get(sm_types::MetricId(m)))
+        .sum()
+}
+
+fn load_key(eval: &Evaluator, e: EntityId) -> [u64; METRIC_COUNT] {
+    let load = eval.load_of(e);
+    let mut key = [0u64; METRIC_COUNT];
+    for (m, slot) in key.iter_mut().enumerate() {
+        *slot = load.get(sm_types::MetricId(m)).to_bits();
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Bin, Entity};
+    use crate::specs::{
+        AffinitySpec, BalanceSpec, CapacitySpec, ExclusionSpec, Scope, Spec, UtilizationCapSpec,
+    };
+    use sm_types::{LoadVector, Location, MachineId, Metric, RegionId};
+
+    fn loc(region: u16, machine: u32) -> Location {
+        Location {
+            region: RegionId(region),
+            datacenter: u32::from(region),
+            rack: u32::from(region) * 1000 + machine / 2,
+            machine: MachineId(machine),
+        }
+    }
+
+    fn cpu(v: f64) -> LoadVector {
+        LoadVector::single(Metric::Cpu.id(), v)
+    }
+
+    /// Builds `bins_per_region x regions` bins of CPU capacity 100.
+    fn build_bins(p: &mut Problem, regions: u16, bins_per_region: u32) {
+        let mut machine = 0;
+        for r in 0..regions {
+            for _ in 0..bins_per_region {
+                p.add_bin(Bin {
+                    capacity: cpu(100.0),
+                    location: loc(r, machine),
+                    draining: false,
+                });
+                machine += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn balances_skewed_load() {
+        // 40 entities of load 10 all piled on bin 0 of 8 bins: avg util
+        // is 0.5, so the balance band is 60 per bin; search must spread.
+        let mut p = Problem::new();
+        build_bins(&mut p, 1, 8);
+        for _ in 0..40 {
+            p.add_entity(
+                Entity {
+                    load: cpu(10.0),
+                    group: None,
+                },
+                Some(BinId(0)),
+            );
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.1,
+            weight: 1.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        assert_eq!(stats.final_violations, 0, "all balance violations fixed");
+        assert!(stats.final_penalty <= 1e-9);
+        assert!(stats.moves > 0);
+        // No bin should hold more than 60.
+        let mut usage = vec![0.0; 8];
+        for (i, b) in assignment.iter().enumerate() {
+            let _ = i;
+            usage[b.unwrap().0] += 10.0;
+        }
+        assert!(usage.iter().all(|&u| u <= 60.0 + 1e-9), "usage {usage:?}");
+    }
+
+    #[test]
+    fn respects_hard_capacity() {
+        // Two entities of 80 cannot share a 100-capacity bin.
+        let mut p = Problem::new();
+        build_bins(&mut p, 1, 2);
+        let e0 = p.add_entity(
+            Entity {
+                load: cpu(80.0),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let e1 = p.add_entity(
+            Entity {
+                load: cpu(80.0),
+                group: None,
+            },
+            Some(BinId(0)),
+        );
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        specs.add_goal(Spec::UtilizationCap(UtilizationCapSpec {
+            metric: Metric::Cpu.id(),
+            threshold: 0.9,
+            weight: 1.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        assert_ne!(assignment[e0.0], assignment[e1.0]);
+        assert_eq!(stats.final_violations, 0);
+    }
+
+    #[test]
+    fn places_unplaced_entities() {
+        let mut p = Problem::new();
+        build_bins(&mut p, 1, 4);
+        for _ in 0..10 {
+            p.add_entity(
+                Entity {
+                    load: cpu(10.0),
+                    group: None,
+                },
+                None,
+            );
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 3,
+            ..Default::default()
+        });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        assert!(assignment.iter().all(Option::is_some));
+        assert_eq!(stats.final_violations, 0);
+    }
+
+    #[test]
+    fn honors_region_preference() {
+        let mut p = Problem::new();
+        build_bins(&mut p, 3, 4); // regions 0,1,2
+        let mut prefs = Vec::new();
+        let mut entities = Vec::new();
+        for i in 0..12 {
+            let e = p.add_entity(
+                Entity {
+                    load: cpu(5.0),
+                    group: None,
+                },
+                Some(BinId(0)),
+            );
+            // All entities prefer region 2.
+            prefs.push((e, 2u64, 10.0));
+            entities.push(i);
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        specs.add_goal(Spec::Affinity(AffinitySpec {
+            scope: Scope::Region,
+            affinities: prefs,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        assert_eq!(stats.final_violations, 0, "every entity reaches region 2");
+        for b in assignment.iter().flatten() {
+            assert_eq!(p.bin(*b).location.region, RegionId(2));
+        }
+    }
+
+    #[test]
+    fn spreads_replica_groups_across_regions() {
+        let mut p = Problem::new();
+        build_bins(&mut p, 3, 2);
+        let mut groups = Vec::new();
+        for _ in 0..6 {
+            let g = p.new_group();
+            groups.push(g);
+            // Both replicas start in region 0.
+            p.add_entity(
+                Entity {
+                    load: cpu(5.0),
+                    group: Some(g),
+                },
+                Some(BinId(0)),
+            );
+            p.add_entity(
+                Entity {
+                    load: cpu(5.0),
+                    group: Some(g),
+                },
+                Some(BinId(1)),
+            );
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        specs.add_goal(Spec::Exclusion(ExclusionSpec {
+            scope: Scope::Region,
+            groups: groups.clone(),
+            weight: 5.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 11,
+            ..Default::default()
+        });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        assert_eq!(stats.final_violations, 0);
+        // Each group's two replicas are in different regions.
+        for gi in 0..6 {
+            let b0 = assignment[gi * 2].unwrap();
+            let b1 = assignment[gi * 2 + 1].unwrap();
+            assert_ne!(p.bin(b0).location.region, p.bin(b1).location.region);
+        }
+    }
+
+    #[test]
+    fn move_budget_caps_work() {
+        let mut p = Problem::new();
+        build_bins(&mut p, 1, 8);
+        for _ in 0..40 {
+            p.add_entity(
+                Entity {
+                    load: cpu(10.0),
+                    group: None,
+                },
+                Some(BinId(0)),
+            );
+        }
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.1,
+            weight: 1.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 2,
+            max_moves: 5,
+            ..Default::default()
+        });
+        let (_, stats) = solver.solve(&p, &specs);
+        assert!(stats.moves <= 5);
+        assert!(stats.final_penalty < stats.initial_penalty);
+    }
+
+    #[test]
+    fn baseline_config_disables_optimizations() {
+        let cfg = SearchConfig::baseline(9);
+        assert!(!cfg.use_grouped_sampling);
+        assert!(!cfg.use_equivalence);
+        assert!(!cfg.use_large_first);
+        assert!(!cfg.use_swaps);
+        assert!(!cfg.use_batching);
+    }
+
+    #[test]
+    fn baseline_still_solves_simple_problems() {
+        let mut p = Problem::new();
+        build_bins(&mut p, 1, 4);
+        for _ in 0..20 {
+            p.add_entity(
+                Entity {
+                    load: cpu(10.0),
+                    group: None,
+                },
+                Some(BinId(0)),
+            );
+        }
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.1,
+            weight: 1.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig::baseline(4));
+        let (_, stats) = solver.solve(&p, &specs);
+        assert_eq!(stats.final_violations, 0);
+    }
+
+    #[test]
+    fn batching_processes_priorities_in_order() {
+        // Priority 0: utilization cap; priority 1: affinity. Both must
+        // end satisfied; batching must not undo earlier work.
+        let mut p = Problem::new();
+        build_bins(&mut p, 2, 3);
+        let mut prefs = Vec::new();
+        for _ in 0..12 {
+            let e = p.add_entity(
+                Entity {
+                    load: cpu(10.0),
+                    group: None,
+                },
+                Some(BinId(0)),
+            );
+            prefs.push((e, 1u64, 1.0));
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
+        specs.add_goal(Spec::UtilizationCap(UtilizationCapSpec {
+            metric: Metric::Cpu.id(),
+            threshold: 0.9,
+            weight: 10.0,
+            priority: 0,
+        }));
+        specs.add_goal(Spec::Affinity(AffinitySpec {
+            scope: Scope::Region,
+            affinities: prefs,
+            priority: 1,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 13,
+            ..Default::default()
+        });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        assert_eq!(stats.final_violations, 0);
+        // Region 1 has 3 bins x 100 capacity; 120 load fits under 90%.
+        for b in assignment.iter().flatten() {
+            assert_eq!(p.bin(*b).location.region, RegionId(1));
+        }
+    }
+
+    #[test]
+    fn timeline_is_recorded() {
+        let mut p = Problem::new();
+        build_bins(&mut p, 1, 8);
+        for _ in 0..64 {
+            p.add_entity(
+                Entity {
+                    load: cpu(5.0),
+                    group: None,
+                },
+                Some(BinId(0)),
+            );
+        }
+        let mut specs = SpecSet::new();
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.05,
+            weight: 1.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig {
+            seed: 17,
+            sample_every: 8,
+            ..Default::default()
+        });
+        let (_, stats) = solver.solve(&p, &specs);
+        assert!(!stats.timeline.is_empty());
+        let (_, final_viol, final_pen) = *stats.timeline.last().unwrap();
+        assert_eq!(final_viol, stats.final_violations);
+        assert!((final_pen - stats.final_penalty).abs() < 1e-9);
+    }
+}

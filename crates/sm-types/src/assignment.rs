@@ -1,0 +1,324 @@
+//! Shard-to-server assignments and the routed shard map.
+//!
+//! [`Assignment`] is the control plane's desired state: which server
+//! holds which replica of which shard, in which role. [`ShardMap`] is the
+//! versioned, client-facing view disseminated through service discovery
+//! so routers can pick a server for a key (§3.2).
+
+use crate::ids::{ReplicaRole, ServerId, ShardId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One replica's placement: which server hosts it and in which role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ReplicaAssignment {
+    /// Hosting server.
+    pub server: ServerId,
+    /// Replica role.
+    pub role: ReplicaRole,
+}
+
+/// The desired shard-to-server assignment for one application partition.
+///
+/// Invariants maintained by the mutating methods:
+/// - a shard has at most one [`ReplicaRole::Primary`] replica;
+/// - a server hosts at most one replica of a given shard.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    shards: BTreeMap<ShardId, Vec<ReplicaAssignment>>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards with at least one replica.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total replica count across shards.
+    pub fn replica_count(&self) -> usize {
+        self.shards.values().map(Vec::len).sum()
+    }
+
+    /// The replicas of `shard` (empty slice if unknown).
+    pub fn replicas(&self, shard: ShardId) -> &[ReplicaAssignment] {
+        self.shards.get(&shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The server hosting the primary of `shard`, if any.
+    pub fn primary_of(&self, shard: ShardId) -> Option<ServerId> {
+        self.replicas(shard)
+            .iter()
+            .find(|r| r.role.is_primary())
+            .map(|r| r.server)
+    }
+
+    /// Iterates over all `(shard, replica)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ShardId, &ReplicaAssignment)> {
+        self.shards
+            .iter()
+            .flat_map(|(s, rs)| rs.iter().map(move |r| (*s, r)))
+    }
+
+    /// Iterates over shard ids in ascending order.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> + '_ {
+        self.shards.keys().copied()
+    }
+
+    /// Shards hosted by `server`, with the role held there.
+    pub fn shards_on(&self, server: ServerId) -> Vec<(ShardId, ReplicaRole)> {
+        self.iter()
+            .filter(|(_, r)| r.server == server)
+            .map(|(s, r)| (s, r.role))
+            .collect()
+    }
+
+    /// Adds a replica.
+    ///
+    /// Returns an error string if the server already hosts this shard or
+    /// the shard already has a primary and `role` is primary.
+    pub fn add_replica(
+        &mut self,
+        shard: ShardId,
+        server: ServerId,
+        role: ReplicaRole,
+    ) -> Result<(), String> {
+        let replicas = self.shards.entry(shard).or_default();
+        if replicas.iter().any(|r| r.server == server) {
+            return Err(format!("{server} already hosts {shard}"));
+        }
+        if role.is_primary() && replicas.iter().any(|r| r.role.is_primary()) {
+            return Err(format!("{shard} already has a primary"));
+        }
+        replicas.push(ReplicaAssignment { server, role });
+        Ok(())
+    }
+
+    /// Removes the replica of `shard` on `server`; returns whether one
+    /// was removed.
+    pub fn remove_replica(&mut self, shard: ShardId, server: ServerId) -> bool {
+        let Some(replicas) = self.shards.get_mut(&shard) else {
+            return false;
+        };
+        let before = replicas.len();
+        replicas.retain(|r| r.server != server);
+        let removed = replicas.len() != before;
+        if replicas.is_empty() {
+            self.shards.remove(&shard);
+        }
+        removed
+    }
+
+    /// Moves the replica of `shard` from `from` to `to`, keeping its role.
+    pub fn move_replica(
+        &mut self,
+        shard: ShardId,
+        from: ServerId,
+        to: ServerId,
+    ) -> Result<(), String> {
+        let role = self
+            .replicas(shard)
+            .iter()
+            .find(|r| r.server == from)
+            .map(|r| r.role)
+            .ok_or_else(|| format!("{from} does not host {shard}"))?;
+        if self.replicas(shard).iter().any(|r| r.server == to) {
+            return Err(format!("{to} already hosts {shard}"));
+        }
+        self.remove_replica(shard, from);
+        self.add_replica(shard, to, role)
+    }
+
+    /// Changes the role of the replica of `shard` on `server`.
+    ///
+    /// Promoting to primary fails if another replica is already primary;
+    /// demote that one first.
+    pub fn change_role(
+        &mut self,
+        shard: ShardId,
+        server: ServerId,
+        new_role: ReplicaRole,
+    ) -> Result<(), String> {
+        if new_role.is_primary()
+            && self
+                .replicas(shard)
+                .iter()
+                .any(|r| r.role.is_primary() && r.server != server)
+        {
+            return Err(format!("{shard} already has a primary elsewhere"));
+        }
+        let replicas = self
+            .shards
+            .get_mut(&shard)
+            .ok_or_else(|| format!("unknown shard {shard}"))?;
+        let rep = replicas
+            .iter_mut()
+            .find(|r| r.server == server)
+            .ok_or_else(|| format!("{server} does not host {shard}"))?;
+        rep.role = new_role;
+        Ok(())
+    }
+
+    /// Drops every replica hosted by `server`, returning the shards (and
+    /// roles) that lost a replica — the input to emergency re-placement.
+    pub fn drop_server(&mut self, server: ServerId) -> Vec<(ShardId, ReplicaRole)> {
+        let lost = self.shards_on(server);
+        for (shard, _) in &lost {
+            self.remove_replica(*shard, server);
+        }
+        lost
+    }
+}
+
+/// One shard's entry in the client-facing map.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMapEntry {
+    /// Replicas in no particular order.
+    pub replicas: Vec<ReplicaAssignment>,
+}
+
+impl ShardMapEntry {
+    /// The primary's server, if the shard has one.
+    pub fn primary(&self) -> Option<ServerId> {
+        self.replicas
+            .iter()
+            .find(|r| r.role.is_primary())
+            .map(|r| r.server)
+    }
+
+    /// All servers hosting this shard.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.replicas.iter().map(|r| r.server)
+    }
+}
+
+/// A versioned snapshot of shard placements, disseminated to clients via
+/// service discovery (§3.2). Versions increase monotonically; routers
+/// ignore maps older than what they already hold.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// Monotonic version.
+    pub version: u64,
+    /// Per-shard placement.
+    pub entries: BTreeMap<ShardId, ShardMapEntry>,
+}
+
+impl ShardMap {
+    /// Builds a map at `version` from an [`Assignment`].
+    pub fn from_assignment(version: u64, assignment: &Assignment) -> Self {
+        let entries = assignment
+            .shards
+            .iter()
+            .map(|(shard, replicas)| {
+                (
+                    *shard,
+                    ShardMapEntry {
+                        replicas: replicas.clone(),
+                    },
+                )
+            })
+            .collect();
+        Self { version, entries }
+    }
+
+    /// Looks up one shard.
+    pub fn entry(&self, shard: ShardId) -> Option<&ShardMapEntry> {
+        self.entries.get(&shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u64) -> ShardId {
+        ShardId(n)
+    }
+    fn srv(n: u32) -> ServerId {
+        ServerId(n)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        a.add_replica(s(1), srv(2), ReplicaRole::Secondary).unwrap();
+        assert_eq!(a.primary_of(s(1)), Some(srv(1)));
+        assert_eq!(a.replicas(s(1)).len(), 2);
+        assert_eq!(a.shard_count(), 1);
+        assert_eq!(a.replica_count(), 2);
+    }
+
+    #[test]
+    fn rejects_two_primaries() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        assert!(a.add_replica(s(1), srv(2), ReplicaRole::Primary).is_err());
+    }
+
+    #[test]
+    fn rejects_same_server_twice() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Secondary).unwrap();
+        assert!(a.add_replica(s(1), srv(1), ReplicaRole::Secondary).is_err());
+    }
+
+    #[test]
+    fn move_preserves_role() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        a.move_replica(s(1), srv(1), srv(9)).unwrap();
+        assert_eq!(a.primary_of(s(1)), Some(srv(9)));
+        assert!(a.move_replica(s(1), srv(1), srv(2)).is_err());
+    }
+
+    #[test]
+    fn move_to_occupied_server_fails() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        a.add_replica(s(1), srv(2), ReplicaRole::Secondary).unwrap();
+        assert!(a.move_replica(s(1), srv(1), srv(2)).is_err());
+    }
+
+    #[test]
+    fn change_role_promote_demote() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        a.add_replica(s(1), srv(2), ReplicaRole::Secondary).unwrap();
+        // Cannot promote while another primary exists.
+        assert!(a.change_role(s(1), srv(2), ReplicaRole::Primary).is_err());
+        a.change_role(s(1), srv(1), ReplicaRole::Secondary).unwrap();
+        a.change_role(s(1), srv(2), ReplicaRole::Primary).unwrap();
+        assert_eq!(a.primary_of(s(1)), Some(srv(2)));
+    }
+
+    #[test]
+    fn drop_server_reports_lost_replicas() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        a.add_replica(s(2), srv(1), ReplicaRole::Secondary).unwrap();
+        a.add_replica(s(2), srv(2), ReplicaRole::Primary).unwrap();
+        let lost = a.drop_server(srv(1));
+        assert_eq!(lost.len(), 2);
+        assert_eq!(a.replicas(s(1)).len(), 0);
+        assert_eq!(a.replicas(s(2)).len(), 1);
+        assert_eq!(a.shard_count(), 1, "empty shard entry is pruned");
+    }
+
+    #[test]
+    fn shard_map_snapshot() {
+        let mut a = Assignment::new();
+        a.add_replica(s(1), srv(1), ReplicaRole::Primary).unwrap();
+        a.add_replica(s(1), srv(2), ReplicaRole::Secondary).unwrap();
+        let map = ShardMap::from_assignment(7, &a);
+        assert_eq!(map.version, 7);
+        let entry = map.entry(s(1)).unwrap();
+        assert_eq!(entry.primary(), Some(srv(1)));
+        assert_eq!(entry.servers().count(), 2);
+        assert!(map.entry(s(99)).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by Shard Manager components.
+///
+/// The variants are deliberately coarse: call sites mostly need to know
+/// whether to retry (routing staleness), surface to the operator
+/// (invalid config), or treat as a bug (invariant violations carry
+/// context in the message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmError {
+    /// The referenced entity (app, shard, server, node...) is unknown.
+    NotFound(String),
+    /// The request conflicts with current state (e.g. duplicate id,
+    /// version mismatch, two primaries).
+    Conflict(String),
+    /// A configuration or argument is invalid.
+    InvalidArgument(String),
+    /// The target is currently unavailable (failed server, down region).
+    Unavailable(String),
+    /// A client acted on a stale shard map and should refresh and retry.
+    StaleRouting(String),
+    /// The operation would violate an availability or safety cap.
+    Rejected(String),
+}
+
+impl SmError {
+    /// Shorthand constructor for [`SmError::NotFound`].
+    pub fn not_found(what: impl fmt::Display) -> Self {
+        SmError::NotFound(what.to_string())
+    }
+
+    /// Shorthand constructor for [`SmError::Conflict`].
+    pub fn conflict(what: impl fmt::Display) -> Self {
+        SmError::Conflict(what.to_string())
+    }
+
+    /// Returns true if the caller should refresh routing state and retry.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SmError::StaleRouting(_) | SmError::Unavailable(_))
+    }
+}
+
+impl fmt::Display for SmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmError::NotFound(m) => write!(f, "not found: {m}"),
+            SmError::Conflict(m) => write!(f, "conflict: {m}"),
+            SmError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            SmError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            SmError::StaleRouting(m) => write!(f, "stale routing: {m}"),
+            SmError::Rejected(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_retryability() {
+        let e = SmError::not_found("app7");
+        assert_eq!(e.to_string(), "not found: app7");
+        assert!(!e.is_retryable());
+        assert!(SmError::StaleRouting("v3 < v5".into()).is_retryable());
+        assert!(SmError::Unavailable("srv1".into()).is_retryable());
+        assert!(!SmError::Rejected("cap".into()).is_retryable());
+    }
+}

@@ -1,0 +1,412 @@
+//! Application key space and app-defined sharding (§3.1).
+//!
+//! Shard Manager shards the *application's own* key space (the "app-key"
+//! approach) and lets the application decide the key-to-shard mapping
+//! (the "app-sharding" approach). This preserves key locality, which is
+//! what makes prefix scans possible in stores like Laser.
+//!
+//! A [`ShardingSpec`] is an ordered list of non-overlapping, half-open
+//! key ranges, each owned by one shard. Lookup is a binary search.
+
+use crate::ids::ShardId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An application key: an opaque byte string ordered lexicographically.
+///
+/// Numeric key spaces are supported by encoding integers big-endian (see
+/// [`AppKey::from_u64`]), which preserves numeric order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct AppKey(pub Vec<u8>);
+
+impl AppKey {
+    /// Creates a key from raw bytes.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        Self(bytes.into())
+    }
+
+    /// Encodes a `u64` so that byte order equals numeric order.
+    pub fn from_u64(v: u64) -> Self {
+        Self(v.to_be_bytes().to_vec())
+    }
+
+    /// Returns true if `self` starts with `prefix`.
+    pub fn has_prefix(&self, prefix: &[u8]) -> bool {
+        self.0.starts_with(prefix)
+    }
+
+    /// The smallest key, i.e. the empty byte string.
+    pub fn min() -> Self {
+        Self(Vec::new())
+    }
+}
+
+impl From<&str> for AppKey {
+    fn from(s: &str) -> Self {
+        Self(s.as_bytes().to_vec())
+    }
+}
+
+impl fmt::Display for AppKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Ok(s) = std::str::from_utf8(&self.0) {
+            if s.chars().all(|c| c.is_ascii_graphic()) && !s.is_empty() {
+                return write!(f, "{s}");
+            }
+        }
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A half-open key range `[start, end)`; `end == None` means unbounded.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub start: AppKey,
+    /// Exclusive upper bound, or `None` for "to the end of the key space".
+    pub end: Option<AppKey>,
+}
+
+impl KeyRange {
+    /// Creates a bounded range `[start, end)`.
+    pub fn new(start: AppKey, end: AppKey) -> Self {
+        Self {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// Creates a range covering `[start, +inf)`.
+    pub fn from(start: AppKey) -> Self {
+        Self { start, end: None }
+    }
+
+    /// Creates the full key range.
+    pub fn full() -> Self {
+        Self {
+            start: AppKey::min(),
+            end: None,
+        }
+    }
+
+    /// Returns true if the range contains `key`.
+    pub fn contains(&self, key: &AppKey) -> bool {
+        if *key < self.start {
+            return false;
+        }
+        match &self.end {
+            Some(end) => key < end,
+            None => true,
+        }
+    }
+
+    /// Returns true if the two ranges share any key.
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        let self_before_other = match &self.end {
+            Some(end) => *end <= other.start,
+            None => false,
+        };
+        let other_before_self = match &other.end {
+            Some(end) => *end <= self.start,
+            None => false,
+        };
+        !(self_before_other || other_before_self)
+    }
+
+    /// Returns true if the range is empty (`end <= start`).
+    pub fn is_empty(&self) -> bool {
+        match &self.end {
+            Some(end) => *end <= self.start,
+            None => false,
+        }
+    }
+
+    /// Returns true if every key with `prefix` could fall in this range.
+    ///
+    /// This is conservative in the right direction for routing a prefix
+    /// scan: it may include ranges with no matching key but never
+    /// excludes a range that has one.
+    pub fn may_contain_prefix(&self, prefix: &[u8]) -> bool {
+        // The keys with `prefix` form the interval [prefix, successor(prefix)).
+        let lo = AppKey(prefix.to_vec());
+        match prefix_successor(prefix) {
+            Some(hi) => self.overlaps(&KeyRange::new(lo, AppKey(hi))),
+            None => self.overlaps(&KeyRange::from(lo)),
+        }
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.end {
+            Some(end) => write!(f, "[{}, {})", self.start, end),
+            None => write!(f, "[{}, +inf)", self.start),
+        }
+    }
+}
+
+/// Returns the smallest byte string greater than every string with the
+/// given prefix, or `None` if the prefix is all `0xff` (no upper bound).
+fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut out = prefix.to_vec();
+    while let Some(last) = out.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(out);
+        }
+        out.pop();
+    }
+    None
+}
+
+/// An application's key-to-shard mapping: an ordered set of disjoint
+/// ranges, each owned by a shard (§3.1).
+///
+/// The ranges may be uneven and are entirely application-chosen; SM never
+/// splits or merges them.
+///
+/// # Examples
+///
+/// ```
+/// use sm_types::keys::{AppKey, KeyRange, ShardingSpec};
+/// use sm_types::ids::ShardId;
+///
+/// let spec = ShardingSpec::uniform_u64(4);
+/// assert_eq!(spec.shard_count(), 4);
+/// let s = spec.shard_for(&AppKey::from_u64(u64::MAX)).unwrap();
+/// assert_eq!(s, ShardId(3));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardingSpec {
+    /// `(range, shard)` pairs sorted by `range.start`.
+    entries: Vec<(KeyRange, ShardId)>,
+}
+
+impl ShardingSpec {
+    /// Builds a spec from `(range, shard)` pairs.
+    ///
+    /// Returns an error message if ranges are empty, overlap, or a shard
+    /// id appears twice.
+    pub fn new(mut entries: Vec<(KeyRange, ShardId)>) -> Result<Self, String> {
+        entries.sort_by(|a, b| a.0.start.cmp(&b.0.start));
+        let mut seen = std::collections::HashSet::new();
+        for (range, shard) in &entries {
+            if range.is_empty() {
+                return Err(format!("empty range {range} for {shard}"));
+            }
+            if !seen.insert(*shard) {
+                return Err(format!("duplicate shard id {shard}"));
+            }
+        }
+        for pair in entries.windows(2) {
+            if pair[0].0.overlaps(&pair[1].0) {
+                return Err(format!("ranges {} and {} overlap", pair[0].0, pair[1].0));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Splits the `u64` key space into `n` equal ranges, one per shard,
+    /// with shard ids `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform_u64(n: u64) -> Self {
+        assert!(n > 0, "need at least one shard");
+        let step = u64::MAX / n;
+        let mut entries = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let start = AppKey::from_u64(i * step);
+            let range = if i + 1 == n {
+                KeyRange::from(start)
+            } else {
+                KeyRange::new(start, AppKey::from_u64((i + 1) * step))
+            };
+            entries.push((range, ShardId(i)));
+        }
+        Self { entries }
+    }
+
+    /// Number of shards in the spec.
+    pub fn shard_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(range, shard)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &(KeyRange, ShardId)> {
+        self.entries.iter()
+    }
+
+    /// All shard ids in key order.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> + '_ {
+        self.entries.iter().map(|(_, s)| *s)
+    }
+
+    /// Resolves a key to its owning shard via binary search, or `None`
+    /// if the key falls in a gap not covered by any range.
+    pub fn shard_for(&self, key: &AppKey) -> Option<ShardId> {
+        let idx = self
+            .entries
+            .partition_point(|(range, _)| range.start <= *key);
+        if idx == 0 {
+            return None;
+        }
+        let (range, shard) = &self.entries[idx - 1];
+        range.contains(key).then_some(*shard)
+    }
+
+    /// Returns the shards whose ranges may hold keys with `prefix`, in
+    /// key order — the shard set a prefix scan must visit.
+    pub fn shards_for_prefix(&self, prefix: &[u8]) -> Vec<ShardId> {
+        self.entries
+            .iter()
+            .filter(|(range, _)| range.may_contain_prefix(prefix))
+            .map(|(_, shard)| *shard)
+            .collect()
+    }
+
+    /// Returns the range owned by `shard`, if any.
+    pub fn range_of(&self, shard: ShardId) -> Option<&KeyRange> {
+        self.entries
+            .iter()
+            .find(|(_, s)| *s == shard)
+            .map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> AppKey {
+        AppKey::from(s)
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = KeyRange::new(k("b"), k("d"));
+        assert!(!r.contains(&k("a")));
+        assert!(r.contains(&k("b")));
+        assert!(r.contains(&k("c")));
+        assert!(!r.contains(&k("d")));
+
+        assert!(r.overlaps(&KeyRange::new(k("c"), k("e"))));
+        assert!(
+            !r.overlaps(&KeyRange::new(k("d"), k("e"))),
+            "touching ranges do not overlap"
+        );
+        assert!(r.overlaps(&KeyRange::from(k("a"))));
+        assert!(KeyRange::full().overlaps(&r));
+    }
+
+    #[test]
+    fn unbounded_range_contains_everything_above_start() {
+        let r = KeyRange::from(k("m"));
+        assert!(r.contains(&k("zzz")));
+        assert!(!r.contains(&k("a")));
+    }
+
+    #[test]
+    fn spec_rejects_overlap_and_duplicates() {
+        let bad = ShardingSpec::new(vec![
+            (KeyRange::new(k("a"), k("m")), ShardId(0)),
+            (KeyRange::new(k("g"), k("z")), ShardId(1)),
+        ]);
+        assert!(bad.is_err());
+
+        let dup = ShardingSpec::new(vec![
+            (KeyRange::new(k("a"), k("b")), ShardId(0)),
+            (KeyRange::new(k("b"), k("c")), ShardId(0)),
+        ]);
+        assert!(dup.is_err());
+
+        let empty = ShardingSpec::new(vec![(KeyRange::new(k("b"), k("a")), ShardId(0))]);
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn uneven_app_defined_shards_resolve_correctly() {
+        // The paper's example: S0:[1,9], S1:[10,99], S2:[100,100000].
+        let spec = ShardingSpec::new(vec![
+            (
+                KeyRange::new(AppKey::from_u64(1), AppKey::from_u64(10)),
+                ShardId(0),
+            ),
+            (
+                KeyRange::new(AppKey::from_u64(10), AppKey::from_u64(100)),
+                ShardId(1),
+            ),
+            (
+                KeyRange::new(AppKey::from_u64(100), AppKey::from_u64(100_001)),
+                ShardId(2),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(spec.shard_for(&AppKey::from_u64(1)), Some(ShardId(0)));
+        assert_eq!(spec.shard_for(&AppKey::from_u64(9)), Some(ShardId(0)));
+        assert_eq!(spec.shard_for(&AppKey::from_u64(10)), Some(ShardId(1)));
+        assert_eq!(spec.shard_for(&AppKey::from_u64(55)), Some(ShardId(1)));
+        assert_eq!(spec.shard_for(&AppKey::from_u64(100_000)), Some(ShardId(2)));
+        assert_eq!(spec.shard_for(&AppKey::from_u64(0)), None, "gap below S0");
+        assert_eq!(
+            spec.shard_for(&AppKey::from_u64(200_000)),
+            None,
+            "gap above S2"
+        );
+    }
+
+    #[test]
+    fn uniform_covers_whole_space() {
+        let spec = ShardingSpec::uniform_u64(16);
+        for key in [0u64, 1, 12345, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            assert!(spec.shard_for(&AppKey::from_u64(key)).is_some());
+        }
+        assert_eq!(spec.shard_count(), 16);
+    }
+
+    #[test]
+    fn prefix_scan_selects_minimal_shard_set() {
+        let spec = ShardingSpec::new(vec![
+            (KeyRange::new(k("a"), k("f")), ShardId(0)),
+            (KeyRange::new(k("f"), k("n")), ShardId(1)),
+            (KeyRange::new(k("n"), k("t")), ShardId(2)),
+            (KeyRange::from(k("t")), ShardId(3)),
+        ])
+        .unwrap();
+        assert_eq!(spec.shards_for_prefix(b"g"), vec![ShardId(1)]);
+        // Prefix "f" spans exactly shard 1 ([f, n)).
+        assert_eq!(spec.shards_for_prefix(b"f"), vec![ShardId(1)]);
+        // Empty prefix = full scan.
+        assert_eq!(spec.shards_for_prefix(b"").len(), 4);
+        assert_eq!(spec.shards_for_prefix(b"zz"), vec![ShardId(3)]);
+    }
+
+    #[test]
+    fn prefix_successor_handles_0xff() {
+        assert_eq!(prefix_successor(b"a"), Some(b"b".to_vec()));
+        assert_eq!(prefix_successor(&[0x01, 0xff]), Some(vec![0x02]));
+        assert_eq!(prefix_successor(&[0xff, 0xff]), None);
+    }
+
+    #[test]
+    fn u64_key_encoding_preserves_order() {
+        let mut keys: Vec<u64> = vec![0, 1, 255, 256, 65535, 1 << 40, u64::MAX];
+        keys.sort_unstable();
+        let encoded: Vec<AppKey> = keys.iter().map(|&v| AppKey::from_u64(v)).collect();
+        let mut sorted = encoded.clone();
+        sorted.sort();
+        assert_eq!(encoded, sorted);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(k("user:42").to_string(), "user:42");
+        assert_eq!(AppKey::new(vec![0x00, 0xab]).to_string(), "0x00ab");
+        assert_eq!(KeyRange::new(k("a"), k("b")).to_string(), "[a, b)");
+    }
+}

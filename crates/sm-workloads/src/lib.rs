@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Workload and census generators for the benchmark harness.
+//!
+//! - [`census`] — a synthetic population of sharded applications whose
+//!   mix matches the paper's demographic figures (Figures 1, 4–9, 15).
+//! - [`diurnal`] — day/night load curves driving Figures 18 and 23.
+//! - [`snapshot`] — ZippyDB-like allocator problem snapshots with the
+//!   §8.4 statistics (20x shard-load spread, ±20% capacity
+//!   heterogeneity) for Figures 21 and 22.
+
+pub mod census;
+pub mod diurnal;
+pub mod snapshot;
+
+pub use census::{AppProfile, Census, CensusConfig, ShardingScheme};
+pub use diurnal::DiurnalCurve;
+pub use snapshot::{SnapshotConfig, ZippyDbSnapshot};

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! A ZooKeeper-like coordination store.
+//!
+//! Shard Manager uses ZooKeeper for three things (§3.2): persisting the
+//! orchestrator's state, letting application servers bootstrap their
+//! shard assignment without the control plane, and detecting application
+//! server failures through ephemeral nodes. This crate provides exactly
+//! that surface: a hierarchical namespace of versioned znodes with
+//! ephemeral nodes bound to sessions, one-shot watches, and sequence
+//! nodes.
+//!
+//! The store is synchronous and deterministic. Mutating operations
+//! return the set of [`WatchEvent`]s they triggered; the embedding
+//! simulation decides when (and with what delay) to deliver them, which
+//! keeps the store reusable both inside `sm-sim` worlds and in plain
+//! unit tests.
+
+pub mod store;
+
+pub use store::{CreateMode, SessionId, Stat, WatchEvent, WatchKind, ZkStore};

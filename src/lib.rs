@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Shard Manager: a generic shard management framework for
+//! geo-distributed applications.
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for detail:
+//!
+//! - [`types`] — shared domain vocabulary (ids, key ranges, topology,
+//!   load metrics, policies, assignments).
+//! - [`sim`] — deterministic discrete-event simulation substrate.
+//! - [`zk`] — ZooKeeper-like coordination store.
+//! - [`cluster`] — Twine-like regional cluster manager with the
+//!   TaskControl negotiation protocol.
+//! - [`solver`] — ReBalancer-like constraint solver (local search).
+//! - [`allocator`] — SM's shard placement & load balancing layer.
+//! - [`core`] — the orchestrator, TaskController, migration protocol,
+//!   and scale-out control plane.
+//! - [`routing`] — service discovery and the client-side service router.
+//! - [`apps`] — example applications built on the SM programming model.
+//! - [`workloads`] — census / load / snapshot generators used by the
+//!   benchmark harness.
+
+pub use sm_allocator as allocator;
+pub use sm_apps as apps;
+pub use sm_cluster as cluster;
+pub use sm_core as core;
+pub use sm_routing as routing;
+pub use sm_sim as sim;
+pub use sm_solver as solver;
+pub use sm_types as types;
+pub use sm_workloads as workloads;
+pub use sm_zk as zk;

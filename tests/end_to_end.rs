@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: full simulated deployments driven
+//! through the public API of the facade crate.
+
+use shard_manager::apps::harness::{AppKind, ExperimentConfig, SimWorld, WorldEvent};
+use shard_manager::sim::{SimDuration, SimTime};
+use shard_manager::types::{AppId, AppPolicy, RegionId, ServerId, ShardId};
+
+#[test]
+fn upgrade_under_full_sm_is_lossless() {
+    let mut cfg = ExperimentConfig::single_region(12, 300);
+    cfg.clients_per_region = 6;
+    cfg.request_rate = 8.0;
+    cfg.policy.max_concurrent_container_ops = 2;
+    let mut sim = SimWorld::primed(cfg);
+    sim.run_until(SimTime::from_secs(50));
+    let before = sim.world().stats;
+    sim.schedule_at(
+        SimTime::from_secs(51),
+        WorldEvent::StartUpgrade {
+            region: RegionId(0),
+            version: 2,
+        },
+    );
+    sim.run_until(SimTime::from_secs(900));
+    let w = sim.world();
+    assert!(
+        w.cluster_manager(RegionId(0))
+            .unwrap()
+            .upgrade_finished(AppId(0)),
+        "upgrade converged"
+    );
+    assert_eq!(
+        w.stats.failed, before.failed,
+        "no request failed during the graceful upgrade"
+    );
+    assert!(
+        w.stats.forwarded > 0,
+        "the §4.3 forwarding path was exercised"
+    );
+    // Every container runs the new binary.
+    let cm = w.cluster_manager(RegionId(0)).unwrap();
+    for c in cm.containers_of(AppId(0)) {
+        assert_eq!(c.version, 2);
+    }
+}
+
+#[test]
+fn blind_upgrade_loses_requests() {
+    let mut cfg = ExperimentConfig::single_region(12, 300);
+    cfg.clients_per_region = 6;
+    cfg.request_rate = 8.0;
+    cfg.use_taskcontroller = false;
+    cfg.graceful_migration = false;
+    cfg.no_tc_concurrency = 2;
+    let mut sim = SimWorld::primed(cfg);
+    sim.run_until(SimTime::from_secs(50));
+    let before = sim.world().stats;
+    sim.schedule_at(
+        SimTime::from_secs(51),
+        WorldEvent::StartUpgrade {
+            region: RegionId(0),
+            version: 2,
+        },
+    );
+    sim.run_until(SimTime::from_secs(900));
+    let w = sim.world();
+    assert!(
+        w.stats.failed > before.failed,
+        "blind restarts must drop requests"
+    );
+}
+
+#[test]
+fn region_failure_and_recovery_round_trip() {
+    let mut cfg = ExperimentConfig::three_region_geo(6, 120);
+    cfg.policy = AppPolicy::secondary_only(2);
+    cfg.clients_per_region = 3;
+    cfg.request_rate = 4.0;
+    cfg.failure_detection = SimDuration::from_secs(10);
+    cfg.periodic_alloc_interval = SimDuration::from_secs(30);
+    let mut sim = SimWorld::primed(cfg);
+    sim.schedule_at(SimTime::from_secs(90), WorldEvent::RegionFail(RegionId(0)));
+    sim.run_until(SimTime::from_secs(250));
+    {
+        // All shards still fully replicated outside the dead region.
+        let w = sim.world();
+        for s in 0..120 {
+            let replicas = w.orchestrator().assignment().replicas(ShardId(s));
+            assert_eq!(replicas.len(), 2, "shard {s} re-replicated");
+            for r in replicas {
+                assert_ne!(w.server_region(r.server), Some(RegionId(0)));
+            }
+        }
+    }
+    sim.schedule_at(
+        SimTime::from_secs(260),
+        WorldEvent::RegionRecover(RegionId(0)),
+    );
+    sim.run_until(SimTime::from_secs(500));
+    let w = sim.world();
+    // Replicas spread back across all three regions (load balancing
+    // pulls some home even without preferences).
+    let in_r0 = (0..120)
+        .filter(|&s| {
+            w.orchestrator()
+                .assignment()
+                .replicas(ShardId(s))
+                .iter()
+                .any(|r| w.server_region(r.server) == Some(RegionId(0)))
+        })
+        .count();
+    assert!(in_r0 > 0, "recovered region gets replicas again");
+    assert!(w.stats.success_rate() > 0.9, "{:?}", w.stats);
+}
+
+#[test]
+fn crash_failover_preserves_every_shard() {
+    let mut cfg = ExperimentConfig::single_region(8, 200);
+    cfg.failure_detection = SimDuration::from_secs(5);
+    cfg.clients_per_region = 4;
+    let mut sim = SimWorld::primed(cfg);
+    sim.run_until(SimTime::from_secs(40));
+    sim.schedule_at(SimTime::from_secs(41), WorldEvent::ServerCrash(ServerId(3)));
+    sim.schedule_at(SimTime::from_secs(42), WorldEvent::ServerCrash(ServerId(4)));
+    sim.run_until(SimTime::from_secs(200));
+    let w = sim.world();
+    assert_eq!(w.orchestrator().assignment().shard_count(), 200);
+    assert!(w.orchestrator().shards_on(ServerId(3)).is_empty());
+    assert!(w.orchestrator().shards_on(ServerId(4)).is_empty());
+    for s in 0..200 {
+        assert!(w
+            .orchestrator()
+            .assignment()
+            .primary_of(ShardId(s))
+            .is_some());
+    }
+}
+
+#[test]
+fn queue_app_world_preserves_order_metrics() {
+    let mut cfg = ExperimentConfig::single_region(6, 60);
+    cfg.app = AppKind::Queue;
+    cfg.clients_per_region = 4;
+    let mut sim = SimWorld::primed(cfg);
+    sim.run_until(SimTime::from_secs(120));
+    let w = sim.world();
+    assert!(w.stats.ok > 500, "queue world serves: {:?}", w.stats);
+    assert!(w.stats.success_rate() > 0.99);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut cfg = ExperimentConfig::single_region(6, 100);
+        cfg.clients_per_region = 3;
+        let mut sim = SimWorld::primed(cfg);
+        sim.schedule_at(SimTime::from_secs(60), WorldEvent::ServerCrash(ServerId(1)));
+        sim.run_until(SimTime::from_secs(150));
+        let w = sim.world();
+        (
+            w.stats.ok,
+            w.stats.failed,
+            w.orchestrator().stats().completed_moves,
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same world, same outcome");
+}
+
+#[test]
+fn maintenance_window_with_preparation_keeps_primaries_available() {
+    use shard_manager::cluster::MaintenanceImpact;
+    let mut cfg = ExperimentConfig::single_region(8, 120);
+    cfg.policy = AppPolicy::primary_secondary(1);
+    cfg.clients_per_region = 4;
+    cfg.request_rate = 6.0;
+    // Detection slower than the 60 s window: no failover churn, the
+    // §4.2 preparation is what carries availability.
+    cfg.failure_detection = SimDuration::from_secs(90);
+    let mut sim = SimWorld::primed(cfg);
+    sim.run_until(SimTime::from_secs(50));
+
+    let affected = vec![ServerId(0), ServerId(1)];
+    sim.schedule_at(
+        SimTime::from_secs(55),
+        WorldEvent::MaintenancePrepare {
+            servers: affected.clone(),
+        },
+    );
+    sim.schedule_at(
+        SimTime::from_secs(60),
+        WorldEvent::MaintenanceStart {
+            region: RegionId(0),
+            servers: affected.clone(),
+            impact: MaintenanceImpact::NetworkLoss,
+        },
+    );
+    sim.schedule_at(
+        SimTime::from_secs(120),
+        WorldEvent::MaintenanceEnd {
+            region: RegionId(0),
+            servers: affected.clone(),
+            impact: MaintenanceImpact::NetworkLoss,
+        },
+    );
+    // During the window, no primary sits on an affected server (every
+    // shard here has a secondary elsewhere to promote).
+    sim.run_until(SimTime::from_secs(90));
+    {
+        let w = sim.world();
+        for s in 0..120 {
+            if let Some(p) = w.orchestrator().assignment().primary_of(ShardId(s)) {
+                assert!(!affected.contains(&p), "shard {s} primary in blast radius");
+            }
+        }
+    }
+    sim.run_until(SimTime::from_secs(300));
+    let w = sim.world();
+    assert!(
+        w.stats.success_rate() > 0.97,
+        "maintenance handled gracefully: {:?}",
+        w.stats
+    );
+    assert_eq!(w.serving_count(), 8, "everyone back after the window");
+}
+
+#[test]
+fn control_plane_failover_resumes_from_zookeeper_state() {
+    let mut cfg = ExperimentConfig::single_region(8, 150);
+    cfg.clients_per_region = 4;
+    cfg.failure_detection = SimDuration::from_secs(5);
+    let mut sim = SimWorld::primed(cfg);
+    sim.run_until(SimTime::from_secs(60));
+    let moves_before = sim.world().orchestrator().stats().completed_moves;
+
+    // The active mini-SM dies; the standby restores from ZooKeeper.
+    sim.schedule_at(SimTime::from_secs(61), WorldEvent::ControlPlaneFailover);
+    sim.run_until(SimTime::from_secs(70));
+    {
+        let w = sim.world();
+        // Fresh orchestrator (its counters reset) with the full state.
+        assert!(w.orchestrator().stats().completed_moves < moves_before);
+        assert_eq!(w.orchestrator().assignment().shard_count(), 150);
+    }
+
+    // And it is fully in charge: a crash after the takeover heals.
+    sim.schedule_at(SimTime::from_secs(71), WorldEvent::ServerCrash(ServerId(2)));
+    sim.run_until(SimTime::from_secs(200));
+    let w = sim.world();
+    assert!(w.orchestrator().shards_on(ServerId(2)).is_empty());
+    assert_eq!(w.orchestrator().assignment().shard_count(), 150);
+    assert!(w.stats.success_rate() > 0.97, "{:?}", w.stats);
+}

@@ -1,0 +1,574 @@
+//! Property-based tests on the core invariants.
+
+use proptest::prelude::*;
+use shard_manager::solver::penalty_tree::PenaltyTree;
+use shard_manager::solver::{
+    BalanceSpec, Bin, BinId, CapacitySpec, Entity, EntityId, Evaluator, ExclusionSpec, Problem,
+    Scope, Spec, SpecSet,
+};
+use shard_manager::types::{
+    AppKey, Assignment, KeyRange, LoadVector, Location, MachineId, Metric, RegionId, ReplicaRole,
+    ServerId, ShardId, ShardingSpec,
+};
+
+// ---- Key-space properties ----
+
+proptest! {
+    /// Every u64 key resolves to exactly one shard of a uniform spec,
+    /// and the resolved range actually contains the key.
+    #[test]
+    fn uniform_spec_covers_key_space(n in 1u64..64, key in any::<u64>()) {
+        let spec = ShardingSpec::uniform_u64(n);
+        let k = AppKey::from_u64(key);
+        let shard = spec.shard_for(&k).expect("covered");
+        let range = spec.range_of(shard).expect("range exists");
+        prop_assert!(range.contains(&k));
+    }
+
+    /// The shards selected for a prefix scan are exactly those whose
+    /// range intersects the prefix interval.
+    #[test]
+    fn prefix_scan_selects_exactly_matching_ranges(
+        n in 1u64..32,
+        prefix in proptest::collection::vec(any::<u8>(), 0..3),
+    ) {
+        let spec = ShardingSpec::uniform_u64(n);
+        let selected = spec.shards_for_prefix(&prefix);
+        for (range, shard) in spec.iter() {
+            let intersects = range_intersects_prefix(range, &prefix);
+            prop_assert_eq!(
+                selected.contains(shard),
+                intersects,
+                "shard {} range {} prefix {:?}",
+                shard, range, &prefix
+            );
+        }
+    }
+
+    /// Encoding u64 keys preserves order.
+    #[test]
+    fn u64_key_order(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(a.cmp(&b), AppKey::from_u64(a).cmp(&AppKey::from_u64(b)));
+    }
+}
+
+fn range_intersects_prefix(range: &KeyRange, prefix: &[u8]) -> bool {
+    // Oracle: brute force over the interval bounds.
+    let lo = AppKey::new(prefix.to_vec());
+    let hi = {
+        let mut p = prefix.to_vec();
+        loop {
+            match p.last_mut() {
+                None => break None,
+                Some(255) => {
+                    p.pop();
+                }
+                Some(x) => {
+                    *x += 1;
+                    break Some(AppKey::new(p.clone()));
+                }
+            }
+        }
+    };
+    match hi {
+        Some(hi) => range.overlaps(&KeyRange::new(lo, hi)),
+        None => range.overlaps(&KeyRange::from(lo)),
+    }
+}
+
+// ---- Assignment invariants ----
+
+#[derive(Debug, Clone)]
+enum AsgOp {
+    Add(u64, u32, bool),
+    Remove(u64, u32),
+    Move(u64, u32, u32),
+    ChangeRole(u64, u32, bool),
+    DropServer(u32),
+}
+
+fn asg_op() -> impl Strategy<Value = AsgOp> {
+    prop_oneof![
+        (0u64..8, 0u32..6, any::<bool>()).prop_map(|(s, v, p)| AsgOp::Add(s, v, p)),
+        (0u64..8, 0u32..6).prop_map(|(s, v)| AsgOp::Remove(s, v)),
+        (0u64..8, 0u32..6, 0u32..6).prop_map(|(s, a, b)| AsgOp::Move(s, a, b)),
+        (0u64..8, 0u32..6, any::<bool>()).prop_map(|(s, v, p)| AsgOp::ChangeRole(s, v, p)),
+        (0u32..6).prop_map(AsgOp::DropServer),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary operation sequences, an assignment never holds
+    /// two primaries for a shard and never hosts a shard twice on one
+    /// server.
+    #[test]
+    fn assignment_invariants_hold(ops in proptest::collection::vec(asg_op(), 0..60)) {
+        let mut a = Assignment::new();
+        for op in ops {
+            let _ = match op {
+                AsgOp::Add(s, v, p) => a
+                    .add_replica(
+                        ShardId(s),
+                        ServerId(v),
+                        if p { ReplicaRole::Primary } else { ReplicaRole::Secondary },
+                    )
+                    .map(|_| true),
+                AsgOp::Remove(s, v) => Ok(a.remove_replica(ShardId(s), ServerId(v))),
+                AsgOp::Move(s, x, y) => a.move_replica(ShardId(s), ServerId(x), ServerId(y)).map(|_| true),
+                AsgOp::ChangeRole(s, v, p) => a
+                    .change_role(
+                        ShardId(s),
+                        ServerId(v),
+                        if p { ReplicaRole::Primary } else { ReplicaRole::Secondary },
+                    )
+                    .map(|_| true),
+                AsgOp::DropServer(v) => Ok(!a.drop_server(ServerId(v)).is_empty()),
+            };
+            for shard in a.shard_ids().collect::<Vec<_>>() {
+                let replicas = a.replicas(shard);
+                let primaries = replicas.iter().filter(|r| r.role.is_primary()).count();
+                prop_assert!(primaries <= 1, "{shard} has {primaries} primaries");
+                let mut servers: Vec<ServerId> = replicas.iter().map(|r| r.server).collect();
+                servers.sort();
+                servers.dedup();
+                prop_assert_eq!(servers.len(), replicas.len(), "{} hosted twice", shard);
+            }
+        }
+    }
+}
+
+// ---- Penalty tree vs naive oracle ----
+
+proptest! {
+    #[test]
+    fn penalty_tree_matches_naive_sum(
+        updates in proptest::collection::vec((0usize..64, 0.0f64..100.0), 1..200)
+    ) {
+        let mut tree = PenaltyTree::new(64);
+        let mut naive = vec![0.0f64; 64];
+        for (i, v) in updates {
+            tree.set(i, v);
+            naive[i] = v;
+            let expect: f64 = naive.iter().sum();
+            prop_assert!((tree.total() - expect).abs() < 1e-6);
+        }
+        // Top-k agrees with a naive argmax scan on the hottest leaf.
+        if let Some(&top) = tree.top_k(1).first() {
+            let best = naive
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            prop_assert!((naive[top] - naive[best]).abs() < 1e-9);
+        }
+    }
+}
+
+// ---- Evaluator: incremental deltas match recomputation ----
+
+proptest! {
+    /// For random problems and random applied moves, the incrementally
+    /// maintained objective equals a from-scratch recomputation, and
+    /// every predicted move delta matches the actual change.
+    #[test]
+    fn evaluator_incremental_consistency(
+        seed in 0u64..500,
+        moves in proptest::collection::vec((0usize..24, 0usize..9), 1..40)
+    ) {
+        let mut p = Problem::new();
+        for i in 0..9u32 {
+            p.add_bin(Bin {
+                capacity: LoadVector::single(Metric::Cpu.id(), 50.0),
+                location: Location {
+                    region: RegionId((i % 3) as u16),
+                    datacenter: i % 3,
+                    rack: i,
+                    machine: MachineId(i),
+                },
+                draining: i == 0,
+            });
+        }
+        let mut groups = Vec::new();
+        for gi in 0..8 {
+            let g = p.new_group();
+            groups.push(g);
+            for r in 0..3 {
+                let load = ((seed + gi as u64 * 3 + r) % 7 + 1) as f64;
+                p.add_entity(
+                    Entity {
+                        load: LoadVector::single(Metric::Cpu.id(), load),
+                        group: Some(g),
+                    },
+                    Some(BinId(((gi * 3 + r as usize) + seed as usize) % 9)),
+                );
+            }
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec { metric: Metric::Cpu.id() });
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.1,
+            weight: 1.0,
+            priority: 0,
+        }));
+        specs.add_goal(Spec::Exclusion(ExclusionSpec {
+            scope: Scope::Region,
+            groups,
+            weight: 2.0,
+            priority: 0,
+        }));
+        specs.add_goal(Spec::Drain(shard_manager::solver::DrainSpec {
+            weight: 1.5,
+            priority: 1,
+        }));
+        let mut eval = Evaluator::new(&p, &specs, u8::MAX);
+        for (e, b) in moves {
+            let entity = EntityId(e);
+            let target = BinId(b);
+            if let Some(delta) = eval.eval_move(entity, target) {
+                let before = eval.total_penalty();
+                eval.apply_move(entity, target);
+                let after = eval.total_penalty();
+                prop_assert!(
+                    (after - before - delta).abs() < 1e-9,
+                    "predicted {delta}, got {}",
+                    after - before
+                );
+                prop_assert!((after - eval.recompute_total()).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+// ---- Move scheduler caps ----
+
+proptest! {
+    /// The scheduler never exceeds any cap and always drains.
+    #[test]
+    fn move_scheduler_respects_caps(
+        moves in proptest::collection::vec((0u64..12, 0u32..8, 0u32..8), 0..60),
+        total in 1usize..8,
+        per_server in 1usize..4,
+        per_shard in 1usize..3,
+    ) {
+        use shard_manager::allocator::{MoveCaps, MoveScheduler, ReplicaMove};
+        use std::collections::HashMap;
+        let moves: Vec<ReplicaMove> = moves
+            .into_iter()
+            .filter(|(_, from, to)| from != to)
+            .enumerate()
+            .map(|(i, (s, from, to))| ReplicaMove {
+                shard: ShardId(s),
+                replica: i,
+                from: Some(ServerId(from)),
+                to: ServerId(to),
+            })
+            .collect();
+        let n = moves.len();
+        let caps = MoveCaps {
+            max_total: total,
+            max_per_server: per_server,
+            max_per_shard: per_shard,
+        };
+        let mut sched = MoveScheduler::new(moves, caps);
+        let mut executed = 0usize;
+        let mut guard = 0;
+        while !sched.is_done() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "scheduler must make progress");
+            let wave = sched.release();
+            prop_assert!(sched.in_flight() <= total);
+            let mut per_srv: HashMap<ServerId, usize> = HashMap::new();
+            let mut per_shd: HashMap<ShardId, usize> = HashMap::new();
+            for mv in &wave {
+                for s in mv.from.into_iter().chain([mv.to]) {
+                    *per_srv.entry(s).or_insert(0) += 1;
+                }
+                *per_shd.entry(mv.shard).or_insert(0) += 1;
+            }
+            for (_, n) in per_srv {
+                prop_assert!(n <= per_server);
+            }
+            for (_, n) in per_shd {
+                prop_assert!(n <= per_shard);
+            }
+            prop_assert!(!wave.is_empty() || sched.in_flight() > 0);
+            for mv in wave {
+                executed += 1;
+                sched.complete(&mv);
+            }
+        }
+        prop_assert_eq!(executed, n);
+    }
+}
+
+// ---- ZooKeeper session semantics ----
+
+proptest! {
+    /// Ephemerals die with their session; persistents survive.
+    #[test]
+    fn zk_ephemerals_die_with_session(
+        nodes in proptest::collection::vec((0usize..4, any::<bool>()), 1..20),
+        expire in 0usize..4,
+    ) {
+        use shard_manager::zk::{CreateMode, ZkStore};
+        let mut zk = ZkStore::new();
+        let sessions: Vec<_> = (0..4).map(|_| zk.connect()).collect();
+        let root = zk.connect();
+        zk.create(root, "/n", vec![], CreateMode::Persistent).unwrap();
+        let mut expected_alive = Vec::new();
+        for (i, (owner, ephemeral)) in nodes.iter().enumerate() {
+            let path = format!("/n/z{i}");
+            let mode = if *ephemeral { CreateMode::Ephemeral } else { CreateMode::Persistent };
+            zk.create(sessions[*owner], &path, vec![], mode).unwrap();
+            if !*ephemeral || *owner != expire {
+                expected_alive.push(path);
+            }
+        }
+        zk.expire_session(sessions[expire]);
+        for path in &expected_alive {
+            prop_assert!(zk.exists(path), "{path} should survive");
+        }
+        let children = zk.children("/n").unwrap();
+        prop_assert_eq!(children.len(), expected_alive.len());
+    }
+}
+
+// ---- Local search end-state invariants ----
+
+proptest! {
+    /// Whatever the starting assignment, local search never worsens the
+    /// objective and never leaves a hard capacity/colocation violation
+    /// it didn't start with.
+    #[test]
+    fn search_is_monotone_and_respects_hard_constraints(
+        seed in 0u64..200,
+        placements in proptest::collection::vec(0usize..6, 18..=18),
+    ) {
+        use shard_manager::solver::{LocalSearch, SearchConfig};
+        let mut p = Problem::new();
+        for i in 0..6u32 {
+            p.add_bin(Bin {
+                capacity: LoadVector::single(Metric::Cpu.id(), 12.0),
+                location: Location {
+                    region: RegionId((i % 2) as u16),
+                    datacenter: i % 2,
+                    rack: i,
+                    machine: MachineId(i),
+                },
+                draining: false,
+            });
+        }
+        let mut groups = Vec::new();
+        for g in 0..6 {
+            let group = p.new_group();
+            groups.push(group);
+            for r in 0..3 {
+                p.add_entity(
+                    Entity {
+                        load: LoadVector::single(Metric::Cpu.id(), 2.0),
+                        group: Some(group),
+                    },
+                    Some(BinId(placements[g * 3 + r])),
+                );
+            }
+        }
+        let mut specs = SpecSet::new();
+        specs.add_constraint(CapacitySpec { metric: Metric::Cpu.id() });
+        specs.add_goal(Spec::Balance(BalanceSpec {
+            metric: Metric::Cpu.id(),
+            tolerance: 0.1,
+            weight: 1.0,
+            priority: 0,
+        }));
+        specs.add_goal(Spec::Exclusion(ExclusionSpec {
+            scope: Scope::Region,
+            groups,
+            weight: 2.0,
+            priority: 0,
+        }));
+        let solver = LocalSearch::new(SearchConfig { seed, ..Default::default() });
+        let (assignment, stats) = solver.solve(&p, &specs);
+        prop_assert!(stats.final_penalty <= stats.initial_penalty + 1e-9);
+        // Final state: hard capacity holds wherever the start held it;
+        // here the start always fits (6 entities/bin max = 12 load), so
+        // the end must too, and no group is colocated... capacity only:
+        let eval = Evaluator::with_assignment(&p, &specs, u8::MAX, &assignment);
+        let end = eval.violations();
+        prop_assert_eq!(end.unplaced, 0);
+        // Hard capacity: a start within capacity must end within it.
+        let mut start_usage = vec![0.0f64; 6];
+        for (i, b) in placements.iter().enumerate() {
+            let _ = i;
+            start_usage[*b] += 2.0;
+        }
+        if start_usage.iter().all(|&u| u <= 12.0) {
+            prop_assert_eq!(end.capacity, 0);
+        }
+    }
+}
+
+// ---- Replication log safety ----
+
+#[derive(Debug, Clone)]
+enum LogOp {
+    Append(u8),
+    Replicate(usize),
+    Commit,
+    KillLeader,
+    ElectSafe(usize),
+}
+
+fn log_op() -> impl Strategy<Value = LogOp> {
+    prop_oneof![
+        any::<u8>().prop_map(LogOp::Append),
+        (0usize..5).prop_map(LogOp::Replicate),
+        Just(LogOp::Commit),
+        Just(LogOp::KillLeader),
+        (0usize..5).prop_map(LogOp::ElectSafe),
+    ]
+}
+
+proptest! {
+    /// Committed entries are never lost or reordered, under arbitrary
+    /// interleavings of appends, replication, leader kills, and safe
+    /// elections.
+    #[test]
+    fn replication_never_loses_committed_entries(
+        ops in proptest::collection::vec(log_op(), 0..80)
+    ) {
+        use shard_manager::apps::replication::ReplicationGroup;
+        let mut g: ReplicationGroup<u32> = ReplicationGroup::new([0u32, 1, 2, 3, 4]);
+        g.elect(0).unwrap();
+        let mut committed_history: Vec<Vec<u8>> = Vec::new();
+        for op in ops {
+            match op {
+                LogOp::Append(b) => {
+                    if let Some(leader) = g.leader() {
+                        let _ = g.append(leader, vec![b]);
+                    }
+                }
+                LogOp::Replicate(f) => {
+                    let _ = g.replicate_to(f as u32);
+                }
+                LogOp::Commit => {
+                    g.advance_commit();
+                    // The leader's commit index may lag right after an
+                    // election (followers haven't re-acked), but two
+                    // safety properties must always hold:
+                    // 1. everything ever committed is a prefix of the
+                    //    current leader's log (no committed data lost);
+                    // 2. whatever the leader now reports committed never
+                    //    rewrites earlier committed data.
+                    if let Some(leader) = g.leader() {
+                        if let Some(log) = g.log(leader) {
+                            prop_assert!(
+                                log.entries().len() >= committed_history.len(),
+                                "leader lost committed entries"
+                            );
+                            for (h, e) in committed_history.iter().zip(log.entries()) {
+                                prop_assert_eq!(h, &e.data, "committed entry rewritten in log");
+                            }
+                            let prefix: Vec<Vec<u8>> = log
+                                .committed_entries()
+                                .iter()
+                                .map(|e| e.data.clone())
+                                .collect();
+                            for (a, b) in committed_history.iter().zip(prefix.iter()) {
+                                prop_assert_eq!(a, b, "commit index covers different data");
+                            }
+                            if prefix.len() > committed_history.len() {
+                                committed_history = prefix;
+                            }
+                        }
+                    }
+                }
+                LogOp::KillLeader => {
+                    // SM's operational discipline (§2.5): never remove a
+                    // replica if that would leave the committed prefix
+                    // without a quorum of holders — the per-shard
+                    // unavailability cap enforces exactly this in the
+                    // control plane. Model the same precondition here;
+                    // without it, no protocol can preserve the data.
+                    if let Some(leader) = g.leader() {
+                        if g.members() > 1 {
+                            let holds = |m: u32| {
+                                g.log(m)
+                                    .map(|log| {
+                                        log.entries().len() >= committed_history.len()
+                                            && log.entries()[..committed_history.len()]
+                                                .iter()
+                                                .zip(committed_history.iter())
+                                                .all(|(e, h)| &e.data == h)
+                                    })
+                                    .unwrap_or(false)
+                            };
+                            let survivors: Vec<u32> = (0..5u32)
+                                .filter(|m| *m != leader && g.log(*m).is_some())
+                                .collect();
+                            let holders = survivors.iter().filter(|m| holds(**m)).count();
+                            let quorum_after = survivors.len() / 2 + 1;
+                            if holders >= quorum_after {
+                                g.remove_member(leader);
+                            }
+                        }
+                    }
+                }
+                LogOp::ElectSafe(pick) => {
+                    let safe = g.safe_successors();
+                    if !safe.is_empty() && g.leader().is_none() {
+                        let id = safe[pick % safe.len()];
+                        g.elect(id).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- Graceful-handover admission: a request is never rejected ----
+
+proptest! {
+    /// At every step of the §4.3 protocol, a client request that reaches
+    /// either server is served or forwarded to the other — never
+    /// rejected — as long as the client could have reached step 0 state.
+    #[test]
+    fn handover_admission_never_drops(step in 0usize..5, forwarded in any::<bool>()) {
+        use shard_manager::apps::forwarding::{AppResponse, ShardHost};
+        use shard_manager::types::ReplicaRole;
+        let shard = ShardId(1);
+        let old_id = ServerId(10);
+        let new_id = ServerId(20);
+        let mut old = ShardHost::new();
+        let mut new = ShardHost::new();
+        old.add_shard(shard, ReplicaRole::Primary).unwrap();
+        if step >= 1 {
+            new.prepare_add_shard(shard, old_id, ReplicaRole::Primary).unwrap();
+        }
+        if step >= 2 {
+            old.prepare_drop_shard(shard, new_id, ReplicaRole::Primary).unwrap();
+        }
+        if step >= 3 {
+            new.add_shard(shard, ReplicaRole::Primary).unwrap();
+        }
+        if step >= 4 {
+            old.drop_shard(shard).unwrap();
+        }
+        // A client with a pre-migration map sends to the old server.
+        match old.admit(shard, false) {
+            AppResponse::Serve => {}
+            AppResponse::Forward(target) => {
+                prop_assert_eq!(target, new_id);
+                // The forwarded request must be accepted at the target.
+                prop_assert_eq!(new.admit(shard, true), AppResponse::Serve);
+            }
+            AppResponse::NotMine => prop_assert!(false, "old server dropped a request at step {step}"),
+        }
+        // A client with a post-migration map (possible once step >= 3)
+        // sends to the new server directly.
+        if step >= 3 {
+            prop_assert_eq!(new.admit(shard, forwarded), AppResponse::Serve);
+        }
+    }
+}
