@@ -7,7 +7,7 @@ use sm_solver::{
     Scope, Spec, SpecSet, UtilizationCapSpec,
 };
 use sm_types::{FaultDomain, ServerId};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Goal priorities, matching the §5.1 ordering.
 const PRIO_PLACEMENT: u8 = 0; // region preference + spread of replicas
@@ -67,7 +67,7 @@ impl Allocator {
             .iter()
             .map(|s| (s.shard, vec![None; s.replicas.len()]))
             .collect();
-        let live: HashSet<ServerId> = input.servers.iter().map(|s| s.id).collect();
+        let live: BTreeSet<ServerId> = input.servers.iter().map(|s| s.id).collect();
         for (entity_idx, &(shard_idx, slot)) in slot_index.iter().enumerate() {
             let new_server = assignment[entity_idx].map(|b| server_ids[b.0]);
             target[shard_idx].1[slot] = new_server;
@@ -109,9 +109,8 @@ impl AllocInput {
 /// server mapping, and per entity its (shard index, replica slot).
 fn build_problem(
     input: &AllocInput,
-    max_priority: u8,
+    _max_priority: u8,
 ) -> (Problem, SpecSet, Vec<ServerId>, Vec<(usize, usize)>) {
-    let _ = max_priority;
     let mut problem = Problem::new();
     let mut server_ids = Vec::with_capacity(input.servers.len());
     let mut server_index: BTreeMap<ServerId, BinId> = BTreeMap::new();
@@ -131,7 +130,7 @@ fn build_problem(
             .servers
             .iter()
             .map(|s| s.location.domain(level))
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .len()
     };
     let n_regions = distinct(FaultDomain::Region);

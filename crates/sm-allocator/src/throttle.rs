@@ -8,7 +8,7 @@
 
 use crate::plan::ReplicaMove;
 use sm_types::{ServerId, ShardId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Concurrency caps for plan execution.
 #[derive(Clone, Copy, Debug)]
@@ -37,8 +37,8 @@ pub struct MoveScheduler {
     queue: Vec<ReplicaMove>,
     caps: MoveCaps,
     in_flight: Vec<ReplicaMove>,
-    server_load: HashMap<ServerId, usize>,
-    shard_load: HashMap<ShardId, usize>,
+    server_load: BTreeMap<ServerId, usize>,
+    shard_load: BTreeMap<ShardId, usize>,
 }
 
 impl MoveScheduler {
@@ -49,8 +49,8 @@ impl MoveScheduler {
             queue: moves.into_iter().rev().collect(),
             caps,
             in_flight: Vec::new(),
-            server_load: HashMap::new(),
-            shard_load: HashMap::new(),
+            server_load: BTreeMap::new(),
+            shard_load: BTreeMap::new(),
         }
     }
 

@@ -353,10 +353,10 @@ impl AppLogic {
     fn serve(&mut self, shard: ShardId, key: &AppKey) {
         match self {
             AppLogic::Kv(s) => {
-                let _ = s.get(shard, key);
+                let _response = s.get(shard, key);
             }
             AppLogic::Queue(s) => {
-                let _ = s.enqueue(shard, key.0.clone());
+                let _response = s.enqueue(shard, key.0.clone());
             }
         }
     }
@@ -480,7 +480,7 @@ impl SimWorld {
                     datacenter: u32::from(region.raw()),
                     rack: {
                         // Two servers per rack.
-                        if id % 2 == 0 {
+                        if id.is_multiple_of(2) {
                             next_rack += 1;
                         }
                         next_rack
@@ -734,7 +734,7 @@ impl SimWorld {
         host.down_since = None;
         if !self.zk.session_alive(host.zk_session) {
             let session = self.zk.connect();
-            let _ = self.zk.create(
+            let _outcome = self.zk.create(
                 session,
                 &format!("/servers/srv{}", server.raw()),
                 Vec::new(),
@@ -1024,11 +1024,10 @@ impl World for SimWorld {
                 let result = rpc.dispatch(host.logic.as_shard_server());
                 // Dropping a shard the server no longer has is a
                 // success from the control plane's perspective.
-                let ok = match (&rpc, &result) {
-                    (_, Ok(())) => true,
-                    (ServerRpc::DropShard { .. }, Err(SmError::NotFound(_))) => true,
-                    _ => false,
-                };
+                let ok = matches!(
+                    (&rpc, &result),
+                    (_, Ok(())) | (ServerRpc::DropShard { .. }, Err(SmError::NotFound(_)))
+                );
                 let mut delay = self.rpc_latency(server, ctx);
                 if cold && ok {
                     delay = delay + self.cfg.shard_load_time;
@@ -1057,15 +1056,15 @@ impl World for SimWorld {
                 // (§3.2): the standby path reads it on takeover.
                 let snap = self.orch.snapshot();
                 if self.zk.exists("/sm") {
-                    let _ = self.zk.set("/sm/state", snap, None);
+                    let _outcome = self.zk.set("/sm/state", snap, None);
                 } else {
                     let session = self.zk.connect();
-                    let _ = self
-                        .zk
-                        .create(session, "/sm", Vec::new(), CreateMode::Persistent);
-                    let _ = self
-                        .zk
-                        .create(session, "/sm/state", snap, CreateMode::Persistent);
+                    let _outcome =
+                        self.zk
+                            .create(session, "/sm", Vec::new(), CreateMode::Persistent);
+                    let _outcome =
+                        self.zk
+                            .create(session, "/sm/state", snap, CreateMode::Persistent);
                 }
                 if std::env::var("SM_DEBUG_MAP").is_ok() {
                     let map = self.orch.current_map();
@@ -1151,7 +1150,8 @@ impl World for SimWorld {
                     .collect();
                 if let Some(cm) = self.cms.get_mut(&region) {
                     for c in targets {
-                        let _ = cm.request_op(c, OpKind::Restart, sm_cluster::OpReason::Upgrade);
+                        let _outcome =
+                            cm.request_op(c, OpKind::Restart, sm_cluster::OpReason::Upgrade);
                     }
                 }
             }
@@ -1189,7 +1189,7 @@ impl World for SimWorld {
                 let region = self.servers.get(&server).map(|h| h.region);
                 if let Some(region) = region {
                     if let Some(cm) = self.cms.get_mut(&region) {
-                        let _ = cm.crash_container(ContainerId(server.raw()));
+                        let _outcome = cm.crash_container(ContainerId(server.raw()));
                     }
                 }
                 self.take_server_down(server, now, ctx);

@@ -66,7 +66,7 @@ impl ReplStoreServer {
         // Replicate to all followers; in the simulation replication is a
         // synchronous round (latency is charged by the harness).
         for f in group.follower_ids() {
-            let _ = group.replicate_to(f);
+            let _acked = group.replicate_to(f);
         }
         group.advance_commit();
         Ok(idx)
@@ -133,7 +133,7 @@ impl ShardServer for ReplStoreServer {
         let mut groups = self.groups.borrow_mut();
         if let Some(group) = groups.get_mut(&shard) {
             group.add_member(self.id);
-            let _ = group.replicate_to(self.id);
+            let _acked = group.replicate_to(self.id);
             group.advance_commit();
         }
         Ok(())

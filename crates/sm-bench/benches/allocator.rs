@@ -1,25 +1,20 @@
 //! Allocator benchmarks: end-to-end planning at several scales, plus
 //! the fast emergency path (§5.1's two modes).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sm_allocator::Allocator;
+use sm_bench::bench_function;
 use sm_workloads::snapshot::{SnapshotConfig, ZippyDbSnapshot};
 
-fn bench_periodic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("plan_periodic");
-    group.sample_size(10);
+fn bench_periodic() {
     for servers in [40u32, 120] {
         let snapshot = ZippyDbSnapshot::generate(SnapshotConfig::figure21_scaled(servers));
-        group.bench_with_input(
-            BenchmarkId::new("zippydb_snapshot", format!("{servers}srv")),
-            &servers,
-            |b, _| b.iter(|| std::hint::black_box(Allocator::plan_periodic(&snapshot.input))),
-        );
+        bench_function(&format!("plan_periodic_zippydb_{servers}srv"), || {
+            std::hint::black_box(Allocator::plan_periodic(&snapshot.input));
+        });
     }
-    group.finish();
 }
 
-fn bench_emergency(c: &mut Criterion) {
+fn bench_emergency() {
     // A snapshot where 5% of shards lost their replica.
     let snapshot = ZippyDbSnapshot::generate(SnapshotConfig::figure21_scaled(120));
     let mut input = snapshot.input;
@@ -28,13 +23,12 @@ fn bench_emergency(c: &mut Criterion) {
             shard.replicas[0] = None;
         }
     }
-    let mut group = c.benchmark_group("plan_emergency");
-    group.sample_size(10);
-    group.bench_function("replace_5pct_of_9k", |b| {
-        b.iter(|| std::hint::black_box(Allocator::plan_emergency(&input)))
+    bench_function("plan_emergency_replace_5pct_of_9k", || {
+        std::hint::black_box(Allocator::plan_emergency(&input));
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_periodic, bench_emergency);
-criterion_main!(benches);
+fn main() {
+    bench_periodic();
+    bench_emergency();
+}

@@ -1,14 +1,14 @@
 //! Control-plane benchmarks: the graceful-migration protocol, the
 //! TaskController review loop, and a short end-to-end world run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sm_apps::harness::{ExperimentConfig, SimWorld};
+use sm_bench::bench_function;
 use sm_cluster::{ContainerOp, OpId, OpKind, OpReason};
 use sm_core::{AvailabilityView, TaskController};
 use sm_sim::SimTime;
 use sm_types::{AppPolicy, ContainerId, RegionId, ReplicaRole, ShardId};
 
-fn bench_taskcontroller_review(c: &mut Criterion) {
+fn bench_taskcontroller_review() {
     // 200 pending ops over containers hosting 50 shards each.
     let ops: Vec<ContainerOp> = (0..200)
         .map(|i| ContainerOp {
@@ -33,29 +33,24 @@ fn bench_taskcontroller_review(c: &mut Criterion) {
     let mut policy = AppPolicy::secondary_only(2);
     policy.max_concurrent_container_ops = 20;
     policy.max_unavailable_replicas_per_shard = 1;
-    c.bench_function("taskcontroller_review_200_ops", |b| {
-        b.iter(|| {
-            let mut tc = TaskController::new(policy.clone());
-            std::hint::black_box(tc.review(RegionId(0), &ops, &view))
-        })
+    bench_function("taskcontroller_review_200_ops", || {
+        let mut tc = TaskController::new(policy.clone());
+        std::hint::black_box(tc.review(RegionId(0), &ops, &view));
     });
 }
 
-fn bench_world_bootstrap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("world");
-    group.sample_size(10);
-    group.bench_function("bootstrap_1000_shards_60s", |b| {
-        b.iter(|| {
-            let mut cfg = ExperimentConfig::single_region(12, 1_000);
-            cfg.clients_per_region = 2;
-            cfg.request_rate = 2.0;
-            let mut sim = SimWorld::primed(cfg);
-            sim.run_until(SimTime::from_secs(60));
-            std::hint::black_box(sim.world().stats)
-        })
+fn bench_world_bootstrap() {
+    bench_function("world_bootstrap_1000_shards_60s", || {
+        let mut cfg = ExperimentConfig::single_region(12, 1_000);
+        cfg.clients_per_region = 2;
+        cfg.request_rate = 2.0;
+        let mut sim = SimWorld::primed(cfg);
+        sim.run_until(SimTime::from_secs(60));
+        std::hint::black_box(sim.world().stats);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_taskcontroller_review, bench_world_bootstrap);
-criterion_main!(benches);
+fn main() {
+    bench_taskcontroller_review();
+    bench_world_bootstrap();
+}

@@ -1,6 +1,6 @@
 //! Routing benchmarks: the per-request costs on the client hot path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sm_bench::bench_function;
 use sm_routing::ServiceRouter;
 use sm_sim::LatencyModel;
 use sm_types::{
@@ -37,35 +37,31 @@ fn build_router(shards: u64, servers: u32) -> ServiceRouter {
     router
 }
 
-fn bench_route(c: &mut Criterion) {
+fn bench_route() {
     let mut router = build_router(10_000, 100);
     let mut k = 0u64;
-    c.bench_function("route_primary_10k_shards", |b| {
-        b.iter(|| {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            std::hint::black_box(router.route(APP, &AppKey::from_u64(k)))
-        })
+    bench_function("route_primary_10k_shards", || {
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let _routed = std::hint::black_box(router.route(APP, &AppKey::from_u64(k)));
     });
 }
 
-fn bench_route_nearest(c: &mut Criterion) {
+fn bench_route_nearest() {
     let router = build_router(10_000, 100);
     let latency = LatencyModel::frc_prn_odn();
     let mut k = 0u64;
-    c.bench_function("route_nearest_10k_shards", |b| {
-        b.iter(|| {
-            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
-            std::hint::black_box(router.route_nearest(
-                APP,
-                &AppKey::from_u64(k),
-                RegionId(0),
-                &latency,
-            ))
-        })
+    bench_function("route_nearest_10k_shards", || {
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let _routed = std::hint::black_box(router.route_nearest(
+            APP,
+            &AppKey::from_u64(k),
+            RegionId(0),
+            &latency,
+        ));
     });
 }
 
-fn bench_install_map(c: &mut Criterion) {
+fn bench_install_map() {
     let mut assignment = Assignment::new();
     for s in 0..10_000u64 {
         assignment
@@ -74,27 +70,23 @@ fn bench_install_map(c: &mut Criterion) {
     }
     let mut router = build_router(10_000, 100);
     let mut version = 2u64;
-    c.bench_function("install_map_10k_shards", |b| {
-        b.iter(|| {
-            version += 1;
-            let map = Rc::new(ShardMap::from_assignment(version, &assignment));
-            std::hint::black_box(router.install_map(APP, map))
-        })
+    bench_function("install_map_10k_shards", || {
+        version += 1;
+        let map = Rc::new(ShardMap::from_assignment(version, &assignment));
+        std::hint::black_box(router.install_map(APP, map));
     });
 }
 
-fn bench_prefix_shards(c: &mut Criterion) {
+fn bench_prefix_shards() {
     let router = build_router(10_000, 100);
-    c.bench_function("prefix_scan_shard_set", |b| {
-        b.iter(|| std::hint::black_box(router.shards_for_prefix(APP, &[0x10, 0x20])))
+    bench_function("prefix_scan_shard_set", || {
+        let _routed = std::hint::black_box(router.shards_for_prefix(APP, &[0x10, 0x20]));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_route,
-    bench_route_nearest,
-    bench_install_map,
-    bench_prefix_shards
-);
-criterion_main!(benches);
+fn main() {
+    bench_route();
+    bench_route_nearest();
+    bench_install_map();
+    bench_prefix_shards();
+}

@@ -7,7 +7,7 @@
 //! - `greedy_place`: the hand-crafted-heuristic baseline on the same
 //!   problem.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sm_bench::bench_function;
 use sm_solver::penalty_tree::PenaltyTree;
 use sm_solver::{
     baseline, BalanceSpec, Bin, CapacitySpec, Entity, Evaluator, LocalSearch, Problem,
@@ -67,68 +67,53 @@ fn build_problem(servers: u32, shards_per_server: u32) -> (Problem, SpecSet) {
     (p, specs)
 }
 
-fn bench_penalty_tree(c: &mut Criterion) {
+fn bench_penalty_tree() {
     let mut tree = PenaltyTree::new(4096);
     for i in 0..4096 {
         tree.set(i, (i % 17) as f64);
     }
     let mut i = 0usize;
-    c.bench_function("penalty_tree_update_4096", |b| {
-        b.iter(|| {
-            i = (i * 31 + 7) % 4096;
-            tree.set(i, (i % 13) as f64);
-            std::hint::black_box(tree.total())
-        })
+    bench_function("penalty_tree_update_4096", || {
+        i = (i * 31 + 7) % 4096;
+        tree.set(i, (i % 13) as f64);
+        std::hint::black_box(tree.total());
     });
 }
 
-fn bench_eval_move(c: &mut Criterion) {
+fn bench_eval_move() {
     let (p, specs) = build_problem(200, 75);
     let eval = Evaluator::new(&p, &specs, u8::MAX);
     let mut i = 0usize;
-    c.bench_function("eval_move_15k_entities", |b| {
-        b.iter(|| {
-            i = (i * 131 + 13) % p.entity_count();
-            let target = sm_solver::BinId((i * 7) % p.bin_count());
-            std::hint::black_box(eval.eval_move(sm_solver::EntityId(i), target))
-        })
+    bench_function("eval_move_15k_entities", || {
+        i = (i * 131 + 13) % p.entity_count();
+        let target = sm_solver::BinId((i * 7) % p.bin_count());
+        std::hint::black_box(eval.eval_move(sm_solver::EntityId(i), target));
     });
 }
 
-fn bench_local_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_search");
-    group.sample_size(10);
+fn bench_local_search() {
     for servers in [50u32, 100] {
         let (p, specs) = build_problem(servers, 75);
-        group.bench_with_input(
-            BenchmarkId::new("solve", format!("{}x75", servers)),
-            &servers,
-            |b, _| {
-                b.iter(|| {
-                    let solver = LocalSearch::new(SearchConfig {
-                        seed: 3,
-                        ..Default::default()
-                    });
-                    std::hint::black_box(solver.solve(&p, &specs))
-                })
-            },
-        );
+        bench_function(&format!("local_search_solve_{servers}x75"), || {
+            let solver = LocalSearch::new(SearchConfig {
+                seed: 3,
+                ..Default::default()
+            });
+            std::hint::black_box(solver.solve(&p, &specs));
+        });
     }
-    group.finish();
 }
 
-fn bench_greedy(c: &mut Criterion) {
+fn bench_greedy() {
     let (p, specs) = build_problem(100, 75);
-    c.bench_function("greedy_place_7500", |b| {
-        b.iter(|| std::hint::black_box(baseline::greedy_place(&p, &specs)))
+    bench_function("greedy_place_7500", || {
+        std::hint::black_box(baseline::greedy_place(&p, &specs));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_penalty_tree,
-    bench_eval_move,
-    bench_local_search,
-    bench_greedy
-);
-criterion_main!(benches);
+fn main() {
+    bench_penalty_tree();
+    bench_eval_move();
+    bench_local_search();
+    bench_greedy();
+}

@@ -9,7 +9,7 @@
 
 use sm_bench::{banner, compare, table};
 use sm_sim::SimRng;
-use sm_workloads::census::{Census, CensusConfig, ShardingScheme};
+use sm_workloads::census::{Census, CensusConfig};
 
 fn main() {
     banner("Figure 2", "machines used by SM applications, 2012-2021");
@@ -52,5 +52,4 @@ fn main() {
             final_total / 1_000
         ),
     );
-    let _ = ShardingScheme::ShardManager;
 }

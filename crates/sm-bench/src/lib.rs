@@ -52,16 +52,16 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     for (i, h) in headers.iter().enumerate() {
-        let _ = write!(out, "{:<width$}  ", h, width = widths[i]);
+        let _infallible = write!(out, "{:<width$}  ", h, width = widths[i]);
     }
     out.push('\n');
     for (i, _) in headers.iter().enumerate() {
-        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+        let _infallible = write!(out, "{}  ", "-".repeat(widths[i]));
     }
     out.push('\n');
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
-            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            let _infallible = write!(out, "{:<width$}  ", cell, width = widths[i]);
         }
         out.push('\n');
     }
@@ -71,6 +71,46 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Formats a fraction as a percentage.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// Runs a micro-benchmark and prints a `ns/iter` line.
+///
+/// A self-contained Criterion replacement: calibrates the batch size so
+/// one batch takes a measurable slice of wall time, then reports the
+/// fastest of several batches (the usual way to suppress scheduler
+/// noise). Wall clock is fine here — `sm-bench` is the one crate exempt
+/// from `sm-lint` rule D1.
+pub fn bench_function(name: &str, mut f: impl FnMut()) {
+    use std::time::{Duration, Instant};
+
+    // Warm-up / calibration: grow the batch until it takes >= 10 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    if best >= 1_000_000.0 {
+        println!("{name:<44} {:>12.2} ms/iter", best / 1_000_000.0);
+    } else {
+        println!("{name:<44} {best:>12.0} ns/iter");
+    }
 }
 
 #[cfg(test)]

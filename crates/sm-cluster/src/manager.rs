@@ -200,10 +200,7 @@ impl ClusterManager {
             .collect();
         targets
             .into_iter()
-            .map(|c| {
-                self.request_op(c, OpKind::Restart, OpReason::Upgrade)
-                    .expect("container exists")
-            })
+            .filter_map(|c| self.request_op(c, OpKind::Restart, OpReason::Upgrade).ok())
             .collect()
     }
 
@@ -381,7 +378,7 @@ impl ClusterManager {
         let ids: Vec<MachineId> = self.machines.keys().copied().collect();
         let mut affected = Vec::new();
         for id in ids {
-            affected.extend(self.fail_machine(id).expect("machine exists"));
+            affected.extend(self.fail_machine(id).unwrap_or_default());
         }
         affected
     }
@@ -391,7 +388,7 @@ impl ClusterManager {
         let ids: Vec<MachineId> = self.machines.keys().copied().collect();
         let mut recovered = Vec::new();
         for id in ids {
-            recovered.extend(self.recover_machine(id).expect("machine exists"));
+            recovered.extend(self.recover_machine(id).unwrap_or_default());
         }
         recovered
     }

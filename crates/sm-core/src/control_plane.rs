@@ -212,10 +212,9 @@ impl PartitionRegistry {
         let id = fit.unwrap_or_else(|| {
             let id = MiniSmId(self.next_minism);
             self.next_minism += 1;
-            self.mini_sms.insert(id, MiniSmInfo::default());
             id
         });
-        let info = self.mini_sms.get_mut(&id).expect("just ensured");
+        let info = self.mini_sms.entry(id).or_default();
         info.partitions.push(partition.id);
         info.servers += partition.servers.len();
         info.replicas += replica_count;
@@ -313,10 +312,15 @@ impl MiniSm {
             orch.register_server(server, locate(server), capacity);
         }
         orch.register_shards(partition.shards.iter().copied());
-        self.orchestrators.insert(partition.id, orch);
-        self.orchestrators
-            .get_mut(&partition.id)
-            .expect("just inserted")
+        // entry() hands back the freshly inserted orchestrator without a
+        // second lookup that would need an unreachable panic path.
+        match self.orchestrators.entry(partition.id) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.insert(orch);
+                e.into_mut()
+            }
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(orch),
+        }
     }
 
     /// Releases a partition (it is being rebalanced to another mini-SM).

@@ -410,22 +410,23 @@ impl Orchestrator {
             (Some(_), _, false) => MigrationKind::FreshAdd,
         };
 
-        let (phase, first_rpc, target) = match kind {
-            MigrationKind::GracefulPrimary => (
+        // Matching on (kind, source) lets the compiler see that the
+        // source-ful kinds carry a source; a sourceless one (impossible
+        // by construction above) degrades to a fresh add.
+        let (phase, first_rpc, target) = match (kind, mv.from) {
+            (MigrationKind::GracefulPrimary, Some(src)) => (
                 Phase::PrepareAdd,
                 ServerRpc::PrepareAddShard {
                     shard,
-                    current_owner: mv.from.expect("graceful move has a source"),
+                    current_owner: src,
                     role,
                 },
                 mv.to,
             ),
-            MigrationKind::AbruptMove => (
-                Phase::Drop,
-                ServerRpc::DropShard { shard },
-                mv.from.expect("abrupt move has a source"),
-            ),
-            MigrationKind::SecondaryMove | MigrationKind::FreshAdd => {
+            (MigrationKind::AbruptMove, Some(src)) => {
+                (Phase::Drop, ServerRpc::DropShard { shard }, src)
+            }
+            (MigrationKind::SecondaryMove | MigrationKind::FreshAdd, _) | (_, None) => {
                 (Phase::Add, ServerRpc::AddShard { shard, role }, mv.to)
             }
         };
@@ -453,7 +454,7 @@ impl Orchestrator {
             {
                 self.promotions.swap_remove(pos);
                 if new.is_primary() {
-                    let _ = self.assignment.change_role(shard, server, new);
+                    let _outcome = self.assignment.change_role(shard, server, new);
                     self.stats.promotions += 1;
                     self.publish_map();
                 }
@@ -464,12 +465,13 @@ impl Orchestrator {
         let Some(idx) = self.migrations.iter().position(|m| match m.phase {
             Phase::PrepareAdd => {
                 server == m.to
-                    && rpc
-                        == ServerRpc::PrepareAddShard {
+                    && m.from.is_some_and(|src| {
+                        rpc == ServerRpc::PrepareAddShard {
                             shard: m.shard,
-                            current_owner: m.from.expect("graceful"),
+                            current_owner: src,
                             role: m.role,
                         }
+                    })
             }
             Phase::PrepareDrop => {
                 Some(server) == m.from
@@ -503,10 +505,11 @@ impl Orchestrator {
         match (mig.kind, mig.phase) {
             // -- Graceful primary: steps 1..5 --
             (MigrationKind::GracefulPrimary, Phase::PrepareAdd) => {
+                let Some(src) = mig.from else { return };
                 mig.phase = Phase::PrepareDrop;
                 self.migrations[idx] = mig;
                 self.send_rpc(
-                    mig.from.expect("graceful"),
+                    src,
                     ServerRpc::PrepareDropShard {
                         shard: mig.shard,
                         new_owner: mig.to,
@@ -528,16 +531,12 @@ impl Orchestrator {
             (MigrationKind::GracefulPrimary, Phase::Add) => {
                 // Step 4: record the handover and publish before the
                 // final drop.
-                let _ =
-                    self.assignment
-                        .move_replica(mig.shard, mig.from.expect("graceful"), mig.to);
+                let Some(src) = mig.from else { return };
+                let _outcome = self.assignment.move_replica(mig.shard, src, mig.to);
                 self.publish_map();
                 mig.phase = Phase::Drop;
                 self.migrations[idx] = mig;
-                self.send_rpc(
-                    mig.from.expect("graceful"),
-                    ServerRpc::DropShard { shard: mig.shard },
-                );
+                self.send_rpc(src, ServerRpc::DropShard { shard: mig.shard });
             }
             (MigrationKind::GracefulPrimary, Phase::Drop) => {
                 self.finish_migration(idx);
@@ -545,8 +544,8 @@ impl Orchestrator {
 
             // -- Abrupt primary move: drop, then add --
             (MigrationKind::AbruptMove, Phase::Drop) => {
-                self.assignment
-                    .remove_replica(mig.shard, mig.from.expect("abrupt"));
+                let Some(src) = mig.from else { return };
+                self.assignment.remove_replica(mig.shard, src);
                 mig.phase = Phase::Add;
                 self.migrations[idx] = mig;
                 self.send_rpc(
@@ -558,25 +557,23 @@ impl Orchestrator {
                 );
             }
             (MigrationKind::AbruptMove, Phase::Add) => {
-                let _ = self.assignment.add_replica(mig.shard, mig.to, mig.role);
+                let _outcome = self.assignment.add_replica(mig.shard, mig.to, mig.role);
                 self.publish_map();
                 self.finish_migration(idx);
             }
 
             // -- Secondary move: add, publish, then drop --
             (MigrationKind::SecondaryMove, Phase::Add) => {
-                let _ = self.assignment.add_replica(mig.shard, mig.to, mig.role);
+                let Some(src) = mig.from else { return };
+                let _outcome = self.assignment.add_replica(mig.shard, mig.to, mig.role);
                 self.publish_map();
                 mig.phase = Phase::Drop;
                 self.migrations[idx] = mig;
-                self.send_rpc(
-                    mig.from.expect("secondary move"),
-                    ServerRpc::DropShard { shard: mig.shard },
-                );
+                self.send_rpc(src, ServerRpc::DropShard { shard: mig.shard });
             }
             (MigrationKind::SecondaryMove, Phase::Drop) => {
-                self.assignment
-                    .remove_replica(mig.shard, mig.from.expect("secondary move"));
+                let Some(src) = mig.from else { return };
+                self.assignment.remove_replica(mig.shard, src);
                 self.publish_map();
                 self.finish_migration(idx);
             }
@@ -598,7 +595,7 @@ impl Orchestrator {
                         },
                     );
                 }
-                let _ = self.assignment.add_replica(mig.shard, mig.to, role);
+                let _outcome = self.assignment.add_replica(mig.shard, mig.to, role);
                 self.publish_map();
                 self.finish_migration(idx);
             }
@@ -806,7 +803,7 @@ impl Orchestrator {
             .min_by(|(a, ea), (b, eb)| {
                 let ua = self.usage_of(**a).max_utilization(&ea.capacity);
                 let ub = self.usage_of(**b).max_utilization(&eb.capacity);
-                ua.partial_cmp(&ub).expect("finite")
+                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(id, _)| *id)
     }
@@ -883,7 +880,7 @@ impl Orchestrator {
             };
             // Demote in place, then promote through the normal
             // promotion path (ack-driven, publishes the map).
-            let _ = self
+            let _outcome = self
                 .assignment
                 .change_role(shard, primary, ReplicaRole::Secondary);
             self.send_rpc(
@@ -1009,12 +1006,12 @@ impl Orchestrator {
     pub fn snapshot(&self) -> Vec<u8> {
         use std::fmt::Write as _;
         let mut out = String::from("smorch v1\n");
-        let _ = writeln!(out, "version {}", self.map_version);
+        let _infallible = writeln!(out, "version {}", self.map_version);
         for (shard, n) in &self.desired_replicas {
-            let _ = writeln!(out, "desired {} {}", shard.raw(), n);
+            let _infallible = writeln!(out, "desired {} {}", shard.raw(), n);
         }
         for (shard, replica) in self.assignment.iter() {
-            let _ = writeln!(
+            let _infallible = writeln!(
                 out,
                 "replica {} {} {}",
                 shard.raw(),

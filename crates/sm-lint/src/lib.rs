@@ -1,0 +1,111 @@
+#![warn(missing_docs)]
+//! `sm-lint`: workspace-specific determinism & robustness lints.
+//!
+//! The figure-regeneration harness replays `sm-sim` scenarios and
+//! expects identical traces for identical seeds, and the control plane
+//! earns its availability numbers by degrading through [`SmError`]
+//! rather than panicking. No off-the-shelf linter knows either
+//! contract, so this crate enforces them:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | D1   | no `Instant::now` / `SystemTime::now` outside `sm-bench` |
+//! | D2   | no ambient RNG — only the seeded `sm_sim::SimRng` |
+//! | D3   | no `HashMap`/`HashSet` in deterministic crates |
+//! | R1   | no `unwrap`/`expect`/`panic!` in control-plane non-test code |
+//! | R2   | no `let _ =` value discards |
+//!
+//! Legitimate exceptions are *documented*, not hidden, with an inline
+//! waiver: `// sm-lint: allow(D3) — justification`. The tier-1 test
+//! `tests/lint.rs` runs the linter over the workspace and fails on any
+//! unwaived violation.
+//!
+//! [`SmError`]: https://docs.rs/sm-types
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::Report;
+pub use rules::{check_file, classify, RuleId, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Directories scanned inside the workspace root.
+const SCAN_ROOTS: [&str; 4] = ["src", "tests", "examples", "crates"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Lints every `.rs` file of the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            collect_rust_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let lines = scan::analyze(&src);
+        report.violations.extend(rules::check_file(&rel, &lines));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, skipping build and VCS dirs.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lints_a_synthetic_tree() {
+        let dir = std::env::temp_dir().join(format!("sm-lint-test-{}", std::process::id()));
+        let core = dir.join("crates/sm-core/src");
+        std::fs::create_dir_all(&core).expect("mkdir");
+        std::fs::write(
+            core.join("bad.rs"),
+            "fn f() { x.unwrap(); let t = Instant::now(); }\n",
+        )
+        .expect("write");
+        std::fs::write(
+            core.join("waived.rs"),
+            "fn g() { y.unwrap(); } // sm-lint: allow(R1) — test fixture\n",
+        )
+        .expect("write");
+        let report = lint_workspace(&dir).expect("lint");
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.unwaived().count(), 2, "{:?}", report.violations);
+        assert_eq!(report.waived().count(), 1);
+        assert!(!report.is_clean());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,404 @@
+//! The invariant catalog: which rules exist and where they apply.
+//!
+//! Rule scoping is by *crate class*, derived from the file path:
+//!
+//! - **Deterministic crates** (`sm-sim`, `sm-solver`, `sm-core`,
+//!   `sm-allocator`, `sm-zk`, `sm-cluster`) back the replayable
+//!   simulator, so rule D3 bans order-randomized collections there.
+//! - **Control-plane crates** (`sm-core`, `sm-zk`, `sm-cluster`,
+//!   `sm-allocator`) must degrade via `SmError`, never a panic, so
+//!   rule R1 applies to their non-test code.
+//! - `sm-bench` is the one crate allowed to read the wall clock (D1);
+//!   `sm-lint` itself is tooling and shares that exemption.
+
+use crate::scan::{find_word, LineInfo};
+
+/// Identifier of an enforced invariant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum RuleId {
+    /// No wall-clock reads (`Instant::now` / `SystemTime::now`)
+    /// outside `sm-bench`: simulated time only.
+    D1,
+    /// No ambient RNG (`thread_rng`, `rand::random`, `from_entropy`):
+    /// the seeded `sm_sim::SimRng` only.
+    D2,
+    /// No `HashMap`/`HashSet` in deterministic crates: iteration order
+    /// is randomized per process, which breaks replay. Use
+    /// `BTreeMap`/`BTreeSet` or sort explicitly.
+    D3,
+    /// No `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in
+    /// non-test control-plane code: propagate `SmError`.
+    R1,
+    /// No `let _ =` discards: name the binding (`let _ignored_x`) so
+    /// the dropped value — often a `Result` — is documented.
+    R2,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::R1, RuleId::R2];
+
+    /// The rule's short name as used in waivers (`D1`...`R2`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+        }
+    }
+
+    /// Parses a waiver rule name.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            _ => None,
+        }
+    }
+
+    /// One-line description used in reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::D1 => "wall-clock read outside sm-bench (use sim time / step budgets)",
+            RuleId::D2 => "ambient RNG (use the seeded sm_sim::SimRng)",
+            RuleId::D3 => "order-randomized HashMap/HashSet in a deterministic crate",
+            RuleId::R1 => "panic path in control-plane code (propagate SmError)",
+            RuleId::R2 => "`let _ =` discards a value (name the binding)",
+        }
+    }
+}
+
+/// Crates whose behaviour must be a pure function of the seed.
+pub const DETERMINISTIC_CRATES: [&str; 6] = [
+    "sm-sim",
+    "sm-solver",
+    "sm-core",
+    "sm-allocator",
+    "sm-zk",
+    "sm-cluster",
+];
+
+/// Crates whose non-test code must not panic.
+pub const CONTROL_PLANE_CRATES: [&str; 4] = ["sm-core", "sm-zk", "sm-cluster", "sm-allocator"];
+
+/// Crates exempt from D1 (measurement tooling).
+pub const WALL_CLOCK_EXEMPT: [&str; 2] = ["sm-bench", "sm-lint"];
+
+/// Where a scanned file lives, as far as rule scoping cares.
+#[derive(Clone, Debug)]
+pub struct FileClass {
+    /// Workspace crate the file belongs to (`sm-core`,
+    /// `shard-manager` for the facade, `tests` / `examples` for the
+    /// root directories).
+    pub crate_name: String,
+    /// True for integration-test and bench targets (`tests/`,
+    /// `benches/` directories): R1 never applies there.
+    pub test_target: bool,
+}
+
+/// Classifies a workspace-relative path like `crates/sm-core/src/api.rs`.
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        match parts.first() {
+            Some(&"tests") => "tests".to_string(),
+            Some(&"examples") => "examples".to_string(),
+            _ => "shard-manager".to_string(),
+        }
+    };
+    let test_target = parts.contains(&"tests") || parts.contains(&"benches");
+    FileClass {
+        crate_name,
+        test_target,
+    }
+}
+
+/// A single rule hit.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant was violated.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending pattern (e.g. `Instant::now`).
+    pub pattern: String,
+    /// Justification text when the line carries a matching waiver.
+    pub waiver: Option<String>,
+}
+
+/// Returns the waivers declared on a raw source line, as
+/// `(rule, justification)` pairs.
+///
+/// Waiver syntax: `// sm-lint: allow(D3) — justification`, with
+/// multiple rules separated by commas: `allow(D1, R1)`. A waiver on a
+/// line applies to that line; a whole-line waiver comment applies to
+/// the next line instead.
+pub fn waivers_on(raw: &str) -> Vec<(RuleId, String)> {
+    let Some(at) = raw.find("sm-lint: allow(") else {
+        return Vec::new();
+    };
+    let after = &raw[at + "sm-lint: allow(".len()..];
+    let Some(close) = after.find(')') else {
+        return Vec::new();
+    };
+    let justification = after[close + 1..]
+        .trim_start_matches([' ', '-', '—', ':'])
+        .trim()
+        .to_string();
+    after[..close]
+        .split(',')
+        .filter_map(RuleId::parse)
+        .map(|r| (r, justification.clone()))
+        .collect()
+}
+
+/// Patterns that constitute a D1 violation.
+const D1_PATTERNS: [&str; 2] = ["Instant::now", "SystemTime::now"];
+/// Patterns that constitute a D2 violation.
+const D2_PATTERNS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+/// Unordered collection types banned by D3.
+const D3_PATTERNS: [&str; 2] = ["HashMap", "HashSet"];
+/// Panicking constructs banned by R1 (matched as `name` followed by
+/// `(` or `!`).
+const R1_PATTERNS: [&str; 5] = ["unwrap", "expect", "panic!", "todo!", "unimplemented!"];
+
+/// Runs every applicable rule over one file's lines.
+pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
+    let class = classify(rel_path);
+    let deterministic = DETERMINISTIC_CRATES.contains(&class.crate_name.as_str());
+    let control_plane =
+        CONTROL_PLANE_CRATES.contains(&class.crate_name.as_str()) && !class.test_target;
+    let wall_clock_ok = WALL_CLOCK_EXEMPT.contains(&class.crate_name.as_str());
+
+    let mut out = Vec::new();
+    for (idx, info) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut hits: Vec<(RuleId, String)> = Vec::new();
+
+        if !wall_clock_ok {
+            for pat in D1_PATTERNS {
+                if info.masked.contains(pat) {
+                    hits.push((RuleId::D1, pat.to_string()));
+                }
+            }
+        }
+        for pat in D2_PATTERNS {
+            if find_word(&info.masked, pat.trim_end_matches('!')).is_some() {
+                hits.push((RuleId::D2, pat.to_string()));
+            }
+        }
+        if info.masked.contains("rand::random") {
+            hits.push((RuleId::D2, "rand::random".to_string()));
+        }
+        if deterministic {
+            for pat in D3_PATTERNS {
+                if find_word(&info.masked, pat).is_some() {
+                    hits.push((RuleId::D3, pat.to_string()));
+                }
+            }
+        }
+        if control_plane && !info.in_test {
+            for pat in R1_PATTERNS {
+                let bare = pat.trim_end_matches('!');
+                if let Some(pos) = find_word(&info.masked, bare) {
+                    // `unwrap`/`expect` count only as method calls
+                    // (`.unwrap(`); macros only with their bang.
+                    let rest = &info.masked[pos + bare.len()..];
+                    let is_macro = pat.ends_with('!');
+                    let matched = if is_macro {
+                        rest.starts_with('!')
+                    } else {
+                        rest.starts_with('(') && info.masked[..pos].ends_with('.')
+                    };
+                    if matched {
+                        hits.push((RuleId::R1, pat.to_string()));
+                    }
+                }
+            }
+        }
+        if !class.test_target && !info.in_test {
+            // `let _ =` anywhere in the line, but not `let _name =`.
+            if let Some(pos) = info.masked.find("let _") {
+                let boundary = info.masked[..pos]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                let rest = info.masked[pos + "let _".len()..].trim_start();
+                if boundary && rest.starts_with('=') && !rest.starts_with("==") {
+                    hits.push((RuleId::R2, "let _ =".to_string()));
+                }
+            }
+        }
+
+        if hits.is_empty() {
+            continue;
+        }
+
+        // Waivers: same line, or a whole-line waiver comment directly
+        // above.
+        let mut active: Vec<(RuleId, String)> = waivers_on(&info.raw);
+        if idx > 0 {
+            let above = &lines[idx - 1];
+            if above.masked.trim().is_empty() {
+                active.extend(waivers_on(&above.raw));
+            }
+        }
+        for (rule, pattern) in hits {
+            let waiver = active
+                .iter()
+                .find(|(r, _)| *r == rule)
+                .map(|(_, j)| j.clone());
+            out.push(Violation {
+                rule,
+                file: rel_path.to_string(),
+                line: lineno,
+                pattern,
+                waiver,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::analyze;
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, &analyze(src))
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/sm-core/src/api.rs").crate_name, "sm-core");
+        assert_eq!(classify("src/lib.rs").crate_name, "shard-manager");
+        assert_eq!(classify("tests/end_to_end.rs").crate_name, "tests");
+        assert!(classify("tests/end_to_end.rs").test_target);
+        assert!(classify("crates/sm-bench/benches/solver.rs").test_target);
+        assert!(!classify("crates/sm-core/src/api.rs").test_target);
+    }
+
+    #[test]
+    fn d1_flags_wall_clock_outside_bench() {
+        let v = lint("crates/sm-sim/src/time.rs", "let t = Instant::now();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::D1);
+        let v = lint("crates/sm-bench/src/lib.rs", "let t = Instant::now();\n");
+        assert!(v.is_empty(), "sm-bench is exempt");
+    }
+
+    #[test]
+    fn d2_flags_ambient_rng_everywhere() {
+        let v = lint("crates/sm-apps/src/kv.rs", "let r = thread_rng();\n");
+        assert_eq!(v[0].rule, RuleId::D2);
+        let v = lint("tests/foo.rs", "let x: u8 = rand::random();\n");
+        assert_eq!(v[0].rule, RuleId::D2);
+    }
+
+    #[test]
+    fn d3_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint("crates/sm-core/src/api.rs", src).len(), 1);
+        assert!(lint("crates/sm-apps/src/kv.rs", src).is_empty());
+        assert!(lint("crates/sm-routing/src/router.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_scope_and_test_exemption() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\n";
+        let v = lint("crates/sm-zk/src/store.rs", src);
+        assert_eq!(v.len(), 1, "only the non-test unwrap: {v:?}");
+        assert_eq!(v[0].line, 1);
+        // Not a control-plane crate: no R1 at all.
+        assert!(lint("crates/sm-solver/src/search.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_does_not_flag_unwrap_or() {
+        let v = lint(
+            "crates/sm-core/src/api.rs",
+            "fn f() { x.unwrap_or(1); y.unwrap_or_default(); z.expect_err(\"e\"); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r1_flags_panic_macros() {
+        let v = lint(
+            "crates/sm-cluster/src/ops.rs",
+            "fn f() { panic!(\"boom\"); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pattern, "panic!");
+    }
+
+    #[test]
+    fn r2_flags_let_underscore() {
+        let v = lint("crates/sm-apps/src/kv.rs", "fn f() { let _ = send(); }\n");
+        assert_eq!(v[0].rule, RuleId::R2);
+        let v = lint(
+            "crates/sm-apps/src/kv.rs",
+            "fn f() { let _ack = send(); }\n",
+        );
+        assert!(v.is_empty(), "named discards are fine");
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let v = lint(
+            "crates/sm-core/src/api.rs",
+            "// Instant::now is banned; so is unwrap()\nlet s = \"panic!\";\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn same_line_waiver_is_recorded() {
+        let v = lint(
+            "crates/sm-zk/src/store.rs",
+            "fn f() { x.unwrap(); } // sm-lint: allow(R1) — invariant: checked above\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].waiver.as_deref(), Some("invariant: checked above"));
+    }
+
+    #[test]
+    fn previous_line_waiver_applies() {
+        let v = lint(
+            "crates/sm-zk/src/store.rs",
+            "// sm-lint: allow(R1) — parent existence checked above\nfn f() { x.unwrap(); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].waiver.is_some());
+    }
+
+    #[test]
+    fn waiver_for_other_rule_does_not_apply() {
+        let v = lint(
+            "crates/sm-zk/src/store.rs",
+            "fn f() { x.unwrap(); } // sm-lint: allow(D3) — wrong rule\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].waiver.is_none());
+    }
+
+    #[test]
+    fn waiver_parsing_multiple_rules() {
+        let ws = waivers_on("// sm-lint: allow(D1, R1) — measuring real time here");
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].0, RuleId::D1);
+        assert_eq!(ws[1].0, RuleId::R1);
+        assert_eq!(ws[0].1, "measuring real time here");
+    }
+}

@@ -1,0 +1,395 @@
+//! Lexical preprocessing: masking and test-region tracking.
+//!
+//! The rules in [`crate::rules`] are substring checks, so before
+//! matching we *mask* everything a substring check must not see —
+//! comment bodies, string/char literal contents — replacing each
+//! masked character with a space (newlines survive, so line numbers
+//! are preserved). A full `syn`-style parse would be overkill: every
+//! invariant sm-lint enforces is visible at the token level, and the
+//! masker only has to get Rust's lexical grammar right (nested block
+//! comments, raw strings, lifetimes vs. char literals).
+
+/// Per-line view of a masked source file.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// Line text with comments and literal bodies blanked out.
+    pub masked: String,
+    /// Raw line text (used for waiver comments).
+    pub raw: String,
+    /// True when the line sits inside a `#[cfg(test)]` region or a
+    /// `#[test]` function.
+    pub in_test: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Masks comment and literal bodies, preserving length and newlines.
+pub fn mask_source(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' | 'b' if !prev_is_ident(&out) => {
+                    // Possible raw/byte string: r"..", r#".."#, b"..",
+                    // br#".."# — but not raw identifiers like r#fn.
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        out.extend(std::iter::repeat_n(' ', j - i + 1));
+                        i = j;
+                        state = State::RawStr(hashes);
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let n1 = chars.get(i + 1).copied();
+                    let n2 = chars.get(i + 2).copied();
+                    let is_char_lit = match n1 {
+                        Some('\\') => true,
+                        Some(x) if x.is_alphanumeric() || x == '_' => n2 == Some('\''),
+                        Some(_) => true, // punctuation like '(' or ' '
+                        None => false,
+                    };
+                    if is_char_lit {
+                        state = State::CharLit;
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    i += 1;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                }
+            }
+            State::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '\\' {
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                } else if c == '"' {
+                    state = State::Code;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    // Close only when followed by `hashes` hash marks.
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.extend(std::iter::repeat_n(' ', hashes as usize + 1));
+                        i += hashes as usize;
+                        state = State::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::CharLit => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '\\' {
+                    out.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn prev_is_ident(out: &[char]) -> bool {
+    matches!(out.last(), Some(c) if c.is_alphanumeric() || *c == '_')
+}
+
+/// Splits a file into [`LineInfo`]s, tracking `#[cfg(test)]` / `#[test]`
+/// regions by brace depth so rule R1 can exempt test code.
+pub fn analyze(src: &str) -> Vec<LineInfo> {
+    let masked = mask_source(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+
+    let mut infos = Vec::with_capacity(raw_lines.len());
+    let mut depth: i64 = 0;
+    // Depth at which the innermost active test region opened.
+    let mut test_region: Option<i64> = None;
+    // A `#[cfg(test)]` or `#[test]` attribute was seen and its item's
+    // opening brace has not arrived yet.
+    let mut pending_test_attr = false;
+
+    for (idx, mline) in masked_lines.iter().enumerate() {
+        let line_is_test = test_region.is_some() || pending_test_attr || {
+            let t = mline.trim_start();
+            t.starts_with("#[cfg(test)]")
+                || t.starts_with("#[test]")
+                || t.starts_with("#[cfg(all(test")
+        };
+        if test_region.is_none() {
+            let t = mline.trim_start();
+            if t.starts_with("#[cfg(test)]")
+                || t.starts_with("#[test]")
+                || t.starts_with("#[cfg(all(test")
+            {
+                pending_test_attr = true;
+            }
+        }
+        for c in mline.chars() {
+            match c {
+                '{' => {
+                    if pending_test_attr && test_region.is_none() {
+                        test_region = Some(depth);
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(open) = test_region {
+                        if depth <= open {
+                            test_region = None;
+                        }
+                    }
+                }
+                ';'
+                    // `#[cfg(test)] use foo;` — attribute consumed by a
+                    // braceless item.
+                    if pending_test_attr && depth == 0 => {
+                        pending_test_attr = false;
+                    }
+                _ => {}
+            }
+        }
+        infos.push(LineInfo {
+            masked: (*mline).to_string(),
+            raw: raw_lines.get(idx).copied().unwrap_or("").to_string(),
+            in_test: line_is_test,
+        });
+    }
+    infos
+}
+
+/// Finds `needle` in `haystack` at identifier boundaries (the chars
+/// around a match must not be `[A-Za-z0-9_]`).
+pub fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let hay = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(hay[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= hay.len() || !is_ident_byte(hay[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask_source("let x = 1; // HashMap here\n/* thread_rng */ let y;\n");
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("thread_rng"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y;"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask_source("a /* outer /* inner */ still */ b");
+        assert!(m.contains('a'));
+        assert!(m.contains('b'));
+        assert!(!m.contains("outer"));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_shape() {
+        let m = mask_source("call(\"unwrap() inside\") + 1");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("call("));
+        assert!(m.contains("+ 1"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let m = mask_source("let p = r#\"panic!(.unwrap())\"#; done");
+        assert!(!m.contains("panic"));
+        assert!(m.contains("done"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let m = mask_source("let r#fn = 1; let after = r#fn;");
+        assert!(m.contains("let after"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_masked() {
+        let m = mask_source("fn f<'a>(v: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(m.contains("fn f<"));
+        assert!(m.contains("str"), "lifetime must not eat code: {m}");
+        assert!(m.contains("let c ="));
+        assert!(m.contains("let d ="));
+        assert!(!m.contains('x'), "char literal body must be masked: {m}");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let m = mask_source("let s = \"a\\\"unwrap()\"; let t = 2;");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn newlines_and_line_count_preserved() {
+        let src = "a\n\"multi\nline\"\nb\n";
+        let m = mask_source(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "\
+fn real() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn real2() {}
+";
+        let infos = analyze(src);
+        assert!(!infos[0].in_test);
+        assert!(infos[1].in_test);
+        assert!(infos[2].in_test);
+        assert!(infos[3].in_test);
+        assert!(infos[4].in_test);
+        assert!(!infos[5].in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_tracked() {
+        let src = "\
+#[test]
+fn check() {
+    boom.unwrap();
+}
+fn live() {}
+";
+        let infos = analyze(src);
+        assert!(infos[0].in_test);
+        assert!(infos[2].in_test);
+        assert!(!infos[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+fn live() { x.unwrap(); }
+";
+        let infos = analyze(src);
+        assert!(infos[1].in_test);
+        assert!(!infos[2].in_test, "region must not leak past the `;`");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(find_word("x.unwrap()", "unwrap").is_some());
+        assert!(find_word("x.unwrap_or(3)", "unwrap").is_none());
+        assert!(find_word("let map: HashMap<A, B>", "HashMap").is_some());
+        assert!(find_word("MyHashMapLike", "HashMap").is_none());
+    }
+}

@@ -1,24 +1,54 @@
 //! Seeded randomness for deterministic simulation.
-
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through
+//! SplitMix64 — no ambient entropy, no external crates — so a run is a
+//! pure function of its seed. Every random decision in the workspace
+//! must flow through [`SimRng`]; `sm-lint` rule D2 enforces that no
+//! code reaches for `thread_rng()` or other ambient generators.
 
 /// A seeded random source shared by a simulation run.
 ///
-/// Wraps [`SmallRng`] with the handful of sampling helpers the workspace
-/// needs, so call sites don't each import `rand` traits.
-#[derive(Debug)]
+/// Wraps a xoshiro256++ core with the handful of sampling helpers the
+/// workspace needs, so call sites don't each hand-roll distributions.
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand the seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a seed; equal seeds give equal streams.
     pub fn seeded(seed: u64) -> Self {
-        Self {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
+    }
+
+    /// The raw xoshiro256++ step: uniform over all of `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform `u64` in `[lo, hi)`.
@@ -27,7 +57,12 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Widening-multiply range reduction (Lemire); the bias is at
+        // most span / 2^64, far below anything a simulation can see.
+        let wide = u128::from(self.next_u64()) * u128::from(span);
+        lo + (wide >> 64) as u64
     }
 
     /// Uniform `usize` in `[0, n)`.
@@ -36,12 +71,13 @@ impl SimRng {
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -56,7 +92,9 @@ impl SimRng {
 
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
-        items.shuffle(&mut self.inner);
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.index(i + 1));
+        }
     }
 
     /// Samples `k` distinct indices from `[0, n)` (or all of them when
@@ -65,7 +103,15 @@ impl SimRng {
         if k >= n {
             return (0..n).collect();
         }
-        rand::seq::index::sample(&mut self.inner, n, k).into_vec()
+        // Partial Fisher–Yates: after k swaps the prefix holds a
+        // uniform k-subset in uniform order.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
     }
 
     /// A draw from Exp(1/mean), for Poisson inter-arrival times.
@@ -118,11 +164,30 @@ mod tests {
     }
 
     #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SimRng::seeded(23);
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seeded(29);
+        let mut items: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn sample_indices_distinct_and_bounded() {
         let mut rng = SimRng::seeded(3);
         let picked = rng.sample_indices(100, 10);
         assert_eq!(picked.len(), 10);
-        let set: std::collections::HashSet<_> = picked.iter().collect();
+        let set: std::collections::BTreeSet<_> = picked.iter().collect();
         assert_eq!(set.len(), 10);
         assert!(picked.iter().all(|&i| i < 100));
         assert_eq!(rng.sample_indices(5, 10).len(), 5, "k >= n returns all");

@@ -142,15 +142,15 @@ impl TraceLog {
 
         let mut out = String::from("time_s");
         for n in &names {
-            let _ = write!(out, ",{n}");
+            let _infallible = write!(out, ",{n}");
         }
         out.push('\n');
         for w in windows {
-            let _ = write!(out, "{w}");
+            let _infallible = write!(out, "{w}");
             for b in &bucketed {
                 match b.get(&w) {
                     Some(v) => {
-                        let _ = write!(out, ",{v:.4}");
+                        let _infallible = write!(out, ",{v:.4}");
                     }
                     None => out.push(','),
                 }

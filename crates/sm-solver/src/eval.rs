@@ -19,7 +19,7 @@ use crate::penalty_tree::PenaltyTree;
 use crate::problem::{BinId, EntityId, GroupId, Problem};
 use crate::specs::{Scope, Spec, SpecSet};
 use sm_types::{LoadVector, MetricId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 const UNPLACED: u32 = u32::MAX;
 
@@ -77,7 +77,7 @@ struct ExclusionGoal {
     /// `in_goal[group] == true` if the group participates.
     in_goal: Vec<bool>,
     /// Per-group domain occupancy: domain id -> entity count.
-    counts: Vec<HashMap<u64, u32>>,
+    counts: Vec<BTreeMap<u64, u32>>,
     /// Per-group: placed members and distinct domains.
     placed: Vec<u32>,
     distinct: Vec<u32>,
@@ -234,7 +234,7 @@ impl Evaluator {
                         scope: s.scope,
                         weight: s.weight,
                         in_goal,
-                        counts: vec![HashMap::new(); n_groups],
+                        counts: vec![BTreeMap::new(); n_groups],
                         placed: vec![0; n_groups],
                         distinct: vec![0; n_groups],
                     });
@@ -547,7 +547,7 @@ impl Evaluator {
     /// Current bin of an entity.
     pub fn bin_of(&self, e: EntityId) -> Option<BinId> {
         let b = self.assignment[e.0];
-        (b != UNPLACED).then(|| BinId(b as usize))
+        (b != UNPLACED).then_some(BinId(b as usize))
     }
 
     /// Current usage of a bin.
@@ -616,7 +616,7 @@ impl Evaluator {
     pub fn assignment(&self) -> Vec<Option<BinId>> {
         self.assignment
             .iter()
-            .map(|&b| (b != UNPLACED).then(|| BinId(b as usize)))
+            .map(|&b| (b != UNPLACED).then_some(BinId(b as usize)))
             .collect()
     }
 

@@ -108,12 +108,12 @@ mod tests {
     #[test]
     fn prefix_sums_match_naive() {
         let mut t = PenaltyTree::new(16);
-        let mut naive = vec![0.0; 16];
+        let mut naive = [0.0; 16];
         // Deterministic pseudo-values.
-        for i in 0..16 {
+        for (i, slot) in naive.iter_mut().enumerate() {
             let v = ((i * 7 + 3) % 11) as f64;
             t.set(i, v);
-            naive[i] = v;
+            *slot = v;
         }
         for i in 0..16 {
             let expect: f64 = naive[..=i].iter().sum();

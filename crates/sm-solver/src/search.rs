@@ -13,15 +13,17 @@
 //!    improving one; when single moves stall it attempts two-way swaps.
 //!
 //! Goals are activated in priority batches (earlier batches get more of
-//! the time budget), and the run stops on convergence, an exhausted
-//! move/time budget, or a zero objective.
+//! the evaluation budget), and the run stops on convergence, an
+//! exhausted move/evaluation budget, or a zero objective. All budgets
+//! are counted in solver steps, never wall time, so a solve is a pure
+//! function of `(problem, specs, seed)` — the property the replayable
+//! simulator and the figure harness rely on (sm-lint rule D1).
 
 use crate::eval::Evaluator;
 use crate::problem::{BinId, EntityId, Problem};
 use crate::specs::SpecSet;
 use sm_types::METRIC_COUNT;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::collections::BTreeMap;
 
 use sm_sim::SimRng;
 
@@ -32,8 +34,11 @@ pub struct SearchConfig {
     pub seed: u64,
     /// Maximum number of applied moves (the paper's "move budget").
     pub max_moves: usize,
-    /// Wall-clock budget; `None` = unbounded.
-    pub time_budget: Option<Duration>,
+    /// Candidate-evaluation budget; `None` = unbounded. This is the
+    /// deterministic replacement for a wall-clock budget: evaluations
+    /// are the unit of solver work, so equal seeds + equal budgets
+    /// give identical runs (sm-lint rule D1).
+    pub eval_budget: Option<u64>,
     /// Hot bins examined per round.
     pub hot_bins_per_round: usize,
     /// Candidate entities taken from each hot bin.
@@ -63,7 +68,7 @@ impl Default for SearchConfig {
         Self {
             seed: 0,
             max_moves: usize::MAX,
-            time_budget: None,
+            eval_budget: None,
             hot_bins_per_round: 8,
             entities_per_bin: 8,
             targets_per_entity: 24,
@@ -108,11 +113,11 @@ pub struct SearchStats {
     pub final_penalty: f64,
     /// Total violations after the run.
     pub final_violations: usize,
-    /// Wall-clock time spent.
-    pub elapsed: Duration,
-    /// `(elapsed seconds, total violations, penalty)` samples over the
-    /// run — the series plotted in Figures 21 and 22.
-    pub timeline: Vec<(f64, usize, f64)>,
+    /// `(evaluations so far, total violations, penalty)` samples over
+    /// the run — the series plotted in Figures 21 and 22. Evaluations
+    /// are the deterministic clock of a solve; callers that want wall
+    /// time measure around `solve()` themselves.
+    pub timeline: Vec<(u64, usize, f64)>,
 }
 
 /// Cached (region x utilization band) bin groups for target sampling,
@@ -128,17 +133,13 @@ impl GroupCache {
     fn borrow_mut_groups(&self, eval: &Evaluator, n_bins: usize) -> Vec<Vec<usize>> {
         let mut cached = self.inner.borrow_mut();
         if cached.1 == 0 || cached.0.is_empty() {
-            let mut groups: HashMap<(u64, u8), Vec<usize>> = HashMap::new();
+            let mut groups: BTreeMap<(u64, u8), Vec<usize>> = BTreeMap::new();
             for b in 0..n_bins {
                 let key = eval.target_group_key(BinId(b));
                 groups.entry(key).or_default().push(b);
             }
-            let mut keys: Vec<(u64, u8)> = groups.keys().copied().collect();
-            keys.sort_unstable();
-            cached.0 = keys
-                .into_iter()
-                .map(|k| groups.remove(&k).expect("key"))
-                .collect();
+            // BTreeMap values come out in key order: deterministic.
+            cached.0 = groups.into_values().collect();
             cached.1 = Self::REBUILD_EVERY;
         }
         cached.1 -= 1;
@@ -167,7 +168,6 @@ impl LocalSearch {
 
     /// Solves the problem: returns the final assignment and run stats.
     pub fn solve(&self, problem: &Problem, specs: &SpecSet) -> (Vec<Option<BinId>>, SearchStats) {
-        let start = Instant::now();
         let mut rng = SimRng::seeded(self.config.seed);
         let mut stats = SearchStats::default();
         let mut assignment: Vec<Option<BinId>> = problem.initial_assignment().to_vec();
@@ -191,31 +191,22 @@ impl LocalSearch {
                 stats.initial_penalty = eval.total_penalty();
                 self.place_unplaced(problem, &mut eval, &mut rng, &mut stats);
             }
-            // Earlier batches get a larger share of the remaining time:
-            // batch k of n gets 1/(n-k) of what is left when it starts.
-            let batch_deadline = self.config.time_budget.map(|budget| {
-                let remaining = budget.saturating_sub(start.elapsed());
-                let share = remaining / (n_batches - bi as u32);
-                start.elapsed() + share
+            // Earlier batches get a larger share of the remaining
+            // budget: batch k of n gets 1/(n-k) of what is left when
+            // it starts.
+            let batch_deadline = self.config.eval_budget.map(|budget| {
+                let remaining = budget.saturating_sub(stats.evaluated);
+                let share = remaining / u64::from(n_batches - bi as u32);
+                stats.evaluated + share
             });
-            self.run_batch(
-                problem,
-                &mut eval,
-                &mut rng,
-                &mut stats,
-                start,
-                batch_deadline,
-            );
+            self.run_batch(problem, &mut eval, &mut rng, &mut stats, batch_deadline);
             assignment = eval.assignment();
             stats.final_penalty = eval.total_penalty();
             stats.final_violations = eval.violations().total();
         }
-        stats.elapsed = start.elapsed();
-        stats.timeline.push((
-            stats.elapsed.as_secs_f64(),
-            stats.final_violations,
-            stats.final_penalty,
-        ));
+        stats
+            .timeline
+            .push((stats.evaluated, stats.final_violations, stats.final_penalty));
         (assignment, stats)
     }
 
@@ -271,8 +262,7 @@ impl LocalSearch {
         eval: &mut Evaluator,
         rng: &mut SimRng,
         stats: &mut SearchStats,
-        start: Instant,
-        deadline: Option<Duration>,
+        deadline: Option<u64>,
     ) {
         let n_bins = problem.bin_count();
         if n_bins < 2 {
@@ -285,7 +275,7 @@ impl LocalSearch {
                 return;
             }
             if let Some(d) = deadline {
-                if start.elapsed() >= d {
+                if stats.evaluated >= d {
                     return;
                 }
             }
@@ -299,7 +289,7 @@ impl LocalSearch {
             {
                 moves_since_sample = stats.moves;
                 stats.timeline.push((
-                    start.elapsed().as_secs_f64(),
+                    stats.evaluated,
                     eval.violations().total(),
                     eval.total_penalty(),
                 ));
@@ -377,7 +367,7 @@ impl LocalSearch {
                 });
             }
             if self.config.use_equivalence {
-                let mut seen: HashMap<[u64; METRIC_COUNT], u32> = HashMap::new();
+                let mut seen: BTreeMap<[u64; METRIC_COUNT], u32> = BTreeMap::new();
                 on_bin.retain(|e| {
                     let key = load_key(eval, *e);
                     let n = seen.entry(key).or_insert(0);

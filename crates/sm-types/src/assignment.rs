@@ -6,11 +6,10 @@
 //! so routers can pick a server for a key (§3.2).
 
 use crate::ids::{ReplicaRole, ServerId, ShardId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One replica's placement: which server hosts it and in which role.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ReplicaAssignment {
     /// Hosting server.
     pub server: ServerId,
@@ -23,7 +22,7 @@ pub struct ReplicaAssignment {
 /// Invariants maintained by the mutating methods:
 /// - a shard has at most one [`ReplicaRole::Primary`] replica;
 /// - a server hosts at most one replica of a given shard.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Assignment {
     shards: BTreeMap<ShardId, Vec<ReplicaAssignment>>,
 }
@@ -175,7 +174,7 @@ impl Assignment {
 }
 
 /// One shard's entry in the client-facing map.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardMapEntry {
     /// Replicas in no particular order.
     pub replicas: Vec<ReplicaAssignment>,
@@ -199,7 +198,7 @@ impl ShardMapEntry {
 /// A versioned snapshot of shard placements, disseminated to clients via
 /// service discovery (§3.2). Versions increase monotonically; routers
 /// ignore maps older than what they already hold.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ShardMap {
     /// Monotonic version.
     pub version: u64,

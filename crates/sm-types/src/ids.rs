@@ -5,14 +5,13 @@
 //! All ids are small `Copy` integers; human-readable names live in the
 //! registries that mint them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug,
         )]
         pub struct $name(pub $inner);
 
@@ -90,7 +89,7 @@ id_type!(
 );
 
 /// A shard qualified by its owning application, unique across the fleet.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GlobalShardId {
     /// Owning application.
     pub app: AppId,
@@ -115,7 +114,7 @@ impl fmt::Display for GlobalShardId {
 ///
 /// A shard has at most one primary plus any number of secondaries. The
 /// primary typically handles writes and is migrated gracefully (§4.3).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ReplicaRole {
     /// The single leader replica of a shard.
     Primary,

@@ -9,14 +9,13 @@
 //! key ranges, each owned by one shard. Lookup is a binary search.
 
 use crate::ids::ShardId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An application key: an opaque byte string ordered lexicographically.
 ///
 /// Numeric key spaces are supported by encoding integers big-endian (see
 /// [`AppKey::from_u64`]), which preserves numeric order.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct AppKey(pub Vec<u8>);
 
 impl AppKey {
@@ -63,7 +62,7 @@ impl fmt::Display for AppKey {
 }
 
 /// A half-open key range `[start, end)`; `end == None` means unbounded.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct KeyRange {
     /// Inclusive lower bound.
     pub start: AppKey,
@@ -180,7 +179,7 @@ fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
 /// let s = spec.shard_for(&AppKey::from_u64(u64::MAX)).unwrap();
 /// assert_eq!(s, ShardId(3));
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ShardingSpec {
     /// `(range, shard)` pairs sorted by `range.start`.
     entries: Vec<(KeyRange, ShardId)>,

@@ -4,7 +4,6 @@
 //! them (§2.2.4, §8.4 balances storage, CPU, and shard count). A
 //! [`LoadVector`] is a small fixed-size vector indexed by [`MetricId`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
@@ -12,7 +11,7 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 pub const METRIC_COUNT: usize = 4;
 
 /// Index of a metric inside a [`LoadVector`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MetricId(pub usize);
 
 /// Well-known metrics used across the workspace.
@@ -20,7 +19,7 @@ pub struct MetricId(pub usize);
 /// "Synthetic" is an application-level metric such as request-queue size
 /// (§2.2.4); shard count is modelled by giving each shard a load of 1.0
 /// on [`Metric::ShardCount`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Metric {
     /// CPU consumption.
     Cpu,
@@ -63,7 +62,7 @@ impl fmt::Display for Metric {
 /// let doubled = v + v;
 /// assert_eq!(doubled.get(Metric::Cpu.id()), 5.0);
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct LoadVector {
     values: [f64; METRIC_COUNT],
 }

@@ -8,11 +8,10 @@
 
 use crate::ids::{RegionId, ShardId};
 use crate::load::{Metric, MetricId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How a shard's replicas are organized (§2.2.3).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ReplicationMode {
     /// One replica per shard; SM guarantees no two servers serve the same
     /// shard at once.
@@ -46,7 +45,7 @@ impl ReplicationMode {
 }
 
 /// Regional vs geo-distributed deployment (§2.2.2, Figure 3).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DeploymentMode {
     /// A complete copy of all shards lives in one region; shards never
     /// migrate across regions.
@@ -57,7 +56,7 @@ pub enum DeploymentMode {
 
 /// What to do with a replica role when its container is about to restart
 /// (§2.2.5, Figure 8).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DrainPolicy {
     /// Proactively migrate the replica out before the restart.
     Drain,
@@ -66,7 +65,7 @@ pub enum DrainPolicy {
 }
 
 /// Load-balancing policy (§2.2.4, Figure 7).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LoadBalancePolicy {
     /// Balance the number of shards per server.
     ShardCount,
@@ -92,7 +91,7 @@ impl LoadBalancePolicy {
 
 /// The five data-persistency options of §2.4, recorded for census
 /// reporting; SM's behaviour does not branch on it.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DataPersistency {
     /// Operates directly on external databases.
     Stateless,
@@ -107,7 +106,7 @@ pub enum DataPersistency {
 }
 
 /// Everything an application configures when adopting SM.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AppPolicy {
     /// Replication mode.
     pub replication: ReplicationMode,

@@ -5,12 +5,11 @@
 //! exposes each machine's position in that hierarchy.
 
 use crate::ids::{MachineId, RegionId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A level of the fault-domain hierarchy, ordered from largest to
 /// smallest blast radius.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum FaultDomain {
     /// A geographic region.
     Region,
@@ -36,7 +35,7 @@ impl FaultDomain {
 ///
 /// Data-center and rack ids are globally unique (not per-region indices),
 /// so equality at any level can be checked directly.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Location {
     /// Region the machine lives in.
     pub region: RegionId,

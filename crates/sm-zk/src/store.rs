@@ -1,7 +1,7 @@
 //! The znode tree, sessions, ephemerals, and watches.
 
 use sm_types::SmError;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A client session; ephemeral nodes die with it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -59,7 +59,7 @@ struct Znode {
     data: Vec<u8>,
     version: u64,
     owner: Option<SessionId>,
-    children: HashSet<String>,
+    children: BTreeSet<String>,
     seq_counter: u64,
 }
 
@@ -69,7 +69,7 @@ impl Znode {
             data,
             version: 0,
             owner,
-            children: HashSet::new(),
+            children: BTreeSet::new(),
             seq_counter: 0,
         }
     }
@@ -92,11 +92,11 @@ impl Znode {
 pub struct ZkStore {
     nodes: BTreeMap<String, Znode>,
     next_session: u64,
-    live_sessions: HashSet<SessionId>,
+    live_sessions: BTreeSet<SessionId>,
     /// One-shot data watches: path -> watching sessions.
-    data_watches: HashMap<String, HashSet<SessionId>>,
+    data_watches: BTreeMap<String, BTreeSet<SessionId>>,
     /// One-shot child watches: path -> watching sessions.
-    child_watches: HashMap<String, HashSet<SessionId>>,
+    child_watches: BTreeMap<String, BTreeSet<SessionId>>,
 }
 
 impl ZkStore {
@@ -214,13 +214,12 @@ impl ZkStore {
             CreateMode::Ephemeral => Some(session),
             _ => None,
         };
-        self.nodes.insert(actual.clone(), Znode::new(data, owner));
-        let name = actual.clone();
         self.nodes
             .get_mut(&parent)
-            .expect("parent checked above")
+            .ok_or_else(|| SmError::not_found(format!("parent {parent}")))?
             .children
-            .insert(name);
+            .insert(actual.clone());
+        self.nodes.insert(actual.clone(), Znode::new(data, owner));
         let mut events = self.fire_data_watches(&actual, WatchKind::Created);
         events.extend(self.fire_child_watches(&parent));
         Ok((actual, events))
@@ -306,9 +305,7 @@ impl ZkStore {
             .nodes
             .get(path)
             .ok_or_else(|| SmError::not_found(path))?;
-        let mut out: Vec<String> = node.children.iter().cloned().collect();
-        out.sort();
-        Ok(out)
+        Ok(node.children.iter().cloned().collect())
     }
 
     /// Registers a one-shot watch on a node's existence/data. The node
@@ -332,9 +329,8 @@ impl ZkStore {
         let Some(watchers) = self.data_watches.remove(path) else {
             return Vec::new();
         };
-        let mut sessions: Vec<SessionId> = watchers.into_iter().collect();
-        sessions.sort();
-        sessions
+        // BTreeSet iteration is already session-ordered.
+        watchers
             .into_iter()
             .map(|watcher| WatchEvent {
                 watcher,
@@ -348,9 +344,7 @@ impl ZkStore {
         let Some(watchers) = self.child_watches.remove(path) else {
             return Vec::new();
         };
-        let mut sessions: Vec<SessionId> = watchers.into_iter().collect();
-        sessions.sort();
-        sessions
+        watchers
             .into_iter()
             .map(|watcher| WatchEvent {
                 watcher,

@@ -42,7 +42,7 @@ fn main() {
             .region_preferences
             .insert(ShardId(s), (RegionId(2), 1.5));
     }
-    config.search.seed = 9;
+    config.search.seed = 2;
 
     let plan = Allocator::plan_periodic(&AllocInput {
         servers,

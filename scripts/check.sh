@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, clippy, repo-specific lints, tests.
+# Usage: scripts/check.sh [--fix]   (--fix applies rustfmt instead of checking)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIX=0
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX=1
+fi
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "rustfmt"
+if [[ "$FIX" == 1 ]]; then
+  cargo fmt --all
+else
+  cargo fmt --all --check
+fi
+
+step "clippy (workspace lints: unwrap_used warn, dbg_macro/todo deny)"
+if command -v cargo-clippy >/dev/null 2>&1 || cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets -- -D warnings -A clippy::unwrap_used
+else
+  echo "clippy not installed; skipping"
+fi
+
+step "sm-lint (determinism & robustness invariants)"
+cargo run -q -p sm-lint
+
+step "tests"
+cargo test --workspace -q
+
+printf '\nall checks passed\n'

@@ -1,0 +1,40 @@
+//! Tier-1 gate: the workspace must be clean under `sm-lint`.
+//!
+//! The linter enforces the repo-specific determinism and robustness
+//! invariants (rules D1–D3, R1–R2; see DESIGN.md and the `sm-lint`
+//! crate docs). A violation either gets fixed or gets an inline
+//! `// sm-lint: allow(..) — justification` waiver; anything else fails
+//! this test and therefore the build.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unwaived_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = sm_lint::lint_workspace(root).expect("scan workspace sources");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — lint roots moved?",
+        report.files_scanned
+    );
+    let failures: Vec<String> = report
+        .unwaived()
+        .map(|v| format!("{}:{}: [{}] `{}`", v.file, v.line, v.rule.name(), v.pattern))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "unwaived sm-lint violations:\n{}\n(fix them or add `// sm-lint: allow(<rule>) — why`)",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn lint_report_renders_both_formats() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = sm_lint::lint_workspace(root).expect("scan workspace sources");
+    let text = report.render_text();
+    assert!(text.contains("sm-lint:"), "text summary present: {text}");
+    let json = report.render_json();
+    assert!(json.contains("\"files_scanned\""));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}

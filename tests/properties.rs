@@ -1,6 +1,12 @@
 //! Property-based tests on the core invariants.
+//!
+//! Cases are generated from the workspace's own seeded [`SimRng`]
+//! rather than an external property-testing framework: each property
+//! runs a few hundred random cases from a fixed seed, so a failure is
+//! reproducible by construction (the case index is reported in the
+//! panic message).
 
-use proptest::prelude::*;
+use shard_manager::sim::SimRng;
 use shard_manager::solver::penalty_tree::PenaltyTree;
 use shard_manager::solver::{
     BalanceSpec, Bin, BinId, CapacitySpec, Entity, EntityId, Evaluator, ExclusionSpec, Problem,
@@ -13,42 +19,47 @@ use shard_manager::types::{
 
 // ---- Key-space properties ----
 
-proptest! {
-    /// Every u64 key resolves to exactly one shard of a uniform spec,
-    /// and the resolved range actually contains the key.
-    #[test]
-    fn uniform_spec_covers_key_space(n in 1u64..64, key in any::<u64>()) {
+#[test]
+fn uniform_spec_covers_key_space() {
+    let mut rng = SimRng::seeded(0xA11CE);
+    for case in 0..500 {
+        let n = rng.range_u64(1, 64);
+        let key = rng.next_u64();
         let spec = ShardingSpec::uniform_u64(n);
         let k = AppKey::from_u64(key);
         let shard = spec.shard_for(&k).expect("covered");
         let range = spec.range_of(shard).expect("range exists");
-        prop_assert!(range.contains(&k));
+        assert!(range.contains(&k), "case {case}: n={n} key={key}");
     }
+}
 
-    /// The shards selected for a prefix scan are exactly those whose
-    /// range intersects the prefix interval.
-    #[test]
-    fn prefix_scan_selects_exactly_matching_ranges(
-        n in 1u64..32,
-        prefix in proptest::collection::vec(any::<u8>(), 0..3),
-    ) {
+#[test]
+fn prefix_scan_selects_exactly_matching_ranges() {
+    let mut rng = SimRng::seeded(0xB0B);
+    for case in 0..300 {
+        let n = rng.range_u64(1, 32);
+        let len = rng.index(3);
+        let prefix: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 256) as u8).collect();
         let spec = ShardingSpec::uniform_u64(n);
         let selected = spec.shards_for_prefix(&prefix);
         for (range, shard) in spec.iter() {
             let intersects = range_intersects_prefix(range, &prefix);
-            prop_assert_eq!(
+            assert_eq!(
                 selected.contains(shard),
                 intersects,
-                "shard {} range {} prefix {:?}",
-                shard, range, &prefix
+                "case {case}: shard {shard} range {range} prefix {prefix:?}"
             );
         }
     }
+}
 
-    /// Encoding u64 keys preserves order.
-    #[test]
-    fn u64_key_order(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(a.cmp(&b), AppKey::from_u64(a).cmp(&AppKey::from_u64(b)));
+#[test]
+fn u64_key_order() {
+    let mut rng = SimRng::seeded(0xC0DE);
+    for _ in 0..1000 {
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_eq!(a.cmp(&b), AppKey::from_u64(a).cmp(&AppKey::from_u64(b)));
     }
 }
 
@@ -87,39 +98,55 @@ enum AsgOp {
     DropServer(u32),
 }
 
-fn asg_op() -> impl Strategy<Value = AsgOp> {
-    prop_oneof![
-        (0u64..8, 0u32..6, any::<bool>()).prop_map(|(s, v, p)| AsgOp::Add(s, v, p)),
-        (0u64..8, 0u32..6).prop_map(|(s, v)| AsgOp::Remove(s, v)),
-        (0u64..8, 0u32..6, 0u32..6).prop_map(|(s, a, b)| AsgOp::Move(s, a, b)),
-        (0u64..8, 0u32..6, any::<bool>()).prop_map(|(s, v, p)| AsgOp::ChangeRole(s, v, p)),
-        (0u32..6).prop_map(AsgOp::DropServer),
-    ]
+fn random_asg_op(rng: &mut SimRng) -> AsgOp {
+    let shard = rng.range_u64(0, 8);
+    let a = rng.range_u64(0, 6) as u32;
+    let b = rng.range_u64(0, 6) as u32;
+    let flag = rng.chance(0.5);
+    match rng.index(5) {
+        0 => AsgOp::Add(shard, a, flag),
+        1 => AsgOp::Remove(shard, a),
+        2 => AsgOp::Move(shard, a, b),
+        3 => AsgOp::ChangeRole(shard, a, flag),
+        _ => AsgOp::DropServer(a),
+    }
 }
 
-proptest! {
-    /// Under arbitrary operation sequences, an assignment never holds
-    /// two primaries for a shard and never hosts a shard twice on one
-    /// server.
-    #[test]
-    fn assignment_invariants_hold(ops in proptest::collection::vec(asg_op(), 0..60)) {
+/// Under arbitrary operation sequences, an assignment never holds two
+/// primaries for a shard and never hosts a shard twice on one server.
+#[test]
+fn assignment_invariants_hold() {
+    let mut rng = SimRng::seeded(0xA55);
+    for case in 0..200 {
         let mut a = Assignment::new();
-        for op in ops {
-            let _ = match op {
+        let steps = rng.index(60);
+        for _ in 0..steps {
+            let op = random_asg_op(&mut rng);
+            let _ignored_result = match op {
                 AsgOp::Add(s, v, p) => a
                     .add_replica(
                         ShardId(s),
                         ServerId(v),
-                        if p { ReplicaRole::Primary } else { ReplicaRole::Secondary },
+                        if p {
+                            ReplicaRole::Primary
+                        } else {
+                            ReplicaRole::Secondary
+                        },
                     )
                     .map(|_| true),
                 AsgOp::Remove(s, v) => Ok(a.remove_replica(ShardId(s), ServerId(v))),
-                AsgOp::Move(s, x, y) => a.move_replica(ShardId(s), ServerId(x), ServerId(y)).map(|_| true),
+                AsgOp::Move(s, x, y) => a
+                    .move_replica(ShardId(s), ServerId(x), ServerId(y))
+                    .map(|_| true),
                 AsgOp::ChangeRole(s, v, p) => a
                     .change_role(
                         ShardId(s),
                         ServerId(v),
-                        if p { ReplicaRole::Primary } else { ReplicaRole::Secondary },
+                        if p {
+                            ReplicaRole::Primary
+                        } else {
+                            ReplicaRole::Secondary
+                        },
                     )
                     .map(|_| true),
                 AsgOp::DropServer(v) => Ok(!a.drop_server(ServerId(v)).is_empty()),
@@ -127,11 +154,18 @@ proptest! {
             for shard in a.shard_ids().collect::<Vec<_>>() {
                 let replicas = a.replicas(shard);
                 let primaries = replicas.iter().filter(|r| r.role.is_primary()).count();
-                prop_assert!(primaries <= 1, "{shard} has {primaries} primaries");
+                assert!(
+                    primaries <= 1,
+                    "case {case}: {shard} has {primaries} primaries"
+                );
                 let mut servers: Vec<ServerId> = replicas.iter().map(|r| r.server).collect();
                 servers.sort();
                 servers.dedup();
-                prop_assert_eq!(servers.len(), replicas.len(), "{} hosted twice", shard);
+                assert_eq!(
+                    servers.len(),
+                    replicas.len(),
+                    "case {case}: {shard} hosted twice"
+                );
             }
         }
     }
@@ -139,43 +173,48 @@ proptest! {
 
 // ---- Penalty tree vs naive oracle ----
 
-proptest! {
-    #[test]
-    fn penalty_tree_matches_naive_sum(
-        updates in proptest::collection::vec((0usize..64, 0.0f64..100.0), 1..200)
-    ) {
+#[test]
+fn penalty_tree_matches_naive_sum() {
+    let mut rng = SimRng::seeded(0x7EE);
+    for case in 0..100 {
         let mut tree = PenaltyTree::new(64);
         let mut naive = vec![0.0f64; 64];
-        for (i, v) in updates {
+        let updates = 1 + rng.index(200);
+        for _ in 0..updates {
+            let i = rng.index(64);
+            let v = rng.f64_range(0.0, 100.0);
             tree.set(i, v);
             naive[i] = v;
             let expect: f64 = naive.iter().sum();
-            prop_assert!((tree.total() - expect).abs() < 1e-6);
+            assert!(
+                (tree.total() - expect).abs() < 1e-6,
+                "case {case}: tree {} vs naive {expect}",
+                tree.total()
+            );
         }
         // Top-k agrees with a naive argmax scan on the hottest leaf.
         if let Some(&top) = tree.top_k(1).first() {
             let best = naive
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite penalties"))
+                .expect("non-empty")
                 .0;
-            prop_assert!((naive[top] - naive[best]).abs() < 1e-9);
+            assert!((naive[top] - naive[best]).abs() < 1e-9, "case {case}");
         }
     }
 }
 
 // ---- Evaluator: incremental deltas match recomputation ----
 
-proptest! {
-    /// For random problems and random applied moves, the incrementally
-    /// maintained objective equals a from-scratch recomputation, and
-    /// every predicted move delta matches the actual change.
-    #[test]
-    fn evaluator_incremental_consistency(
-        seed in 0u64..500,
-        moves in proptest::collection::vec((0usize..24, 0usize..9), 1..40)
-    ) {
+/// For random problems and random applied moves, the incrementally
+/// maintained objective equals a from-scratch recomputation, and every
+/// predicted move delta matches the actual change.
+#[test]
+fn evaluator_incremental_consistency() {
+    let mut rng = SimRng::seeded(0xE7A1);
+    for case in 0..150 {
+        let seed = rng.range_u64(0, 500);
         let mut p = Problem::new();
         for i in 0..9u32 {
             p.add_bin(Bin {
@@ -205,7 +244,9 @@ proptest! {
             }
         }
         let mut specs = SpecSet::new();
-        specs.add_constraint(CapacitySpec { metric: Metric::Cpu.id() });
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
         specs.add_goal(Spec::Balance(BalanceSpec {
             metric: Metric::Cpu.id(),
             tolerance: 0.1,
@@ -223,19 +264,20 @@ proptest! {
             priority: 1,
         }));
         let mut eval = Evaluator::new(&p, &specs, u8::MAX);
-        for (e, b) in moves {
-            let entity = EntityId(e);
-            let target = BinId(b);
+        let moves = 1 + rng.index(40);
+        for _ in 0..moves {
+            let entity = EntityId(rng.index(24));
+            let target = BinId(rng.index(9));
             if let Some(delta) = eval.eval_move(entity, target) {
                 let before = eval.total_penalty();
                 eval.apply_move(entity, target);
                 let after = eval.total_penalty();
-                prop_assert!(
+                assert!(
                     (after - before - delta).abs() < 1e-9,
-                    "predicted {delta}, got {}",
+                    "case {case}: predicted {delta}, got {}",
                     after - before
                 );
-                prop_assert!((after - eval.recompute_total()).abs() < 1e-9);
+                assert!((after - eval.recompute_total()).abs() < 1e-9, "case {case}");
             }
         }
     }
@@ -243,18 +285,26 @@ proptest! {
 
 // ---- Move scheduler caps ----
 
-proptest! {
-    /// The scheduler never exceeds any cap and always drains.
-    #[test]
-    fn move_scheduler_respects_caps(
-        moves in proptest::collection::vec((0u64..12, 0u32..8, 0u32..8), 0..60),
-        total in 1usize..8,
-        per_server in 1usize..4,
-        per_shard in 1usize..3,
-    ) {
-        use shard_manager::allocator::{MoveCaps, MoveScheduler, ReplicaMove};
-        use std::collections::HashMap;
-        let moves: Vec<ReplicaMove> = moves
+/// The scheduler never exceeds any cap and always drains.
+#[test]
+fn move_scheduler_respects_caps() {
+    use shard_manager::allocator::{MoveCaps, MoveScheduler, ReplicaMove};
+    use std::collections::BTreeMap;
+    let mut rng = SimRng::seeded(0x5C4ED);
+    for case in 0..200 {
+        let raw: Vec<(u64, u32, u32)> = (0..rng.index(60))
+            .map(|_| {
+                (
+                    rng.range_u64(0, 12),
+                    rng.range_u64(0, 8) as u32,
+                    rng.range_u64(0, 8) as u32,
+                )
+            })
+            .collect();
+        let total = 1 + rng.index(7);
+        let per_server = 1 + rng.index(3);
+        let per_shard = 1 + rng.index(2);
+        let moves: Vec<ReplicaMove> = raw
             .into_iter()
             .filter(|(_, from, to)| from != to)
             .enumerate()
@@ -276,77 +326,88 @@ proptest! {
         let mut guard = 0;
         while !sched.is_done() {
             guard += 1;
-            prop_assert!(guard < 10_000, "scheduler must make progress");
+            assert!(guard < 10_000, "case {case}: scheduler must make progress");
             let wave = sched.release();
-            prop_assert!(sched.in_flight() <= total);
-            let mut per_srv: HashMap<ServerId, usize> = HashMap::new();
-            let mut per_shd: HashMap<ShardId, usize> = HashMap::new();
+            assert!(sched.in_flight() <= total, "case {case}");
+            let mut per_srv: BTreeMap<ServerId, usize> = BTreeMap::new();
+            let mut per_shd: BTreeMap<ShardId, usize> = BTreeMap::new();
             for mv in &wave {
                 for s in mv.from.into_iter().chain([mv.to]) {
                     *per_srv.entry(s).or_insert(0) += 1;
                 }
                 *per_shd.entry(mv.shard).or_insert(0) += 1;
             }
-            for (_, n) in per_srv {
-                prop_assert!(n <= per_server);
+            for (_, k) in per_srv {
+                assert!(k <= per_server, "case {case}");
             }
-            for (_, n) in per_shd {
-                prop_assert!(n <= per_shard);
+            for (_, k) in per_shd {
+                assert!(k <= per_shard, "case {case}");
             }
-            prop_assert!(!wave.is_empty() || sched.in_flight() > 0);
+            assert!(
+                !wave.is_empty() || sched.in_flight() > 0,
+                "case {case}: stuck with nothing in flight"
+            );
             for mv in wave {
                 executed += 1;
                 sched.complete(&mv);
             }
         }
-        prop_assert_eq!(executed, n);
+        assert_eq!(executed, n, "case {case}");
     }
 }
 
 // ---- ZooKeeper session semantics ----
 
-proptest! {
-    /// Ephemerals die with their session; persistents survive.
-    #[test]
-    fn zk_ephemerals_die_with_session(
-        nodes in proptest::collection::vec((0usize..4, any::<bool>()), 1..20),
-        expire in 0usize..4,
-    ) {
-        use shard_manager::zk::{CreateMode, ZkStore};
+/// Ephemerals die with their session; persistents survive.
+#[test]
+fn zk_ephemerals_die_with_session() {
+    use shard_manager::zk::{CreateMode, ZkStore};
+    let mut rng = SimRng::seeded(0x2008);
+    for case in 0..200 {
         let mut zk = ZkStore::new();
         let sessions: Vec<_> = (0..4).map(|_| zk.connect()).collect();
         let root = zk.connect();
-        zk.create(root, "/n", vec![], CreateMode::Persistent).unwrap();
+        zk.create(root, "/n", vec![], CreateMode::Persistent)
+            .expect("create root container");
+        let expire = rng.index(4);
         let mut expected_alive = Vec::new();
-        for (i, (owner, ephemeral)) in nodes.iter().enumerate() {
+        let nodes = 1 + rng.index(19);
+        for i in 0..nodes {
+            let owner = rng.index(4);
+            let ephemeral = rng.chance(0.5);
             let path = format!("/n/z{i}");
-            let mode = if *ephemeral { CreateMode::Ephemeral } else { CreateMode::Persistent };
-            zk.create(sessions[*owner], &path, vec![], mode).unwrap();
-            if !*ephemeral || *owner != expire {
+            let mode = if ephemeral {
+                CreateMode::Ephemeral
+            } else {
+                CreateMode::Persistent
+            };
+            zk.create(sessions[owner], &path, vec![], mode)
+                .expect("create node");
+            if !ephemeral || owner != expire {
                 expected_alive.push(path);
             }
         }
         zk.expire_session(sessions[expire]);
         for path in &expected_alive {
-            prop_assert!(zk.exists(path), "{path} should survive");
+            assert!(zk.exists(path), "case {case}: {path} should survive");
         }
-        let children = zk.children("/n").unwrap();
-        prop_assert_eq!(children.len(), expected_alive.len());
+        let children = zk.children("/n").expect("children of /n");
+        assert_eq!(children.len(), expected_alive.len(), "case {case}");
     }
 }
 
 // ---- Local search end-state invariants ----
 
-proptest! {
-    /// Whatever the starting assignment, local search never worsens the
-    /// objective and never leaves a hard capacity/colocation violation
-    /// it didn't start with.
-    #[test]
-    fn search_is_monotone_and_respects_hard_constraints(
-        seed in 0u64..200,
-        placements in proptest::collection::vec(0usize..6, 18..=18),
-    ) {
-        use shard_manager::solver::{LocalSearch, SearchConfig};
+/// Whatever the starting assignment, local search never worsens the
+/// objective and never leaves a hard capacity/colocation violation it
+/// didn't start with.
+#[test]
+fn search_is_monotone_and_respects_hard_constraints() {
+    use shard_manager::solver::{LocalSearch, SearchConfig};
+    let mut rng = SimRng::seeded(0x5EA);
+    for case in 0..60 {
+        let seed = rng.range_u64(0, 200);
+        let placements: Vec<usize> = (0..18).map(|_| rng.index(6)).collect();
         let mut p = Problem::new();
         for i in 0..6u32 {
             p.add_bin(Bin {
@@ -375,7 +436,9 @@ proptest! {
             }
         }
         let mut specs = SpecSet::new();
-        specs.add_constraint(CapacitySpec { metric: Metric::Cpu.id() });
+        specs.add_constraint(CapacitySpec {
+            metric: Metric::Cpu.id(),
+        });
         specs.add_goal(Spec::Balance(BalanceSpec {
             metric: Metric::Cpu.id(),
             tolerance: 0.1,
@@ -388,23 +451,28 @@ proptest! {
             weight: 2.0,
             priority: 0,
         }));
-        let solver = LocalSearch::new(SearchConfig { seed, ..Default::default() });
+        let solver = LocalSearch::new(SearchConfig {
+            seed,
+            ..Default::default()
+        });
         let (assignment, stats) = solver.solve(&p, &specs);
-        prop_assert!(stats.final_penalty <= stats.initial_penalty + 1e-9);
+        assert!(
+            stats.final_penalty <= stats.initial_penalty + 1e-9,
+            "case {case}"
+        );
         // Final state: hard capacity holds wherever the start held it;
         // here the start always fits (6 entities/bin max = 12 load), so
         // the end must too, and no group is colocated... capacity only:
         let eval = Evaluator::with_assignment(&p, &specs, u8::MAX, &assignment);
         let end = eval.violations();
-        prop_assert_eq!(end.unplaced, 0);
+        assert_eq!(end.unplaced, 0, "case {case}");
         // Hard capacity: a start within capacity must end within it.
-        let mut start_usage = vec![0.0f64; 6];
-        for (i, b) in placements.iter().enumerate() {
-            let _ = i;
-            start_usage[*b] += 2.0;
+        let mut start_usage = [0.0f64; 6];
+        for &b in placements.iter() {
+            start_usage[b] += 2.0;
         }
         if start_usage.iter().all(|&u| u <= 12.0) {
-            prop_assert_eq!(end.capacity, 0);
+            assert_eq!(end.capacity, 0, "case {case}");
         }
     }
 }
@@ -420,37 +488,37 @@ enum LogOp {
     ElectSafe(usize),
 }
 
-fn log_op() -> impl Strategy<Value = LogOp> {
-    prop_oneof![
-        any::<u8>().prop_map(LogOp::Append),
-        (0usize..5).prop_map(LogOp::Replicate),
-        Just(LogOp::Commit),
-        Just(LogOp::KillLeader),
-        (0usize..5).prop_map(LogOp::ElectSafe),
-    ]
+fn random_log_op(rng: &mut SimRng) -> LogOp {
+    match rng.index(5) {
+        0 => LogOp::Append(rng.range_u64(0, 256) as u8),
+        1 => LogOp::Replicate(rng.index(5)),
+        2 => LogOp::Commit,
+        3 => LogOp::KillLeader,
+        _ => LogOp::ElectSafe(rng.index(5)),
+    }
 }
 
-proptest! {
-    /// Committed entries are never lost or reordered, under arbitrary
-    /// interleavings of appends, replication, leader kills, and safe
-    /// elections.
-    #[test]
-    fn replication_never_loses_committed_entries(
-        ops in proptest::collection::vec(log_op(), 0..80)
-    ) {
-        use shard_manager::apps::replication::ReplicationGroup;
+/// Committed entries are never lost or reordered, under arbitrary
+/// interleavings of appends, replication, leader kills, and safe
+/// elections.
+#[test]
+fn replication_never_loses_committed_entries() {
+    use shard_manager::apps::replication::ReplicationGroup;
+    let mut rng = SimRng::seeded(0x10C);
+    for case in 0..150 {
         let mut g: ReplicationGroup<u32> = ReplicationGroup::new([0u32, 1, 2, 3, 4]);
-        g.elect(0).unwrap();
+        g.elect(0).expect("initial election");
         let mut committed_history: Vec<Vec<u8>> = Vec::new();
-        for op in ops {
-            match op {
+        let steps = rng.index(80);
+        for _ in 0..steps {
+            match random_log_op(&mut rng) {
                 LogOp::Append(b) => {
                     if let Some(leader) = g.leader() {
-                        let _ = g.append(leader, vec![b]);
+                        let _appended = g.append(leader, vec![b]);
                     }
                 }
                 LogOp::Replicate(f) => {
-                    let _ = g.replicate_to(f as u32);
+                    let _replicated = g.replicate_to(f as u32);
                 }
                 LogOp::Commit => {
                     g.advance_commit();
@@ -463,12 +531,15 @@ proptest! {
                     //    rewrites earlier committed data.
                     if let Some(leader) = g.leader() {
                         if let Some(log) = g.log(leader) {
-                            prop_assert!(
+                            assert!(
                                 log.entries().len() >= committed_history.len(),
-                                "leader lost committed entries"
+                                "case {case}: leader lost committed entries"
                             );
                             for (h, e) in committed_history.iter().zip(log.entries()) {
-                                prop_assert_eq!(h, &e.data, "committed entry rewritten in log");
+                                assert_eq!(
+                                    h, &e.data,
+                                    "case {case}: committed entry rewritten in log"
+                                );
                             }
                             let prefix: Vec<Vec<u8>> = log
                                 .committed_entries()
@@ -476,7 +547,7 @@ proptest! {
                                 .map(|e| e.data.clone())
                                 .collect();
                             for (a, b) in committed_history.iter().zip(prefix.iter()) {
-                                prop_assert_eq!(a, b, "commit index covers different data");
+                                assert_eq!(a, b, "case {case}: commit index covers different data");
                             }
                             if prefix.len() > committed_history.len() {
                                 committed_history = prefix;
@@ -519,7 +590,7 @@ proptest! {
                     let safe = g.safe_successors();
                     if !safe.is_empty() && g.leader().is_none() {
                         let id = safe[pick % safe.len()];
-                        g.elect(id).unwrap();
+                        g.elect(id).expect("safe successor is electable");
                     }
                 }
             }
@@ -529,46 +600,51 @@ proptest! {
 
 // ---- Graceful-handover admission: a request is never rejected ----
 
-proptest! {
-    /// At every step of the §4.3 protocol, a client request that reaches
-    /// either server is served or forwarded to the other — never
-    /// rejected — as long as the client could have reached step 0 state.
-    #[test]
-    fn handover_admission_never_drops(step in 0usize..5, forwarded in any::<bool>()) {
-        use shard_manager::apps::forwarding::{AppResponse, ShardHost};
-        use shard_manager::types::ReplicaRole;
-        let shard = ShardId(1);
-        let old_id = ServerId(10);
-        let new_id = ServerId(20);
-        let mut old = ShardHost::new();
-        let mut new = ShardHost::new();
-        old.add_shard(shard, ReplicaRole::Primary).unwrap();
-        if step >= 1 {
-            new.prepare_add_shard(shard, old_id, ReplicaRole::Primary).unwrap();
-        }
-        if step >= 2 {
-            old.prepare_drop_shard(shard, new_id, ReplicaRole::Primary).unwrap();
-        }
-        if step >= 3 {
-            new.add_shard(shard, ReplicaRole::Primary).unwrap();
-        }
-        if step >= 4 {
-            old.drop_shard(shard).unwrap();
-        }
-        // A client with a pre-migration map sends to the old server.
-        match old.admit(shard, false) {
-            AppResponse::Serve => {}
-            AppResponse::Forward(target) => {
-                prop_assert_eq!(target, new_id);
-                // The forwarded request must be accepted at the target.
-                prop_assert_eq!(new.admit(shard, true), AppResponse::Serve);
+/// At every step of the §4.3 protocol, a client request that reaches
+/// either server is served or forwarded to the other — never rejected —
+/// as long as the client could have reached step 0 state.
+#[test]
+fn handover_admission_never_drops() {
+    use shard_manager::apps::forwarding::{AppResponse, ShardHost};
+    use shard_manager::types::ReplicaRole;
+    for step in 0..5usize {
+        for forwarded in [false, true] {
+            let shard = ShardId(1);
+            let old_id = ServerId(10);
+            let new_id = ServerId(20);
+            let mut old = ShardHost::new();
+            let mut new = ShardHost::new();
+            old.add_shard(shard, ReplicaRole::Primary)
+                .expect("initial add");
+            if step >= 1 {
+                new.prepare_add_shard(shard, old_id, ReplicaRole::Primary)
+                    .expect("prepare add");
             }
-            AppResponse::NotMine => prop_assert!(false, "old server dropped a request at step {step}"),
-        }
-        // A client with a post-migration map (possible once step >= 3)
-        // sends to the new server directly.
-        if step >= 3 {
-            prop_assert_eq!(new.admit(shard, forwarded), AppResponse::Serve);
+            if step >= 2 {
+                old.prepare_drop_shard(shard, new_id, ReplicaRole::Primary)
+                    .expect("prepare drop");
+            }
+            if step >= 3 {
+                new.add_shard(shard, ReplicaRole::Primary).expect("add");
+            }
+            if step >= 4 {
+                old.drop_shard(shard).expect("drop");
+            }
+            // A client with a pre-migration map sends to the old server.
+            match old.admit(shard, false) {
+                AppResponse::Serve => {}
+                AppResponse::Forward(target) => {
+                    assert_eq!(target, new_id);
+                    // The forwarded request must be accepted at the target.
+                    assert_eq!(new.admit(shard, true), AppResponse::Serve);
+                }
+                AppResponse::NotMine => panic!("old server dropped a request at step {step}"),
+            }
+            // A client with a post-migration map (possible once step >= 3)
+            // sends to the new server directly.
+            if step >= 3 {
+                assert_eq!(new.admit(shard, forwarded), AppResponse::Serve);
+            }
         }
     }
 }
