@@ -3,8 +3,8 @@
 use crate::input::AllocInput;
 use crate::plan::{AllocationPlan, ReplicaMove};
 use sm_solver::{
-    AffinitySpec, Bin, BinId, CapacitySpec, DrainSpec, Entity, ExclusionSpec, LocalSearch, Problem,
-    Scope, Spec, SpecSet, UtilizationCapSpec,
+    AffinitySpec, Bin, BinId, CapacitySpec, DrainSpec, Entity, ExclusionSpec, LocalSearch,
+    ParallelSearch, Problem, Scope, Spec, SpecSet, UtilizationCapSpec,
 };
 use sm_types::{FaultDomain, ServerId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -53,12 +53,17 @@ impl Allocator {
 
     fn plan(input: &AllocInput, max_priority: u8) -> AllocationPlan {
         let (problem, specs, server_ids, slot_index) = build_problem(input, max_priority);
-        let solver = LocalSearch::new(input.config.search.clone());
         let mut specs = specs;
         // Drop the goals above the active priority so batching doesn't
         // schedule them at all (emergency mode).
         specs.goals.retain(|g| g.priority() <= max_priority);
-        let (assignment, stats) = solver.solve(&problem, &specs);
+        // ParallelSearch falls back to the plain LocalSearch path when
+        // `threads <= 1`, so the single-threaded plan is unchanged.
+        let (assignment, stats) = if input.config.search.threads > 1 {
+            ParallelSearch::new(input.config.search.clone()).solve(&problem, &specs)
+        } else {
+            LocalSearch::new(input.config.search.clone()).solve(&problem, &specs)
+        };
 
         // Diff into moves and the per-shard target table.
         let mut moves = Vec::new();
@@ -67,13 +72,15 @@ impl Allocator {
             .iter()
             .map(|s| (s.shard, vec![None; s.replicas.len()]))
             .collect();
-        let live: BTreeSet<ServerId> = input.servers.iter().map(|s| s.id).collect();
         for (entity_idx, &(shard_idx, slot)) in slot_index.iter().enumerate() {
             let new_server = assignment[entity_idx].map(|b| server_ids[b.0]);
             target[shard_idx].1[slot] = new_server;
             // A source server that is no longer offered (failed) makes
-            // this a fresh placement, not a graceful relocation.
-            let old_server = input.shards[shard_idx].replicas[slot].filter(|s| live.contains(s));
+            // this a fresh placement, not a graceful relocation. The
+            // problem's initial assignment already resolved exactly the
+            // live-server placements, so reuse it instead of a per-
+            // replica set lookup.
+            let old_server = problem.initial_assignment()[entity_idx].map(|b| server_ids[b.0]);
             if let Some(to) = new_server {
                 if old_server != Some(to) {
                     moves.push(ReplicaMove {
@@ -105,6 +112,37 @@ impl AllocInput {
     }
 }
 
+/// Server-id -> bin lookup: a dense table when the raw ids are compact
+/// (the common case), falling back to a map otherwise. The dense path
+/// turns the per-replica lookup in problem construction into an O(1)
+/// array read.
+enum ServerIndex {
+    Dense(Vec<Option<BinId>>),
+    Sparse(BTreeMap<ServerId, BinId>),
+}
+
+impl ServerIndex {
+    fn build(servers: impl Iterator<Item = (ServerId, BinId)> + Clone, n: usize) -> Self {
+        let max_raw = servers.clone().map(|(s, _)| s.raw()).max().unwrap_or(0);
+        if (max_raw as usize) < 4 * n + 1024 {
+            let mut table = vec![None; max_raw as usize + 1];
+            for (s, b) in servers {
+                table[s.raw() as usize] = Some(b);
+            }
+            ServerIndex::Dense(table)
+        } else {
+            ServerIndex::Sparse(servers.collect())
+        }
+    }
+
+    fn get(&self, s: ServerId) -> Option<BinId> {
+        match self {
+            ServerIndex::Dense(table) => table.get(s.raw() as usize).copied().flatten(),
+            ServerIndex::Sparse(map) => map.get(&s).copied(),
+        }
+    }
+}
+
 /// Builds the solver problem. Returns the problem, specs, the bin->
 /// server mapping, and per entity its (shard index, replica slot).
 fn build_problem(
@@ -113,16 +151,22 @@ fn build_problem(
 ) -> (Problem, SpecSet, Vec<ServerId>, Vec<(usize, usize)>) {
     let mut problem = Problem::new();
     let mut server_ids = Vec::with_capacity(input.servers.len());
-    let mut server_index: BTreeMap<ServerId, BinId> = BTreeMap::new();
     for s in &input.servers {
-        let bin = problem.add_bin(Bin {
+        problem.add_bin(Bin {
             capacity: s.capacity,
             location: s.location,
             draining: s.draining,
         });
         server_ids.push(s.id);
-        server_index.insert(s.id, bin);
     }
+    let server_index = ServerIndex::build(
+        input
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, BinId(i))),
+        input.servers.len(),
+    );
 
     // Count distinct domains to decide which spread scopes are feasible.
     let distinct = |level: FaultDomain| -> usize {
@@ -151,7 +195,7 @@ fn build_problem(
         for (slot, placed) in shard.replicas.iter().enumerate() {
             // A replica placed on a server that is no longer offered
             // (failed/removed) is treated as unplaced.
-            let initial = placed.and_then(|srv| server_index.get(&srv).copied());
+            let initial = placed.and_then(|srv| server_index.get(srv));
             let e = problem.add_entity(
                 Entity {
                     load: shard.load_per_replica,

@@ -1,0 +1,97 @@
+//! Machine-readable solver benchmark: emits one JSON document on
+//! stdout with wall-clock, evals/sec, final penalty and speedup vs a
+//! single worker for every Figure-21 problem size × worker count.
+//!
+//! `scripts/bench.sh` runs this and records the output as
+//! `BENCH_solver.json`. Accepts `--threads 1,8` / `SM_THREADS` like
+//! the figure binaries; `SM_SCALE=paper` switches to full sizes.
+
+use sm_allocator::Allocator;
+use sm_bench::{threads_arg, Scale};
+use sm_workloads::snapshot::{SnapshotConfig, ZippyDbSnapshot};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    shards: u64,
+    servers: u32,
+    threads: usize,
+    wall_s: f64,
+    evaluated: u64,
+    final_penalty: f64,
+    violations: usize,
+    moves: usize,
+}
+
+fn main() {
+    let scales: Vec<SnapshotConfig> = match Scale::from_env() {
+        Scale::Paper => (0..3).map(SnapshotConfig::figure21).collect(),
+        Scale::Small => [200u32, 600, 1_000]
+            .iter()
+            .map(|&s| SnapshotConfig::figure21_scaled(s))
+            .collect(),
+    };
+    let thread_sweep = threads_arg("1,8");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for cfg in &scales {
+        for &threads in &thread_sweep {
+            let snapshot = ZippyDbSnapshot::generate(*cfg);
+            let mut input = snapshot.input;
+            input.config.search.sample_every = 2048;
+            input.config.search.threads = threads;
+            let start = Instant::now();
+            let plan = Allocator::plan_periodic(&input);
+            let wall_s = start.elapsed().as_secs_f64();
+            eprintln!(
+                "bench_solver: {}K/{} threads={} wall={:.2}s penalty={:.3} violations={}",
+                cfg.shards / 1000,
+                cfg.servers,
+                threads,
+                wall_s,
+                plan.search.final_penalty,
+                plan.violations.total(),
+            );
+            rows.push(Row {
+                shards: cfg.shards,
+                servers: cfg.servers,
+                threads,
+                wall_s,
+                evaluated: plan.search.evaluated,
+                final_penalty: plan.search.final_penalty,
+                violations: plan.violations.total(),
+                moves: plan.search.moves,
+            });
+        }
+    }
+
+    // Hand-rolled JSON: the workspace carries no serde and the schema
+    // is a flat list of numbers.
+    let mut out = String::from("{\n  \"figure\": \"fig21_solver_scale\",\n  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let base = rows
+            .iter()
+            .find(|b| b.shards == r.shards && b.threads == 1)
+            .map_or(r.wall_s, |b| b.wall_s);
+        let _infallible = write!(
+            out,
+            "    {{\"shards\": {}, \"servers\": {}, \"threads\": {}, \
+             \"wall_s\": {:.4}, \"evals\": {}, \"evals_per_sec\": {:.0}, \
+             \"final_penalty\": {:.6}, \"violations\": {}, \"moves\": {}, \
+             \"speedup_vs_1t\": {:.2}}}{}",
+            r.shards,
+            r.servers,
+            r.threads,
+            r.wall_s,
+            r.evaluated,
+            r.evaluated as f64 / r.wall_s.max(1e-9),
+            r.final_penalty,
+            r.violations,
+            r.moves,
+            base / r.wall_s.max(1e-9),
+            if i + 1 < rows.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

@@ -8,9 +8,14 @@
 //! 205 s). `SM_SCALE=paper` runs the full sizes; the default shrinks
 //! every scale by the same factor while preserving the 75:1
 //! shard/server ratio and all distributional properties.
+//!
+//! `--threads 1,8` (or `SM_THREADS=1,8`) additionally sweeps the
+//! deterministic parallel solver: each scale is re-solved per worker
+//! count and the table gains a `speedup vs 1T` column. Worker count 1
+//! is the plain sequential `LocalSearch`.
 
 use sm_allocator::Allocator;
-use sm_bench::{banner, compare, table, Scale};
+use sm_bench::{banner, compare, table, threads_arg, Scale};
 use sm_workloads::snapshot::{SnapshotConfig, ZippyDbSnapshot};
 use std::time::Instant;
 
@@ -26,45 +31,61 @@ fn main() {
             .map(|&s| SnapshotConfig::figure21_scaled(s))
             .collect(),
     };
+    let thread_sweep = threads_arg("1,8");
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for cfg in &scales {
-        let snapshot = ZippyDbSnapshot::generate(*cfg);
-        let mut input = snapshot.input;
-        input.config.search.sample_every = 2048;
-        let start = Instant::now();
-        let plan = Allocator::plan_periodic(&input);
-        let wall = start.elapsed().as_secs_f64();
-        println!(
-            "-- {} shards on {} servers: violations over time --",
-            cfg.shards, cfg.servers
-        );
-        for (evals, violations, _) in plan
-            .search
-            .timeline
-            .iter()
-            .step_by((plan.search.timeline.len() / 12).max(1))
-        {
-            println!("   evals={evals:>12} violations={violations}");
+        // Wall-clock of the sequential solve at this scale, for the
+        // speedup column. Filled by the threads == 1 run if the sweep
+        // includes it, else by the first run.
+        let mut base_wall: Option<f64> = None;
+        for &threads in &thread_sweep {
+            let snapshot = ZippyDbSnapshot::generate(*cfg);
+            let mut input = snapshot.input;
+            input.config.search.sample_every = 2048;
+            input.config.search.threads = threads;
+            let start = Instant::now();
+            let plan = Allocator::plan_periodic(&input);
+            let wall = start.elapsed().as_secs_f64();
+            if base_wall.is_none() || threads == 1 {
+                base_wall = Some(wall);
+            }
+            println!(
+                "-- {} shards on {} servers, {} worker(s): violations over time --",
+                cfg.shards, cfg.servers, threads
+            );
+            for (evals, violations, _) in plan
+                .search
+                .timeline
+                .iter()
+                .step_by((plan.search.timeline.len() / 12).max(1))
+            {
+                println!("   evals={evals:>12} violations={violations}");
+            }
+            let last = plan.search.timeline.last().copied().unwrap_or_default();
+            println!("   evals={:>12} violations={}  (final)\n", last.0, last.1);
+            println!("   breakdown: {:?}", plan.violations);
+            let speedup = base_wall.map_or(1.0, |b| b / wall.max(1e-9));
+            rows.push(vec![
+                format!("{}K/{}", cfg.shards / 1000, cfg.servers),
+                threads.to_string(),
+                format!("{wall:.1}"),
+                format!("{speedup:.1}x"),
+                plan.violations.total().to_string(),
+                plan.search.moves.to_string(),
+            ]);
+            results.push((cfg.shards, threads, wall, plan.violations.total()));
         }
-        let last = plan.search.timeline.last().copied().unwrap_or_default();
-        println!("   evals={:>12} violations={}  (final)\n", last.0, last.1);
-        println!("   breakdown: {:?}", plan.violations);
-        rows.push(vec![
-            format!("{}K/{}", cfg.shards / 1000, cfg.servers),
-            format!("{wall:.1}"),
-            plan.violations.total().to_string(),
-            plan.search.moves.to_string(),
-        ]);
-        results.push((cfg.shards, wall, plan.violations.total()));
     }
     println!(
         "{}",
         table(
             &[
                 "scale (shards/servers)",
+                "workers",
                 "solve time (s)",
+                "speedup vs 1T",
                 "violations left",
                 "moves"
             ],
@@ -72,14 +93,18 @@ fn main() {
         )
     );
 
-    let growth = results.last().map(|l| l.1).unwrap_or(0.0)
-        / results.first().map(|f| f.1.max(1e-9)).unwrap_or(1.0);
-    let size_growth = results.last().map(|l| l.0).unwrap_or(0) as f64
-        / results.first().map(|f| f.0.max(1)).unwrap_or(1) as f64;
+    // Scale growth is judged on the sequential runs only, matching the
+    // paper's single-threaded measurement.
+    let seq: Vec<&(u64, usize, f64, usize)> =
+        results.iter().filter(|r| r.1 == thread_sweep[0]).collect();
+    let growth =
+        seq.last().map(|l| l.2).unwrap_or(0.0) / seq.first().map(|f| f.2.max(1e-9)).unwrap_or(1.0);
+    let size_growth = seq.last().map(|l| l.0).unwrap_or(0) as f64
+        / seq.first().map(|f| f.0.max(1)).unwrap_or(1) as f64;
     compare(
         "all violations fixed at every scale",
         "yes",
-        results.iter().all(|(_, _, v)| *v == 0),
+        results.iter().all(|(_, _, _, v)| *v == 0),
     );
     compare(
         "solve-time growth for a 5x problem",

@@ -10,7 +10,7 @@
 //! eventual solution needs ~22% more shard moves.
 
 use sm_allocator::Allocator;
-use sm_bench::{banner, compare, table, Scale};
+use sm_bench::{banner, compare, table, threads_arg, Scale};
 use sm_solver::SearchConfig;
 use sm_workloads::snapshot::{SnapshotConfig, ZippyDbSnapshot};
 use std::time::Instant;
@@ -20,6 +20,10 @@ fn main() {
         "Figure 22",
         "optimized vs baseline local search under a fixed time budget",
     );
+    // `--threads N` (default 1) runs both configurations through the
+    // deterministic parallel solver with N workers; the ablation
+    // contrast (optimized vs baseline) is orthogonal to worker count.
+    let threads = threads_arg("1")[0];
     let (cfg, budget) = match Scale::from_env() {
         Scale::Paper => {
             let mut c = SnapshotConfig::figure22(1_000);
@@ -29,7 +33,8 @@ fn main() {
         Scale::Small => (SnapshotConfig::figure22(400), 40_000_000u64),
     };
     println!(
-        "problem: {} shards on {} servers; budget {budget} evaluations\n",
+        "problem: {} shards on {} servers; budget {budget} evaluations; \
+         {threads} worker(s)\n",
         cfg.shards, cfg.servers
     );
 
@@ -45,6 +50,7 @@ fn main() {
         input.config.search.seed = cfg.seed;
         input.config.search.eval_budget = Some(budget);
         input.config.search.sample_every = 1024;
+        input.config.search.threads = threads;
         let start = Instant::now();
         let plan = Allocator::plan_periodic(&input);
         let wall = start.elapsed().as_secs_f64();

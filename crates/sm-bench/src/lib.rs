@@ -28,6 +28,37 @@ impl Scale {
     }
 }
 
+/// Parses a solver-thread sweep from `--threads` (CLI) or `SM_THREADS`
+/// (env), e.g. `--threads 1,4,8`. Falls back to `default`, which must
+/// itself be well-formed. Invalid or zero entries are skipped.
+pub fn threads_arg(default: &str) -> Vec<usize> {
+    let mut spec: Option<String> = None;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            spec = args.next();
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            spec = Some(v.to_string());
+        }
+    }
+    let spec = spec
+        .or_else(|| std::env::var("SM_THREADS").ok())
+        .unwrap_or_else(|| default.to_string());
+    let parsed: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    if parsed.is_empty() {
+        default
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect()
+    } else {
+        parsed
+    }
+}
+
 /// Prints a figure banner.
 pub fn banner(figure: &str, caption: &str) {
     println!("==================================================================");
@@ -135,6 +166,16 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.543), "54.3%");
+    }
+
+    #[test]
+    fn threads_arg_falls_back_to_default() {
+        // The test binary's argv has no --threads flag; unless the
+        // caller exported SM_THREADS, the default list wins.
+        if std::env::var("SM_THREADS").is_err() {
+            assert_eq!(threads_arg("1,8"), vec![1, 8]);
+            assert_eq!(threads_arg("4"), vec![4]);
+        }
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub struct OrchestratorConfig {
     pub alloc: AllocConfig,
 }
 
+impl OrchestratorConfig {
+    /// Runs the allocator's solver with `threads` deterministic
+    /// parallel workers (1 = plain single-threaded search). Plans stay
+    /// a pure function of `(problem, specs, seed, threads)`.
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.alloc.search.threads = threads;
+        self
+    }
+}
+
 /// A server known to the orchestrator.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerEntry {
@@ -1179,6 +1189,34 @@ mod tests {
             assert!(o.assignment().primary_of(ShardId(s)).is_some());
         }
         assert_eq!(o.in_flight_migrations(), 0);
+    }
+
+    #[test]
+    fn solver_threads_knob_keeps_plans_deterministic() {
+        // Same world, two runs with threads=2: the parallel solve must
+        // produce identical placements both times and place everything.
+        let threaded = || {
+            let mut o = Orchestrator::new(
+                AppId(1),
+                AppPolicy::primary_only(),
+                config().with_solver_threads(2),
+            );
+            for i in 0..6 {
+                o.register_server(ServerId(i), loc(0, i), cap(1000.0));
+            }
+            o.register_shards((0..24).map(ShardId));
+            o.run_emergency();
+            settle(&mut o);
+            o.run_periodic();
+            settle(&mut o);
+            (0..24)
+                .map(|s| o.assignment().primary_of(ShardId(s)))
+                .collect::<Vec<_>>()
+        };
+        let first = threaded();
+        let second = threaded();
+        assert!(first.iter().all(Option::is_some));
+        assert_eq!(first, second, "threaded plans must be reproducible");
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub enum RuleId {
     /// outside `sm-bench`: simulated time only.
     D1,
     /// No ambient RNG (`thread_rng`, `rand::random`, `from_entropy`):
-    /// the seeded `sm_sim::SimRng` only.
+    /// the seeded `sm_sim::SimRng` only. In modules that spawn threads,
+    /// additionally no `SimRng::seeded` — per-worker streams must come
+    /// from the sanctioned `SimRng::seed_from(seed, worker_idx)`
+    /// derivation, never ad-hoc seed arithmetic.
     D2,
     /// No `HashMap`/`HashSet` in deterministic crates: iteration order
     /// is randomized per process, which breaks replay. Use
@@ -65,7 +68,10 @@ impl RuleId {
     pub fn describe(self) -> &'static str {
         match self {
             RuleId::D1 => "wall-clock read outside sm-bench (use sim time / step budgets)",
-            RuleId::D2 => "ambient RNG (use the seeded sm_sim::SimRng)",
+            RuleId::D2 => {
+                "ambient RNG (use the seeded sm_sim::SimRng; \
+                 in threaded code derive workers via SimRng::seed_from)"
+            }
             RuleId::D3 => "order-randomized HashMap/HashSet in a deterministic crate",
             RuleId::R1 => "panic path in control-plane code (propagate SmError)",
             RuleId::R2 => "`let _ =` discards a value (name the binding)",
@@ -165,6 +171,8 @@ pub fn waivers_on(raw: &str) -> Vec<(RuleId, String)> {
 const D1_PATTERNS: [&str; 2] = ["Instant::now", "SystemTime::now"];
 /// Patterns that constitute a D2 violation.
 const D2_PATTERNS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+/// Markers that make a file "threaded" for D2's worker-seeding check.
+const THREAD_MARKERS: [&str; 3] = ["std::thread", "thread::spawn", "thread::scope"];
 /// Unordered collection types banned by D3.
 const D3_PATTERNS: [&str; 2] = ["HashMap", "HashSet"];
 /// Panicking constructs banned by R1 (matched as `name` followed by
@@ -178,6 +186,13 @@ pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
     let control_plane =
         CONTROL_PLANE_CRATES.contains(&class.crate_name.as_str()) && !class.test_target;
     let wall_clock_ok = WALL_CLOCK_EXEMPT.contains(&class.crate_name.as_str());
+    // A file that spawns threads must derive every per-worker RNG with
+    // `SimRng::seed_from`; plain `SimRng::seeded` there usually means
+    // ad-hoc seed arithmetic like `seeded(seed + worker)`, whose
+    // streams are not independent.
+    let threaded = lines
+        .iter()
+        .any(|l| THREAD_MARKERS.iter().any(|m| l.masked.contains(m)));
 
     let mut out = Vec::new();
     for (idx, info) in lines.iter().enumerate() {
@@ -198,6 +213,9 @@ pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
         }
         if info.masked.contains("rand::random") {
             hits.push((RuleId::D2, "rand::random".to_string()));
+        }
+        if threaded && find_word(&info.masked, "SimRng::seeded").is_some() {
+            hits.push((RuleId::D2, "SimRng::seeded in threaded module".to_string()));
         }
         if deterministic {
             for pat in D3_PATTERNS {
@@ -303,6 +321,34 @@ mod tests {
         assert_eq!(v[0].rule, RuleId::D2);
         let v = lint("tests/foo.rs", "let x: u8 = rand::random();\n");
         assert_eq!(v[0].rule, RuleId::D2);
+    }
+
+    #[test]
+    fn d2_threaded_module_requires_seed_from() {
+        // `SimRng::seeded` inside a module that spawns threads is an
+        // ad-hoc worker derivation: flagged.
+        let src = "use std::thread;\n\
+                   fn run(seed: u64, i: u64) { let rng = SimRng::seeded(seed + i); }\n";
+        let v = lint("crates/sm-solver/src/parallel.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::D2);
+        assert_eq!(v[0].line, 2);
+
+        // The sanctioned derivation passes.
+        let ok = "use std::thread;\n\
+                  fn run(seed: u64, i: u64) { let rng = SimRng::seed_from(seed, i); }\n";
+        assert!(lint("crates/sm-solver/src/parallel.rs", ok).is_empty());
+
+        // Without thread usage, `SimRng::seeded` stays legal.
+        let single = "fn run(seed: u64) { let rng = SimRng::seeded(seed); }\n";
+        assert!(lint("crates/sm-solver/src/search.rs", single).is_empty());
+    }
+
+    #[test]
+    fn d2_thread_marker_in_comment_does_not_count() {
+        let src = "// std::thread is used elsewhere\n\
+                   fn run(seed: u64) { let rng = SimRng::seeded(seed); }\n";
+        assert!(lint("crates/sm-solver/src/search.rs", src).is_empty());
     }
 
     #[test]

@@ -37,6 +37,22 @@ impl SimRng {
         Self { state }
     }
 
+    /// Derives an independent, reproducible stream from a base seed and
+    /// a stream index — the sanctioned way to seed *per-worker* RNGs in
+    /// parallel code (`sm-lint` rule D2 flags ad-hoc derivations such as
+    /// `SimRng::seeded(seed + worker)` in threaded modules).
+    ///
+    /// Both arguments go through independent SplitMix64 mixes before
+    /// being combined, so nearby `(seed, stream)` pairs land in
+    /// far-apart xoshiro states: `seed_from(s, 0)` is unrelated to
+    /// `seeded(s)` and to `seed_from(s, 1)`.
+    pub fn seed_from(seed: u64, stream: u64) -> Self {
+        let mut a = seed;
+        let mut b = stream ^ 0x6a09_e667_f3bc_c909; // sqrt(2) fraction: offset stream 0
+        let mixed = splitmix64(&mut a) ^ splitmix64(&mut b).rotate_left(17);
+        Self::seeded(mixed)
+    }
+
     /// The raw xoshiro256++ step: uniform over all of `u64`.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
@@ -103,6 +119,12 @@ impl SimRng {
         if k >= n {
             return (0..n).collect();
         }
+        if k == 1 {
+            // Same single draw the general path would make, without
+            // allocating the O(n) pool — the dominant case in grouped
+            // target sampling.
+            return vec![self.index(n)];
+        }
         // Partial Fisher–Yates: after k swaps the prefix holds a
         // uniform k-subset in uniform order.
         let mut pool: Vec<usize> = (0..n).collect();
@@ -142,6 +164,27 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
         }
+    }
+
+    #[test]
+    fn seed_from_is_deterministic_and_stream_separated() {
+        let mut a = SimRng::seed_from(42, 3);
+        let mut b = SimRng::seed_from(42, 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Distinct streams from one seed diverge, and stream 0 is not
+        // the plain seeded() stream.
+        let mut s0 = SimRng::seed_from(7, 0);
+        let mut s1 = SimRng::seed_from(7, 1);
+        let mut plain = SimRng::seeded(7);
+        let same01 = (0..32).filter(|_| s0.index(1000) == s1.index(1000)).count();
+        assert!(same01 < 32);
+        let mut s0_again = SimRng::seed_from(7, 0);
+        let same_plain = (0..32)
+            .filter(|_| s0_again.index(1000) == plain.index(1000))
+            .count();
+        assert!(same_plain < 32);
     }
 
     #[test]

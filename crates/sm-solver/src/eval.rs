@@ -117,6 +117,20 @@ pub struct Evaluator {
     bin_entity_count: Vec<u32>,
     /// Sum of affinity penalties of entities currently on each bin.
     bin_affinity: Vec<f64>,
+    /// Entities currently on each bin, maintained incrementally under
+    /// moves so [`Self::entities_on`] is O(1) instead of an
+    /// O(n_entities) scan. Within-bin order is move-history dependent
+    /// (swap-remove) but a pure function of the move sequence.
+    bin_entities: Vec<Vec<EntityId>>,
+    /// Position of each placed entity within its bin's entity list.
+    entity_pos: Vec<u32>,
+    /// Cached (region, utilization band) key of each bin.
+    bin_group_key: Vec<(u64, u8)>,
+    /// Bins grouped by their key, maintained incrementally: a bin moves
+    /// between groups only when a move shifts its utilization band.
+    target_groups: BTreeMap<(u64, u8), Vec<usize>>,
+    /// Position of each bin within its target group's vector.
+    bin_group_pos: Vec<u32>,
     tree: PenaltyTree,
     exclusion_total: f64,
     violated_groups: BTreeSet<(usize, GroupId)>,
@@ -261,15 +275,32 @@ impl Evaluator {
             bin_usage: vec![LoadVector::zero(); n_bins],
             bin_entity_count: vec![0; n_bins],
             bin_affinity: vec![0.0; n_bins],
+            bin_entities: vec![Vec::new(); n_bins],
+            entity_pos: vec![0; n_entities],
+            bin_group_key: vec![(0, 0); n_bins],
+            target_groups: BTreeMap::new(),
+            bin_group_pos: vec![0; n_bins],
             tree: PenaltyTree::new(n_bins),
             exclusion_total: 0.0,
             violated_groups: BTreeSet::new(),
             unplaced_count: n_entities,
         };
+        // Bulk seeding: place every entity first without refreshing the
+        // per-bin penalty leaf or (region, band) key — then build both
+        // in one O(n_bins) pass. Per-entity refreshes would repeat the
+        // same penalty/key computation once per hosted entity.
         for (i, maybe_bin) in assignment.iter().enumerate() {
             if let Some(bin) = maybe_bin {
-                eval.force_place(EntityId(i), *bin);
+                eval.seed_place(EntityId(i), *bin);
             }
+        }
+        for b in 0..n_bins {
+            eval.refresh_leaf(b);
+            let key = eval.compute_group_key(b);
+            eval.bin_group_key[b] = key;
+            let group = eval.target_groups.entry(key).or_default();
+            eval.bin_group_pos[b] = group.len() as u32;
+            group.push(b);
         }
         eval
     }
@@ -315,18 +346,81 @@ impl Evaluator {
         self.tree.set(bin, pen);
     }
 
+    /// Recomputes a bin's (region, utilization band) key from scratch.
+    fn compute_group_key(&self, bin: usize) -> (u64, u8) {
+        let region = self.bin_domains[bin][3];
+        let util = self.bin_usage[bin].max_utilization(&self.bin_capacity[bin]);
+        let band = (util * 5.0).floor().clamp(0.0, 10.0) as u8;
+        (region, band)
+    }
+
+    /// Moves `bin` to the target group matching its current utilization
+    /// band, if the band shifted. O(log groups) — called once per
+    /// touched bin per move.
+    fn refresh_group_key(&mut self, bin: usize) {
+        let key = self.compute_group_key(bin);
+        let old = self.bin_group_key[bin];
+        if key == old {
+            return;
+        }
+        let pos = self.bin_group_pos[bin] as usize;
+        let group = self
+            .target_groups
+            .get_mut(&old)
+            .expect("bin was indexed under its old key");
+        group.swap_remove(pos);
+        if pos < group.len() {
+            let displaced = group[pos];
+            self.bin_group_pos[displaced] = pos as u32;
+        }
+        if group.is_empty() {
+            self.target_groups.remove(&old);
+        }
+        let group = self.target_groups.entry(key).or_default();
+        self.bin_group_pos[bin] = group.len() as u32;
+        group.push(bin);
+        self.bin_group_key[bin] = key;
+    }
+
+    /// Adds `e` to `bin`'s entity list.
+    fn index_add(&mut self, e: EntityId, bin: usize) {
+        self.entity_pos[e.0] = self.bin_entities[bin].len() as u32;
+        self.bin_entities[bin].push(e);
+    }
+
+    /// Removes `e` from `bin`'s entity list by swap-remove.
+    fn index_remove(&mut self, e: EntityId, bin: usize) {
+        let pos = self.entity_pos[e.0] as usize;
+        let list = &mut self.bin_entities[bin];
+        debug_assert_eq!(list[pos], e, "entity index out of sync");
+        list.swap_remove(pos);
+        if pos < list.len() {
+            let displaced = list[pos];
+            self.entity_pos[displaced.0] = pos as u32;
+        }
+    }
+
     /// Places an unplaced entity without checking hard constraints
     /// (used for seeding from the initial assignment).
     pub fn force_place(&mut self, e: EntityId, bin: BinId) {
+        self.seed_place(e, bin);
+        self.refresh_leaf(bin.0);
+        self.refresh_group_key(bin.0);
+    }
+
+    /// [`Self::force_place`] minus the penalty-leaf and group-key
+    /// refresh — the bulk-construction fast path, which refreshes every
+    /// bin once at the end instead of once per hosted entity.
+    fn seed_place(&mut self, e: EntityId, bin: BinId) {
         debug_assert_eq!(self.assignment[e.0], UNPLACED);
         let b = bin.0;
         self.assignment[e.0] = b as u32;
         self.bin_usage[b] += self.entity_load[e.0];
         self.bin_entity_count[b] += 1;
         self.bin_affinity[b] += self.affinity_penalty(e, b);
+        self.index_add(e, b);
         self.unplaced_count -= 1;
         self.exclusion_add(e, b);
-        self.refresh_leaf(b);
     }
 
     fn exclusion_add(&mut self, e: EntityId, bin: usize) {
@@ -526,7 +620,9 @@ impl Evaluator {
             self.bin_usage[f].clamp_non_negative();
             self.bin_entity_count[f] -= 1;
             self.bin_affinity[f] -= self.affinity_penalty(e, f);
+            self.index_remove(e, f);
             self.refresh_leaf(f);
+            self.refresh_group_key(f);
         } else {
             self.unplaced_count -= 1;
         }
@@ -535,8 +631,10 @@ impl Evaluator {
         self.bin_usage[b] += load;
         self.bin_entity_count[b] += 1;
         self.bin_affinity[b] += self.affinity_penalty(e, b);
+        self.index_add(e, b);
         self.exclusion_add(e, b);
         self.refresh_leaf(b);
+        self.refresh_group_key(b);
     }
 
     /// Total objective: bin penalties plus exclusion penalties.
@@ -560,15 +658,11 @@ impl Evaluator {
         self.tree.top_k(k).into_iter().map(BinId).collect()
     }
 
-    /// Entities currently on `bin`, unordered.
-    ///
-    /// O(entities) — callers cache per round, not per candidate.
-    pub fn entities_on(&self, bin: BinId) -> Vec<EntityId> {
-        let b = bin.0 as u32;
-        (0..self.assignment.len())
-            .filter(|&i| self.assignment[i] == b)
-            .map(EntityId)
-            .collect()
+    /// Entities currently on `bin`, unordered (within-bin order is a
+    /// deterministic function of the move history). O(1): the list is
+    /// maintained incrementally under moves.
+    pub fn entities_on(&self, bin: BinId) -> &[EntityId] {
+        &self.bin_entities[bin.0]
     }
 
     /// Groups with colocated replicas under some exclusion goal,
@@ -604,12 +698,59 @@ impl Evaluator {
     /// Grouping key for grouped target sampling (§5.3 optimization 4):
     /// the bin's region plus a coarse utilization band, so sampling
     /// across keys covers every region and both hot and cold servers.
+    /// O(1): cached and refreshed only when a move shifts the band.
     pub fn target_group_key(&self, bin: BinId) -> (u64, u8) {
-        let b = bin.0;
-        let region = self.bin_domains[b][3];
-        let util = self.bin_usage[b].max_utilization(&self.bin_capacity[b]);
-        let band = (util * 5.0).floor().clamp(0.0, 10.0) as u8;
-        (region, band)
+        self.bin_group_key[bin.0]
+    }
+
+    /// All bins grouped by [`Self::target_group_key`], maintained
+    /// incrementally so the search never rebuilds the grouping per
+    /// round. Within-group order is a deterministic function of the
+    /// move history.
+    pub fn target_groups(&self) -> &BTreeMap<(u64, u8), Vec<usize>> {
+        &self.target_groups
+    }
+
+    /// Cross-checks every incremental index against the assignment
+    /// vector — test oracle for the O(1) hot-path bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of sync.
+    pub fn assert_index_consistent(&self) {
+        for (b, list) in self.bin_entities.iter().enumerate() {
+            assert_eq!(
+                list.len() as u32,
+                self.bin_entity_count[b],
+                "bin {b}: entity list vs count"
+            );
+            for &e in list {
+                assert_eq!(
+                    self.assignment[e.0], b as u32,
+                    "bin {b}: stale entity {e:?} in index"
+                );
+                assert_eq!(
+                    list[self.entity_pos[e.0] as usize], e,
+                    "entity {e:?}: position index out of sync"
+                );
+            }
+        }
+        let placed = self.assignment.iter().filter(|&&a| a != UNPLACED).count();
+        let indexed: usize = self.bin_entities.iter().map(Vec::len).sum();
+        assert_eq!(placed, indexed, "placed entities vs indexed entities");
+        for (b, &key) in self.bin_group_key.iter().enumerate() {
+            assert_eq!(key, self.compute_group_key(b), "bin {b}: stale group key");
+            let group = self
+                .target_groups
+                .get(&key)
+                .unwrap_or_else(|| panic!("bin {b}: group {key:?} missing"));
+            assert_eq!(
+                group[self.bin_group_pos[b] as usize], b,
+                "bin {b}: group position out of sync"
+            );
+        }
+        let grouped: usize = self.target_groups.values().map(Vec::len).sum();
+        assert_eq!(grouped, self.bin_group_key.len(), "bins vs grouped bins");
     }
 
     /// Snapshot of the current assignment.
@@ -1018,6 +1159,7 @@ mod tests {
                 );
                 // And the incremental total matches a from-scratch recompute.
                 assert!((after - eval.recompute_total()).abs() < 1e-9);
+                eval.assert_index_consistent();
             }
         }
     }
@@ -1039,7 +1181,8 @@ mod tests {
         eval.apply_move(e, BinId(1));
         assert_eq!(eval.violations().unplaced, 0);
         assert_eq!(eval.bin_of(e), Some(BinId(1)));
-        assert_eq!(eval.entities_on(BinId(1)), vec![e]);
+        assert_eq!(eval.entities_on(BinId(1)), [e]);
+        eval.assert_index_consistent();
     }
 
     #[test]

@@ -144,4 +144,60 @@ mod tests {
         let expect: f64 = (96..100).map(|v| v as f64).sum();
         assert!((t.total() - expect).abs() < 1e-9);
     }
+
+    #[test]
+    fn top_k_with_k_at_least_len_returns_all_nonzero() {
+        let mut t = PenaltyTree::new(3);
+        t.set(0, 2.0);
+        t.set(1, 7.0);
+        t.set(2, 4.0);
+        // k == len and k > len both return every non-zero leaf.
+        assert_eq!(t.top_k(3), vec![1, 2, 0]);
+        assert_eq!(t.top_k(100), vec![1, 2, 0]);
+        t.set(2, 0.0);
+        assert_eq!(t.top_k(100), vec![1, 0], "zeroed leaf drops out");
+    }
+
+    #[test]
+    fn zero_leaf_tree_is_empty_and_inert() {
+        let t = PenaltyTree::new(0);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 0.0);
+        assert!(t.top_k(5).is_empty());
+        // A non-empty tree is not `is_empty` even with all-zero leaves.
+        let t1 = PenaltyTree::new(1);
+        assert_eq!(t1.len(), 1);
+        assert!(!t1.is_empty());
+        assert_eq!(t1.total(), 0.0);
+    }
+
+    #[test]
+    fn add_remove_round_trips_keep_cached_total_fresh() {
+        // Many add/remove round-trips accumulate float error in the
+        // cached total; it must stay within 1e-9 of a from-scratch
+        // recompute of the surviving leaves.
+        let mut t = PenaltyTree::new(16);
+        for round in 0..1_000 {
+            let i = (round * 7 + 3) % 16;
+            let v = ((round % 13) as f64) * 0.37 + 0.11;
+            t.set(i, v); // add
+            if round % 3 == 0 {
+                t.set(i, 0.0); // remove again
+            }
+        }
+        let fresh: f64 = (0..16).map(|i| t.get(i)).sum();
+        assert!(
+            (t.total() - fresh).abs() < 1e-9,
+            "cached {} vs fresh {}",
+            t.total(),
+            fresh
+        );
+        // Drain every leaf: the cached total returns to ~zero.
+        for i in 0..16 {
+            t.set(i, 0.0);
+        }
+        assert!(t.total().abs() < 1e-9);
+        assert!(t.top_k(16).is_empty());
+    }
 }

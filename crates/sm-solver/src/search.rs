@@ -23,15 +23,34 @@ use crate::eval::Evaluator;
 use crate::problem::{BinId, EntityId, Problem};
 use crate::specs::SpecSet;
 use sm_types::METRIC_COUNT;
-use std::collections::BTreeMap;
 
 use sm_sim::SimRng;
+
+/// How [`crate::ParallelSearch`] splits work across workers when
+/// [`SearchConfig::threads`] is greater than one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// Every worker solves the full problem with a distinct seed and
+    /// the best final assignment wins (deterministic `(penalty, seed)`
+    /// tie-break). Best objective, no wall-clock reduction on one core.
+    Portfolio,
+    /// The problem is split into disjoint bin partitions (striped
+    /// across regions), each solved concurrently on a narrower
+    /// sub-problem, then merged and polished sequentially. Reduces
+    /// total work, so it is faster even on a single core.
+    RegionPartition,
+}
 
 /// Tuning knobs and ablation switches for [`LocalSearch`].
 #[derive(Clone, Debug)]
 pub struct SearchConfig {
     /// RNG seed.
     pub seed: u64,
+    /// Worker count for [`crate::ParallelSearch`]; `0` or `1` means
+    /// the plain single-threaded [`LocalSearch`] path.
+    pub threads: usize,
+    /// Work-splitting strategy when `threads > 1`.
+    pub parallel_mode: ParallelMode,
     /// Maximum number of applied moves (the paper's "move budget").
     pub max_moves: usize,
     /// Candidate-evaluation budget; `None` = unbounded. This is the
@@ -67,6 +86,8 @@ impl Default for SearchConfig {
     fn default() -> Self {
         Self {
             seed: 0,
+            threads: 1,
+            parallel_mode: ParallelMode::RegionPartition,
             max_moves: usize::MAX,
             eval_budget: None,
             hot_bins_per_round: 8,
@@ -120,57 +141,57 @@ pub struct SearchStats {
     pub timeline: Vec<(u64, usize, f64)>,
 }
 
-/// Cached (region x utilization band) bin groups for target sampling,
-/// refreshed every `REBUILD_EVERY` uses.
+/// Reusable per-round buffers so the hot loop never reallocates:
+/// candidate and target vectors are cleared and refilled each round
+/// instead of constructed fresh.
 #[derive(Default)]
-struct GroupCache {
-    inner: std::cell::RefCell<(Vec<Vec<usize>>, u32)>,
-}
-
-impl GroupCache {
-    const REBUILD_EVERY: u32 = 64;
-
-    fn borrow_mut_groups(&self, eval: &Evaluator, n_bins: usize) -> Vec<Vec<usize>> {
-        let mut cached = self.inner.borrow_mut();
-        if cached.1 == 0 || cached.0.is_empty() {
-            let mut groups: BTreeMap<(u64, u8), Vec<usize>> = BTreeMap::new();
-            for b in 0..n_bins {
-                let key = eval.target_group_key(BinId(b));
-                groups.entry(key).or_default().push(b);
-            }
-            // BTreeMap values come out in key order: deterministic.
-            cached.0 = groups.into_values().collect();
-            cached.1 = Self::REBUILD_EVERY;
-        }
-        cached.1 -= 1;
-        cached.0.clone()
-    }
-
-    fn invalidate(&self) {
-        self.inner.borrow_mut().1 = 0;
-    }
+struct Scratch {
+    candidates: Vec<EntityId>,
+    targets: Vec<BinId>,
+    on_bin: Vec<EntityId>,
+    /// `(misplacement, load, entity)` ranking keys, computed once per
+    /// entity per round instead of once per sort comparison.
+    ranked: Vec<(f64, f64, EntityId)>,
+    /// Load keys of candidates kept so far (equivalence dedup).
+    seen_keys: Vec<[u64; METRIC_COUNT]>,
 }
 
 /// The local-search solver.
 pub struct LocalSearch {
     config: SearchConfig,
-    groups_cache: GroupCache,
 }
 
 impl LocalSearch {
     /// Creates a solver with the given configuration.
     pub fn new(config: SearchConfig) -> Self {
-        Self {
-            config,
-            groups_cache: GroupCache::default(),
-        }
+        Self { config }
     }
 
     /// Solves the problem: returns the final assignment and run stats.
     pub fn solve(&self, problem: &Problem, specs: &SpecSet) -> (Vec<Option<BinId>>, SearchStats) {
         let mut rng = SimRng::seeded(self.config.seed);
+        self.solve_from(
+            problem,
+            specs,
+            problem.initial_assignment().to_vec(),
+            &mut rng,
+        )
+    }
+
+    /// Like [`Self::solve`] but starting from an explicit assignment
+    /// and an externally seeded RNG — the building block
+    /// [`crate::ParallelSearch`] uses for per-worker solves and for the
+    /// sequential cross-partition polish pass.
+    pub fn solve_from(
+        &self,
+        problem: &Problem,
+        specs: &SpecSet,
+        initial: Vec<Option<BinId>>,
+        rng: &mut SimRng,
+    ) -> (Vec<Option<BinId>>, SearchStats) {
         let mut stats = SearchStats::default();
-        let mut assignment: Vec<Option<BinId>> = problem.initial_assignment().to_vec();
+        let mut assignment = initial;
+        let mut scratch = Scratch::default();
 
         let batches: Vec<u8> = if self.config.use_batching {
             specs.priorities()
@@ -185,11 +206,10 @@ impl LocalSearch {
         let n_batches = batches.len() as u32;
 
         for (bi, &prio) in batches.iter().enumerate() {
-            self.groups_cache.invalidate();
             let mut eval = Evaluator::with_assignment(problem, specs, prio, &assignment);
             if bi == 0 {
                 stats.initial_penalty = eval.total_penalty();
-                self.place_unplaced(problem, &mut eval, &mut rng, &mut stats);
+                self.place_unplaced(problem, &mut eval, rng, &mut stats, &mut scratch);
             }
             // Earlier batches get a larger share of the remaining
             // budget: batch k of n gets 1/(n-k) of what is left when
@@ -199,7 +219,14 @@ impl LocalSearch {
                 let share = remaining / u64::from(n_batches - bi as u32);
                 stats.evaluated + share
             });
-            self.run_batch(problem, &mut eval, &mut rng, &mut stats, batch_deadline);
+            self.run_batch(
+                problem,
+                &mut eval,
+                rng,
+                &mut stats,
+                batch_deadline,
+                &mut scratch,
+            );
             assignment = eval.assignment();
             stats.final_penalty = eval.total_penalty();
             stats.final_violations = eval.violations().total();
@@ -218,6 +245,7 @@ impl LocalSearch {
         eval: &mut Evaluator,
         rng: &mut SimRng,
         stats: &mut SearchStats,
+        scratch: &mut Scratch,
     ) {
         let n_bins = problem.bin_count();
         if n_bins == 0 {
@@ -228,9 +256,9 @@ impl LocalSearch {
             if eval.bin_of(e).is_some() {
                 continue;
             }
-            let targets = self.sample_targets(eval, rng, n_bins);
+            self.sample_targets(eval, rng, n_bins, &mut scratch.targets);
             let mut best: Option<(f64, BinId)> = None;
-            for &t in &targets {
+            for &t in &scratch.targets {
                 stats.evaluated += 1;
                 if let Some(delta) = eval.eval_move(e, t) {
                     if best.map(|(d, _)| delta < d).unwrap_or(true) {
@@ -263,6 +291,7 @@ impl LocalSearch {
         rng: &mut SimRng,
         stats: &mut SearchStats,
         deadline: Option<u64>,
+        scratch: &mut Scratch,
     ) {
         let n_bins = problem.bin_count();
         if n_bins < 2 {
@@ -283,7 +312,7 @@ impl LocalSearch {
                 return;
             }
 
-            let improved = self.one_round(eval, rng, stats, n_bins);
+            let improved = self.one_round(eval, rng, stats, n_bins, scratch);
             if stats.moves / self.config.sample_every.max(1)
                 != moves_since_sample / self.config.sample_every.max(1)
             {
@@ -301,7 +330,8 @@ impl LocalSearch {
                 // does not prove convergence; retry with fresh samples
                 // (and swaps) up to the configured patience.
                 dry_rounds += 1;
-                let swapped = self.config.use_swaps && self.try_swaps(eval, rng, stats, n_bins);
+                let swapped =
+                    self.config.use_swaps && self.try_swaps(eval, rng, stats, n_bins, scratch);
                 if swapped {
                     dry_rounds = 0;
                 } else if dry_rounds >= self.config.patience.max(1) {
@@ -319,15 +349,16 @@ impl LocalSearch {
         rng: &mut SimRng,
         stats: &mut SearchStats,
         n_bins: usize,
+        scratch: &mut Scratch,
     ) -> bool {
-        let candidates = self.candidate_entities(eval, rng);
-        if candidates.is_empty() {
+        self.candidate_entities(eval, rng, scratch);
+        if scratch.candidates.is_empty() {
             return false;
         }
-        let targets = self.sample_targets(eval, rng, n_bins);
+        self.sample_targets(eval, rng, n_bins, &mut scratch.targets);
         let mut best: Option<(f64, EntityId, BinId)> = None;
-        for &e in &candidates {
-            for &t in &targets {
+        for &e in &scratch.candidates {
+            for &t in &scratch.targets {
                 stats.evaluated += 1;
                 if let Some(delta) = eval.eval_move(e, t) {
                     if delta < -1e-9 && best.map(|(d, _, _)| delta < d).unwrap_or(true) {
@@ -348,70 +379,100 @@ impl LocalSearch {
 
     /// Candidate source entities: from the hottest bins (large loads
     /// first, deduplicated by equivalence) plus members of violated
-    /// spread groups.
-    fn candidate_entities(&self, eval: &Evaluator, rng: &mut SimRng) -> Vec<EntityId> {
-        let mut out: Vec<EntityId> = Vec::new();
+    /// spread groups. Fills `scratch.candidates`.
+    fn candidate_entities(&self, eval: &Evaluator, rng: &mut SimRng, scratch: &mut Scratch) {
+        scratch.candidates.clear();
         for bin in eval.hot_bins(self.config.hot_bins_per_round) {
-            let mut on_bin = eval.entities_on(bin);
+            scratch.on_bin.clear();
+            scratch.on_bin.extend_from_slice(eval.entities_on(bin));
             // Shuffle first so ties in the ranking rotate across rounds
             // — otherwise unfixable candidates can starve fixable ones.
-            rng.shuffle(&mut on_bin);
+            rng.shuffle(&mut scratch.on_bin);
             if self.config.use_large_first {
                 // Rank by how much the entity's own violations hurt the
                 // objective (affinity/drain misplacement), then by load
-                // (§5.3: evaluate large shards earlier).
-                on_bin.sort_by(|a, b| {
-                    let ka = (eval.entity_misplacement(*a), sum_load(eval, *a));
-                    let kb = (eval.entity_misplacement(*b), sum_load(eval, *b));
-                    kb.partial_cmp(&ka).expect("loads are finite")
+                // (§5.3: evaluate large shards earlier). Keys are
+                // computed once per entity; the stable sort over the
+                // shuffled order matches sorting with per-comparison
+                // key recomputation exactly.
+                scratch.ranked.clear();
+                scratch.ranked.extend(
+                    scratch
+                        .on_bin
+                        .iter()
+                        .map(|&e| (eval.entity_misplacement(e), sum_load(eval, e), e)),
+                );
+                scratch.ranked.sort_by(|a, b| {
+                    (b.0, b.1)
+                        .partial_cmp(&(a.0, a.1))
+                        .expect("loads are finite")
                 });
+                scratch.on_bin.clear();
+                scratch.on_bin.extend(scratch.ranked.iter().map(|r| r.2));
             }
             if self.config.use_equivalence {
-                let mut seen: BTreeMap<[u64; METRIC_COUNT], u32> = BTreeMap::new();
-                on_bin.retain(|e| {
-                    let key = load_key(eval, *e);
-                    let n = seen.entry(key).or_insert(0);
-                    *n += 1;
-                    *n <= 1
-                });
+                // Keep the first entity of each distinct load vector,
+                // stopping as soon as the per-bin quota is filled — the
+                // tail never needs its keys computed.
+                scratch.seen_keys.clear();
+                let mut kept = 0usize;
+                for idx in 0..scratch.on_bin.len() {
+                    if kept == self.config.entities_per_bin {
+                        break;
+                    }
+                    let e = scratch.on_bin[idx];
+                    let key = load_key(eval, e);
+                    if scratch.seen_keys.contains(&key) {
+                        continue;
+                    }
+                    scratch.seen_keys.push(key);
+                    scratch.on_bin[kept] = e;
+                    kept += 1;
+                }
+                scratch.on_bin.truncate(kept);
+            } else {
+                scratch.on_bin.truncate(self.config.entities_per_bin);
             }
-            on_bin.truncate(self.config.entities_per_bin);
-            out.extend(on_bin);
+            scratch.candidates.extend_from_slice(&scratch.on_bin);
         }
         // Replica groups violating a spread goal contribute their
         // members directly — their bins may not be hot.
         let violated = eval.violated_groups();
         for (_, members) in violated.iter().take(self.config.hot_bins_per_round) {
-            out.extend(members.iter().copied());
+            scratch.candidates.extend(members.iter().copied());
         }
-        out.truncate(self.config.hot_bins_per_round * self.config.entities_per_bin * 2);
-        out
+        scratch
+            .candidates
+            .truncate(self.config.hot_bins_per_round * self.config.entities_per_bin * 2);
     }
 
-    /// Samples destination bins. With grouped sampling, bins are grouped
-    /// by (region, utilization band) and each group contributes samples,
-    /// so region-preference and spread goals always see in-region and
-    /// out-of-region options; otherwise sampling is uniform. The group
-    /// index is rebuilt lazily (utilization bands drift slowly), keeping
-    /// the per-round cost O(k) instead of O(bins).
-    fn sample_targets(&self, eval: &Evaluator, rng: &mut SimRng, n_bins: usize) -> Vec<BinId> {
+    /// Samples destination bins into `out`. With grouped sampling, bins
+    /// are grouped by (region, utilization band) and each group
+    /// contributes samples, so region-preference and spread goals
+    /// always see in-region and out-of-region options; otherwise
+    /// sampling is uniform. The group index is maintained incrementally
+    /// by the evaluator, keeping the per-round cost O(k) instead of
+    /// O(bins).
+    fn sample_targets(
+        &self,
+        eval: &Evaluator,
+        rng: &mut SimRng,
+        n_bins: usize,
+        out: &mut Vec<BinId>,
+    ) {
+        out.clear();
         let k = self.config.targets_per_entity.min(n_bins);
         if !self.config.use_grouped_sampling {
-            return rng
-                .sample_indices(n_bins, k)
-                .into_iter()
-                .map(BinId)
-                .collect();
+            out.extend(rng.sample_indices(n_bins, k).into_iter().map(BinId));
+            return;
         }
-        let groups = self.groups_cache.borrow_mut_groups(eval, n_bins);
+        let groups = eval.target_groups();
         let per_group = (k / groups.len().max(1)).max(1);
-        let mut out = Vec::with_capacity(k + groups.len());
-        for bins in groups.iter() {
+        for bins in groups.values() {
             for idx in rng.sample_indices(bins.len(), per_group) {
                 out.push(BinId(bins[idx]));
             }
         }
-        out
     }
 
     /// Attempts two-way swaps between entities on hot bins and entities
@@ -422,19 +483,25 @@ impl LocalSearch {
         rng: &mut SimRng,
         stats: &mut SearchStats,
         n_bins: usize,
+        scratch: &mut Scratch,
     ) -> bool {
         let hot = eval.hot_bins(4);
-        let targets = self.sample_targets(eval, rng, n_bins);
+        self.sample_targets(eval, rng, n_bins, &mut scratch.targets);
+        // Snapshot buffers: `apply_move` below invalidates the
+        // evaluator's live entity lists.
+        let mut hot_entities: Vec<EntityId> = Vec::with_capacity(4);
+        let mut others: Vec<EntityId> = Vec::with_capacity(2);
         for &hot_bin in &hot {
-            let mut hot_entities = eval.entities_on(hot_bin);
-            hot_entities.truncate(4);
+            hot_entities.clear();
+            hot_entities.extend(eval.entities_on(hot_bin).iter().take(4));
             for &e1 in &hot_entities {
-                for &other_bin in targets.iter().take(8) {
+                for ti in 0..scratch.targets.len().min(8) {
+                    let other_bin = scratch.targets[ti];
                     if other_bin == hot_bin {
                         continue;
                     }
-                    let mut others = eval.entities_on(other_bin);
-                    others.truncate(2);
+                    others.clear();
+                    others.extend(eval.entities_on(other_bin).iter().take(2));
                     for &e2 in &others {
                         stats.evaluated += 2;
                         let Some(d1) = eval.eval_move(e1, other_bin) else {

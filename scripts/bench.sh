@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Solver benchmark: runs the machine-readable bench over the Figure-21
+# problem sizes and records the result as BENCH_solver.json.
+#
+# Usage: scripts/bench.sh [--threads 1,8]
+#   SM_SCALE=paper scripts/bench.sh    # full paper sizes (slow)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_solver.json"
+
+cargo build --release -q -p sm-bench
+
+./target/release/bench_solver "$@" > "$OUT"
+
+echo "wrote $OUT"
