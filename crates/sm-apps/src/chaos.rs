@@ -1,0 +1,824 @@
+//! Seeded chaos harness over the ZooKeeper-backed control plane.
+//!
+//! A [`ChaosWorld`] wires the HA control plane ([`HaControlPlane`]),
+//! leased KV application servers, and live client traffic into one
+//! discrete-event simulation, then injects a seeded fault schedule
+//! ([`sm_sim::faults::fault_plan`]): mini-SM crashes, server crashes,
+//! and bare ZK session expiries, each with a paired recovery. The run
+//! checks the §6 fault-tolerance story end to end:
+//!
+//! - **No dual primary** — a periodic scan counts, per shard, the
+//!   servers that would serve an unforwarded request. Self-fencing
+//!   (§3.2) makes a session-expired server wipe its hosting state
+//!   immediately, before the control plane even notices the expiry.
+//! - **No dropped requests** — clients retry with a bounded budget
+//!   sized well past the longest injected outage; every request must
+//!   eventually be served.
+//! - **Convergence** — after the last recovery, every shard is placed
+//!   (primary present) and no migration is stuck in flight.
+//! - **Reproducibility** — the whole run is a pure function of its
+//!   seed: same seed, byte-identical trace.
+//!
+//! Fault indices map directly to ids (`Fault::MiniSmCrash(i)` targets
+//! `MiniSmId(i)`); mini-SM ids are assigned densely from zero at
+//! deployment, so the plan's every-mini-SM coverage guarantee carries
+//! over to ids.
+
+use crate::kv::{ExternalStore, KvServer};
+use crate::AppResponse;
+use sm_allocator::{AllocConfig, MoveCaps};
+use sm_core::ha::{HaControlPlane, HaStats, ServerLease};
+use sm_core::{ApplicationManager, OrchCommand, OrchestratorConfig, Partition, ServerRpc};
+use sm_sim::faults::{fault_plan, Fault, FaultPlanConfig};
+use sm_sim::{Ctx, SimDuration, SimTime, Simulation, TraceLog, World};
+use sm_types::{
+    AppId, AppKey, AppPolicy, LoadVector, Location, MachineId, Metric, MiniSmId, RegionId,
+    ServerId, ShardId, ShardingSpec,
+};
+use sm_zk::{WatchEvent, ZkStore};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Shape of one chaos run. The fault schedule is derived from `seed`
+/// via [`FaultPlanConfig::covering`], so the whole run is reproducible
+/// from this config alone.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for traffic, fault schedule, and every other random draw.
+    pub seed: u64,
+    /// Application servers (ids `0..servers`).
+    pub servers: u32,
+    /// Shards across the whole app.
+    pub shards: u64,
+    /// Concurrent request generators.
+    pub clients: u32,
+    /// Gap between one client's requests.
+    pub request_interval: SimDuration,
+    /// One-way latency for control-plane RPCs and watch delivery.
+    pub rpc_latency: SimDuration,
+    /// Client retry backoff.
+    pub retry_delay: SimDuration,
+    /// Retry budget per request; must outlast the longest outage.
+    pub max_attempts: u32,
+    /// Clients stop issuing new requests here (in-flight ones drain).
+    pub traffic_end: SimTime,
+    /// Periodic scans and router refreshes stop here; must be past the
+    /// last scheduled recovery so the final scan sees quiescence.
+    pub end: SimTime,
+}
+
+impl ChaosConfig {
+    /// A run sized to meet the chaos acceptance floors while staying
+    /// fast enough for the test gate.
+    pub fn covering(seed: u64) -> Self {
+        Self {
+            seed,
+            servers: 20,
+            shards: 64,
+            clients: 4,
+            request_interval: SimDuration::from_millis(100),
+            rpc_latency: SimDuration::from_millis(10),
+            retry_delay: SimDuration::from_millis(500),
+            max_attempts: 120,
+            traffic_end: SimTime::from_secs(365),
+            end: SimTime::from_secs(400),
+        }
+    }
+}
+
+/// Event alphabet of the chaos world.
+#[derive(Debug)]
+pub enum ChaosEvent {
+    /// Client `i` issues its next request.
+    ClientTick(u32),
+    /// A request arrives at a server.
+    Deliver {
+        /// Key being read/written (as its u64 seed).
+        key: u64,
+        /// True for a put, false for a get.
+        write: bool,
+        /// Shard the key maps to.
+        shard: ShardId,
+        /// Server the client (or a forwarder) picked.
+        target: ServerId,
+        /// Delivery attempts so far, this one included.
+        attempts: u32,
+        /// Forwarding hops on this attempt.
+        hops: u8,
+        /// When the request was first issued.
+        sent_at: SimTime,
+    },
+    /// A failed attempt backs off and re-routes.
+    Retry {
+        /// Key being retried.
+        key: u64,
+        /// True for a put.
+        write: bool,
+        /// Shard the key maps to.
+        shard: ShardId,
+        /// Attempts so far.
+        attempts: u32,
+        /// Original issue time.
+        sent_at: SimTime,
+    },
+    /// A control-plane RPC reaches its server.
+    RpcSend {
+        /// Target server.
+        server: ServerId,
+        /// The RPC payload.
+        rpc: ServerRpc,
+    },
+    /// The server's ack (or failure) reaches the control plane.
+    RpcResult {
+        /// Acking server.
+        server: ServerId,
+        /// The RPC being answered.
+        rpc: ServerRpc,
+        /// Whether the server applied it.
+        ok: bool,
+    },
+    /// A ZooKeeper watch notification is delivered.
+    ZkNotify(WatchEvent),
+    /// The i-th entry of the fault plan fires.
+    FaultHit(usize),
+    /// Clients re-read the shard map (service discovery refresh).
+    RouterRefresh,
+    /// Invariant scan: dual-primary check, placement, trace points.
+    Scan,
+}
+
+/// Counters accumulated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests that exhausted their retry budget.
+    pub dropped: u64,
+    /// Retry attempts across all requests.
+    pub retries: u64,
+    /// Forwarding hops taken (graceful migration in action).
+    pub forwards: u64,
+    /// Shard-scans that found more than one willing primary.
+    pub dual_primary: u64,
+    /// Server container crashes injected.
+    pub server_crashes: u64,
+    /// Bare session expiries injected.
+    pub session_expiries: u64,
+    /// Mini-SM crashes injected.
+    pub minism_crashes: u64,
+}
+
+/// One application server process plus its ZK liveness lease.
+struct Host {
+    kv: KvServer,
+    lease: Option<ServerLease>,
+    process_up: bool,
+}
+
+/// The chaos simulation world.
+pub struct ChaosWorld {
+    cfg: ChaosConfig,
+    zk: ZkStore,
+    cp: HaControlPlane,
+    spec: Rc<ShardingSpec>,
+    hosts: BTreeMap<ServerId, Host>,
+    partitions: Vec<Partition>,
+    plan: Vec<(SimTime, Fault)>,
+    /// Client-visible shard→primary map, refreshed periodically.
+    router: BTreeMap<ShardId, ServerId>,
+    /// Counters.
+    pub stats: ChaosStats,
+    /// Recorded time series (placement, traffic, failures).
+    pub trace: TraceLog,
+    /// Mini-SM ids crashed at least once.
+    pub crashed_minisms: BTreeSet<u32>,
+    /// Server ids whose bare session expiry was injected.
+    pub expired_sessions: BTreeSet<u32>,
+    /// Completed control-plane recoveries, in milliseconds.
+    pub recoveries_ms: Vec<f64>,
+    /// Start of the oldest unfinished recovery, if any.
+    recovering_since: Option<SimTime>,
+}
+
+fn loc(s: u32) -> Location {
+    Location {
+        region: RegionId(0),
+        datacenter: 0,
+        rack: s,
+        machine: MachineId(s),
+    }
+}
+
+fn orch_config() -> OrchestratorConfig {
+    OrchestratorConfig {
+        graceful_migration: true,
+        move_caps: MoveCaps::default(),
+        alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+    }
+}
+
+impl ChaosWorld {
+    /// Builds the world: control plane, leased servers, deployed
+    /// partitions, and the seeded fault plan. Watch events raised
+    /// during setup are delivered synchronously (the world is not
+    /// running yet, so there is no one to race with).
+    pub fn new(cfg: ChaosConfig) -> Self {
+        let mut zk = ZkStore::new();
+        let (mut cp, setup_events) = HaControlPlane::new(
+            &mut zk,
+            orch_config(),
+            LoadVector::single(Metric::ShardCount.id(), 1000.0),
+            4,
+        )
+        .expect("fresh ZK accepts the base znodes");
+        let app = AppId(0);
+        cp.register_app(app, AppPolicy::primary_only());
+
+        let spec = Rc::new(ShardingSpec::uniform_u64(cfg.shards));
+        let external = Rc::new(RefCell::new(ExternalStore::new()));
+        let mut hosts = BTreeMap::new();
+        let mut pending = setup_events;
+        let server_ids: Vec<ServerId> = (0..cfg.servers).map(ServerId).collect();
+        for &s in &server_ids {
+            cp.register_server(&mut zk, s, loc(s.raw()));
+            let (lease, events) =
+                ServerLease::register(&mut zk, s).expect("fresh session registers");
+            pending.extend(events);
+            hosts.insert(
+                s,
+                Host {
+                    kv: KvServer::new(s, spec.clone(), external.clone()),
+                    lease: Some(lease),
+                    process_up: true,
+                },
+            );
+        }
+
+        let shard_ids: Vec<ShardId> = (0..cfg.shards).map(ShardId).collect();
+        let mut mgr = ApplicationManager::new(4);
+        let partitions = mgr.partition_app(app, &server_ids, &shard_ids);
+        for p in &partitions {
+            let events = cp
+                .deploy_partition(&mut zk, p)
+                .expect("deploy on a healthy fleet");
+            pending.extend(events);
+        }
+        // Drain setup watches synchronously so every one-shot watch is
+        // re-armed before the event loop starts, then settle the
+        // initial placement (deploy completes before the experiment).
+        let mut guard = 0;
+        while let Some(e) = pending.pop() {
+            guard += 1;
+            assert!(guard < 10_000, "setup watch storm");
+            pending.extend(cp.handle_event(&mut zk, &e));
+        }
+        for _round in 0..200 {
+            let cmds = cp.take_commands();
+            if cmds.is_empty() {
+                break;
+            }
+            for (_pid, cmd) in cmds {
+                if let OrchCommand::Rpc { server, rpc } = cmd {
+                    let ok = hosts
+                        .get_mut(&server)
+                        .map(|h| rpc.dispatch(&mut h.kv).is_ok())
+                        .unwrap_or(false);
+                    let acks = if ok {
+                        cp.rpc_acked(&mut zk, server, rpc)
+                    } else {
+                        cp.rpc_failed(&mut zk, server, rpc)
+                    };
+                    pending.extend(acks);
+                }
+            }
+            while let Some(e) = pending.pop() {
+                guard += 1;
+                assert!(guard < 10_000, "setup watch storm");
+                pending.extend(cp.handle_event(&mut zk, &e));
+            }
+        }
+
+        let n_minisms = cp.running_minisms().len() as u32;
+        let plan = fault_plan(&FaultPlanConfig::covering(cfg.seed, cfg.servers, n_minisms));
+
+        let mut world = Self {
+            cfg,
+            zk,
+            cp,
+            spec,
+            hosts,
+            partitions,
+            plan,
+            router: BTreeMap::new(),
+            stats: ChaosStats::default(),
+            trace: TraceLog::new(),
+            crashed_minisms: BTreeSet::new(),
+            expired_sessions: BTreeSet::new(),
+            recoveries_ms: Vec::new(),
+            recovering_since: None,
+        };
+        world.refresh_router();
+        world
+    }
+
+    /// Number of mini-SM processes currently running.
+    pub fn running_minisms(&self) -> usize {
+        self.cp.running_minisms().len()
+    }
+
+    /// Control-plane activity counters.
+    pub fn ha_stats(&self) -> HaStats {
+        self.cp.stats()
+    }
+
+    /// True when every shard has a primary and no migration is stuck.
+    pub fn converged(&mut self) -> bool {
+        self.cp.fully_placed() && self.cp.in_flight_total() == 0
+    }
+
+    /// Shards currently missing a primary (diagnostics).
+    pub fn unplaced_count(&mut self) -> usize {
+        self.cp.unplaced().len()
+    }
+
+    fn refresh_router(&mut self) {
+        let partitions = self.partitions.clone();
+        for p in &partitions {
+            if let Some(orch) = self.cp.orchestrator(p.id) {
+                for &shard in &p.shards {
+                    match orch.assignment().primary_of(shard) {
+                        Some(server) => {
+                            self.router.insert(shard, server);
+                        }
+                        None => {
+                            self.router.remove(&shard);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queues watch notifications for delayed delivery, like a real ZK
+    /// client's event thread.
+    fn dispatch_zk(&mut self, events: Vec<WatchEvent>, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let latency = self.cfg.rpc_latency;
+        for event in events {
+            ctx.schedule_in(latency, ChaosEvent::ZkNotify(event));
+        }
+    }
+
+    /// Sends freshly minted orchestrator commands out as RPCs.
+    fn flush_commands(&mut self, ctx: &mut Ctx<'_, ChaosEvent>) {
+        for (_pid, cmd) in self.cp.take_commands() {
+            if let OrchCommand::Rpc { server, rpc } = cmd {
+                ctx.schedule_in(self.cfg.rpc_latency, ChaosEvent::RpcSend { server, rpc });
+            }
+        }
+    }
+
+    fn client_tick(&mut self, client: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
+        if ctx.now() < self.cfg.traffic_end {
+            ctx.schedule_in(self.cfg.request_interval, ChaosEvent::ClientTick(client));
+        }
+        let key = ctx.rng().next_u64();
+        let write = ctx.rng().chance(0.5);
+        let Some(shard) = self.spec.shard_for(&AppKey::from_u64(key)) else {
+            return;
+        };
+        let sent_at = ctx.now();
+        self.route(key, write, shard, 1, sent_at, ctx);
+    }
+
+    /// Routes (or re-routes) a request via the client-visible map.
+    fn route(
+        &mut self,
+        key: u64,
+        write: bool,
+        shard: ShardId,
+        attempts: u32,
+        sent_at: SimTime,
+        ctx: &mut Ctx<'_, ChaosEvent>,
+    ) {
+        match self.router.get(&shard).copied() {
+            Some(target) => ctx.schedule_in(
+                self.cfg.rpc_latency,
+                ChaosEvent::Deliver {
+                    key,
+                    write,
+                    shard,
+                    target,
+                    attempts,
+                    hops: 0,
+                    sent_at,
+                },
+            ),
+            None => self.fail_or_retry(key, write, shard, attempts, sent_at, ctx),
+        }
+    }
+
+    fn fail_or_retry(
+        &mut self,
+        key: u64,
+        write: bool,
+        shard: ShardId,
+        attempts: u32,
+        sent_at: SimTime,
+        ctx: &mut Ctx<'_, ChaosEvent>,
+    ) {
+        if attempts < self.cfg.max_attempts {
+            self.stats.retries += 1;
+            ctx.schedule_in(
+                self.cfg.retry_delay,
+                ChaosEvent::Retry {
+                    key,
+                    write,
+                    shard,
+                    attempts: attempts + 1,
+                    sent_at,
+                },
+            );
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        key: u64,
+        write: bool,
+        shard: ShardId,
+        target: ServerId,
+        attempts: u32,
+        hops: u8,
+        sent_at: SimTime,
+        ctx: &mut Ctx<'_, ChaosEvent>,
+    ) {
+        let serving = self
+            .hosts
+            .get(&target)
+            .map(|h| h.process_up && h.lease.is_some())
+            .unwrap_or(false);
+        if !serving {
+            self.fail_or_retry(key, write, shard, attempts, sent_at, ctx);
+            return;
+        }
+        let response = self
+            .hosts
+            .get(&target)
+            .map(|h| h.kv.admit(shard, hops > 0))
+            .unwrap_or(AppResponse::NotMine);
+        match response {
+            AppResponse::Serve => {
+                if let Some(host) = self.hosts.get_mut(&target) {
+                    let app_key = AppKey::from_u64(key);
+                    if write {
+                        host.kv.put(shard, app_key, key.to_be_bytes().to_vec());
+                    } else {
+                        host.kv.get(shard, &app_key);
+                    }
+                }
+                self.stats.served += 1;
+                let latency_ms = ctx.now().since(sent_at).as_millis_f64();
+                self.trace.record("latency_ms", ctx.now(), latency_ms);
+            }
+            AppResponse::Forward(next) if hops < 4 => {
+                self.stats.forwards += 1;
+                ctx.schedule_in(
+                    self.cfg.rpc_latency,
+                    ChaosEvent::Deliver {
+                        key,
+                        write,
+                        shard,
+                        target: next,
+                        attempts,
+                        hops: hops + 1,
+                        sent_at,
+                    },
+                );
+            }
+            AppResponse::Forward(_) | AppResponse::NotMine => {
+                self.fail_or_retry(key, write, shard, attempts, sent_at, ctx);
+            }
+        }
+    }
+
+    fn rpc_send(&mut self, server: ServerId, rpc: ServerRpc, ctx: &mut Ctx<'_, ChaosEvent>) {
+        // A dead process never answers; a live process that lost its
+        // session refuses shard placements (§3.2 self-fencing).
+        let ok = match self.hosts.get_mut(&server) {
+            Some(h) if h.process_up && h.lease.is_some() => rpc.dispatch(&mut h.kv).is_ok(),
+            _ => false,
+        };
+        ctx.schedule_in(
+            self.cfg.rpc_latency,
+            ChaosEvent::RpcResult { server, rpc, ok },
+        );
+    }
+
+    fn rpc_result(
+        &mut self,
+        server: ServerId,
+        rpc: ServerRpc,
+        ok: bool,
+        ctx: &mut Ctx<'_, ChaosEvent>,
+    ) {
+        let events = if ok {
+            self.cp.rpc_acked(&mut self.zk, server, rpc)
+        } else {
+            self.cp.rpc_failed(&mut self.zk, server, rpc)
+        };
+        self.dispatch_zk(events, ctx);
+        self.flush_commands(ctx);
+    }
+
+    fn apply_fault(&mut self, fault: Fault, ctx: &mut Ctx<'_, ChaosEvent>) {
+        match fault {
+            Fault::ServerCrash(i) => {
+                let s = ServerId(i);
+                let Some(host) = self.hosts.get_mut(&s) else {
+                    return;
+                };
+                if !host.process_up {
+                    return;
+                }
+                host.process_up = false;
+                host.kv.restart();
+                let expired = host.lease.take();
+                self.stats.server_crashes += 1;
+                if let Some(lease) = expired {
+                    let events = lease.expire(&mut self.zk);
+                    self.dispatch_zk(events, ctx);
+                }
+            }
+            Fault::ServerRestart(i) => {
+                let s = ServerId(i);
+                let up = self.hosts.get(&s).map(|h| h.process_up).unwrap_or(true);
+                if up {
+                    return;
+                }
+                match ServerLease::register(&mut self.zk, s) {
+                    Ok((lease, events)) => {
+                        if let Some(host) = self.hosts.get_mut(&s) {
+                            host.process_up = true;
+                            host.lease = Some(lease);
+                        }
+                        self.dispatch_zk(events, ctx);
+                    }
+                    Err(_) => {
+                        // Old session still registered; the restart
+                        // retries on the next plan entry (none in the
+                        // covering plan — expiry always precedes this).
+                    }
+                }
+            }
+            Fault::SessionExpiry(i) => {
+                let s = ServerId(i);
+                let Some(host) = self.hosts.get_mut(&s) else {
+                    return;
+                };
+                if !host.process_up || host.lease.is_none() {
+                    return;
+                }
+                // §3.2: the server self-fences — wipes its hosting
+                // state immediately, before the control plane has any
+                // chance to observe the expiry — so it can never serve
+                // as a stale primary.
+                host.kv.restart();
+                let expired = host.lease.take();
+                self.stats.session_expiries += 1;
+                self.expired_sessions.insert(i);
+                if let Some(lease) = expired {
+                    let events = lease.expire(&mut self.zk);
+                    self.dispatch_zk(events, ctx);
+                }
+            }
+            Fault::SessionRestore(i) => {
+                let s = ServerId(i);
+                let needs = self
+                    .hosts
+                    .get(&s)
+                    .map(|h| h.process_up && h.lease.is_none())
+                    .unwrap_or(false);
+                if !needs {
+                    return;
+                }
+                if let Ok((lease, events)) = ServerLease::register(&mut self.zk, s) {
+                    if let Some(host) = self.hosts.get_mut(&s) {
+                        host.lease = Some(lease);
+                    }
+                    self.dispatch_zk(events, ctx);
+                }
+            }
+            Fault::MiniSmCrash(i) => {
+                let id = MiniSmId(i);
+                if !self.cp.running_minisms().contains(&id) {
+                    return;
+                }
+                self.stats.minism_crashes += 1;
+                self.crashed_minisms.insert(i);
+                if self.recovering_since.is_none() {
+                    self.recovering_since = Some(ctx.now());
+                }
+                let events = self.cp.crash_minism(&mut self.zk, id);
+                self.dispatch_zk(events, ctx);
+            }
+            Fault::MiniSmRestart(i) => {
+                let id = MiniSmId(i);
+                if let Ok(events) = self.cp.restart_minism(&mut self.zk, id) {
+                    self.dispatch_zk(events, ctx);
+                }
+            }
+        }
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let now = ctx.now();
+        if now < self.cfg.end {
+            ctx.schedule_in(SimDuration::from_millis(500), ChaosEvent::Scan);
+        }
+        // Dual-primary check: a shard must never have two servers that
+        // would both serve an unforwarded request. Process-up is the
+        // only qualifier — a zombie with an expired session still
+        // counts, which is exactly what self-fencing must prevent.
+        for shard in (0..self.cfg.shards).map(ShardId) {
+            let willing = self
+                .hosts
+                .values()
+                .filter(|h| h.process_up && h.kv.admit(shard, false) == AppResponse::Serve)
+                .count();
+            if willing > 1 {
+                self.stats.dual_primary += 1;
+            }
+        }
+        let unplaced = self.cp.unplaced().len();
+        let in_flight = self.cp.in_flight_total();
+        if let Some(started) = self.recovering_since {
+            if unplaced == 0 && in_flight == 0 {
+                self.recoveries_ms.push(now.since(started).as_millis_f64());
+                self.recovering_since = None;
+            }
+        }
+        let down = self
+            .hosts
+            .values()
+            .filter(|h| !h.process_up || h.lease.is_none())
+            .count();
+        self.trace.record("unplaced", now, unplaced as f64);
+        self.trace.record("in_flight", now, in_flight as f64);
+        self.trace.record("down_servers", now, down as f64);
+        self.trace
+            .record("served_total", now, self.stats.served as f64);
+        self.trace
+            .record("dropped_total", now, self.stats.dropped as f64);
+        self.trace
+            .record("minisms_up", now, self.cp.running_minisms().len() as f64);
+    }
+}
+
+impl World for ChaosWorld {
+    type Event = ChaosEvent;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, ChaosEvent>, event: ChaosEvent) {
+        match event {
+            ChaosEvent::ClientTick(c) => self.client_tick(c, ctx),
+            ChaosEvent::Deliver {
+                key,
+                write,
+                shard,
+                target,
+                attempts,
+                hops,
+                sent_at,
+            } => self.deliver(key, write, shard, target, attempts, hops, sent_at, ctx),
+            ChaosEvent::Retry {
+                key,
+                write,
+                shard,
+                attempts,
+                sent_at,
+            } => {
+                // Re-route via the freshest map the client can see.
+                self.refresh_router();
+                self.route(key, write, shard, attempts, sent_at, ctx);
+            }
+            ChaosEvent::RpcSend { server, rpc } => self.rpc_send(server, rpc, ctx),
+            ChaosEvent::RpcResult { server, rpc, ok } => self.rpc_result(server, rpc, ok, ctx),
+            ChaosEvent::ZkNotify(watch) => {
+                let events = self.cp.handle_event(&mut self.zk, &watch);
+                self.dispatch_zk(events, ctx);
+                self.flush_commands(ctx);
+            }
+            ChaosEvent::FaultHit(i) => {
+                if let Some((_, fault)) = self.plan.get(i).copied() {
+                    self.apply_fault(fault, ctx);
+                    self.flush_commands(ctx);
+                }
+            }
+            ChaosEvent::RouterRefresh => {
+                if ctx.now() < self.cfg.end {
+                    ctx.schedule_in(SimDuration::from_millis(1000), ChaosEvent::RouterRefresh);
+                }
+                self.refresh_router();
+            }
+            ChaosEvent::Scan => self.scan(ctx),
+        }
+    }
+}
+
+/// Outcome of one chaos run — everything the acceptance checks need.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Traffic and fault counters.
+    pub stats: ChaosStats,
+    /// Control-plane counters (failovers, restores, fenced writes).
+    pub ha: HaStats,
+    /// Mini-SM ids crashed at least once.
+    pub crashed_minisms: BTreeSet<u32>,
+    /// Servers whose bare session expiry was injected.
+    pub expired_sessions: BTreeSet<u32>,
+    /// Completed control-plane recoveries, milliseconds each.
+    pub recoveries_ms: Vec<f64>,
+    /// Mini-SMs that existed at deployment (coverage denominator).
+    pub initial_minisms: usize,
+    /// True when, at the end, every shard was placed with no stuck
+    /// migrations.
+    pub converged: bool,
+    /// Shards lacking a primary at the end (diagnostics; 0 expected).
+    pub unplaced: usize,
+    /// The run's time-series trace, rendered as CSV (5 s buckets) —
+    /// byte-identical across reruns of the same seed.
+    pub trace_csv: String,
+}
+
+/// Runs one seeded chaos experiment to completion and reports.
+pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
+    let world = ChaosWorld::new(cfg);
+    let plan_times: Vec<SimTime> = world.plan.iter().map(|(at, _)| *at).collect();
+    let mut sim = Simulation::new(world, cfg.seed);
+    for (i, at) in plan_times.iter().enumerate() {
+        sim.schedule_at(*at, ChaosEvent::FaultHit(i));
+    }
+    for c in 0..cfg.clients {
+        sim.schedule_at(SimTime::from_secs(5), ChaosEvent::ClientTick(c));
+    }
+    sim.schedule_at(SimTime::from_secs(1), ChaosEvent::Scan);
+    sim.schedule_at(SimTime::from_secs(1), ChaosEvent::RouterRefresh);
+    sim.run_until(cfg.end);
+    // Periodic events stop at `end`; whatever remains is in-flight
+    // requests draining against a healthy fleet.
+    sim.run();
+    let mut world = sim.into_world();
+    let converged = world.converged();
+    ChaosReport {
+        stats: world.stats,
+        ha: world.ha_stats(),
+        crashed_minisms: world.crashed_minisms.clone(),
+        expired_sessions: world.expired_sessions.clone(),
+        recoveries_ms: world.recoveries_ms.clone(),
+        initial_minisms: world
+            .plan
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fault::MiniSmCrash(m) => Some(*m),
+                _ => None,
+            })
+            .collect::<BTreeSet<u32>>()
+            .len(),
+        converged,
+        unplaced: world.unplaced_count(),
+        trace_csv: world.trace.to_csv(5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_bootstraps_fully_placed() {
+        let mut w = ChaosWorld::new(ChaosConfig::covering(1));
+        // Initial placement happens synchronously at deploy; commands
+        // are still in flight but every shard has an assignment.
+        assert!(w.cp.fully_placed(), "unplaced: {:?}", w.cp.unplaced());
+        assert!(w.running_minisms() >= 2, "want several mini-SMs");
+        assert_eq!(w.router.len(), w.cfg.shards as usize);
+    }
+
+    #[test]
+    fn plan_targets_every_initial_minism() {
+        let w = ChaosWorld::new(ChaosConfig::covering(7));
+        let targeted: BTreeSet<u32> = w
+            .plan
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fault::MiniSmCrash(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        let running: BTreeSet<u32> = w.cp.running_minisms().iter().map(|m| m.raw()).collect();
+        assert_eq!(targeted, running, "dense ids let the plan cover all");
+    }
+}

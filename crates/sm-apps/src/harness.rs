@@ -13,6 +13,7 @@ use crate::forwarding::AppResponse;
 use crate::kv::{ExternalStore, KvServer};
 use crate::queue::QueueServer;
 use sm_cluster::{ClusterManager, Machine, MaintenanceImpact, OpId, OpKind};
+use sm_core::ha::{ensure_base, paths, ZkLease};
 use sm_core::{
     AvailabilityView, OrchCommand, Orchestrator, OrchestratorConfig, ServerRpc, ShardServer,
     TaskController,
@@ -23,7 +24,7 @@ use sm_types::{
     AppId, AppKey, AppPolicy, ContainerId, LoadVector, Location, MachineId, Metric, RegionId,
     ServerId, ShardId, ShardMap, ShardingSpec, SmError,
 };
-use sm_zk::{CreateMode, SessionId, ZkStore};
+use sm_zk::{CreateMode, SessionId, WatchEvent, WatchKind, ZkStore};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -266,6 +267,11 @@ pub enum WorldEvent {
         /// When it went down (stale checks are ignored).
         down_since: SimTime,
     },
+    /// A ZooKeeper watch notification reaches its watcher. Failure
+    /// detection is watch-driven: session expiry deletes the server's
+    /// ephemeral, and the control plane reacts to the delivered
+    /// `Deleted` event rather than being told directly.
+    ZkNotify(WatchEvent),
     /// Servers report load.
     LoadReport,
     /// Periodic allocation runs.
@@ -405,6 +411,11 @@ pub struct SimWorld {
     orch_cfg: OrchestratorConfig,
     discovery: DiscoveryService,
     zk: ZkStore,
+    /// Fenced writer for the control plane's durable state znode; its
+    /// session also holds the server liveness watches.
+    state_lease: ZkLease,
+    /// Fenced `/sm/state` writes refused (stale control plane).
+    pub fenced_writes: u64,
     servers: BTreeMap<ServerId, Host>,
     clients: Vec<Client>,
     /// Outcome counters.
@@ -433,9 +444,9 @@ impl SimWorld {
         let spec = Rc::new(ShardingSpec::uniform_u64(cfg.shards));
         let external = Rc::new(RefCell::new(ExternalStore::new()));
         let mut zk = ZkStore::new();
-        let zk_root = zk.connect();
-        zk.create(zk_root, "/servers", Vec::new(), CreateMode::Persistent)
-            .expect("zk root");
+        let state_lease = ZkLease::new(&mut zk);
+        // Base-znode creation fires no watches yet (nobody is watching).
+        ensure_base(&mut zk, state_lease.session).expect("zk base znodes");
 
         // Orchestrator configuration.
         let mut alloc = sm_allocator_config(&cfg);
@@ -496,11 +507,14 @@ impl SimWorld {
                 let session = zk.connect();
                 zk.create(
                     session,
-                    &format!("/servers/srv{id}"),
+                    &paths::server_node(ServerId(id)),
                     Vec::new(),
                     CreateMode::Ephemeral,
                 )
                 .expect("ephemeral");
+                // Liveness is watch-driven: the control plane holds an
+                // exists watch on every server's ephemeral node.
+                zk.watch_exists(state_lease.session, &paths::server_node(ServerId(id)));
                 let logic = match cfg.app {
                     AppKind::Kv => {
                         AppLogic::Kv(KvServer::new(ServerId(id), spec.clone(), external.clone()))
@@ -559,6 +573,8 @@ impl SimWorld {
             orch_cfg,
             discovery,
             zk,
+            state_lease,
+            fenced_writes: 0,
             servers,
             clients,
             stats: WorldStats::default(),
@@ -721,6 +737,40 @@ impl SimWorld {
         }
     }
 
+    /// Schedules delivery of ZooKeeper watch notifications. The fixed
+    /// small delay models the client-notification hop and keeps failure
+    /// detection asynchronous, as in real ZooKeeper.
+    fn dispatch_zk_events(&mut self, events: Vec<WatchEvent>, ctx: &mut Ctx<'_, WorldEvent>) {
+        for event in events {
+            ctx.schedule_in(SimDuration::from_millis(10), WorldEvent::ZkNotify(event));
+        }
+    }
+
+    /// Reacts to a delivered watch notification. Only events addressed
+    /// to the current control-plane session count — a failed-over
+    /// predecessor's stragglers are ignored. Watches are one-shot and
+    /// advisory: re-arm first, then re-check actual state before
+    /// acting, so a server that already re-registered is not marked
+    /// down by stale news.
+    fn handle_zk_event(&mut self, event: &WatchEvent, ctx: &mut Ctx<'_, WorldEvent>) {
+        if event.watcher != self.state_lease.session {
+            return;
+        }
+        let Some(server) = paths::parse_server(&event.path) else {
+            return;
+        };
+        self.zk.watch_exists(self.state_lease.session, &event.path);
+        if event.kind == WatchKind::Deleted && !self.zk.exists(&event.path) {
+            // A dead server's drain can never finish; discard it.
+            self.tc.server_lost(server);
+            self.orch.server_down(server);
+            self.flush_orch(ctx);
+        }
+        // Created events need no orchestrator action here: the
+        // cluster-manager recovery path reconciles the server when the
+        // container comes back.
+    }
+
     fn bring_server_up(
         &mut self,
         server: ServerId,
@@ -732,16 +782,20 @@ impl SimWorld {
         };
         host.serving = true;
         host.down_since = None;
+        let mut events = Vec::new();
         if !self.zk.session_alive(host.zk_session) {
             let session = self.zk.connect();
-            let _outcome = self.zk.create(
+            host.zk_session = session;
+            if let Ok((_, ev)) = self.zk.create(
                 session,
-                &format!("/servers/srv{}", server.raw()),
+                &paths::server_node(server),
                 Vec::new(),
                 CreateMode::Ephemeral,
-            );
-            host.zk_session = session;
+            ) {
+                events = ev;
+            }
         }
+        self.dispatch_zk_events(events, ctx);
         if detected_down {
             self.orch.server_up(server);
             self.orch.run_emergency();
@@ -1053,18 +1107,14 @@ impl World for SimWorld {
             WorldEvent::MapFlush => {
                 self.map_flush_scheduled = false;
                 // Persist the orchestrator's durable state to ZooKeeper
-                // (§3.2): the standby path reads it on takeover.
+                // (§3.2), fenced by the znode version (§6.2): a control
+                // plane that lost its session or was superseded gets an
+                // error and degrades instead of clobbering the new
+                // incumbent's state.
                 let snap = self.orch.snapshot();
-                if self.zk.exists("/sm") {
-                    let _outcome = self.zk.set("/sm/state", snap, None);
-                } else {
-                    let session = self.zk.connect();
-                    let _outcome =
-                        self.zk
-                            .create(session, "/sm", Vec::new(), CreateMode::Persistent);
-                    let _outcome =
-                        self.zk
-                            .create(session, "/sm/state", snap, CreateMode::Persistent);
+                match self.state_lease.write(&mut self.zk, "/sm/state", snap) {
+                    Ok(events) => self.dispatch_zk_events(events, ctx),
+                    Err(_) => self.fenced_writes += 1,
                 }
                 if std::env::var("SM_DEBUG_MAP").is_ok() {
                     let map = self.orch.current_map();
@@ -1106,12 +1156,16 @@ impl World for SimWorld {
                     .map(|h| !h.serving && h.down_since == Some(down_since))
                     .unwrap_or(false);
                 if still_down {
+                    // Expire the session; the ephemeral's deletion
+                    // notifies the control plane's watch, and the
+                    // delivered event — not this code — marks the
+                    // server down.
                     let session = self.servers[&server].zk_session;
-                    self.zk.expire_session(session);
-                    self.orch.server_down(server);
-                    self.flush_orch(ctx);
+                    let events = self.zk.expire_session(session);
+                    self.dispatch_zk_events(events, ctx);
                 }
             }
+            WorldEvent::ZkNotify(event) => self.handle_zk_event(&event, ctx),
             WorldEvent::LoadReport => {
                 let reports: Vec<(ServerId, Vec<(ShardId, LoadVector)>)> = self
                     .servers
@@ -1235,13 +1289,33 @@ impl World for SimWorld {
                 }
             }
             WorldEvent::ControlPlaneFailover => {
+                // The incumbent dies: expire its session (dropping its
+                // watches — an expired control plane hears nothing) and
+                // start the standby on a fresh lease. The standby's
+                // first fenced write adopts the znode's current
+                // version, which permanently fences the incumbent.
+                let events = self.zk.expire_session(self.state_lease.session);
+                self.dispatch_zk_events(events, ctx);
+                self.state_lease = ZkLease::new(&mut self.zk);
+                let watch_session = self.state_lease.session;
+                for &sid in self.servers.keys() {
+                    self.zk
+                        .watch_exists(watch_session, &paths::server_node(sid));
+                }
                 let mut standby =
                     Orchestrator::new(self.app, self.cfg.policy.clone(), self.orch_cfg.clone());
                 for (&sid, host) in &self.servers {
                     standby.register_server(sid, host.location, host.capacity);
                 }
-                if let Ok((snap, _)) = self.zk.get("/sm/state") {
-                    standby.restore(&snap).expect("persisted state is valid");
+                let restored = match self.zk.get("/sm/state") {
+                    Ok((snap, _)) => standby.restore(&snap).is_ok(),
+                    Err(_) => false,
+                };
+                if !restored {
+                    // Nothing (or garbage) persisted: rebuild the shard
+                    // list from configuration and re-place from scratch
+                    // rather than dying on a corrupt snapshot.
+                    standby.register_shards((0..self.cfg.shards).map(ShardId));
                 }
                 // Reconcile reality: servers that died while (or before)
                 // the takeover are processed like fresh failures.

@@ -20,6 +20,7 @@
 //! the orchestrator, the TaskController, and service discovery into one
 //! deterministic simulation world.
 
+pub mod chaos;
 pub mod databus;
 pub mod forwarding;
 pub mod harness;
@@ -29,6 +30,7 @@ pub mod replication;
 pub mod replstore;
 pub mod stream;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosStats, ChaosWorld};
 pub use forwarding::{AppResponse, ShardHost};
 pub use harness::{ExperimentConfig, SimWorld, WorldEvent, WorldStats};
 pub use kv::{ExternalStore, KvServer};

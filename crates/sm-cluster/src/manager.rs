@@ -335,6 +335,32 @@ impl ClusterManager {
         })
     }
 
+    /// Restarts one failed container in place (its supervisor brought
+    /// the process back). The machine must be up; restarting a running
+    /// container or one on a failed machine is an error.
+    pub fn restart_container(&mut self, id: ContainerId) -> Result<CmEvent, SmError> {
+        let container = self
+            .containers
+            .get_mut(&id)
+            .ok_or_else(|| SmError::not_found(id))?;
+        if container.state != ContainerState::Failed {
+            return Err(SmError::conflict(format!("{id} is not failed")));
+        }
+        let machine_up = self
+            .machines
+            .get(&container.machine)
+            .map(|m| m.state == MachineState::Up)
+            .unwrap_or(false);
+        if !machine_up {
+            return Err(SmError::Unavailable(format!(
+                "{id}'s machine {} is down",
+                container.machine
+            )));
+        }
+        container.state = ContainerState::Running;
+        Ok(CmEvent::ContainerUp { container: id })
+    }
+
     /// Fails a machine (unplanned): all its running containers fail.
     /// Returns the affected container ids.
     pub fn fail_machine(&mut self, machine: MachineId) -> Result<Vec<ContainerId>, SmError> {
@@ -501,6 +527,42 @@ mod tests {
         assert!(cm
             .deploy(ContainerId(9), AppId(1), MachineId(99), 1)
             .is_err());
+    }
+
+    #[test]
+    fn restart_recovers_crashed_container_in_place() {
+        let mut cm = cm_with(2);
+        cm.deploy(ContainerId(0), AppId(1), MachineId(0), 1)
+            .unwrap();
+        let down = cm.crash_container(ContainerId(0)).unwrap();
+        assert_eq!(
+            down,
+            CmEvent::ContainerDown {
+                container: ContainerId(0),
+                planned: false
+            }
+        );
+        assert!(!cm.container_serving(ContainerId(0)));
+        // Restarting a running container is a conflict.
+        cm.deploy(ContainerId(1), AppId(1), MachineId(1), 1)
+            .unwrap();
+        assert!(cm.restart_container(ContainerId(1)).is_err());
+        // The crashed one comes back up.
+        let up = cm.restart_container(ContainerId(0)).unwrap();
+        assert_eq!(
+            up,
+            CmEvent::ContainerUp {
+                container: ContainerId(0)
+            }
+        );
+        assert!(cm.container_serving(ContainerId(0)));
+        assert_eq!(cm.counters().unplanned, 1);
+        // A container on a failed machine cannot restart until the
+        // machine recovers.
+        cm.fail_machine(MachineId(1)).unwrap();
+        assert!(cm.restart_container(ContainerId(1)).is_err());
+        cm.recover_machine(MachineId(1)).unwrap();
+        assert!(cm.container_serving(ContainerId(1)));
     }
 
     #[test]

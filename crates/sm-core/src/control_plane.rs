@@ -14,7 +14,7 @@
 //! - [`ReadService`] — indices over control-plane metadata for queries.
 
 use crate::orchestrator::{Orchestrator, OrchestratorConfig};
-use sm_types::{AppId, AppPolicy, MiniSmId, PartitionId, ServerId, ShardId};
+use sm_types::{AppId, AppPolicy, MiniSmId, PartitionId, ServerId, ShardId, SmError};
 use std::collections::BTreeMap;
 
 /// Per-application record in the registry.
@@ -227,6 +227,36 @@ impl PartitionRegistry {
         self.assignment.get(&partition).copied()
     }
 
+    /// Removes a mini-SM (it crashed or its ZK session expired) and
+    /// returns the partitions it was managing, now orphaned and waiting
+    /// for reassignment via [`PartitionRegistry::assign`]. Removing an
+    /// unknown mini-SM is a no-op returning no orphans, so a duplicate
+    /// expiry notification is harmless.
+    pub fn remove_minism(&mut self, dead: MiniSmId) -> Vec<PartitionId> {
+        let Some(info) = self.mini_sms.remove(&dead) else {
+            return Vec::new();
+        };
+        for partition in &info.partitions {
+            self.assignment.remove(partition);
+        }
+        info.partitions
+    }
+
+    /// Re-admits a mini-SM after a restart: it comes back empty and
+    /// becomes eligible for future [`assign`](Self::assign) calls.
+    /// Returns [`SmError::Conflict`] if a mini-SM with that id is still
+    /// registered — the caller must fail it over first.
+    pub fn restore_minism(&mut self, id: MiniSmId) -> Result<(), SmError> {
+        if self.mini_sms.contains_key(&id) {
+            return Err(SmError::Conflict(format!(
+                "mini-SM {id:?} is already registered"
+            )));
+        }
+        self.mini_sms.insert(id, MiniSmInfo::default());
+        self.next_minism = self.next_minism.max(id.raw() + 1);
+        Ok(())
+    }
+
     /// All mini-SMs with their loads.
     pub fn mini_sms(&self) -> impl Iterator<Item = (&MiniSmId, &MiniSmInfo)> {
         self.mini_sms.iter()
@@ -235,6 +265,81 @@ impl PartitionRegistry {
     /// Number of mini-SMs in service.
     pub fn minism_count(&self) -> usize {
         self.mini_sms.len()
+    }
+
+    /// Serializes the registry into the hand-rolled line format stored
+    /// in its znode (`smreg v1`). Deterministic: BTreeMap iteration
+    /// order, no timestamps.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut out = String::from("smreg v1\n");
+        let _infallible = writeln!(
+            out,
+            "caps {} {} {}",
+            self.max_servers_per_minism, self.max_replicas_per_minism, self.next_minism
+        );
+        for (id, info) in &self.mini_sms {
+            let _infallible = writeln!(
+                out,
+                "minism {} {} {}",
+                id.raw(),
+                info.servers,
+                info.replicas
+            );
+        }
+        for (partition, minism) in &self.assignment {
+            let _infallible = writeln!(out, "assign {} {}", partition.raw(), minism.raw());
+        }
+        out.into_bytes()
+    }
+
+    /// Restores a registry from [`snapshot`](Self::snapshot) bytes,
+    /// replacing all current state. Per-mini-SM partition lists are
+    /// rebuilt from the `assign` lines.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SmError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SmError::InvalidArgument("registry snapshot is not UTF-8".into()))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("smreg v1") {
+            return Err(SmError::InvalidArgument(
+                "registry snapshot missing 'smreg v1' header".into(),
+            ));
+        }
+        let bad =
+            |line: &str| SmError::InvalidArgument(format!("malformed registry line: {line:?}"));
+        let mut mini_sms: BTreeMap<MiniSmId, MiniSmInfo> = BTreeMap::new();
+        let mut assignment: BTreeMap<PartitionId, MiniSmId> = BTreeMap::new();
+        for line in lines {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["caps", srv, rep, next] => {
+                    self.max_servers_per_minism = srv.parse().map_err(|_| bad(line))?;
+                    self.max_replicas_per_minism = rep.parse().map_err(|_| bad(line))?;
+                    self.next_minism = next.parse().map_err(|_| bad(line))?;
+                }
+                ["minism", id, servers, replicas] => {
+                    let id = MiniSmId(id.parse().map_err(|_| bad(line))?);
+                    let info = mini_sms.entry(id).or_default();
+                    info.servers = servers.parse().map_err(|_| bad(line))?;
+                    info.replicas = replicas.parse().map_err(|_| bad(line))?;
+                }
+                ["assign", partition, minism] => {
+                    let partition = PartitionId(partition.parse().map_err(|_| bad(line))?);
+                    let minism = MiniSmId(minism.parse().map_err(|_| bad(line))?);
+                    mini_sms
+                        .entry(minism)
+                        .or_default()
+                        .partitions
+                        .push(partition);
+                    assignment.insert(partition, minism);
+                }
+                [] => {}
+                _ => return Err(bad(line)),
+            }
+        }
+        self.mini_sms = mini_sms;
+        self.assignment = assignment;
+        Ok(())
     }
 }
 
@@ -324,8 +429,19 @@ impl MiniSm {
     }
 
     /// Releases a partition (it is being rebalanced to another mini-SM).
-    pub fn release_partition(&mut self, partition: PartitionId) -> Option<Orchestrator> {
-        self.orchestrators.remove(&partition)
+    ///
+    /// Returns [`SmError::NotFound`] if this mini-SM does not hold the
+    /// partition — which happens legitimately when a rebalance races a
+    /// failover that already moved it. Callers must treat that as "the
+    /// partition is elsewhere", not as a fatal bug.
+    pub fn release_partition(&mut self, partition: PartitionId) -> Result<Orchestrator, SmError> {
+        self.orchestrators.remove(&partition).ok_or_else(|| {
+            SmError::NotFound(format!(
+                "partition {partition:?} is not hosted by mini-SM {:?} \
+                 (released already, or failed over)",
+                self.id
+            ))
+        })
     }
 
     /// The orchestrator of one partition.
@@ -511,6 +627,76 @@ mod tests {
         let moved = minism.release_partition(parts[0].id).expect("released");
         assert_eq!(moved.assignment().shard_count(), 8);
         assert_eq!(minism.replica_count(), 8);
+        // Releasing again — e.g. a rebalance racing a failover that
+        // already moved the partition — is an error, not a panic.
+        let again = minism.release_partition(parts[0].id);
+        assert!(matches!(again, Err(SmError::NotFound(_))));
+        let unknown = minism.release_partition(PartitionId(999));
+        assert!(matches!(unknown, Err(SmError::NotFound(_))));
+    }
+
+    #[test]
+    fn registry_failover_reassigns_orphans() {
+        let mut mgr = ApplicationManager::new(10);
+        let mut reg = PartitionRegistry::new(20);
+        let parts = mgr.partition_app(AppId(0), &servers(40), &shards(40));
+        for p in &parts {
+            reg.assign(p, p.shards.len());
+        }
+        assert_eq!(reg.minism_count(), 2);
+        let dead = reg.minism_of(parts[0].id).expect("assigned");
+        let orphans = reg.remove_minism(dead);
+        assert!(!orphans.is_empty());
+        for o in &orphans {
+            assert!(reg.minism_of(*o).is_none(), "orphan still assigned");
+        }
+        // Orphans land on survivors or freshly minted mini-SMs, never
+        // back on the dead id.
+        for p in parts.iter().filter(|p| orphans.contains(&p.id)) {
+            let new_owner = reg.assign(p, p.shards.len());
+            assert_ne!(new_owner, dead);
+        }
+        // A duplicate expiry notification is a harmless no-op.
+        assert!(reg.remove_minism(dead).is_empty());
+        // After the failover completed, the restarted mini-SM may
+        // rejoin empty; rejoining while registered is a conflict.
+        reg.restore_minism(dead).expect("rejoin");
+        let conflict = reg.restore_minism(dead);
+        assert!(
+            matches!(conflict, Err(SmError::Conflict(_))),
+            "{conflict:?}"
+        );
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips() {
+        let mut mgr = ApplicationManager::new(10);
+        let mut reg = PartitionRegistry::new(20).with_replica_cap(500);
+        let parts = mgr.partition_app(AppId(0), &servers(50), &shards(60));
+        for p in &parts {
+            reg.assign(p, p.shards.len());
+        }
+        let snap = reg.snapshot();
+        let mut restored = PartitionRegistry::new(1);
+        restored.restore(&snap).expect("valid snapshot");
+        assert_eq!(restored.minism_count(), reg.minism_count());
+        for p in &parts {
+            assert_eq!(restored.minism_of(p.id), reg.minism_of(p.id));
+        }
+        assert_eq!(restored.snapshot(), snap, "restore is lossless");
+        // New assignments after restore never reuse a minted id.
+        let extra = mgr.partition_app(AppId(1), &servers(30), &shards(10));
+        let mut minted: Vec<MiniSmId> = reg.mini_sms().map(|(id, _)| *id).collect();
+        for p in &extra {
+            minted.push(restored.assign(p, p.shards.len()));
+        }
+        minted.sort();
+        let uniq = minted.len();
+        minted.dedup();
+        assert!(minted.len() <= uniq);
+        // Corrupt snapshots are rejected, not panicked on.
+        assert!(restored.restore(b"garbage").is_err());
+        assert!(restored.restore(b"smreg v1\nminism x y z\n").is_err());
     }
 
     #[test]

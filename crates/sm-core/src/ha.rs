@@ -1,0 +1,1046 @@
+//! Control-plane fault tolerance (§3.2, §6.2): the glue between the
+//! scale-out control plane and ZooKeeper.
+//!
+//! Three mechanisms, layered:
+//!
+//! 1. **Persistence with fencing** — every orchestrator serializes its
+//!    durable state ([`crate::Orchestrator::snapshot`]) into a
+//!    versioned znode after each reconciliation step. Writes go through
+//!    a [`ZkLease`], which issues *conditional* sets: the expected
+//!    znode version is the one this lease last wrote (or adopted on
+//!    takeover). A stale owner — one whose session expired and whose
+//!    partition failed over — gets [`SmError::Unavailable`] (session
+//!    gone) or [`SmError::Conflict`] (version advanced by the new
+//!    owner) and permanently degrades to read-only. It can never
+//!    clobber the new owner's state.
+//! 2. **Liveness & failover** — each mini-SM holds an ephemeral znode
+//!    under `/sm/minisms`, each application server one under
+//!    `/servers`. The [`HaControlPlane`] keeps a child watch on
+//!    `/sm/minisms` and an exists watch per server znode; session
+//!    expiry deletes the ephemeral, the watch fires, and
+//!    [`HaControlPlane::handle_event`] reassigns the dead mini-SM's
+//!    partitions to survivors (bootstrapping each new owner from the
+//!    persisted znode) or marks the dead server down in its partition's
+//!    orchestrator. Server-down detection is therefore watch-driven —
+//!    nothing calls `server_down` directly.
+//! 3. **Idempotent recovery** — a restored orchestrator re-drives
+//!    in-flight work from the durable assignment: replayed acks for
+//!    migrations it no longer tracks are ignored, re-sent `add_shard` /
+//!    `drop_shard` calls are no-ops at the server. Killing a mini-SM at
+//!    any step of the five-step graceful migration and recovering is
+//!    exercised in `tests/chaos.rs`.
+//!
+//! The znode layout and the fencing rule are documented in DESIGN.md
+//! ("Control-plane fault tolerance").
+
+use crate::api::{OrchCommand, ServerRpc};
+use crate::control_plane::{MiniSm, Partition, PartitionRegistry};
+use crate::orchestrator::OrchestratorConfig;
+use sm_types::{AppId, AppPolicy, LoadVector, Location, MiniSmId, PartitionId, ServerId, SmError};
+use sm_zk::{CreateMode, SessionId, WatchEvent, WatchKind, ZkStore};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Znode layout used by the control plane.
+pub mod paths {
+    use sm_types::{MiniSmId, PartitionId, ServerId};
+
+    /// Control-plane root.
+    pub const SM: &str = "/sm";
+    /// Parent of per-partition durable state nodes.
+    pub const PARTITIONS: &str = "/sm/partitions";
+    /// Parent of per-mini-SM ephemeral liveness nodes.
+    pub const MINISMS: &str = "/sm/minisms";
+    /// The partition registry's durable state node.
+    pub const REGISTRY: &str = "/sm/registry";
+    /// Parent of per-server ephemeral liveness nodes.
+    pub const SERVERS: &str = "/servers";
+
+    /// Durable state node of one partition's orchestrator.
+    pub fn partition_state(partition: PartitionId) -> String {
+        format!("{PARTITIONS}/p{}", partition.raw())
+    }
+
+    /// Ephemeral liveness node of one mini-SM.
+    pub fn minism_node(minism: MiniSmId) -> String {
+        format!("{MINISMS}/m{}", minism.raw())
+    }
+
+    /// Ephemeral liveness node of one application server.
+    pub fn server_node(server: ServerId) -> String {
+        format!("{SERVERS}/srv{}", server.raw())
+    }
+
+    /// Parses a `/sm/minisms/m<N>` path back to its mini-SM id.
+    pub fn parse_minism(path: &str) -> Option<MiniSmId> {
+        let rest = path.strip_prefix(MINISMS)?.strip_prefix("/m")?;
+        rest.parse().ok().map(MiniSmId)
+    }
+
+    /// Parses a `/servers/srv<N>` path back to its server id.
+    pub fn parse_server(path: &str) -> Option<ServerId> {
+        let rest = path.strip_prefix(SERVERS)?.strip_prefix("/srv")?;
+        rest.parse().ok().map(ServerId)
+    }
+}
+
+/// Creates the persistent base directories if they do not exist yet,
+/// returning any watch events the creations fired.
+pub fn ensure_base(zk: &mut ZkStore, session: SessionId) -> Result<Vec<WatchEvent>, SmError> {
+    let mut events = Vec::new();
+    for path in [paths::SM, paths::PARTITIONS, paths::MINISMS, paths::SERVERS] {
+        if !zk.exists(path) {
+            let (_, ev) = zk.create(session, path, Vec::new(), CreateMode::Persistent)?;
+            events.extend(ev);
+        }
+    }
+    Ok(events)
+}
+
+/// A fenced writer: one ZK session plus the znode versions it has
+/// written, enforcing the paper's stale-leader rule. Every write is a
+/// conditional set against the last version this lease observed; the
+/// first write to an existing znode *adopts* its current version (the
+/// takeover path), after which the previous owner's cached version is
+/// stale and its next conditional set fails.
+///
+/// Any failed write permanently fences the lease — a degraded owner
+/// must rebuild through a fresh lease (a new session), never retry
+/// blindly.
+#[derive(Debug)]
+pub struct ZkLease {
+    /// The ZK session the lease writes through.
+    pub session: SessionId,
+    versions: BTreeMap<String, u64>,
+    fenced: bool,
+}
+
+impl ZkLease {
+    /// Opens a fresh lease on a new session.
+    pub fn new(zk: &mut ZkStore) -> Self {
+        Self {
+            session: zk.connect(),
+            versions: BTreeMap::new(),
+            fenced: false,
+        }
+    }
+
+    /// True once any write has failed; all further writes are refused.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// Writes `data` to `path`, fenced by the znode version. Creates
+    /// the node when missing; adopts the current version on the first
+    /// write to a node created by a predecessor.
+    pub fn write(
+        &mut self,
+        zk: &mut ZkStore,
+        path: &str,
+        data: Vec<u8>,
+    ) -> Result<Vec<WatchEvent>, SmError> {
+        if self.fenced {
+            return Err(SmError::Unavailable(format!(
+                "lease on session {:?} is fenced",
+                self.session
+            )));
+        }
+        if !zk.session_alive(self.session) {
+            self.fenced = true;
+            return Err(SmError::Unavailable(format!(
+                "session {:?} expired; write to {path} refused",
+                self.session
+            )));
+        }
+        let expected = match self.versions.get(path) {
+            Some(&v) => v,
+            None => {
+                if !zk.exists(path) {
+                    match zk.create(self.session, path, data, CreateMode::Persistent) {
+                        Ok((_, events)) => {
+                            self.versions.insert(path.to_string(), 0);
+                            return Ok(events);
+                        }
+                        Err(e) => {
+                            self.fenced = true;
+                            return Err(e);
+                        }
+                    }
+                }
+                // Takeover: adopt the version the predecessor left.
+                let (_, stat) = zk.get(path)?;
+                stat.version
+            }
+        };
+        match zk.set_as(self.session, path, data, Some(expected)) {
+            Ok((version, events)) => {
+                self.versions.insert(path.to_string(), version);
+                Ok(events)
+            }
+            Err(e) => {
+                self.fenced = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A mini-SM process wired to ZooKeeper: the plain [`MiniSm`]
+/// multiplexer plus the lease that fences its state writes and the
+/// ephemeral znode that advertises its liveness.
+pub struct HaMiniSm {
+    /// The orchestrator multiplexer.
+    pub sm: MiniSm,
+    /// The fenced writer bound to this process's ZK session.
+    pub lease: ZkLease,
+}
+
+impl HaMiniSm {
+    /// Starts a mini-SM process: fresh session, base directories, and
+    /// the ephemeral liveness node `/sm/minisms/m<id>`.
+    pub fn start(zk: &mut ZkStore, id: MiniSmId) -> Result<(Self, Vec<WatchEvent>), SmError> {
+        let lease = ZkLease::new(zk);
+        let mut events = ensure_base(zk, lease.session)?;
+        let (_, ev) = zk.create(
+            lease.session,
+            &paths::minism_node(id),
+            Vec::new(),
+            CreateMode::Ephemeral,
+        )?;
+        events.extend(ev);
+        Ok((
+            Self {
+                sm: MiniSm::new(id),
+                lease,
+            },
+            events,
+        ))
+    }
+
+    /// Persists one partition's orchestrator state through the lease.
+    pub fn persist(
+        &mut self,
+        zk: &mut ZkStore,
+        partition: PartitionId,
+    ) -> Result<Vec<WatchEvent>, SmError> {
+        let Some(orch) = self.sm.orchestrator(partition) else {
+            return Err(SmError::NotFound(format!(
+                "partition {partition:?} not hosted by mini-SM {:?}",
+                self.sm.id
+            )));
+        };
+        let snapshot = orch.snapshot();
+        self.lease
+            .write(zk, &paths::partition_state(partition), snapshot)
+    }
+}
+
+/// Counters describing the HA layer's activity (tests and figures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HaStats {
+    /// Mini-SM failovers executed.
+    pub failovers: u64,
+    /// Partitions bootstrapped from a persisted znode snapshot.
+    pub snapshot_restores: u64,
+    /// Partitions rebuilt from membership (no snapshot found).
+    pub rebuilds: u64,
+    /// State writes refused because the writer was fenced.
+    pub fenced_writes: u64,
+    /// Acks dropped because their partition's owner was mid-failover.
+    pub dropped_acks: u64,
+    /// Recovery steps that hit an unexpected error and degraded.
+    pub recovery_errors: u64,
+}
+
+/// The HA control plane: partition registry, the mini-SM fleet, and the
+/// watch-driven failure handling that ties them to ZooKeeper.
+///
+/// This is the Figure 14 partition-registry layer made crash-tolerant:
+/// partition-to-mini-SM assignment is persisted (fenced) in
+/// `/sm/registry`, each partition's orchestrator state in
+/// `/sm/partitions/p<id>`, and liveness flows through ephemerals and
+/// watches rather than direct calls.
+pub struct HaControlPlane {
+    config: OrchestratorConfig,
+    capacity: LoadVector,
+    policies: BTreeMap<AppId, AppPolicy>,
+    /// The registry's own session: holds the watches and the registry lease.
+    session: SessionId,
+    registry_lease: ZkLease,
+    /// Partition-to-mini-SM assignment (persisted in [`paths::REGISTRY`]).
+    pub registry: PartitionRegistry,
+    partitions: BTreeMap<PartitionId, Partition>,
+    server_to_partition: BTreeMap<ServerId, PartitionId>,
+    minisms: BTreeMap<MiniSmId, HaMiniSm>,
+    server_locations: BTreeMap<ServerId, Location>,
+    down_servers: BTreeSet<ServerId>,
+    stats: HaStats,
+}
+
+impl HaControlPlane {
+    /// Builds the control plane: connects its session, creates the base
+    /// znodes, and arms the child watch on `/sm/minisms`.
+    pub fn new(
+        zk: &mut ZkStore,
+        config: OrchestratorConfig,
+        capacity: LoadVector,
+        max_servers_per_minism: usize,
+    ) -> Result<(Self, Vec<WatchEvent>), SmError> {
+        let registry_lease = ZkLease::new(zk);
+        let session = registry_lease.session;
+        let events = ensure_base(zk, session)?;
+        zk.watch_children(session, paths::MINISMS);
+        Ok((
+            Self {
+                config,
+                capacity,
+                policies: BTreeMap::new(),
+                session,
+                registry_lease,
+                registry: PartitionRegistry::new(max_servers_per_minism),
+                partitions: BTreeMap::new(),
+                server_to_partition: BTreeMap::new(),
+                minisms: BTreeMap::new(),
+                server_locations: BTreeMap::new(),
+                down_servers: BTreeSet::new(),
+                stats: HaStats::default(),
+            },
+            events,
+        ))
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> HaStats {
+        self.stats
+    }
+
+    /// Registers an application's policy (replication shape).
+    pub fn register_app(&mut self, app: AppId, policy: AppPolicy) {
+        self.policies.insert(app, policy);
+    }
+
+    /// Records a server's location and arms the exists watch on its
+    /// liveness node — the watch-driven replacement for calling
+    /// `server_down` directly.
+    pub fn register_server(&mut self, zk: &mut ZkStore, server: ServerId, location: Location) {
+        self.server_locations.insert(server, location);
+        zk.watch_exists(self.session, &paths::server_node(server));
+    }
+
+    /// Deploys a partition: assigns it to a mini-SM (starting one if
+    /// needed), builds its orchestrator, runs the initial placement,
+    /// and persists both the partition state and the registry.
+    pub fn deploy_partition(
+        &mut self,
+        zk: &mut ZkStore,
+        partition: &Partition,
+    ) -> Result<Vec<WatchEvent>, SmError> {
+        let policy = self
+            .policies
+            .get(&partition.app)
+            .cloned()
+            .ok_or_else(|| SmError::NotFound(format!("no policy for {:?}", partition.app)))?;
+        let replica_count =
+            partition.shards.len() * policy.replication.replicas_per_shard() as usize;
+        let owner = self.registry.assign(partition, replica_count);
+        self.partitions.insert(partition.id, partition.clone());
+        for &server in &partition.servers {
+            self.server_to_partition.insert(server, partition.id);
+        }
+        let mut events = self.ensure_minism(zk, owner)?;
+        let locations = self.server_locations.clone();
+        let capacity = self.capacity;
+        let config = self.config.clone();
+        if let Some(host) = self.minisms.get_mut(&owner) {
+            let orch = host.sm.adopt_partition(
+                partition,
+                policy,
+                config,
+                |s| locate(&locations, s),
+                capacity,
+            );
+            orch.run_emergency();
+        }
+        events.extend(self.persist_partition(zk, partition.id));
+        events.extend(self.persist_registry(zk));
+        Ok(events)
+    }
+
+    /// Drains every hosted orchestrator's command outbox, tagged by
+    /// partition.
+    pub fn take_commands(&mut self) -> Vec<(PartitionId, OrchCommand)> {
+        let mut out = Vec::new();
+        for host in self.minisms.values_mut() {
+            let pids: Vec<PartitionId> = host.sm.partitions().copied().collect();
+            for pid in pids {
+                if let Some(orch) = host.sm.orchestrator(pid) {
+                    for cmd in orch.take_commands() {
+                        out.push((pid, cmd));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Routes a server's RPC ack to the orchestrator owning its
+    /// partition and persists the resulting state. Acks for partitions
+    /// whose owner is mid-failover are dropped (counted) — the restored
+    /// orchestrator re-drives the migration from the durable state, so
+    /// a replayed or lost ack is harmless.
+    pub fn rpc_acked(
+        &mut self,
+        zk: &mut ZkStore,
+        server: ServerId,
+        rpc: ServerRpc,
+    ) -> Vec<WatchEvent> {
+        self.route_ack(zk, server, rpc, true)
+    }
+
+    /// Routes a server's RPC failure like [`Self::rpc_acked`].
+    pub fn rpc_failed(
+        &mut self,
+        zk: &mut ZkStore,
+        server: ServerId,
+        rpc: ServerRpc,
+    ) -> Vec<WatchEvent> {
+        self.route_ack(zk, server, rpc, false)
+    }
+
+    fn route_ack(
+        &mut self,
+        zk: &mut ZkStore,
+        server: ServerId,
+        rpc: ServerRpc,
+        ok: bool,
+    ) -> Vec<WatchEvent> {
+        let owner = self
+            .server_to_partition
+            .get(&server)
+            .copied()
+            .and_then(|pid| self.registry.minism_of(pid).map(|m| (pid, m)));
+        let Some((pid, minism)) = owner else {
+            self.stats.dropped_acks += 1;
+            return Vec::new();
+        };
+        let Some(host) = self.minisms.get_mut(&minism) else {
+            self.stats.dropped_acks += 1;
+            return Vec::new();
+        };
+        let Some(orch) = host.sm.orchestrator(pid) else {
+            self.stats.dropped_acks += 1;
+            return Vec::new();
+        };
+        if ok {
+            orch.rpc_acked(server, rpc);
+        } else {
+            orch.rpc_failed(server, rpc);
+        }
+        self.persist_partition(zk, pid)
+    }
+
+    /// Runs the periodic load-balancing pass on every orchestrator and
+    /// persists each partition that changed.
+    pub fn run_periodic(&mut self, zk: &mut ZkStore) -> Vec<WatchEvent> {
+        let mut events = Vec::new();
+        let pids: Vec<PartitionId> = self.partitions.keys().copied().collect();
+        for pid in pids {
+            let Some(minism) = self.registry.minism_of(pid) else {
+                continue;
+            };
+            let moved = self
+                .minisms
+                .get_mut(&minism)
+                .and_then(|h| h.sm.orchestrator(pid))
+                .map(|orch| orch.run_periodic());
+            if moved.unwrap_or(0) > 0 {
+                events.extend(self.persist_partition(zk, pid));
+            }
+        }
+        events
+    }
+
+    /// Reacts to a watch event addressed to the control plane's
+    /// session: mini-SM expiry triggers failover, server znode deletion
+    /// marks the server down, recreation reconciles it back. Watches
+    /// are one-shot, so each handled event re-arms its watch. Events
+    /// addressed to other sessions are ignored (not this watcher's).
+    pub fn handle_event(&mut self, zk: &mut ZkStore, event: &WatchEvent) -> Vec<WatchEvent> {
+        if event.watcher != self.session {
+            return Vec::new();
+        }
+        if event.path == paths::MINISMS {
+            zk.watch_children(self.session, paths::MINISMS);
+            if event.kind != WatchKind::ChildrenChanged {
+                return Vec::new();
+            }
+            let live: BTreeSet<MiniSmId> = zk
+                .children(paths::MINISMS)
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|p| paths::parse_minism(p))
+                .collect();
+            let registered: Vec<MiniSmId> = self.registry.mini_sms().map(|(id, _)| *id).collect();
+            let mut events = Vec::new();
+            for id in registered {
+                if !live.contains(&id) {
+                    events.extend(self.fail_over(zk, id));
+                }
+            }
+            return events;
+        }
+        if let Some(server) = paths::parse_server(&event.path) {
+            zk.watch_exists(self.session, &event.path);
+            return match event.kind {
+                WatchKind::Deleted => self.server_down(zk, server),
+                WatchKind::Created => self.server_up(zk, server),
+                _ => Vec::new(),
+            };
+        }
+        Vec::new()
+    }
+
+    /// Fails over every partition of a dead mini-SM to survivors (or
+    /// freshly started mini-SMs), bootstrapping each new owner from the
+    /// persisted znode state. The new owner's first fenced write adopts
+    /// the znode version, which permanently fences the dead owner.
+    fn fail_over(&mut self, zk: &mut ZkStore, dead: MiniSmId) -> Vec<WatchEvent> {
+        // Drop the process object if it is still around (zombie path).
+        self.minisms.remove(&dead);
+        let orphans = self.registry.remove_minism(dead);
+        if orphans.is_empty() {
+            return Vec::new();
+        }
+        self.stats.failovers += 1;
+        let mut events = Vec::new();
+        for pid in orphans {
+            let Some(partition) = self.partitions.get(&pid).cloned() else {
+                self.stats.recovery_errors += 1;
+                continue;
+            };
+            let Some(policy) = self.policies.get(&partition.app).cloned() else {
+                self.stats.recovery_errors += 1;
+                continue;
+            };
+            let replica_count =
+                partition.shards.len() * policy.replication.replicas_per_shard() as usize;
+            let new_owner = self.registry.assign(&partition, replica_count);
+            match self.ensure_minism(zk, new_owner) {
+                Ok(ev) => events.extend(ev),
+                Err(_) => {
+                    self.stats.recovery_errors += 1;
+                    continue;
+                }
+            }
+            let snapshot = zk.get(&paths::partition_state(pid)).ok().map(|(d, _)| d);
+            let down: Vec<ServerId> = partition
+                .servers
+                .iter()
+                .copied()
+                .filter(|s| self.down_servers.contains(s))
+                .collect();
+            let locations = self.server_locations.clone();
+            let capacity = self.capacity;
+            let config = self.config.clone();
+            let Some(host) = self.minisms.get_mut(&new_owner) else {
+                self.stats.recovery_errors += 1;
+                continue;
+            };
+            let orch = host.sm.adopt_partition(
+                &partition,
+                policy,
+                config,
+                |s| locate(&locations, s),
+                capacity,
+            );
+            match snapshot {
+                Some(bytes) => match orch.restore(&bytes) {
+                    Ok(()) => self.stats.snapshot_restores += 1,
+                    Err(_) => {
+                        // Corrupt snapshot: degrade to a rebuild from
+                        // membership rather than refusing to recover.
+                        self.stats.recovery_errors += 1;
+                        self.stats.rebuilds += 1;
+                    }
+                },
+                None => self.stats.rebuilds += 1,
+            }
+            for server in down {
+                orch.server_down(server);
+            }
+            orch.run_emergency();
+            events.extend(self.persist_partition(zk, pid));
+        }
+        events.extend(self.persist_registry(zk));
+        events
+    }
+
+    fn server_down(&mut self, zk: &mut ZkStore, server: ServerId) -> Vec<WatchEvent> {
+        if !self.down_servers.insert(server) {
+            return Vec::new(); // duplicate notification
+        }
+        let Some(&pid) = self.server_to_partition.get(&server) else {
+            return Vec::new();
+        };
+        let changed = self
+            .registry
+            .minism_of(pid)
+            .and_then(|m| self.minisms.get_mut(&m))
+            .and_then(|h| h.sm.orchestrator(pid))
+            .map(|orch| {
+                orch.server_down(server);
+            })
+            .is_some();
+        if changed {
+            self.persist_partition(zk, pid)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn server_up(&mut self, zk: &mut ZkStore, server: ServerId) -> Vec<WatchEvent> {
+        self.down_servers.remove(&server);
+        let Some(&pid) = self.server_to_partition.get(&server) else {
+            return Vec::new();
+        };
+        let changed = self
+            .registry
+            .minism_of(pid)
+            .and_then(|m| self.minisms.get_mut(&m))
+            .and_then(|h| h.sm.orchestrator(pid))
+            .map(|orch| {
+                // The server may have restarted empty: mark it alive,
+                // re-send its assignment, and re-place what emergency
+                // placement moved away in the meantime.
+                orch.server_up(server);
+                orch.reconcile_server(server);
+                orch.run_emergency();
+            })
+            .is_some();
+        if changed {
+            self.persist_partition(zk, pid)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Crashes a mini-SM process: the object is dropped and its session
+    /// expired, deleting the ephemeral and firing the registry's child
+    /// watch. Failover happens when that event is delivered to
+    /// [`Self::handle_event`], not here — mirroring the real system's
+    /// detection delay.
+    pub fn crash_minism(&mut self, zk: &mut ZkStore, id: MiniSmId) -> Vec<WatchEvent> {
+        match self.minisms.remove(&id) {
+            Some(host) => zk.expire_session(host.lease.session),
+            None => Vec::new(),
+        }
+    }
+
+    /// Expires a mini-SM's session but keeps the process object alive
+    /// and returns it: a zombie. Its lease fences on the next write;
+    /// the direct fencing test drives exactly that.
+    pub fn zombie_minism(
+        &mut self,
+        zk: &mut ZkStore,
+        id: MiniSmId,
+    ) -> (Option<HaMiniSm>, Vec<WatchEvent>) {
+        match self.minisms.remove(&id) {
+            Some(host) => {
+                let events = zk.expire_session(host.lease.session);
+                (Some(host), events)
+            }
+            None => (None, Vec::new()),
+        }
+    }
+
+    /// Restarts a crashed mini-SM: it rejoins empty under a fresh
+    /// session and becomes eligible for future partition assignments.
+    /// Fails with [`SmError::Conflict`] while the old incarnation is
+    /// still registered (its expiry has not been observed yet).
+    pub fn restart_minism(
+        &mut self,
+        zk: &mut ZkStore,
+        id: MiniSmId,
+    ) -> Result<Vec<WatchEvent>, SmError> {
+        if self.minisms.contains_key(&id) {
+            return Err(SmError::Conflict(format!(
+                "mini-SM {id:?} is still running"
+            )));
+        }
+        self.registry.restore_minism(id)?;
+        let (host, events) = HaMiniSm::start(zk, id)?;
+        self.minisms.insert(id, host);
+        Ok(events)
+    }
+
+    /// The orchestrator currently owning `partition`, if any.
+    pub fn orchestrator(&mut self, partition: PartitionId) -> Option<&mut crate::Orchestrator> {
+        let minism = self.registry.minism_of(partition)?;
+        self.minisms.get_mut(&minism)?.sm.orchestrator(partition)
+    }
+
+    /// Partitions deployed through this control plane.
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
+        self.partitions.keys().copied().collect()
+    }
+
+    /// Mini-SM processes currently running.
+    pub fn running_minisms(&self) -> Vec<MiniSmId> {
+        self.minisms.keys().copied().collect()
+    }
+
+    /// Shards that currently lack a full placement: no replica at all,
+    /// or no primary where the policy requires one.
+    pub fn unplaced(&mut self) -> Vec<(PartitionId, sm_types::ShardId)> {
+        let mut missing = Vec::new();
+        let pids: Vec<PartitionId> = self.partitions.keys().copied().collect();
+        for pid in pids {
+            let Some(partition) = self.partitions.get(&pid).cloned() else {
+                continue;
+            };
+            let needs_primary = self
+                .policies
+                .get(&partition.app)
+                .map(|p| p.replication.has_primary())
+                .unwrap_or(false);
+            match self.orchestrator(pid) {
+                Some(orch) => {
+                    for &shard in &partition.shards {
+                        let replicas = orch.assignment().replicas(shard);
+                        let has_primary = orch.assignment().primary_of(shard).is_some();
+                        if replicas.is_empty() || (needs_primary && !has_primary) {
+                            missing.push((pid, shard));
+                        }
+                    }
+                }
+                None => missing.extend(partition.shards.iter().map(|&s| (pid, s))),
+            }
+        }
+        missing
+    }
+
+    /// True when every shard of every partition is placed.
+    pub fn fully_placed(&mut self) -> bool {
+        self.unplaced().is_empty()
+    }
+
+    /// Total in-flight graceful migrations across all orchestrators.
+    pub fn in_flight_total(&mut self) -> usize {
+        let pids: Vec<PartitionId> = self.partitions.keys().copied().collect();
+        pids.iter()
+            .filter_map(|&pid| self.orchestrator(pid).map(|o| o.in_flight_migrations()))
+            .sum()
+    }
+
+    fn ensure_minism(
+        &mut self,
+        zk: &mut ZkStore,
+        id: MiniSmId,
+    ) -> Result<Vec<WatchEvent>, SmError> {
+        if self.minisms.contains_key(&id) {
+            return Ok(Vec::new());
+        }
+        let (host, events) = HaMiniSm::start(zk, id)?;
+        self.minisms.insert(id, host);
+        Ok(events)
+    }
+
+    fn persist_partition(&mut self, zk: &mut ZkStore, pid: PartitionId) -> Vec<WatchEvent> {
+        let Some(minism) = self.registry.minism_of(pid) else {
+            return Vec::new();
+        };
+        let Some(host) = self.minisms.get_mut(&minism) else {
+            return Vec::new();
+        };
+        match host.persist(zk, pid) {
+            Ok(events) => events,
+            Err(_) => {
+                self.stats.fenced_writes += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn persist_registry(&mut self, zk: &mut ZkStore) -> Vec<WatchEvent> {
+        let snapshot = self.registry.snapshot();
+        match self.registry_lease.write(zk, paths::REGISTRY, snapshot) {
+            Ok(events) => events,
+            Err(_) => {
+                self.stats.fenced_writes += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// A running application server's liveness registration: an ephemeral
+/// znode on its own session. Dropping the session (crash, partition)
+/// deletes the node and notifies the control plane's exists watch.
+pub struct ServerLease {
+    /// The registered server.
+    pub server: ServerId,
+    /// The session holding the ephemeral.
+    pub session: SessionId,
+}
+
+impl ServerLease {
+    /// Registers a server: fresh session plus `/servers/srv<id>`.
+    pub fn register(
+        zk: &mut ZkStore,
+        server: ServerId,
+    ) -> Result<(Self, Vec<WatchEvent>), SmError> {
+        let session = zk.connect();
+        let mut events = ensure_base(zk, session)?;
+        let (_, ev) = zk.create(
+            session,
+            &paths::server_node(server),
+            Vec::new(),
+            CreateMode::Ephemeral,
+        )?;
+        events.extend(ev);
+        Ok((Self { server, session }, events))
+    }
+
+    /// Expires the server's session, deleting its liveness node.
+    pub fn expire(self, zk: &mut ZkStore) -> Vec<WatchEvent> {
+        zk.expire_session(self.session)
+    }
+}
+
+fn locate(locations: &BTreeMap<ServerId, Location>, server: ServerId) -> Location {
+    locations.get(&server).copied().unwrap_or(Location {
+        region: sm_types::RegionId(0),
+        datacenter: 0,
+        rack: server.raw(),
+        machine: sm_types::MachineId(server.raw()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control_plane::ApplicationManager;
+    use sm_allocator::{AllocConfig, MoveCaps};
+    use sm_types::{MachineId, Metric, RegionId, ShardId};
+
+    fn config() -> OrchestratorConfig {
+        OrchestratorConfig {
+            graceful_migration: true,
+            move_caps: MoveCaps::default(),
+            alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+        }
+    }
+
+    fn loc(s: u32) -> Location {
+        Location {
+            region: RegionId(0),
+            datacenter: 0,
+            rack: s,
+            machine: MachineId(s),
+        }
+    }
+
+    struct Rig {
+        zk: ZkStore,
+        cp: HaControlPlane,
+        servers: BTreeMap<ServerId, ServerLease>,
+        partitions: Vec<Partition>,
+    }
+
+    /// Builds a world: `n_servers` registered servers split into
+    /// partitions of at most 4 servers, all deployed and settled.
+    fn rig(n_servers: u32, n_shards: u64) -> Rig {
+        let mut zk = ZkStore::new();
+        let (mut cp, _events) = HaControlPlane::new(
+            &mut zk,
+            config(),
+            LoadVector::single(Metric::ShardCount.id(), 1000.0),
+            4,
+        )
+        .expect("control plane");
+        let app = AppId(0);
+        cp.register_app(app, AppPolicy::primary_only());
+        let mut r = Rig {
+            zk,
+            cp,
+            servers: BTreeMap::new(),
+            partitions: Vec::new(),
+        };
+        let server_ids: Vec<ServerId> = (0..n_servers).map(ServerId).collect();
+        for &s in &server_ids {
+            r.cp.register_server(&mut r.zk, s, loc(s.raw()));
+            let (lease, events) = ServerLease::register(&mut r.zk, s).expect("server lease");
+            r.servers.insert(s, lease);
+            // Deliver the Created events so one-shot watches re-arm —
+            // exactly what the embedding world does.
+            deliver(&mut r, events);
+        }
+        let shard_ids: Vec<ShardId> = (0..n_shards).map(ShardId).collect();
+        let mut mgr = ApplicationManager::new(4);
+        let partitions = mgr.partition_app(app, &server_ids, &shard_ids);
+        for p in &partitions {
+            let events = r.cp.deploy_partition(&mut r.zk, p).expect("deploy");
+            deliver(&mut r, events);
+        }
+        r.partitions = partitions;
+        settle(&mut r);
+        r
+    }
+
+    /// Acks every outstanding RPC until the command stream drains.
+    fn settle(r: &mut Rig) {
+        for _round in 0..200 {
+            let cmds = r.cp.take_commands();
+            if cmds.is_empty() {
+                return;
+            }
+            for (_pid, cmd) in cmds {
+                if let OrchCommand::Rpc { server, rpc } = cmd {
+                    // Dead servers never ack.
+                    if r.servers.contains_key(&server) {
+                        r.cp.rpc_acked(&mut r.zk, server, rpc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers every pending watch event (and those it generates).
+    fn deliver(r: &mut Rig, mut events: Vec<WatchEvent>) {
+        let mut guard = 0;
+        while let Some(e) = events.pop() {
+            guard += 1;
+            assert!(guard < 10_000, "watch event storm");
+            let more = r.cp.handle_event(&mut r.zk, &e);
+            events.extend(more);
+        }
+    }
+
+    #[test]
+    fn deploy_persists_fenced_state() {
+        let mut r = rig(8, 32);
+        assert!(r.cp.fully_placed(), "unplaced: {:?}", r.cp.unplaced());
+        for p in &r.partitions {
+            let (data, stat) =
+                r.zk.get(&paths::partition_state(p.id))
+                    .expect("state znode exists");
+            assert!(data.starts_with(b"smorch v1"));
+            assert!(stat.version > 0, "state was persisted more than once");
+        }
+        let (reg, _) = r.zk.get(paths::REGISTRY).expect("registry znode");
+        assert!(reg.starts_with(b"smreg v1"));
+        assert_eq!(r.cp.stats().fenced_writes, 0);
+    }
+
+    #[test]
+    fn minism_crash_fails_over_from_snapshot() {
+        let mut r = rig(8, 32);
+        let dead = *r.cp.running_minisms().first().expect("a mini-SM");
+        let events = r.cp.crash_minism(&mut r.zk, dead);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.path == paths::MINISMS && e.kind == WatchKind::ChildrenChanged),
+            "expiry must fire the registry's child watch: {events:?}"
+        );
+        deliver(&mut r, events);
+        settle(&mut r);
+        assert!(!r.cp.running_minisms().contains(&dead));
+        assert!(r.cp.fully_placed(), "unplaced: {:?}", r.cp.unplaced());
+        let s = r.cp.stats();
+        assert_eq!(s.failovers, 1);
+        assert!(s.snapshot_restores > 0, "{s:?}");
+        for p in &r.partitions {
+            assert_ne!(r.cp.registry.minism_of(p.id), Some(dead));
+        }
+    }
+
+    #[test]
+    fn zombie_minism_write_is_fenced_and_absent() {
+        let mut r = rig(8, 32);
+        let target = *r.cp.running_minisms().first().expect("a mini-SM");
+        let (zombie, events) = r.cp.zombie_minism(&mut r.zk, target);
+        let mut zombie = zombie.expect("zombie handle");
+        let pid = *zombie.sm.partitions().next().expect("hosts a partition");
+        let before = r.zk.get(&paths::partition_state(pid)).expect("state");
+        // Failover re-owns the partition...
+        deliver(&mut r, events);
+        settle(&mut r);
+        // ...then the zombie tries to write its stale state.
+        let err = zombie.persist(&mut r.zk, pid);
+        assert!(matches!(err, Err(SmError::Unavailable(_))));
+        assert!(zombie.lease.is_fenced());
+        // The zombie's write is provably absent: the znode holds what
+        // the new owner wrote, which restores to a valid orchestrator.
+        let after = r.zk.get(&paths::partition_state(pid)).expect("state");
+        assert!(after.1.version >= before.1.version);
+        assert!(after.0.starts_with(b"smorch v1"));
+        // And a second attempt stays fenced without touching ZK.
+        let again = zombie.persist(&mut r.zk, pid);
+        assert!(matches!(again, Err(SmError::Unavailable(_))));
+    }
+
+    #[test]
+    fn stale_version_fences_even_with_live_session() {
+        // Two leases racing on one znode: the one that lost its cached
+        // version gets Conflict and fences, even though its session is
+        // still alive.
+        let mut zk = ZkStore::new();
+        let mut a = ZkLease::new(&mut zk);
+        let mut b = ZkLease::new(&mut zk);
+        a.write(&mut zk, "/sm", vec![]).expect("mkdir");
+        a.write(&mut zk, "/sm/x", b"a1".to_vec()).expect("create");
+        b.write(&mut zk, "/sm/x", b"b1".to_vec()).expect("adopt");
+        let err = a.write(&mut zk, "/sm/x", b"a2".to_vec());
+        assert!(matches!(err, Err(SmError::Conflict(_))));
+        assert!(a.is_fenced());
+        assert_eq!(zk.get("/sm/x").expect("node").0, b"b1");
+    }
+
+    #[test]
+    fn server_expiry_is_watch_driven() {
+        let mut r = rig(8, 32);
+        let victim = ServerId(3);
+        let lease = r.servers.remove(&victim).expect("registered");
+        let events = lease.expire(&mut r.zk);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == WatchKind::Deleted && e.path == paths::server_node(victim)),
+            "{events:?}"
+        );
+        deliver(&mut r, events);
+        settle(&mut r);
+        assert!(r.cp.fully_placed(), "unplaced: {:?}", r.cp.unplaced());
+        let pid = *r
+            .cp
+            .partitions
+            .iter()
+            .find(|(_, p)| p.servers.contains(&victim))
+            .map(|(pid, _)| pid)
+            .expect("victim's partition");
+        let orch = r.cp.orchestrator(pid).expect("owner");
+        assert!(orch.shards_on(victim).is_empty(), "victim still assigned");
+        // The server comes back: new lease, Created event, reconcile.
+        let (lease, events) = ServerLease::register(&mut r.zk, victim).expect("re-register");
+        r.servers.insert(victim, lease);
+        deliver(&mut r, events);
+        settle(&mut r);
+        assert!(r.cp.fully_placed());
+    }
+
+    #[test]
+    fn restart_rejoins_after_failover_only() {
+        let mut r = rig(8, 32);
+        let dead = *r.cp.running_minisms().first().expect("a mini-SM");
+        let events = r.cp.crash_minism(&mut r.zk, dead);
+        // Before the expiry is observed, the registry still lists the
+        // old incarnation: restart must refuse.
+        let early = r.cp.restart_minism(&mut r.zk, dead);
+        assert!(early.is_err());
+        deliver(&mut r, events);
+        settle(&mut r);
+        let events = r.cp.restart_minism(&mut r.zk, dead).expect("rejoin");
+        deliver(&mut r, events);
+        assert!(r.cp.running_minisms().contains(&dead));
+    }
+}

@@ -16,11 +16,16 @@
 //! - [`control_plane`] — the scale-out architecture (Figure 14):
 //!   application registry, partitioning, partition registry, mini-SM
 //!   bookkeeping, and the read service.
+//! - [`ha`] — control-plane fault tolerance (§3.2, §6.2): fenced state
+//!   persistence in ZooKeeper znodes, ephemeral-node liveness for
+//!   mini-SMs and servers, watch-driven failure detection, and
+//!   partition failover with snapshot bootstrap.
 //! - [`scaler`] — the shard scaler: per-shard replica-count adjustment
 //!   in response to load.
 
 pub mod api;
 pub mod control_plane;
+pub mod ha;
 pub mod orchestrator;
 pub mod scaler;
 pub mod taskcontroller;
@@ -30,6 +35,7 @@ pub use control_plane::{
     ApplicationManager, ApplicationRegistry, Frontend, MiniSm, Partition, PartitionRegistry,
     ReadService,
 };
+pub use ha::{HaControlPlane, HaMiniSm, HaStats, ServerLease, ZkLease};
 pub use orchestrator::{Orchestrator, OrchestratorConfig, ServerEntry};
 pub use scaler::{ScaleDecision, ShardScaler, ShardScalerConfig};
 pub use taskcontroller::{AvailabilityView, TaskController, TcReview};

@@ -168,6 +168,14 @@ impl TaskController {
     pub fn pending_drains(&self) -> Vec<ServerId> {
         self.drains_requested.iter().copied().collect()
     }
+
+    /// Records that a server died outright (ZK session expired): any
+    /// drain requested for it can never complete normally — the
+    /// orchestrator already dropped its replicas — so the request is
+    /// discarded rather than held forever.
+    pub fn server_lost(&mut self, server: ServerId) {
+        self.drains_requested.remove(&server);
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +328,23 @@ mod tests {
         let r = tc.review(RegionId(0), &[op(0, 3)], &drained_view);
         assert_eq!(r.approved, vec![OpId(0)]);
         assert!(tc.pending_drains().is_empty());
+    }
+
+    #[test]
+    fn lost_server_clears_pending_drain() {
+        // A drain was requested, then the server's ZK session expired:
+        // the drain can never complete, so the request must not linger.
+        let mut tc = TaskController::new(AppPolicy::primary_only());
+        let view = view_with(&[(3, &[(7, ReplicaRole::Primary)])], &[], 0);
+        let r = tc.review(RegionId(0), &[op(0, 3)], &view);
+        assert_eq!(r.drains_needed, vec![ServerId(3)]);
+        tc.server_lost(ServerId(3));
+        assert!(tc.pending_drains().is_empty());
+        // The container now hosts nothing (its replicas were dropped by
+        // emergency re-placement), so the op passes a later review.
+        let dead_view = view_with(&[(3, &[])], &[], 0);
+        let r = tc.review(RegionId(0), &[op(0, 3)], &dead_view);
+        assert_eq!(r.approved, vec![OpId(0)]);
     }
 
     #[test]

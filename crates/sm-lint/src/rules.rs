@@ -35,11 +35,25 @@ pub enum RuleId {
     /// No `let _ =` discards: name the binding (`let _ignored_x`) so
     /// the dropped value — often a `Result` — is documented.
     R2,
+    /// Control-plane code may not ignore pending `WatchEvent`s: a
+    /// `let _event = ...` discard of a watch-event result (or a bare
+    /// `expire_session(...)` / `handle_event(...)` statement) silently
+    /// drops liveness notifications, leaving one-shot watches unarmed
+    /// and failures undetected. Deliver the events or waive with a
+    /// justification.
+    R3,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::R1, RuleId::R2];
+    pub const ALL: [RuleId; 6] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+    ];
 
     /// The rule's short name as used in waivers (`D1`...`R2`).
     pub fn name(self) -> &'static str {
@@ -49,6 +63,7 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::R1 => "R1",
             RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
         }
     }
 
@@ -60,6 +75,7 @@ impl RuleId {
             "D3" => Some(RuleId::D3),
             "R1" => Some(RuleId::R1),
             "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
             _ => None,
         }
     }
@@ -75,6 +91,10 @@ impl RuleId {
             RuleId::D3 => "order-randomized HashMap/HashSet in a deterministic crate",
             RuleId::R1 => "panic path in control-plane code (propagate SmError)",
             RuleId::R2 => "`let _ =` discards a value (name the binding)",
+            RuleId::R3 => {
+                "watch events ignored in control-plane code \
+                 (deliver the WatchEvents or waive with justification)"
+            }
         }
     }
 }
@@ -178,6 +198,9 @@ const D3_PATTERNS: [&str; 2] = ["HashMap", "HashSet"];
 /// Panicking constructs banned by R1 (matched as `name` followed by
 /// `(` or `!`).
 const R1_PATTERNS: [&str; 5] = ["unwrap", "expect", "panic!", "todo!", "unimplemented!"];
+/// Expressions whose results carry `WatchEvent`s that a control plane
+/// must deliver, not discard (R3).
+const R3_SOURCES: [&str; 3] = ["expire_session", "handle_event", "WatchEvent"];
 
 /// Runs every applicable rule over one file's lines.
 pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
@@ -241,6 +264,35 @@ pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
                         hits.push((RuleId::R1, pat.to_string()));
                     }
                 }
+            }
+        }
+        if control_plane && !info.in_test {
+            // R3: a named-underscore discard (`let _event = ...`) of a
+            // watch-event-bearing expression...
+            if let Some(pos) = info.masked.find("let _") {
+                let rest = &info.masked[pos + "let _".len()..];
+                let named = rest
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                if named {
+                    if let Some(eq) = rest.find('=') {
+                        let rhs = &rest[eq..];
+                        if let Some(pat) = R3_SOURCES.iter().find(|p| rhs.contains(**p)) {
+                            hits.push((RuleId::R3, (*pat).to_string()));
+                        }
+                    }
+                }
+            }
+            // ...or a bare statement that drops the returned events on
+            // the floor.
+            let t = info.masked.trim();
+            if !t.contains("let ")
+                && !t.contains('=')
+                && t.ends_with(';')
+                && (t.contains(".expire_session(") || t.contains(".handle_event("))
+            {
+                hits.push((RuleId::R3, "discarded watch events".to_string()));
             }
         }
         if !class.test_target && !info.in_test {
@@ -398,6 +450,55 @@ mod tests {
             "fn f() { let _ack = send(); }\n",
         );
         assert!(v.is_empty(), "named discards are fine");
+    }
+
+    #[test]
+    fn r3_flags_named_discard_of_watch_events() {
+        let v = lint(
+            "crates/sm-core/src/ha.rs",
+            "fn f(zk: &mut ZkStore) { let _events = zk.expire_session(s); }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::R3);
+        // Binding and delivering the events is the intended shape.
+        let ok = lint(
+            "crates/sm-core/src/ha.rs",
+            "fn f(zk: &mut ZkStore) { let events = zk.expire_session(s); deliver(events); }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn r3_flags_bare_statement_discard() {
+        let v = lint(
+            "crates/sm-zk/src/lib.rs",
+            "fn f(zk: &mut ZkStore) {\n    zk.expire_session(s);\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::R3);
+        assert_eq!(v[0].pattern, "discarded watch events");
+    }
+
+    #[test]
+    fn r3_scope_is_control_plane_non_test_only() {
+        let src = "fn f(zk: &mut ZkStore) { let _events = zk.expire_session(s); }\n";
+        assert!(lint("crates/sm-apps/src/chaos.rs", src).is_empty());
+        assert!(lint("tests/chaos.rs", src).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n  fn t(zk: &mut ZkStore) { zk.expire_session(s); }\n}\n";
+        assert!(lint("crates/sm-zk/src/store.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn r3_waiver_is_recorded() {
+        let v = lint(
+            "crates/sm-core/src/ha.rs",
+            "fn f() { let _event = zk.expire_session(s); } \
+             // sm-lint: allow(R3) — fencing test: events intentionally withheld\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::R3);
+        assert!(v[0].waiver.is_some());
     }
 
     #[test]

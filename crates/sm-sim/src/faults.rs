@@ -1,0 +1,265 @@
+//! Seeded fault schedules for chaos experiments.
+//!
+//! A chaos run injects failures — server crashes, ZK session expiries,
+//! mini-SM crashes and restarts — at randomized times. For the run to
+//! be reproducible byte-for-byte, the schedule must be a pure function
+//! of its seed and configuration, generated up front rather than rolled
+//! during the run. [`fault_plan`] produces exactly that: a time-sorted
+//! list of [`Fault`]s with deterministic tie-breaking.
+//!
+//! Faults name targets by *index* (the i-th server, the i-th mini-SM);
+//! the embedding world maps indices to concrete ids. Every entity that
+//! goes down is brought back by a paired recovery fault, so a plan
+//! always converges to a fully-healthy fleet.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One injected failure or recovery, aimed at an entity index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash the i-th application server's container (process dies;
+    /// its ZK session expires with it).
+    ServerCrash(u32),
+    /// Restart the i-th server's container after a crash.
+    ServerRestart(u32),
+    /// Expire the i-th server's ZK session while the process stays up —
+    /// the server must self-fence (§3.2) and re-register later.
+    SessionExpiry(u32),
+    /// The i-th server re-registers after a bare session expiry.
+    SessionRestore(u32),
+    /// Crash the i-th mini-SM (process and session die together).
+    MiniSmCrash(u32),
+    /// Restart the i-th mini-SM as an empty process.
+    MiniSmRestart(u32),
+}
+
+impl Fault {
+    /// A stable short label for traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::ServerCrash(_) => "server_crash",
+            Fault::ServerRestart(_) => "server_restart",
+            Fault::SessionExpiry(_) => "session_expiry",
+            Fault::SessionRestore(_) => "session_restore",
+            Fault::MiniSmCrash(_) => "minism_crash",
+            Fault::MiniSmRestart(_) => "minism_restart",
+        }
+    }
+}
+
+/// Shape of a chaos schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlanConfig {
+    /// RNG seed; the plan is a pure function of this config.
+    pub seed: u64,
+    /// Number of application servers (indices `0..n_servers`).
+    pub n_servers: u32,
+    /// Number of mini-SMs (indices `0..n_minisms`).
+    pub n_minisms: u32,
+    /// Faults start no earlier than this (let the world bootstrap).
+    pub start: SimTime,
+    /// Faults are injected within `[start, start + window)`; recoveries
+    /// may land up to one `downtime` past the window.
+    pub window: SimDuration,
+    /// How long a crashed/expired entity stays down before recovery.
+    pub downtime: SimDuration,
+    /// Server crashes to inject.
+    pub server_crashes: u32,
+    /// Bare session expiries to inject (process survives). At least
+    /// 10% of servers is the chaos harness's acceptance floor.
+    pub session_expiries: u32,
+    /// Mini-SM crashes to inject, in addition to the guarantee that
+    /// every mini-SM index crashes at least once.
+    pub extra_minism_crashes: u32,
+}
+
+impl FaultPlanConfig {
+    /// A plan sized for `n_servers`/`n_minisms` meeting the chaos
+    /// harness's coverage floors: every mini-SM crashes at least once
+    /// and at least 10% (min 1) of server sessions expire.
+    pub fn covering(seed: u64, n_servers: u32, n_minisms: u32) -> Self {
+        Self {
+            seed,
+            n_servers,
+            n_minisms,
+            start: SimTime::from_secs(30),
+            window: SimDuration::from_secs(300),
+            downtime: SimDuration::from_secs(25),
+            server_crashes: (n_servers / 4).max(1),
+            session_expiries: n_servers.div_ceil(10).max(1),
+            extra_minism_crashes: 0,
+        }
+    }
+}
+
+/// Generates the time-sorted fault schedule for `cfg`.
+///
+/// Guarantees, all deterministic in `cfg`:
+/// - every mini-SM index in `0..n_minisms` appears in at least one
+///   [`Fault::MiniSmCrash`];
+/// - exactly `cfg.session_expiries` distinct servers get a bare
+///   [`Fault::SessionExpiry`];
+/// - every crash/expiry has a matching recovery `downtime` later;
+/// - events are sorted by time with a stable generation-order
+///   tie-break, so equal timestamps replay identically.
+pub fn fault_plan(cfg: &FaultPlanConfig) -> Vec<(SimTime, Fault)> {
+    let mut rng = SimRng::seed_from(cfg.seed, 0xFA171);
+    let window_ms = cfg.window.as_millis_f64().max(1.0);
+    let mut plan: Vec<(SimTime, Fault)> = Vec::new();
+    let inject = |rng: &mut SimRng, plan: &mut Vec<(SimTime, Fault)>, hit: Fault, heal: Fault| {
+        let at = cfg.start + SimDuration::from_millis_f64(rng.f64() * window_ms);
+        plan.push((at, hit));
+        plan.push((at + cfg.downtime, heal));
+    };
+
+    // Every mini-SM crashes at least once, in random order...
+    let mut minisms: Vec<u32> = (0..cfg.n_minisms).collect();
+    rng.shuffle(&mut minisms);
+    for m in minisms {
+        inject(
+            &mut rng,
+            &mut plan,
+            Fault::MiniSmCrash(m),
+            Fault::MiniSmRestart(m),
+        );
+    }
+    // ...plus any extra crashes on random mini-SMs.
+    for _ in 0..cfg.extra_minism_crashes {
+        let m = rng.index(cfg.n_minisms.max(1) as usize) as u32;
+        inject(
+            &mut rng,
+            &mut plan,
+            Fault::MiniSmCrash(m),
+            Fault::MiniSmRestart(m),
+        );
+    }
+    // Server crashes on random servers (repeats allowed; the world
+    // treats a crash of an already-down server as a no-op).
+    for _ in 0..cfg.server_crashes {
+        let s = rng.index(cfg.n_servers.max(1) as usize) as u32;
+        inject(
+            &mut rng,
+            &mut plan,
+            Fault::ServerCrash(s),
+            Fault::ServerRestart(s),
+        );
+    }
+    // Bare session expiries on *distinct* servers, so the ≥10% floor
+    // counts unique sessions.
+    let expiring = rng.sample_indices(cfg.n_servers as usize, cfg.session_expiries as usize);
+    for s in expiring {
+        inject(
+            &mut rng,
+            &mut plan,
+            Fault::SessionExpiry(s as u32),
+            Fault::SessionRestore(s as u32),
+        );
+    }
+
+    // Stable sort: ties resolve by generation order, identically on
+    // every run with the same config.
+    plan.sort_by_key(|(at, _)| *at);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn cfg(seed: u64) -> FaultPlanConfig {
+        FaultPlanConfig::covering(seed, 24, 3)
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        assert_eq!(fault_plan(&cfg(7)), fault_plan(&cfg(7)));
+        assert_ne!(fault_plan(&cfg(7)), fault_plan(&cfg(8)));
+    }
+
+    #[test]
+    fn every_minism_crashes_at_least_once() {
+        let plan = fault_plan(&cfg(42));
+        let crashed: BTreeSet<u32> = plan
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fault::MiniSmCrash(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashed, (0..3).collect::<BTreeSet<u32>>());
+    }
+
+    #[test]
+    fn expiries_hit_distinct_servers_meeting_the_floor() {
+        let c = cfg(42);
+        let plan = fault_plan(&c);
+        let expired: BTreeSet<u32> = plan
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fault::SessionExpiry(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        let count = plan
+            .iter()
+            .filter(|(_, f)| matches!(f, Fault::SessionExpiry(_)))
+            .count();
+        assert_eq!(expired.len(), count, "expiries must be distinct");
+        assert!(
+            expired.len() * 10 >= c.n_servers as usize,
+            "floor: ≥10% of {} servers, got {}",
+            c.n_servers,
+            expired.len()
+        );
+    }
+
+    #[test]
+    fn every_fault_has_a_later_recovery() {
+        let plan = fault_plan(&cfg(3));
+        let mut down: Vec<Fault> = Vec::new();
+        for (_, f) in &plan {
+            match f {
+                Fault::ServerCrash(_) | Fault::SessionExpiry(_) | Fault::MiniSmCrash(_) => {
+                    down.push(*f)
+                }
+                Fault::ServerRestart(s) => {
+                    let i = down
+                        .iter()
+                        .position(|d| *d == Fault::ServerCrash(*s))
+                        .expect("restart pairs with a crash");
+                    down.remove(i);
+                }
+                Fault::SessionRestore(s) => {
+                    let i = down
+                        .iter()
+                        .position(|d| *d == Fault::SessionExpiry(*s))
+                        .expect("restore pairs with an expiry");
+                    down.remove(i);
+                }
+                Fault::MiniSmRestart(m) => {
+                    let i = down
+                        .iter()
+                        .position(|d| *d == Fault::MiniSmCrash(*m))
+                        .expect("restart pairs with a crash");
+                    down.remove(i);
+                }
+            }
+        }
+        assert!(down.is_empty(), "unrecovered faults: {down:?}");
+    }
+
+    #[test]
+    fn plan_is_time_sorted_within_bounds() {
+        let c = cfg(9);
+        let plan = fault_plan(&c);
+        for w in plan.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        let end = c.start + c.window + c.downtime;
+        for (at, _) in &plan {
+            assert!(*at >= c.start && *at <= end);
+        }
+    }
+}

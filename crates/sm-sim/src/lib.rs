@@ -20,6 +20,7 @@
 //! - [`stats`] — percentiles and windowed counters.
 
 pub mod engine;
+pub mod faults;
 pub mod net;
 pub mod rng;
 pub mod stats;
@@ -27,6 +28,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Simulation, World};
+pub use faults::{fault_plan, Fault, FaultPlanConfig};
 pub use net::LatencyModel;
 pub use rng::SimRng;
 pub use stats::{percentile, WindowedCounter};

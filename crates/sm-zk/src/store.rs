@@ -122,10 +122,23 @@ impl ZkStore {
         self.live_sessions.contains(&session)
     }
 
-    /// Expires a session: its ephemeral nodes are deleted (firing
-    /// watches) and its pending watches are discarded.
+    /// Expires a session: its pending watches are discarded, then its
+    /// ephemeral nodes are deleted (firing the survivors' watches).
+    ///
+    /// Ordering matters: the expiring session's own watches must be
+    /// dropped *before* its ephemerals are reaped, or it would be
+    /// delivered events about its own death — real ZooKeeper never
+    /// notifies an expired session. Surviving sessions watching the
+    /// ephemerals (`watch_exists` on a node owned by the dying session)
+    /// do get their `Deleted`/`ChildrenChanged` events.
     pub fn expire_session(&mut self, session: SessionId) -> Vec<WatchEvent> {
         self.live_sessions.remove(&session);
+        for watches in self.data_watches.values_mut() {
+            watches.remove(&session);
+        }
+        for watches in self.child_watches.values_mut() {
+            watches.remove(&session);
+        }
         let doomed: Vec<String> = self
             .nodes
             .iter()
@@ -140,12 +153,6 @@ impl ZkStore {
             if self.nodes.contains_key(&path) {
                 events.extend(self.delete_unchecked(&path));
             }
-        }
-        for watches in self.data_watches.values_mut() {
-            watches.remove(&session);
-        }
-        for watches in self.child_watches.values_mut() {
-            watches.remove(&session);
         }
         events
     }
@@ -273,6 +280,26 @@ impl ZkStore {
         Ok((version, events))
     }
 
+    /// Session-checked conditional write — the control-plane fencing
+    /// primitive (§6.2). Like [`Self::set`], but the write is rejected
+    /// with `Unavailable` when the writer's session has expired, before
+    /// the version is even compared. A stale mini-SM that lost its
+    /// session (or whose cached version was overtaken by a successor's
+    /// write) therefore gets an [`SmError`] and the znode is untouched:
+    /// it can degrade, but never clobber.
+    pub fn set_as(
+        &mut self,
+        session: SessionId,
+        path: &str,
+        data: Vec<u8>,
+        expected_version: Option<u64>,
+    ) -> Result<(u64, Vec<WatchEvent>), SmError> {
+        if !self.session_alive(session) {
+            return Err(SmError::Unavailable(format!("session {session:?} expired")));
+        }
+        self.set(path, data, expected_version)
+    }
+
     /// Deletes a leaf node. Fails if it has children.
     pub fn delete(&mut self, path: &str) -> Result<Vec<WatchEvent>, SmError> {
         let node = self
@@ -315,6 +342,17 @@ impl ZkStore {
             .entry(path.to_string())
             .or_default()
             .insert(session);
+    }
+
+    /// Registers a one-shot existence watch: fires `Created` when the
+    /// node appears, `Deleted` when it disappears — including the
+    /// ephemeral reaping performed by [`Self::expire_session`] — and
+    /// `DataChanged` on writes. Mechanically identical to
+    /// [`Self::watch_data`]; the separate name documents the
+    /// `exists`-style usage where the watcher tracks liveness of a node
+    /// owned by *another* session.
+    pub fn watch_exists(&mut self, session: SessionId, path: &str) {
+        self.watch_data(session, path);
     }
 
     /// Registers a one-shot watch on a node's child set.
@@ -535,6 +573,97 @@ mod tests {
         zk.expire_session(watcher);
         let (_, events) = zk.set("/a", b"1".to_vec(), None).unwrap();
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn exists_watch_expiry_notifies_survivors_only() {
+        // Session A watches a node owned by session B; B also watches
+        // its own node. When B expires, A (the survivor) must get the
+        // Deleted event and B — already expired — must get nothing.
+        let mut zk = ZkStore::new();
+        let root = zk.connect();
+        let a = zk.connect();
+        let b = zk.connect();
+        zk.create(root, "/minisms", vec![], CreateMode::Persistent)
+            .unwrap();
+        zk.create(b, "/minisms/m1", vec![], CreateMode::Ephemeral)
+            .unwrap();
+        zk.watch_exists(a, "/minisms/m1");
+        zk.watch_exists(b, "/minisms/m1");
+        zk.watch_children(a, "/minisms");
+        zk.watch_children(b, "/minisms");
+
+        let events = zk.expire_session(b);
+        assert!(
+            events.iter().all(|e| e.watcher != b),
+            "an expired session must never be delivered watch events \
+             from its own expiry: {events:?}"
+        );
+        let a_kinds: Vec<WatchKind> = events
+            .iter()
+            .filter(|e| e.watcher == a)
+            .map(|e| e.kind)
+            .collect();
+        assert!(a_kinds.contains(&WatchKind::Deleted), "{events:?}");
+        assert!(a_kinds.contains(&WatchKind::ChildrenChanged), "{events:?}");
+    }
+
+    #[test]
+    fn exists_watch_sees_reregistration_after_expiry() {
+        // After the Deleted event a survivor re-arms the watch and sees
+        // the replacement ephemeral appear under a fresh session.
+        let mut zk = ZkStore::new();
+        let root = zk.connect();
+        let a = zk.connect();
+        let b = zk.connect();
+        zk.create(root, "/servers", vec![], CreateMode::Persistent)
+            .unwrap();
+        zk.create(b, "/servers/srv0", vec![], CreateMode::Ephemeral)
+            .unwrap();
+        zk.watch_exists(a, "/servers/srv0");
+        let events = zk.expire_session(b);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchKind::Deleted);
+
+        zk.watch_exists(a, "/servers/srv0"); // one-shot: re-arm
+        let b2 = zk.connect();
+        let (_, events) = zk
+            .create(b2, "/servers/srv0", vec![], CreateMode::Ephemeral)
+            .unwrap();
+        assert_eq!(events[0].watcher, a);
+        assert_eq!(events[0].kind, WatchKind::Created);
+    }
+
+    #[test]
+    fn fenced_set_rejects_expired_session_without_writing() {
+        let mut zk = ZkStore::new();
+        let alive = zk.connect();
+        let stale = zk.connect();
+        zk.create(alive, "/state", b"v0".to_vec(), CreateMode::Persistent)
+            .unwrap();
+        zk.expire_session(stale);
+        let err = zk.set_as(stale, "/state", b"stale".to_vec(), Some(0));
+        assert!(matches!(err, Err(SmError::Unavailable(_))), "{err:?}");
+        let (data, stat) = zk.get("/state").unwrap();
+        assert_eq!(data, b"v0", "stale write must be absent");
+        assert_eq!(stat.version, 0);
+    }
+
+    #[test]
+    fn fenced_set_rejects_stale_version_without_writing() {
+        let mut zk = ZkStore::new();
+        let old_owner = zk.connect();
+        let new_owner = zk.connect();
+        zk.create(old_owner, "/state", b"v0".to_vec(), CreateMode::Persistent)
+            .unwrap();
+        // The new owner takes over and bumps the version.
+        zk.set_as(new_owner, "/state", b"v1".to_vec(), Some(0))
+            .unwrap();
+        // The old owner's session is still alive (a zombie) but its
+        // cached version is stale: BadVersion, znode untouched.
+        let err = zk.set_as(old_owner, "/state", b"zombie".to_vec(), Some(0));
+        assert!(matches!(err, Err(SmError::Conflict(_))), "{err:?}");
+        assert_eq!(zk.get("/state").unwrap().0, b"v1");
     }
 
     #[test]

@@ -28,6 +28,9 @@ fi
 step "sm-lint (determinism & robustness invariants)"
 cargo run -q -p sm-lint
 
+step "chaos gate (control-plane fault tolerance)"
+cargo test --test chaos -q
+
 step "tests"
 cargo test --workspace -q
 
