@@ -4,33 +4,43 @@
 //! leased KV application servers, and live client traffic into one
 //! discrete-event simulation, then injects a seeded fault schedule
 //! ([`sm_sim::faults::fault_plan`]): mini-SM crashes, server crashes,
-//! and bare ZK session expiries, each with a paired recovery. The run
-//! checks the §6 fault-tolerance story end to end:
+//! bare ZK session expiries, network partitions (symmetric and
+//! asymmetric), and lossy-net windows, each with a paired recovery.
 //!
-//! - **No dual primary** — a periodic scan counts, per shard, the
-//!   servers that would serve an unforwarded request. Self-fencing
-//!   (§3.2) makes a session-expired server wipe its hosting state
-//!   immediately, before the control plane even notices the expiry.
-//! - **No dropped requests** — clients retry with a bounded budget
-//!   sized well past the longest injected outage; every request must
-//!   eventually be served.
-//! - **Convergence** — after the last recovery, every shard is placed
-//!   (primary present) and no migration is stuck in flight.
-//! - **Reproducibility** — the whole run is a pure function of its
-//!   seed: same seed, byte-identical trace.
+//! Every inter-process message travels through a [`SimNet`]: client
+//! requests, forwards, control-plane RPCs and their acks, server
+//! heartbeats and registrations. A partitioned server therefore
+//! experiences real silence — its heartbeats stop arriving, ZooKeeper
+//! times its session out, and the control plane fails its shards over —
+//! while the server itself only learns of trouble the way a real one
+//! does: heartbeat acks stop coming back, and the §3.2 self-fence timer
+//! ([`SelfFenceTimer`]) forces it to wipe *before* ZK's session timeout
+//! can promote a replacement. The safety rule is
+//! `self_fence_timeout + heartbeat_interval < zk_session_timeout`.
+//!
+//! The paper's safety claims are checked continuously by an
+//! [`Oracle`]: at most one unfenced willing primary per shard (checked
+//! at every served request and on periodic sweeps), no
+//! acknowledged-then-lost request or stale read (every write is tagged
+//! with a monotone counter; every read must observe its key's latest
+//! acknowledged tag), registry/ZK snapshot agreement at quiescence, and
+//! router/assignment convergence after the last heal.
 //!
 //! Fault indices map directly to ids (`Fault::MiniSmCrash(i)` targets
 //! `MiniSmId(i)`); mini-SM ids are assigned densely from zero at
 //! deployment, so the plan's every-mini-SM coverage guarantee carries
-//! over to ids.
+//! over to ids. The whole run is a pure function of `(config, plan)`:
+//! same seed and plan, byte-identical trace.
 
 use crate::kv::{ExternalStore, KvServer};
 use crate::AppResponse;
 use sm_allocator::{AllocConfig, MoveCaps};
-use sm_core::ha::{HaControlPlane, HaStats, ServerLease};
+use sm_core::ha::{paths, HaControlPlane, HaStats, SelfFenceTimer, ServerLease};
 use sm_core::{ApplicationManager, OrchCommand, OrchestratorConfig, Partition, ServerRpc};
-use sm_sim::faults::{fault_plan, Fault, FaultPlanConfig};
-use sm_sim::{Ctx, SimDuration, SimTime, Simulation, TraceLog, World};
+use sm_sim::faults::{fault_plan, Fault, FaultPlanConfig, FaultProfile};
+use sm_sim::net::{Endpoint, NetStats, SimNet};
+use sm_sim::oracle::{Oracle, OracleViolation};
+use sm_sim::{Ctx, LatencyModel, SimDuration, SimTime, Simulation, TraceLog, World};
 use sm_types::{
     AppId, AppKey, AppPolicy, LoadVector, Location, MachineId, Metric, MiniSmId, RegionId,
     ServerId, ShardId, ShardingSpec,
@@ -41,8 +51,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// Shape of one chaos run. The fault schedule is derived from `seed`
-/// via [`FaultPlanConfig::covering`], so the whole run is reproducible
-/// from this config alone.
+/// (via [`FaultPlanConfig::covering`] or `profile`), so the whole run
+/// is reproducible from this config alone.
 #[derive(Clone, Copy, Debug)]
 pub struct ChaosConfig {
     /// Seed for traffic, fault schedule, and every other random draw.
@@ -55,9 +65,10 @@ pub struct ChaosConfig {
     pub clients: u32,
     /// Gap between one client's requests.
     pub request_interval: SimDuration,
-    /// One-way latency for control-plane RPCs and watch delivery.
+    /// Base one-way latency of the simulated network (jitter on top).
     pub rpc_latency: SimDuration,
-    /// Client retry backoff.
+    /// Client retry backoff (doubles as the request timeout when the
+    /// net eats a message).
     pub retry_delay: SimDuration,
     /// Retry budget per request; must outlast the longest outage.
     pub max_attempts: u32,
@@ -66,6 +77,28 @@ pub struct ChaosConfig {
     /// Periodic scans and router refreshes stop here; must be past the
     /// last scheduled recovery so the final scan sees quiescence.
     pub end: SimTime,
+    /// Fault-plan shape: `None` replays the PR 3 covering plan
+    /// (crashes and expiries only); `Some(p)` uses the DST profile.
+    pub profile: Option<FaultProfile>,
+    /// How often each server heartbeats ZooKeeper.
+    pub heartbeat_interval: SimDuration,
+    /// §3.2: a server wipes itself after this long without a heartbeat
+    /// ack. Must be safely below `zk_session_timeout` minus one
+    /// heartbeat interval.
+    pub self_fence_timeout: SimDuration,
+    /// ZooKeeper expires a session after this long without heartbeats.
+    pub zk_session_timeout: SimDuration,
+    /// The control plane gives up on an unanswered RPC after this long
+    /// and treats it as failed.
+    pub rpc_timeout: SimDuration,
+    /// Client keys are drawn from `0..key_space` so reads exercise
+    /// previously-written keys; `0` means the full u64 space (the PR 3
+    /// traffic shape).
+    pub key_space: u64,
+    /// DST mutation switch: disables §3.2 self-fencing so the oracle
+    /// can demonstrate it catches the resulting dual primaries and
+    /// stale reads. Never set outside `tests/dst.rs`.
+    pub disable_self_fencing: bool,
 }
 
 impl ChaosConfig {
@@ -83,8 +116,60 @@ impl ChaosConfig {
             max_attempts: 120,
             traffic_end: SimTime::from_secs(365),
             end: SimTime::from_secs(400),
+            profile: None,
+            heartbeat_interval: SimDuration::from_secs(1),
+            self_fence_timeout: SimDuration::from_secs(5),
+            zk_session_timeout: SimDuration::from_secs(8),
+            rpc_timeout: SimDuration::from_secs(2),
+            key_space: 0,
+            disable_self_fencing: false,
         }
     }
+
+    /// The compact shape the DST swarm sweeps: a smaller fleet and a
+    /// one-minute fault window keep a single seeded run cheap enough
+    /// to explore many seeds per profile.
+    pub fn dst(seed: u64, profile: FaultProfile) -> Self {
+        Self {
+            seed,
+            servers: 10,
+            shards: 32,
+            clients: 3,
+            request_interval: SimDuration::from_millis(100),
+            rpc_latency: SimDuration::from_millis(10),
+            retry_delay: SimDuration::from_millis(500),
+            max_attempts: 120,
+            traffic_end: SimTime::from_secs(140),
+            end: SimTime::from_secs(160),
+            profile: Some(profile),
+            heartbeat_interval: SimDuration::from_secs(1),
+            self_fence_timeout: SimDuration::from_secs(5),
+            zk_session_timeout: SimDuration::from_secs(8),
+            rpc_timeout: SimDuration::from_secs(2),
+            key_space: 512,
+            disable_self_fencing: false,
+        }
+    }
+}
+
+/// One client request's identity and routing state, carried through
+/// deliveries, forwards, and retries.
+#[derive(Clone, Copy, Debug)]
+pub struct Req {
+    /// Unique request id (oracle bookkeeping and duplicate detection).
+    pub id: u64,
+    /// Issuing client (the network source endpoint).
+    pub client: u32,
+    /// Key being read/written (as its u64 seed).
+    pub key: u64,
+    /// True for a put, false for a get.
+    pub write: bool,
+    /// Shard the key maps to.
+    pub shard: ShardId,
+    /// Delivery attempts so far, this one included.
+    pub attempts: u32,
+    /// When the request was first issued.
+    pub sent_at: SimTime,
 }
 
 /// Event alphabet of the chaos world.
@@ -92,38 +177,24 @@ impl ChaosConfig {
 pub enum ChaosEvent {
     /// Client `i` issues its next request.
     ClientTick(u32),
-    /// A request arrives at a server.
+    /// A request (or one duplicated copy of it) arrives at a server.
     Deliver {
-        /// Key being read/written (as its u64 seed).
-        key: u64,
-        /// True for a put, false for a get.
-        write: bool,
-        /// Shard the key maps to.
-        shard: ShardId,
-        /// Server the client (or a forwarder) picked.
+        /// The request.
+        req: Req,
+        /// Server this copy was addressed to.
         target: ServerId,
-        /// Delivery attempts so far, this one included.
-        attempts: u32,
         /// Forwarding hops on this attempt.
         hops: u8,
-        /// When the request was first issued.
-        sent_at: SimTime,
     },
     /// A failed attempt backs off and re-routes.
     Retry {
-        /// Key being retried.
-        key: u64,
-        /// True for a put.
-        write: bool,
-        /// Shard the key maps to.
-        shard: ShardId,
-        /// Attempts so far.
-        attempts: u32,
-        /// Original issue time.
-        sent_at: SimTime,
+        /// The request, attempts already incremented.
+        req: Req,
     },
     /// A control-plane RPC reaches its server.
     RpcSend {
+        /// Correlation id for timeout/duplicate handling.
+        id: u64,
         /// Target server.
         server: ServerId,
         /// The RPC payload.
@@ -131,21 +202,41 @@ pub enum ChaosEvent {
     },
     /// The server's ack (or failure) reaches the control plane.
     RpcResult {
-        /// Acking server.
+        /// Correlation id; late or duplicate results are ignored.
+        id: u64,
+        /// Answering server.
         server: ServerId,
         /// The RPC being answered.
         rpc: ServerRpc,
         /// Whether the server applied it.
         ok: bool,
     },
-    /// A ZooKeeper watch notification is delivered.
+    /// The control plane gives up on an unanswered RPC.
+    RpcTimeout {
+        /// Correlation id; a no-op if the result already arrived.
+        id: u64,
+    },
+    /// A ZooKeeper watch notification is delivered (ordered session
+    /// channel: never dropped, never reordered).
     ZkNotify(WatchEvent),
     /// The i-th entry of the fault plan fires.
     FaultHit(usize),
     /// Clients re-read the shard map (service discovery refresh).
     RouterRefresh,
-    /// Invariant scan: dual-primary check, placement, trace points.
+    /// Invariant scan: oracle sweep, ZK session expiry, trace points.
     Scan,
+    /// Server `i` runs its heartbeat step: self-fence check, beat,
+    /// resignation, or re-registration.
+    HeartbeatTick(u32),
+    /// Server `i`'s heartbeat arrives at ZooKeeper.
+    BeatArrive(u32),
+    /// ZooKeeper's heartbeat ack arrives back at server `i`.
+    BeatAck(u32),
+    /// Server `i`'s resignation (it self-fenced with a live session)
+    /// arrives at ZooKeeper.
+    ResignArrive(u32),
+    /// Server `i`'s re-registration attempt arrives at ZooKeeper.
+    RegisterArrive(u32),
 }
 
 /// Counters accumulated over a run.
@@ -167,13 +258,39 @@ pub struct ChaosStats {
     pub session_expiries: u64,
     /// Mini-SM crashes injected.
     pub minism_crashes: u64,
+    /// Servers that wiped themselves via the §3.2 self-fence timer.
+    pub self_fences: u64,
+    /// Sessions ZooKeeper expired for missing heartbeats (partitions).
+    pub zk_expiries: u64,
+    /// Network partitions injected.
+    pub net_partitions: u64,
+    /// Control-plane RPCs that timed out unanswered.
+    pub rpc_timeouts: u64,
 }
 
-/// One application server process plus its ZK liveness lease.
+/// One application server process: its KV state, its ZK liveness
+/// session, and its *server-side* view of the fencing contract.
+///
+/// `lease` is ZooKeeper's side (the ephemeral session object) — the
+/// world holds it here for convenience, but the server never reads it.
+/// What the server knows is `fenced` plus the [`SelfFenceTimer`]: it
+/// stops serving when heartbeat acks stop, not when ZK says so.
 struct Host {
     kv: KvServer,
     lease: Option<ServerLease>,
     process_up: bool,
+    fenced: bool,
+    fence: SelfFenceTimer,
+}
+
+impl Host {
+    /// Whether the server would accept work right now, *by its own
+    /// lights*: the process is up and it has not self-fenced. A server
+    /// whose ZK session quietly expired behind a partition still says
+    /// yes — that is the §3.2 hazard self-fencing exists to close.
+    fn serving(&self) -> bool {
+        self.process_up && !self.fenced
+    }
 }
 
 /// The chaos simulation world.
@@ -185,8 +302,19 @@ pub struct ChaosWorld {
     hosts: BTreeMap<ServerId, Host>,
     partitions: Vec<Partition>,
     plan: Vec<(SimTime, Fault)>,
+    net: SimNet,
+    oracle: Oracle,
     /// Client-visible shard→primary map, refreshed periodically.
     router: BTreeMap<ShardId, ServerId>,
+    /// ZooKeeper's view of each server's last heartbeat.
+    last_beat: BTreeMap<ServerId, SimTime>,
+    /// Correlation ids of control-plane RPCs awaiting an answer.
+    outstanding: BTreeMap<u64, (ServerId, ServerRpc)>,
+    next_rpc: u64,
+    next_req: u64,
+    /// Monotone write counter: the value stored for every put and the
+    /// tag the oracle checks reads against.
+    write_tag: u64,
     /// Counters.
     pub stats: ChaosStats,
     /// Recorded time series (placement, traffic, failures).
@@ -219,11 +347,32 @@ fn orch_config() -> OrchestratorConfig {
 }
 
 impl ChaosWorld {
-    /// Builds the world: control plane, leased servers, deployed
-    /// partitions, and the seeded fault plan. Watch events raised
-    /// during setup are delivered synchronously (the world is not
-    /// running yet, so there is no one to race with).
+    /// Builds the world with its plan derived from the config: the
+    /// covering plan when `cfg.profile` is `None`, the profile's DST
+    /// plan otherwise.
     pub fn new(cfg: ChaosConfig) -> Self {
+        let mut world = Self::bootstrap(cfg);
+        let n_minisms = world.cp.running_minisms().len() as u32;
+        world.plan = match cfg.profile {
+            None => fault_plan(&FaultPlanConfig::covering(cfg.seed, cfg.servers, n_minisms)),
+            Some(p) => fault_plan(&p.config(cfg.seed, cfg.servers, n_minisms)),
+        };
+        world
+    }
+
+    /// Builds the world with an explicit fault plan — the replay/shrink
+    /// path, where the plan is an edited copy rather than a fresh
+    /// derivation from the seed.
+    pub fn new_with_plan(cfg: ChaosConfig, plan: Vec<(SimTime, Fault)>) -> Self {
+        let mut world = Self::bootstrap(cfg);
+        world.plan = plan;
+        world
+    }
+
+    /// Control plane, leased servers, deployed partitions. Watch events
+    /// raised during setup are delivered synchronously (the world is
+    /// not running yet, so there is no one to race with).
+    fn bootstrap(cfg: ChaosConfig) -> Self {
         let mut zk = ZkStore::new();
         let (mut cp, setup_events) = HaControlPlane::new(
             &mut zk,
@@ -251,6 +400,8 @@ impl ChaosWorld {
                     kv: KvServer::new(s, spec.clone(), external.clone()),
                     lease: Some(lease),
                     process_up: true,
+                    fenced: false,
+                    fence: SelfFenceTimer::new(SimTime::ZERO, cfg.self_fence_timeout),
                 },
             );
         }
@@ -299,9 +450,8 @@ impl ChaosWorld {
             }
         }
 
-        let n_minisms = cp.running_minisms().len() as u32;
-        let plan = fault_plan(&FaultPlanConfig::covering(cfg.seed, cfg.servers, n_minisms));
-
+        let latency_ms = cfg.rpc_latency.as_millis_f64();
+        let last_beat = server_ids.iter().map(|&s| (s, SimTime::ZERO)).collect();
         let mut world = Self {
             cfg,
             zk,
@@ -309,8 +459,15 @@ impl ChaosWorld {
             spec,
             hosts,
             partitions,
-            plan,
+            plan: Vec::new(),
+            net: SimNet::new(LatencyModel::uniform(1, latency_ms, latency_ms), cfg.seed),
+            oracle: Oracle::new(),
             router: BTreeMap::new(),
+            last_beat,
+            outstanding: BTreeMap::new(),
+            next_rpc: 0,
+            next_req: 0,
+            write_tag: 0,
             stats: ChaosStats::default(),
             trace: TraceLog::new(),
             crashed_minisms: BTreeSet::new(),
@@ -330,6 +487,11 @@ impl ChaosWorld {
     /// Control-plane activity counters.
     pub fn ha_stats(&self) -> HaStats {
         self.cp.stats()
+    }
+
+    /// The invariant oracle's current state.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
     }
 
     /// True when every shard has a primary and no migration is stuck.
@@ -360,20 +522,31 @@ impl ChaosWorld {
         }
     }
 
-    /// Queues watch notifications for delayed delivery, like a real ZK
-    /// client's event thread.
+    /// Queues watch notifications for delivery over the ordered session
+    /// channel — a real ZK client's event thread never drops or
+    /// reorders notifications while the session lives.
     fn dispatch_zk(&mut self, events: Vec<WatchEvent>, ctx: &mut Ctx<'_, ChaosEvent>) {
-        let latency = self.cfg.rpc_latency;
+        let delay = self.net.ordered_delay(Endpoint::Zk, Endpoint::ControlPlane);
         for event in events {
-            ctx.schedule_in(latency, ChaosEvent::ZkNotify(event));
+            ctx.schedule_in(delay, ChaosEvent::ZkNotify(event));
         }
     }
 
-    /// Sends freshly minted orchestrator commands out as RPCs.
+    /// Sends freshly minted orchestrator commands out as RPCs through
+    /// the net, each with a correlation id and a give-up timer.
     fn flush_commands(&mut self, ctx: &mut Ctx<'_, ChaosEvent>) {
         for (_pid, cmd) in self.cp.take_commands() {
             if let OrchCommand::Rpc { server, rpc } = cmd {
-                ctx.schedule_in(self.cfg.rpc_latency, ChaosEvent::RpcSend { server, rpc });
+                self.next_rpc += 1;
+                let id = self.next_rpc;
+                self.outstanding.insert(id, (server, rpc));
+                let t = self
+                    .net
+                    .transmit(Endpoint::ControlPlane, Endpoint::Server(server.raw()));
+                for d in t.copies {
+                    ctx.schedule_in(d, ChaosEvent::RpcSend { id, server, rpc });
+                }
+                ctx.schedule_in(self.cfg.rpc_timeout, ChaosEvent::RpcTimeout { id });
             }
         }
     }
@@ -382,149 +555,205 @@ impl ChaosWorld {
         if ctx.now() < self.cfg.traffic_end {
             ctx.schedule_in(self.cfg.request_interval, ChaosEvent::ClientTick(client));
         }
-        let key = ctx.rng().next_u64();
+        let key = if self.cfg.key_space > 0 {
+            ctx.rng().range_u64(0, self.cfg.key_space)
+        } else {
+            ctx.rng().next_u64()
+        };
         let write = ctx.rng().chance(0.5);
         let Some(shard) = self.spec.shard_for(&AppKey::from_u64(key)) else {
             return;
         };
-        let sent_at = ctx.now();
-        self.route(key, write, shard, 1, sent_at, ctx);
+        self.next_req += 1;
+        let req = Req {
+            id: self.next_req,
+            client,
+            key,
+            write,
+            shard,
+            attempts: 1,
+            sent_at: ctx.now(),
+        };
+        self.oracle.request_issued(req.id);
+        self.route(req, ctx);
     }
 
-    /// Routes (or re-routes) a request via the client-visible map.
-    fn route(
-        &mut self,
-        key: u64,
-        write: bool,
-        shard: ShardId,
-        attempts: u32,
-        sent_at: SimTime,
-        ctx: &mut Ctx<'_, ChaosEvent>,
-    ) {
-        match self.router.get(&shard).copied() {
-            Some(target) => ctx.schedule_in(
-                self.cfg.rpc_latency,
+    /// Routes (or re-routes) a request via the client-visible map and
+    /// transmits it; a message the net eats surfaces as a client-side
+    /// timeout and retry.
+    fn route(&mut self, req: Req, ctx: &mut Ctx<'_, ChaosEvent>) {
+        if self.oracle.already_served(req.id) {
+            return; // a duplicated copy already completed this request
+        }
+        let Some(target) = self.router.get(&req.shard).copied() else {
+            self.fail_or_retry(req, ctx);
+            return;
+        };
+        let t = self
+            .net
+            .transmit(Endpoint::Client(req.client), Endpoint::Server(target.raw()));
+        if t.copies.is_empty() {
+            self.fail_or_retry(req, ctx);
+            return;
+        }
+        for d in t.copies {
+            ctx.schedule_in(
+                d,
                 ChaosEvent::Deliver {
-                    key,
-                    write,
-                    shard,
+                    req,
                     target,
-                    attempts,
                     hops: 0,
-                    sent_at,
                 },
-            ),
-            None => self.fail_or_retry(key, write, shard, attempts, sent_at, ctx),
+            );
         }
     }
 
-    fn fail_or_retry(
-        &mut self,
-        key: u64,
-        write: bool,
-        shard: ShardId,
-        attempts: u32,
-        sent_at: SimTime,
-        ctx: &mut Ctx<'_, ChaosEvent>,
-    ) {
-        if attempts < self.cfg.max_attempts {
+    fn fail_or_retry(&mut self, req: Req, ctx: &mut Ctx<'_, ChaosEvent>) {
+        if self.oracle.already_served(req.id) {
+            return;
+        }
+        if req.attempts < self.cfg.max_attempts {
             self.stats.retries += 1;
             ctx.schedule_in(
                 self.cfg.retry_delay,
                 ChaosEvent::Retry {
-                    key,
-                    write,
-                    shard,
-                    attempts: attempts + 1,
-                    sent_at,
+                    req: Req {
+                        attempts: req.attempts + 1,
+                        ..req
+                    },
                 },
             );
         } else {
             self.stats.dropped += 1;
+            self.oracle.request_dropped(ctx.now(), req.id);
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn deliver(
-        &mut self,
-        key: u64,
-        write: bool,
-        shard: ShardId,
-        target: ServerId,
-        attempts: u32,
-        hops: u8,
-        sent_at: SimTime,
-        ctx: &mut Ctx<'_, ChaosEvent>,
-    ) {
-        let serving = self
-            .hosts
-            .get(&target)
-            .map(|h| h.process_up && h.lease.is_some())
-            .unwrap_or(false);
+    /// Servers that would serve an unforwarded request for `shard`
+    /// right now. Process-up is the only qualifier — a zombie whose ZK
+    /// session expired behind a partition still counts, which is
+    /// exactly what self-fencing must prevent.
+    fn willing_count(&self, shard: ShardId) -> usize {
+        self.hosts
+            .values()
+            .filter(|h| h.process_up && h.kv.admit(shard, false) == AppResponse::Serve)
+            .count()
+    }
+
+    fn deliver(&mut self, req: Req, target: ServerId, hops: u8, ctx: &mut Ctx<'_, ChaosEvent>) {
+        if self.oracle.already_served(req.id) {
+            return;
+        }
+        let serving = self.hosts.get(&target).map(Host::serving).unwrap_or(false);
         if !serving {
-            self.fail_or_retry(key, write, shard, attempts, sent_at, ctx);
+            self.fail_or_retry(req, ctx);
             return;
         }
         let response = self
             .hosts
             .get(&target)
-            .map(|h| h.kv.admit(shard, hops > 0))
+            .map(|h| h.kv.admit(req.shard, hops > 0))
             .unwrap_or(AppResponse::NotMine);
         match response {
-            AppResponse::Serve => {
-                if let Some(host) = self.hosts.get_mut(&target) {
-                    let app_key = AppKey::from_u64(key);
-                    if write {
-                        host.kv.put(shard, app_key, key.to_be_bytes().to_vec());
-                    } else {
-                        host.kv.get(shard, &app_key);
-                    }
-                }
-                self.stats.served += 1;
-                let latency_ms = ctx.now().since(sent_at).as_millis_f64();
-                self.trace.record("latency_ms", ctx.now(), latency_ms);
-            }
+            AppResponse::Serve => self.serve(req, target, ctx),
             AppResponse::Forward(next) if hops < 4 => {
                 self.stats.forwards += 1;
-                ctx.schedule_in(
-                    self.cfg.rpc_latency,
-                    ChaosEvent::Deliver {
-                        key,
-                        write,
-                        shard,
-                        target: next,
-                        attempts,
-                        hops: hops + 1,
-                        sent_at,
-                    },
-                );
+                let t = self
+                    .net
+                    .transmit(Endpoint::Server(target.raw()), Endpoint::Server(next.raw()));
+                if t.copies.is_empty() {
+                    self.fail_or_retry(req, ctx);
+                    return;
+                }
+                for d in t.copies {
+                    ctx.schedule_in(
+                        d,
+                        ChaosEvent::Deliver {
+                            req,
+                            target: next,
+                            hops: hops + 1,
+                        },
+                    );
+                }
             }
             AppResponse::Forward(_) | AppResponse::NotMine => {
-                self.fail_or_retry(key, write, shard, attempts, sent_at, ctx);
+                self.fail_or_retry(req, ctx);
             }
         }
     }
 
-    fn rpc_send(&mut self, server: ServerId, rpc: ServerRpc, ctx: &mut Ctx<'_, ChaosEvent>) {
-        // A dead process never answers; a live process that lost its
-        // session refuses shard placements (§3.2 self-fencing).
+    fn serve(&mut self, req: Req, target: ServerId, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let now = ctx.now();
+        // The §3.2 invariant is checked at the moment it matters: when
+        // a request is actually served.
+        let willing = self.willing_count(req.shard);
+        self.oracle
+            .primaries_observed(now, req.shard.raw(), willing);
+        let app_key = AppKey::from_u64(req.key);
+        if req.write {
+            self.write_tag += 1;
+            let tag = self.write_tag;
+            if let Some(host) = self.hosts.get_mut(&target) {
+                host.kv.put(req.shard, app_key, tag.to_be_bytes().to_vec());
+            }
+            self.oracle.write_acked(req.key, tag);
+        } else {
+            let observed = self
+                .hosts
+                .get_mut(&target)
+                .and_then(|h| h.kv.get(req.shard, &app_key))
+                .and_then(|v| <[u8; 8]>::try_from(v.as_slice()).ok())
+                .map(u64::from_be_bytes);
+            self.oracle.read_served(now, req.key, observed);
+        }
+        self.oracle.request_served(req.id);
+        self.stats.served += 1;
+        let latency_ms = now.since(req.sent_at).as_millis_f64();
+        self.trace.record("latency_ms", now, latency_ms);
+    }
+
+    fn rpc_send(
+        &mut self,
+        id: u64,
+        server: ServerId,
+        rpc: ServerRpc,
+        ctx: &mut Ctx<'_, ChaosEvent>,
+    ) {
+        // A dead process never applies anything; a self-fenced server
+        // refuses shard placements (§3.2) until it re-registers. Either
+        // way the connection attempt fails fast and the failure travels
+        // back through the net like any other message.
         let ok = match self.hosts.get_mut(&server) {
-            Some(h) if h.process_up && h.lease.is_some() => rpc.dispatch(&mut h.kv).is_ok(),
+            Some(h) if h.serving() => rpc.dispatch(&mut h.kv).is_ok(),
             _ => false,
         };
-        ctx.schedule_in(
-            self.cfg.rpc_latency,
-            ChaosEvent::RpcResult { server, rpc, ok },
-        );
+        let t = self
+            .net
+            .transmit(Endpoint::Server(server.raw()), Endpoint::ControlPlane);
+        for d in t.copies {
+            ctx.schedule_in(
+                d,
+                ChaosEvent::RpcResult {
+                    id,
+                    server,
+                    rpc,
+                    ok,
+                },
+            );
+        }
     }
 
     fn rpc_result(
         &mut self,
+        id: u64,
         server: ServerId,
         rpc: ServerRpc,
         ok: bool,
         ctx: &mut Ctx<'_, ChaosEvent>,
     ) {
+        if self.outstanding.remove(&id).is_none() {
+            return; // duplicate copy or a result the timeout already reaped
+        }
         let events = if ok {
             self.cp.rpc_acked(&mut self.zk, server, rpc)
         } else {
@@ -532,6 +761,127 @@ impl ChaosWorld {
         };
         self.dispatch_zk(events, ctx);
         self.flush_commands(ctx);
+    }
+
+    fn rpc_timeout(&mut self, id: u64, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let Some((server, rpc)) = self.outstanding.remove(&id) else {
+            return; // answered in time
+        };
+        self.stats.rpc_timeouts += 1;
+        let events = self.cp.rpc_failed(&mut self.zk, server, rpc);
+        self.dispatch_zk(events, ctx);
+        self.flush_commands(ctx);
+    }
+
+    /// One server-side heartbeat step: check the self-fence deadline,
+    /// then beat / resign / re-register as the state demands. All
+    /// outbound messages go through the net, so a partitioned server's
+    /// beats genuinely vanish.
+    fn heartbeat_tick(&mut self, s: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
+        if ctx.now() < self.cfg.end {
+            ctx.schedule_in(self.cfg.heartbeat_interval, ChaosEvent::HeartbeatTick(s));
+        }
+        let server = ServerId(s);
+        let now = ctx.now();
+        let Some(host) = self.hosts.get_mut(&server) else {
+            return;
+        };
+        if !host.process_up {
+            return;
+        }
+        if !host.fenced {
+            if host.lease.is_some() && host.fence.must_fence(now) {
+                // §3.2: heartbeat acks stopped long enough ago that a
+                // replacement primary may be imminent — wipe now, ask
+                // questions later. The DST mutation keeps serving
+                // instead, which the oracle must catch.
+                if self.cfg.disable_self_fencing {
+                    // intentionally broken: stale primary keeps serving
+                } else {
+                    host.kv.restart();
+                    host.fenced = true;
+                    self.stats.self_fences += 1;
+                    return;
+                }
+            }
+            if host.lease.is_some() {
+                let t = self.net.transmit(Endpoint::Server(s), Endpoint::Zk);
+                for d in t.copies {
+                    ctx.schedule_in(d, ChaosEvent::BeatArrive(s));
+                }
+            }
+            return;
+        }
+        // Fenced: resign the still-live session so failover can start
+        // without waiting out the ZK timeout, or re-register once the
+        // old session is gone. Both can be eaten by a partition; the
+        // next tick retries.
+        if host.lease.is_some() {
+            let t = self.net.transmit(Endpoint::Server(s), Endpoint::Zk);
+            for d in t.copies {
+                ctx.schedule_in(d, ChaosEvent::ResignArrive(s));
+            }
+        } else {
+            let t = self.net.transmit(Endpoint::Server(s), Endpoint::Zk);
+            for d in t.copies {
+                ctx.schedule_in(d, ChaosEvent::RegisterArrive(s));
+            }
+        }
+    }
+
+    fn beat_arrive(&mut self, s: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let server = ServerId(s);
+        let Some(host) = self.hosts.get(&server) else {
+            return;
+        };
+        if host.lease.is_none() {
+            return; // stale beat from a session ZK already expired
+        }
+        self.last_beat.insert(server, ctx.now());
+        let t = self.net.transmit(Endpoint::Zk, Endpoint::Server(s));
+        for d in t.copies {
+            ctx.schedule_in(d, ChaosEvent::BeatAck(s));
+        }
+    }
+
+    fn beat_ack(&mut self, s: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let now = ctx.now();
+        if let Some(host) = self.hosts.get_mut(&ServerId(s)) {
+            host.fence.ack(now);
+        }
+    }
+
+    fn resign_arrive(&mut self, s: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let Some(host) = self.hosts.get_mut(&ServerId(s)) else {
+            return;
+        };
+        let Some(lease) = host.lease.take() else {
+            return; // ZK's own expiry won the race
+        };
+        let events = lease.expire(&mut self.zk);
+        self.dispatch_zk(events, ctx);
+    }
+
+    fn register_arrive(&mut self, s: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let server = ServerId(s);
+        let now = ctx.now();
+        let ready = self
+            .hosts
+            .get(&server)
+            .map(|h| h.process_up && h.lease.is_none())
+            .unwrap_or(false);
+        if !ready {
+            return; // raced a planned SessionRestore, or crashed meanwhile
+        }
+        if let Ok((lease, events)) = ServerLease::register(&mut self.zk, server) {
+            if let Some(host) = self.hosts.get_mut(&server) {
+                host.lease = Some(lease);
+                host.fenced = false;
+                host.fence.ack(now);
+            }
+            self.last_beat.insert(server, now);
+            self.dispatch_zk(events, ctx);
+        }
     }
 
     fn apply_fault(&mut self, fault: Fault, ctx: &mut Ctx<'_, ChaosEvent>) {
@@ -546,9 +896,12 @@ impl ChaosWorld {
                 }
                 host.process_up = false;
                 host.kv.restart();
+                host.fenced = false;
                 let expired = host.lease.take();
                 self.stats.server_crashes += 1;
                 if let Some(lease) = expired {
+                    // The process died; its TCP connection to ZK dies
+                    // with it and the session expires immediately.
                     let events = lease.expire(&mut self.zk);
                     self.dispatch_zk(events, ctx);
                 }
@@ -561,10 +914,14 @@ impl ChaosWorld {
                 }
                 match ServerLease::register(&mut self.zk, s) {
                     Ok((lease, events)) => {
+                        let now = ctx.now();
                         if let Some(host) = self.hosts.get_mut(&s) {
                             host.process_up = true;
                             host.lease = Some(lease);
+                            host.fenced = false;
+                            host.fence = SelfFenceTimer::new(now, self.cfg.self_fence_timeout);
                         }
+                        self.last_beat.insert(s, now);
                         self.dispatch_zk(events, ctx);
                     }
                     Err(_) => {
@@ -582,11 +939,12 @@ impl ChaosWorld {
                 if !host.process_up || host.lease.is_none() {
                     return;
                 }
-                // §3.2: the server self-fences — wipes its hosting
-                // state immediately, before the control plane has any
-                // chance to observe the expiry — so it can never serve
-                // as a stale primary.
+                // §3.2: the ZK client library tells the server its
+                // session is gone, and the server self-fences — wipes
+                // its hosting state immediately, before the control
+                // plane even observes the expiry.
                 host.kv.restart();
+                host.fenced = true;
                 let expired = host.lease.take();
                 self.stats.session_expiries += 1;
                 self.expired_sessions.insert(i);
@@ -603,12 +961,16 @@ impl ChaosWorld {
                     .map(|h| h.process_up && h.lease.is_none())
                     .unwrap_or(false);
                 if !needs {
-                    return;
+                    return; // the heartbeat loop already re-registered
                 }
                 if let Ok((lease, events)) = ServerLease::register(&mut self.zk, s) {
+                    let now = ctx.now();
                     if let Some(host) = self.hosts.get_mut(&s) {
                         host.lease = Some(lease);
+                        host.fenced = false;
+                        host.fence.ack(now);
                     }
+                    self.last_beat.insert(s, now);
                     self.dispatch_zk(events, ctx);
                 }
             }
@@ -631,6 +993,18 @@ impl ChaosWorld {
                     self.dispatch_zk(events, ctx);
                 }
             }
+            Fault::PartitionStart(spec) => {
+                self.net.start_partition(spec);
+                self.stats.net_partitions += 1;
+                if self.recovering_since.is_none() {
+                    self.recovering_since = Some(ctx.now());
+                }
+            }
+            Fault::PartitionHeal => self.net.heal_partition(),
+            Fault::NetDegrade { drop_pct, dup_pct } => self
+                .net
+                .set_degradation(f64::from(drop_pct) / 100.0, f64::from(dup_pct) / 100.0),
+            Fault::NetHeal => self.net.heal_degradation(),
         }
     }
 
@@ -639,16 +1013,35 @@ impl ChaosWorld {
         if now < self.cfg.end {
             ctx.schedule_in(SimDuration::from_millis(500), ChaosEvent::Scan);
         }
-        // Dual-primary check: a shard must never have two servers that
-        // would both serve an unforwarded request. Process-up is the
-        // only qualifier — a zombie with an expired session still
-        // counts, which is exactly what self-fencing must prevent.
+        // ZooKeeper-side session expiry: a server whose heartbeats
+        // stopped arriving (partition, not crash) loses its ephemeral,
+        // which is what lets the control plane fail its shards over.
+        let timeout = self.cfg.zk_session_timeout;
+        let silent: Vec<ServerId> = self
+            .hosts
+            .iter()
+            .filter(|(s, h)| {
+                h.lease.is_some()
+                    && self
+                        .last_beat
+                        .get(s)
+                        .map(|&b| now.since(b) > timeout)
+                        .unwrap_or(true)
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        for s in silent {
+            if let Some(lease) = self.hosts.get_mut(&s).and_then(|h| h.lease.take()) {
+                self.stats.zk_expiries += 1;
+                let events = lease.expire(&mut self.zk);
+                self.dispatch_zk(events, ctx);
+            }
+        }
+        // Dual-primary sweep: the continuous per-serve check sees every
+        // served request; this sweep also sees shards with no traffic.
         for shard in (0..self.cfg.shards).map(ShardId) {
-            let willing = self
-                .hosts
-                .values()
-                .filter(|h| h.process_up && h.kv.admit(shard, false) == AppResponse::Serve)
-                .count();
+            let willing = self.willing_count(shard);
+            self.oracle.primaries_observed(now, shard.raw(), willing);
             if willing > 1 {
                 self.stats.dual_primary += 1;
             }
@@ -656,7 +1049,7 @@ impl ChaosWorld {
         let unplaced = self.cp.unplaced().len();
         let in_flight = self.cp.in_flight_total();
         if let Some(started) = self.recovering_since {
-            if unplaced == 0 && in_flight == 0 {
+            if unplaced == 0 && in_flight == 0 && self.net.partition().is_none() {
                 self.recoveries_ms.push(now.since(started).as_millis_f64());
                 self.recovering_since = None;
             }
@@ -664,7 +1057,7 @@ impl ChaosWorld {
         let down = self
             .hosts
             .values()
-            .filter(|h| !h.process_up || h.lease.is_none())
+            .filter(|h| !h.process_up || h.fenced || h.lease.is_none())
             .count();
         self.trace.record("unplaced", now, unplaced as f64);
         self.trace.record("in_flight", now, in_flight as f64);
@@ -675,6 +1068,36 @@ impl ChaosWorld {
             .record("dropped_total", now, self.stats.dropped as f64);
         self.trace
             .record("minisms_up", now, self.cp.running_minisms().len() as f64);
+        self.trace
+            .record("net_blocked", now, self.net.stats().blocked as f64);
+    }
+
+    /// Quiescence checks, run once after the event queue drains: the
+    /// registry must match its durable snapshot, every shard must be
+    /// placed with no stuck migrations, the client-visible router (as
+    /// last refreshed by its periodic task) must agree with the
+    /// assignment, and no request may have silently vanished.
+    fn finalize(&mut self) {
+        let at = self.cfg.end;
+        let in_memory = self.cp.registry.snapshot();
+        let durable = self.zk.get(paths::REGISTRY).ok().map(|(d, _)| d);
+        self.oracle
+            .quiescent_registry(at, &in_memory, durable.as_deref());
+        let unplaced = self.cp.unplaced().len();
+        let in_flight = self.cp.in_flight_total();
+        let mut divergence = 0usize;
+        for p in &self.partitions {
+            if let Some(orch) = self.cp.orchestrator(p.id) {
+                for &shard in &p.shards {
+                    if orch.assignment().primary_of(shard) != self.router.get(&shard).copied() {
+                        divergence += 1;
+                    }
+                }
+            }
+        }
+        self.oracle
+            .convergence_check(at, unplaced, in_flight, divergence);
+        self.oracle.quiescent_drain_check(at);
     }
 }
 
@@ -684,28 +1107,20 @@ impl World for ChaosWorld {
     fn handle(&mut self, ctx: &mut Ctx<'_, ChaosEvent>, event: ChaosEvent) {
         match event {
             ChaosEvent::ClientTick(c) => self.client_tick(c, ctx),
-            ChaosEvent::Deliver {
-                key,
-                write,
-                shard,
-                target,
-                attempts,
-                hops,
-                sent_at,
-            } => self.deliver(key, write, shard, target, attempts, hops, sent_at, ctx),
-            ChaosEvent::Retry {
-                key,
-                write,
-                shard,
-                attempts,
-                sent_at,
-            } => {
+            ChaosEvent::Deliver { req, target, hops } => self.deliver(req, target, hops, ctx),
+            ChaosEvent::Retry { req } => {
                 // Re-route via the freshest map the client can see.
                 self.refresh_router();
-                self.route(key, write, shard, attempts, sent_at, ctx);
+                self.route(req, ctx);
             }
-            ChaosEvent::RpcSend { server, rpc } => self.rpc_send(server, rpc, ctx),
-            ChaosEvent::RpcResult { server, rpc, ok } => self.rpc_result(server, rpc, ok, ctx),
+            ChaosEvent::RpcSend { id, server, rpc } => self.rpc_send(id, server, rpc, ctx),
+            ChaosEvent::RpcResult {
+                id,
+                server,
+                rpc,
+                ok,
+            } => self.rpc_result(id, server, rpc, ok, ctx),
+            ChaosEvent::RpcTimeout { id } => self.rpc_timeout(id, ctx),
             ChaosEvent::ZkNotify(watch) => {
                 let events = self.cp.handle_event(&mut self.zk, &watch);
                 self.dispatch_zk(events, ctx);
@@ -724,6 +1139,11 @@ impl World for ChaosWorld {
                 self.refresh_router();
             }
             ChaosEvent::Scan => self.scan(ctx),
+            ChaosEvent::HeartbeatTick(s) => self.heartbeat_tick(s, ctx),
+            ChaosEvent::BeatArrive(s) => self.beat_arrive(s, ctx),
+            ChaosEvent::BeatAck(s) => self.beat_ack(s, ctx),
+            ChaosEvent::ResignArrive(s) => self.resign_arrive(s, ctx),
+            ChaosEvent::RegisterArrive(s) => self.register_arrive(s, ctx),
         }
     }
 }
@@ -735,6 +1155,12 @@ pub struct ChaosReport {
     pub stats: ChaosStats,
     /// Control-plane counters (failovers, restores, fenced writes).
     pub ha: HaStats,
+    /// Network delivery counters.
+    pub net: NetStats,
+    /// Invariant violations the oracle observed (empty on a safe run).
+    pub violations: Vec<OracleViolation>,
+    /// Total violations, uncapped (the list above is capped).
+    pub total_violations: u64,
     /// Mini-SM ids crashed at least once.
     pub crashed_minisms: BTreeSet<u32>,
     /// Servers whose bare session expiry was injected.
@@ -748,14 +1174,26 @@ pub struct ChaosReport {
     pub converged: bool,
     /// Shards lacking a primary at the end (diagnostics; 0 expected).
     pub unplaced: usize,
+    /// The fault plan the run executed (replay/shrink input).
+    pub plan: Vec<(SimTime, Fault)>,
     /// The run's time-series trace, rendered as CSV (5 s buckets) —
-    /// byte-identical across reruns of the same seed.
+    /// byte-identical across reruns of the same seed and plan.
     pub trace_csv: String,
 }
 
-/// Runs one seeded chaos experiment to completion and reports.
+/// Runs one seeded chaos experiment to completion and reports. The
+/// fault plan derives from the config (covering or profile).
 pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
-    let world = ChaosWorld::new(cfg);
+    run_world(ChaosWorld::new(cfg), cfg)
+}
+
+/// Runs a chaos experiment with an explicit fault plan — the
+/// replay/shrink path. The plan must be time-sorted.
+pub fn run_chaos_with_plan(cfg: ChaosConfig, plan: Vec<(SimTime, Fault)>) -> ChaosReport {
+    run_world(ChaosWorld::new_with_plan(cfg, plan), cfg)
+}
+
+fn run_world(world: ChaosWorld, cfg: ChaosConfig) -> ChaosReport {
     let plan_times: Vec<SimTime> = world.plan.iter().map(|(at, _)| *at).collect();
     let mut sim = Simulation::new(world, cfg.seed);
     for (i, at) in plan_times.iter().enumerate() {
@@ -766,15 +1204,27 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
     }
     sim.schedule_at(SimTime::from_secs(1), ChaosEvent::Scan);
     sim.schedule_at(SimTime::from_secs(1), ChaosEvent::RouterRefresh);
+    for s in 0..cfg.servers {
+        // Staggered start so the fleet's heartbeats don't all land on
+        // the same instant.
+        sim.schedule_at(
+            SimTime::from_millis(1_000 + 7 * u64::from(s)),
+            ChaosEvent::HeartbeatTick(s),
+        );
+    }
     sim.run_until(cfg.end);
     // Periodic events stop at `end`; whatever remains is in-flight
-    // requests draining against a healthy fleet.
+    // requests and timers draining against a healthy fleet.
     sim.run();
     let mut world = sim.into_world();
+    world.finalize();
     let converged = world.converged();
     ChaosReport {
         stats: world.stats,
         ha: world.ha_stats(),
+        net: world.net.stats(),
+        violations: world.oracle.violations().to_vec(),
+        total_violations: world.oracle.total_violations(),
         crashed_minisms: world.crashed_minisms.clone(),
         expired_sessions: world.expired_sessions.clone(),
         recoveries_ms: world.recoveries_ms.clone(),
@@ -789,6 +1239,7 @@ pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
             .len(),
         converged,
         unplaced: world.unplaced_count(),
+        plan: world.plan.clone(),
         trace_csv: world.trace.to_csv(5),
     }
 }
@@ -820,5 +1271,43 @@ mod tests {
             .collect();
         let running: BTreeSet<u32> = w.cp.running_minisms().iter().map(|m| m.raw()).collect();
         assert_eq!(targeted, running, "dense ids let the plan cover all");
+    }
+
+    #[test]
+    fn dst_profile_plans_inject_their_net_faults() {
+        let w = ChaosWorld::new(ChaosConfig::dst(3, FaultProfile::AsymPartition));
+        let parts = w
+            .plan
+            .iter()
+            .filter(|(_, f)| matches!(f, Fault::PartitionStart(p) if p.asym))
+            .count();
+        assert!(parts >= 1, "asym profile must schedule asym partitions");
+    }
+
+    #[test]
+    fn sym_partition_run_self_fences_and_stays_safe() {
+        // One full DST run under symmetric partitions: servers behind
+        // the partition must self-fence before ZK expires their
+        // sessions, and the oracle must find nothing.
+        let r = run_chaos(ChaosConfig::dst(5, FaultProfile::SymPartition));
+        assert!(r.net.blocked > 0, "partition must block real traffic");
+        assert!(r.stats.net_partitions >= 1);
+        assert!(
+            r.stats.self_fences >= 1,
+            "islanded servers must self-fence: {:?}",
+            r.stats
+        );
+        assert!(
+            r.stats.zk_expiries >= 1,
+            "ZK must expire silent sessions: {:?}",
+            r.stats
+        );
+        assert_eq!(
+            r.total_violations, 0,
+            "oracle must stay clean: {:?}",
+            r.violations
+        );
+        assert!(r.converged, "{} unplaced", r.unplaced);
+        assert_eq!(r.stats.dropped, 0, "{:?}", r.stats);
     }
 }

@@ -70,10 +70,14 @@ impl ShardHost {
 
     /// Implements `drop_shard` (also step 5). If the shard was in the
     /// forwarding state, the forward target is kept as a tombstone.
+    ///
+    /// Idempotent: dropping a shard this host does not hold is a no-op
+    /// success. The orchestrator retries drops whose ack a lossy
+    /// network may have eaten (reclaiming suspect copies), so "ensure
+    /// not hosting" must converge rather than error on the second
+    /// delivery.
     pub fn drop_shard(&mut self, shard: ShardId) -> Result<(), SmError> {
-        if self.shards.remove(&shard).is_none() && !self.pre_add.contains_key(&shard) {
-            return Err(SmError::not_found(shard));
-        }
+        self.shards.remove(&shard);
         self.pre_add.remove(&shard);
         if let Some(target) = self.forward_to.remove(&shard) {
             self.tombstones.insert(shard, target);
@@ -180,7 +184,9 @@ mod tests {
         assert_eq!(h.role_of(S), Some(ReplicaRole::Primary));
         h.drop_shard(S).unwrap();
         assert_eq!(h.admit(S, false), AppResponse::NotMine);
-        assert!(h.drop_shard(S).is_err(), "double drop");
+        h.drop_shard(S)
+            .expect("drop is idempotent: retried drops converge");
+        assert_eq!(h.admit(S, false), AppResponse::NotMine);
     }
 
     #[test]

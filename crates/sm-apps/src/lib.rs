@@ -22,6 +22,7 @@
 
 pub mod chaos;
 pub mod databus;
+pub mod dst;
 pub mod forwarding;
 pub mod harness;
 pub mod kv;
@@ -30,7 +31,11 @@ pub mod replication;
 pub mod replstore;
 pub mod stream;
 
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosStats, ChaosWorld};
+pub use chaos::{run_chaos, run_chaos_with_plan, ChaosConfig, ChaosReport, ChaosStats, ChaosWorld};
+pub use dst::{
+    repro_from_json, repro_to_json, run_dst, run_dst_with_plan, run_swarm, shrink, DstConfig,
+    DstReport,
+};
 pub use forwarding::{AppResponse, ShardHost};
 pub use harness::{ExperimentConfig, SimWorld, WorldEvent, WorldStats};
 pub use kv::{ExternalStore, KvServer};

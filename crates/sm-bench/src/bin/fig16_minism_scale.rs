@@ -4,7 +4,7 @@
 //! the partition registry (mini-SM assignment), then prints each
 //! mini-SM's server/replica load — Figure 16's scatter.
 
-use sm_bench::{banner, compare, table};
+use sm_bench::{banner, compare, table, Scale};
 use sm_core::control_plane::{ApplicationManager, PartitionRegistry, ReadService};
 use sm_types::{AppId, DeploymentMode, ServerId, ShardId};
 use sm_workloads::census::{Census, CensusConfig, ReplicationCategory};
@@ -14,10 +14,11 @@ fn main() {
         "Figure 16",
         "scale of mini-SMs (servers and replicas managed)",
     );
-    let census = Census::generate(CensusConfig {
-        apps: 2000,
-        seed: 2021,
-    });
+    let apps = match Scale::from_env() {
+        Scale::Paper => 2000,
+        Scale::Small => 250,
+    };
+    let census = Census::generate(CensusConfig { apps, seed: 2021 });
 
     // Partition every SM application; cap partitions at 4,000 servers
     // ("thousands of servers" per partition, §6.1) and mini-SMs at 50K

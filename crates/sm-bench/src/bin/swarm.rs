@@ -1,0 +1,198 @@
+//! Seed-swarm DST runner: explores `(seed, fault profile)` grid cells,
+//! shrinks any failure to a minimal reproducer, and emits it as
+//! replayable JSON.
+//!
+//! ```text
+//! swarm [--seeds N] [--start-seed S] [--profiles a,b,c] [--threads T]
+//!       [--mutate] [--out DIR] [--replay FILE]
+//! ```
+//!
+//! - Default grid: seeds `S..S+N` (N = 8) across every fault profile.
+//! - `--mutate` disables §3.2 self-fencing — the documented fencing
+//!   mutation — to demonstrate the oracle catching real violations and
+//!   the shrinker reducing them.
+//! - `--replay FILE` re-runs one reproducer JSON (as emitted by a
+//!   failing swarm) and reports its oracle verdict.
+//!
+//! Exit status: 0 when every cell is violation-free, 1 otherwise.
+
+use sm_apps::dst::{
+    repro_from_json, repro_to_json, run_dst_with_plan, run_swarm, shrink, DstConfig,
+};
+use sm_sim::faults::FaultProfile;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    profiles: Vec<FaultProfile>,
+    threads: usize,
+    mutate: bool,
+    out: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 8,
+        start_seed: 0,
+        profiles: FaultProfile::ALL.to_vec(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        mutate: false,
+        out: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = val("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start-seed" => {
+                args.start_seed = val("--start-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--profiles" => {
+                args.profiles = val("--profiles")?
+                    .split(',')
+                    .map(|s| FaultProfile::parse(s).ok_or(format!("unknown profile: {s}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => args.threads = val("--threads")?.parse().map_err(|e| format!("{e}"))?,
+            "--mutate" => args.mutate = true,
+            "--out" => args.out = Some(val("--out")?),
+            "--replay" => args.replay = Some(val("--replay")?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("swarm: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((cfg, plan)) = repro_from_json(&text) else {
+        eprintln!("swarm: {path} is not a reproducer JSON");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "replaying seed={} profile={} mutation={} ({} fault events)",
+        cfg.seed,
+        cfg.profile.name(),
+        cfg.disable_self_fencing,
+        plan.len()
+    );
+    let report = run_dst_with_plan(cfg, plan);
+    print!("{}", report.verdict());
+    if report.failed() {
+        ExitCode::FAILURE
+    } else {
+        println!("reproducer no longer fails");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swarm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let jobs: Vec<DstConfig> = args
+        .profiles
+        .iter()
+        .flat_map(|&profile| {
+            (args.start_seed..args.start_seed + args.seeds).map(move |seed| DstConfig {
+                seed,
+                profile,
+                disable_self_fencing: args.mutate,
+            })
+        })
+        .collect();
+    println!(
+        "swarm: {} cells ({} seeds x {} profiles), {} threads{}",
+        jobs.len(),
+        args.seeds,
+        args.profiles.len(),
+        args.threads,
+        if args.mutate {
+            ", FENCING MUTATION ON"
+        } else {
+            ""
+        }
+    );
+
+    let reports = run_swarm(&jobs, args.threads);
+    let mut failures = 0u64;
+    for report in &reports {
+        let tag = format!(
+            "seed={:<4} profile={:<14}",
+            report.cfg.seed,
+            report.cfg.profile.name()
+        );
+        if !report.failed() {
+            println!(
+                "  ok   {tag} served={} fences={} partitions={}",
+                report.chaos.stats.served,
+                report.chaos.stats.self_fences,
+                report.chaos.stats.net_partitions
+            );
+            continue;
+        }
+        failures += 1;
+        println!(
+            "  FAIL {tag} {} violation(s): {:?}",
+            report.chaos.total_violations,
+            report.violated_kinds()
+        );
+        // Shrink the failing plan to a minimal reproducer.
+        let original = &report.chaos.plan;
+        let minimal = shrink(report.cfg, original).unwrap_or_else(|| original.clone());
+        println!(
+            "       shrunk {} -> {} fault events",
+            original.len(),
+            minimal.len()
+        );
+        let json = repro_to_json(report.cfg, &minimal);
+        match &args.out {
+            Some(dir) => {
+                let file = format!(
+                    "{dir}/repro-{}-{}.json",
+                    report.cfg.profile.name(),
+                    report.cfg.seed
+                );
+                if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                    // Re-verify before writing so the artifact is known
+                    // good.
+                    let check = run_dst_with_plan(report.cfg, minimal.clone());
+                    debug_assert!(check.failed() || !report.failed());
+                    std::fs::write(&file, &json)
+                }) {
+                    eprintln!("swarm: writing {file}: {e}");
+                } else {
+                    println!("       reproducer: {file}");
+                }
+            }
+            None => print!("{json}"),
+        }
+    }
+    println!(
+        "swarm: {}/{} cells violation-free",
+        reports.len() as u64 - failures,
+        reports.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -490,10 +490,16 @@ impl HaControlPlane {
         }
         if let Some(server) = paths::parse_server(&event.path) {
             zk.watch_exists(self.session, &event.path);
-            return match event.kind {
-                WatchKind::Deleted => self.server_down(zk, server),
-                WatchKind::Created => self.server_up(zk, server),
-                _ => Vec::new(),
+            // Under a simulated (or real) network, notifications can be
+            // delayed past further state changes: a `Deleted` event may
+            // arrive after the server already re-registered. The event
+            // is only a *hint* that the node changed — the current
+            // `exists()` state is authoritative, so re-check it rather
+            // than trusting `event.kind`.
+            return if zk.exists(&event.path) {
+                self.server_up(zk, server)
+            } else {
+                self.server_down(zk, server)
             };
         }
         Vec::new()
@@ -667,8 +673,12 @@ impl HaControlPlane {
             )));
         }
         self.registry.restore_minism(id)?;
-        let (host, events) = HaMiniSm::start(zk, id)?;
+        let (host, mut events) = HaMiniSm::start(zk, id)?;
         self.minisms.insert(id, host);
+        // The restore changed registry membership in memory; persist it
+        // so a control-plane crash right after this restart recovers a
+        // registry that knows about the rejoined mini-SM.
+        events.extend(self.persist_registry(zk));
         Ok(events)
     }
 
@@ -806,6 +816,54 @@ impl ServerLease {
     }
 }
 
+/// Client-side half of the §3.2 fencing contract: a server tracks the
+/// last time the control plane acknowledged its heartbeat and stops
+/// serving on its own once that silence exceeds `timeout`.
+///
+/// The safety rule is `timeout` strictly **less** than the ZK session
+/// timeout (with margin for one heartbeat interval plus network skew):
+/// a partitioned server must have wiped itself *before* the control
+/// plane can see its ephemeral vanish and promote a replacement —
+/// otherwise a stale-lease window opens where two unfenced primaries
+/// overlap. The DST oracle's `dual_primary` invariant exists to catch
+/// exactly the runs where a world gets this ordering wrong.
+#[derive(Clone, Copy, Debug)]
+pub struct SelfFenceTimer {
+    last_ack: sm_sim::SimTime,
+    timeout: sm_sim::SimDuration,
+}
+
+impl SelfFenceTimer {
+    /// A timer that considers itself acked at `now`.
+    pub fn new(now: sm_sim::SimTime, timeout: sm_sim::SimDuration) -> Self {
+        Self {
+            last_ack: now,
+            timeout,
+        }
+    }
+
+    /// Records a heartbeat acknowledgement arriving at `now`. Stale
+    /// acks (older than the last recorded one — the net can reorder)
+    /// are ignored so they cannot push the fence deadline backwards.
+    pub fn ack(&mut self, now: sm_sim::SimTime) {
+        if now >= self.last_ack {
+            self.last_ack = now;
+        }
+    }
+
+    /// True once the server has gone unacknowledged long enough that
+    /// it must stop serving: `now - last_ack > timeout`. The bound is
+    /// strict so a timer checked exactly at the deadline still holds.
+    pub fn must_fence(&self, now: sm_sim::SimTime) -> bool {
+        now.since(self.last_ack) > self.timeout
+    }
+
+    /// The moment of the last acknowledgement.
+    pub fn last_ack(&self) -> sm_sim::SimTime {
+        self.last_ack
+    }
+}
+
 fn locate(locations: &BTreeMap<ServerId, Location>, server: ServerId) -> Location {
     locations.get(&server).copied().unwrap_or(Location {
         region: sm_types::RegionId(0),
@@ -820,6 +878,7 @@ mod tests {
     use super::*;
     use crate::control_plane::ApplicationManager;
     use sm_allocator::{AllocConfig, MoveCaps};
+    use sm_sim::{SimDuration, SimTime};
     use sm_types::{MachineId, Metric, RegionId, ShardId};
 
     fn config() -> OrchestratorConfig {
@@ -1042,5 +1101,85 @@ mod tests {
         let events = r.cp.restart_minism(&mut r.zk, dead).expect("rejoin");
         deliver(&mut r, events);
         assert!(r.cp.running_minisms().contains(&dead));
+    }
+
+    #[test]
+    fn stale_deleted_notification_defers_to_current_state() {
+        // A partition can delay a `Deleted` watch event past the
+        // server's re-registration. handle_event must trust the
+        // *current* exists() state, not the stale event kind, or it
+        // would mark a healthy, re-registered server down.
+        let mut r = rig(8, 32);
+        let victim = ServerId(3);
+        let lease = r.servers.remove(&victim).expect("registered");
+        let events = lease.expire(&mut r.zk);
+        let stale: Vec<WatchEvent> = events
+            .iter()
+            .filter(|e| e.kind == WatchKind::Deleted && e.path == paths::server_node(victim))
+            .cloned()
+            .collect();
+        assert!(!stale.is_empty());
+        // The node is already back before the Deleted event is seen.
+        let (lease, reg_events) = ServerLease::register(&mut r.zk, victim).expect("re-register");
+        r.servers.insert(victim, lease);
+        for e in stale {
+            r.cp.handle_event(&mut r.zk, &e);
+        }
+        deliver(&mut r, reg_events);
+        settle(&mut r);
+        assert!(
+            !r.cp.down_servers.contains(&victim),
+            "stale Deleted must not mark a live server down"
+        );
+        assert!(r.cp.fully_placed(), "unplaced: {:?}", r.cp.unplaced());
+    }
+
+    #[test]
+    fn stale_created_notification_defers_to_current_state() {
+        // The converse reordering: a delayed `Created` event arrives
+        // after the node is already gone. Trusting the event kind would
+        // resurrect a dead server; the exists() re-check marks it down.
+        let mut r = rig(8, 32);
+        let victim = ServerId(3);
+        let lease = r.servers.remove(&victim).expect("registered");
+        let expiry_events = lease.expire(&mut r.zk);
+        let stale_created = WatchEvent {
+            watcher: r.cp.session,
+            path: paths::server_node(victim),
+            kind: WatchKind::Created,
+        };
+        let more = r.cp.handle_event(&mut r.zk, &stale_created);
+        deliver(&mut r, more);
+        assert!(
+            r.cp.down_servers.contains(&victim),
+            "stale Created must not resurrect a deleted server"
+        );
+        // The real Deleted events are then harmless duplicates.
+        deliver(&mut r, expiry_events);
+        settle(&mut r);
+        assert!(r.cp.down_servers.contains(&victim));
+        assert!(r.cp.fully_placed(), "unplaced: {:?}", r.cp.unplaced());
+    }
+
+    #[test]
+    fn self_fence_timer_fences_strictly_after_timeout() {
+        let timeout = SimDuration::from_secs(5);
+        let mut t = SelfFenceTimer::new(SimTime::ZERO, timeout);
+        assert!(!t.must_fence(SimTime::from_secs(5)), "bound is strict");
+        assert!(t.must_fence(SimTime::from_secs(5) + SimDuration::from_micros(1)));
+        t.ack(SimTime::from_secs(4));
+        assert!(!t.must_fence(SimTime::from_secs(9)));
+        assert!(t.must_fence(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn self_fence_timer_ignores_reordered_stale_acks() {
+        let mut t = SelfFenceTimer::new(SimTime::from_secs(10), SimDuration::from_secs(5));
+        // A delayed ack from t=2 arrives after the t=10 one: the net
+        // reordered. It must not move the deadline backwards.
+        t.ack(SimTime::from_secs(2));
+        assert_eq!(t.last_ack(), SimTime::from_secs(10));
+        assert!(!t.must_fence(SimTime::from_secs(15)));
+        assert!(t.must_fence(SimTime::from_secs(16)));
     }
 }

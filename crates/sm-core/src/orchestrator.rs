@@ -123,6 +123,13 @@ pub struct Orchestrator {
     migrations: Vec<Migration>,
     /// Pending promotions: `(shard, server)` awaiting a ChangeRole ack.
     promotions: Vec<(ShardId, ServerId)>,
+    /// Suspect replicas awaiting reclamation: `(shard, server)` pairs
+    /// where an RPC failed but the server may have applied it anyway
+    /// (the ack, not the request, can be what the network lost). Until
+    /// the compensating `DropShard` is acked — or the server's lease
+    /// expires, which fences it — the shard must not be re-placed, or
+    /// the unacked copy becomes a second willing primary.
+    reclaims: Vec<(ShardId, ServerId)>,
     scheduler: Option<MoveScheduler>,
     stats: OrchStats,
 }
@@ -143,6 +150,7 @@ impl Orchestrator {
             outbox: Vec::new(),
             migrations: Vec::new(),
             promotions: Vec::new(),
+            reclaims: Vec::new(),
             scheduler: None,
             stats: OrchStats::default(),
         }
@@ -375,7 +383,11 @@ impl Orchestrator {
             .replicas(shard)
             .iter()
             .any(|r| r.server == mv.to);
-        if stale_source || already_migrating || target_occupied {
+        // A shard with a suspect unacked copy must not be re-placed
+        // until the reclaim resolves; nor may any shard be placed onto
+        // a server we are currently reclaiming it from.
+        let reclaiming = self.reclaims.iter().any(|&(s, _)| s == shard);
+        if stale_source || already_migrating || target_occupied || reclaiming {
             if let Some(s) = self.scheduler.as_mut() {
                 s.complete(&mv);
             }
@@ -455,6 +467,29 @@ impl Orchestrator {
     /// Handles an RPC acknowledgement from an application server,
     /// advancing the corresponding migration/promotion state machine.
     pub fn rpc_acked(&mut self, server: ServerId, rpc: ServerRpc) {
+        // Reclaim acks first: the suspect copy is confirmed gone, so
+        // the shard is safe to place again. A reclaim is never also a
+        // live migration ack — reclaims are only created after every
+        // migration touching that (shard, server) was aborted, and no
+        // new one can start while the reclaim is pending.
+        if let ServerRpc::DropShard { shard } = rpc {
+            if let Some(pos) = self
+                .reclaims
+                .iter()
+                .position(|&(s, srv)| s == shard && srv == server)
+            {
+                self.reclaims.swap_remove(pos);
+                if self.assignment.replicas(shard).is_empty()
+                    && !self.migrations.iter().any(|m| m.shard == shard)
+                {
+                    self.run_emergency();
+                }
+                // A promotion deferred by the reclaim can go ahead now.
+                self.ensure_primary_for(shard);
+                return;
+            }
+        }
+
         // Promotions first: ChangeRole to primary.
         if let ServerRpc::ChangeRole { shard, new, .. } = rpc {
             if let Some(pos) = self
@@ -658,6 +693,25 @@ impl Orchestrator {
         }
         self.promotions
             .retain(|&(s, srv)| !(s == shard && srv == server));
+        // "Failed" only means no ack arrived — the server may well have
+        // applied the RPC (a lossy network can eat the ack rather than
+        // the request). If the server is still alive and the assignment
+        // does not place this shard there, it may now hold an unacked
+        // copy: reclaim it with a compensating DropShard, and hold the
+        // shard back from re-placement until the drop is confirmed or
+        // the server's lease expiry fences it. Re-placing earlier would
+        // create a second willing primary (§3.2).
+        let assigned_there = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .any(|r| r.server == server);
+        if self.server_alive(server) && !assigned_there {
+            if !self.reclaims.contains(&(shard, server)) {
+                self.reclaims.push((shard, server));
+            }
+            self.send_rpc(server, ServerRpc::DropShard { shard });
+        }
         // An aborted fresh add can leave the shard with no replica at
         // all (e.g. the target restarted mid-placement). Re-place it
         // immediately instead of waiting for the next periodic run.
@@ -699,6 +753,18 @@ impl Orchestrator {
             }
         }
 
+        // Lease expiry fences the dead server (§3.2: it wiped itself or
+        // will refuse traffic), so any unacked copy it held is gone —
+        // its pending reclaims resolve, freeing those shards to be
+        // re-placed by the emergency run below.
+        let freed: Vec<ShardId> = self
+            .reclaims
+            .iter()
+            .filter(|&&(_, srv)| srv == server)
+            .map(|&(s, _)| s)
+            .collect();
+        self.reclaims.retain(|&(_, srv)| srv != server);
+
         let lost = self.assignment.drop_server(server);
         // Promote a surviving secondary wherever a primary was lost.
         for (shard, role) in &lost {
@@ -730,7 +796,7 @@ impl Orchestrator {
             }
         }
         self.publish_map();
-        if !lost.is_empty() {
+        if !lost.is_empty() || !freed.is_empty() {
             self.run_emergency();
         }
         self.ensure_primaries();
@@ -948,6 +1014,10 @@ impl Orchestrator {
             || self.assignment.replicas(shard).is_empty()
             || self.promotions.iter().any(|&(s, _)| s == shard)
             || self.migrations.iter().any(|m| m.shard == shard)
+            // A suspect unacked copy may still be primary-willing;
+            // promoting a survivor before the reclaim resolves would
+            // make two (§3.2).
+            || self.reclaims.iter().any(|&(s, _)| s == shard)
         {
             return;
         }

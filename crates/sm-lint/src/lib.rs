@@ -12,8 +12,10 @@
 //! | D1   | no `Instant::now` / `SystemTime::now` outside `sm-bench` |
 //! | D2   | no ambient RNG — only the seeded `sm_sim::SimRng` |
 //! | D3   | no `HashMap`/`HashSet` in deterministic crates |
+//! | D4   | no literal `SimNet` seeds in test code — seeds come from the harness |
 //! | R1   | no `unwrap`/`expect`/`panic!` in control-plane non-test code |
 //! | R2   | no `let _ =` value discards |
+//! | R3   | no discarded `WatchEvent`s in control-plane code |
 //!
 //! Legitimate exceptions are *documented*, not hidden, with an inline
 //! waiver: `// sm-lint: allow(D3) — justification`. The tier-1 test

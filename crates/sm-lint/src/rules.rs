@@ -29,6 +29,12 @@ pub enum RuleId {
     /// is randomized per process, which breaks replay. Use
     /// `BTreeMap`/`BTreeSet` or sort explicitly.
     D3,
+    /// Test code must not construct a `SimNet` with a literal seed:
+    /// the seed must flow in from the harness (a config, a loop
+    /// variable, the fault-plan DSL) so a failing run's seed is the one
+    /// reported and replayable. `SimNet::new(model, 42)` in a test
+    /// hides the seed from the swarm/replay machinery.
+    D4,
     /// No `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in
     /// non-test control-plane code: propagate `SmError`.
     R1,
@@ -46,10 +52,11 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
+        RuleId::D4,
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -61,6 +68,7 @@ impl RuleId {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
             RuleId::R1 => "R1",
             RuleId::R2 => "R2",
             RuleId::R3 => "R3",
@@ -73,6 +81,7 @@ impl RuleId {
             "D1" => Some(RuleId::D1),
             "D2" => Some(RuleId::D2),
             "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
             "R1" => Some(RuleId::R1),
             "R2" => Some(RuleId::R2),
             "R3" => Some(RuleId::R3),
@@ -89,6 +98,10 @@ impl RuleId {
                  in threaded code derive workers via SimRng::seed_from)"
             }
             RuleId::D3 => "order-randomized HashMap/HashSet in a deterministic crate",
+            RuleId::D4 => {
+                "SimNet constructed with a literal seed in test code \
+                 (take the seed from the harness so failures replay)"
+            }
             RuleId::R1 => "panic path in control-plane code (propagate SmError)",
             RuleId::R2 => "`let _ =` discards a value (name the binding)",
             RuleId::R3 => {
@@ -202,6 +215,60 @@ const R1_PATTERNS: [&str; 5] = ["unwrap", "expect", "panic!", "todo!", "unimplem
 /// must deliver, not discard (R3).
 const R3_SOURCES: [&str; 3] = ["expire_session", "handle_event", "WatchEvent"];
 
+/// Returns true when the `SimNet::new(...)` call starting in
+/// `lines[idx]` passes a bare integer literal as its final (seed)
+/// argument. The call may span lines; up to eight are examined.
+fn simnet_literal_seed(lines: &[LineInfo], idx: usize, start: usize) -> bool {
+    // Collect the argument text between the call's balanced parens.
+    let mut args = String::new();
+    let mut depth = 0usize;
+    let mut opened = false;
+    'outer: for (k, info) in lines.iter().enumerate().skip(idx).take(8) {
+        let text = if k == idx {
+            &lines[idx].masked[start..]
+        } else {
+            info.masked.as_str()
+        };
+        for c in text.chars() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        opened = true;
+                        continue;
+                    }
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        break 'outer;
+                    }
+                }
+                _ => {}
+            }
+            if opened && depth >= 1 {
+                args.push(c);
+            }
+        }
+        args.push(' ');
+    }
+    // The seed is the last top-level argument (ignoring a trailing
+    // comma from multi-line formatting).
+    let args = args.trim_end().trim_end_matches(',');
+    let mut level = 0usize;
+    let mut last_arg_start = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => level += 1,
+            ')' | ']' | '}' => level = level.saturating_sub(1),
+            ',' if level == 0 => last_arg_start = i + 1,
+            _ => {}
+        }
+    }
+    let seed = args[last_arg_start..].trim();
+    !seed.is_empty() && seed.chars().all(|c| c.is_ascii_digit() || c == '_')
+}
+
 /// Runs every applicable rule over one file's lines.
 pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
     let class = classify(rel_path);
@@ -244,6 +311,13 @@ pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
             for pat in D3_PATTERNS {
                 if find_word(&info.masked, pat).is_some() {
                     hits.push((RuleId::D3, pat.to_string()));
+                }
+            }
+        }
+        if class.test_target || info.in_test {
+            if let Some(pos) = info.masked.find("SimNet::new") {
+                if simnet_literal_seed(lines, idx, pos + "SimNet::new".len()) {
+                    hits.push((RuleId::D4, "SimNet::new(.., <literal seed>)".to_string()));
                 }
             }
         }
@@ -409,6 +483,51 @@ mod tests {
         assert_eq!(lint("crates/sm-core/src/api.rs", src).len(), 1);
         assert!(lint("crates/sm-apps/src/kv.rs", src).is_empty());
         assert!(lint("crates/sm-routing/src/router.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_literal_simnet_seed_in_test_code() {
+        // Integration-test target: literal seed flagged.
+        let v = lint(
+            "tests/dst.rs",
+            "fn t() { let net = SimNet::new(LatencyModel::uniform(1, 10.0, 10.0), 42); }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::D4);
+
+        // #[cfg(test)] module in a library: also flagged.
+        let v = lint(
+            "crates/sm-sim/src/net.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t() { let n = SimNet::new(model(), 7); }\n}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::D4);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn d4_accepts_harness_provided_seeds() {
+        // A seed that flows in through a variable or config is the
+        // sanctioned shape.
+        let ok = "fn t() { let seed = harness_seed(); let n = SimNet::new(model(), seed); }\n";
+        assert!(lint("tests/dst.rs", ok).is_empty());
+        let cfg = "fn t(cfg: &Config) { let n = SimNet::new(model(), cfg.seed); }\n";
+        assert!(lint("tests/dst.rs", cfg).is_empty());
+    }
+
+    #[test]
+    fn d4_ignores_non_test_code_and_spans_lines() {
+        // Production code may embed defaults; D4 is about tests hiding
+        // the replay seed.
+        let prod = "fn bench() { let n = SimNet::new(model(), 42); }\n";
+        assert!(lint("crates/sm-apps/src/chaos.rs", prod).is_empty());
+
+        // A multi-line call with a literal seed is still caught.
+        let multi = "fn t() {\n  let n = SimNet::new(\n    LatencyModel::uniform(1, 5.0, 9.0),\n    1234,\n  );\n}\n";
+        let v = lint("tests/dst.rs", multi);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::D4);
+        assert_eq!(v[0].line, 2, "anchored at the constructor line");
     }
 
     #[test]

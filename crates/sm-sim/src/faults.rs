@@ -10,8 +10,18 @@
 //! Faults name targets by *index* (the i-th server, the i-th mini-SM);
 //! the embedding world maps indices to concrete ids. Every entity that
 //! goes down is brought back by a paired recovery fault, so a plan
-//! always converges to a fully-healthy fleet.
+//! always converges to a fully-healthy fleet. The same pairing rule
+//! applies to network faults: every [`Fault::PartitionStart`] has a
+//! later [`Fault::PartitionHeal`], every [`Fault::NetDegrade`] a later
+//! [`Fault::NetHeal`], and partition/degradation windows never overlap
+//! their own kind (the plan slots them), because the simulated net
+//! models one partition at a time.
+//!
+//! [`FaultProfile`] names the plan shapes the swarm runner explores —
+//! crash-only, symmetric/asymmetric partitions, lossy network, and a
+//! mixed profile — each a deterministic function of `(profile, seed)`.
 
+use crate::net::PartitionSpec;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -32,6 +42,21 @@ pub enum Fault {
     MiniSmCrash(u32),
     /// Restart the i-th mini-SM as an empty process.
     MiniSmRestart(u32),
+    /// Partition the server island `[lo, lo+len)` off from the rest of
+    /// the world (see [`PartitionSpec`] for the asymmetric semantics).
+    PartitionStart(PartitionSpec),
+    /// Heal the active partition.
+    PartitionHeal,
+    /// Degrade the network: drop / duplicate each message with the
+    /// given percent probabilities.
+    NetDegrade {
+        /// Drop probability, in percent.
+        drop_pct: u8,
+        /// Duplication probability, in percent.
+        dup_pct: u8,
+    },
+    /// End the degradation window.
+    NetHeal,
 }
 
 impl Fault {
@@ -44,7 +69,24 @@ impl Fault {
             Fault::SessionRestore(_) => "session_restore",
             Fault::MiniSmCrash(_) => "minism_crash",
             Fault::MiniSmRestart(_) => "minism_restart",
+            Fault::PartitionStart(_) => "partition_start",
+            Fault::PartitionHeal => "partition_heal",
+            Fault::NetDegrade { .. } => "net_degrade",
+            Fault::NetHeal => "net_heal",
         }
+    }
+
+    /// True for the "something breaks" half of a fault pair (the other
+    /// half being its recovery).
+    pub fn is_hit(self) -> bool {
+        matches!(
+            self,
+            Fault::ServerCrash(_)
+                | Fault::SessionExpiry(_)
+                | Fault::MiniSmCrash(_)
+                | Fault::PartitionStart(_)
+                | Fault::NetDegrade { .. }
+        )
     }
 }
 
@@ -72,12 +114,29 @@ pub struct FaultPlanConfig {
     /// Mini-SM crashes to inject, in addition to the guarantee that
     /// every mini-SM index crashes at least once.
     pub extra_minism_crashes: u32,
+    /// Symmetric partitions to inject (each paired with a heal).
+    pub partitions: u32,
+    /// Asymmetric (outbound-blocked) partitions to inject.
+    pub asym_partitions: u32,
+    /// Largest partition island width; islands are 1..=this wide.
+    pub partition_max_len: u32,
+    /// How long each partition stays up before its heal. Must exceed
+    /// the embedding world's ZK session timeout for the partition to
+    /// exercise the full expiry → failover → re-register cycle.
+    pub partition_downtime: SimDuration,
+    /// Degradation windows to inject (each paired with a heal).
+    pub degrade_windows: u32,
+    /// Message drop probability during a degradation window (percent).
+    pub drop_pct: u8,
+    /// Message duplication probability during a window (percent).
+    pub dup_pct: u8,
 }
 
 impl FaultPlanConfig {
     /// A plan sized for `n_servers`/`n_minisms` meeting the chaos
     /// harness's coverage floors: every mini-SM crashes at least once
-    /// and at least 10% (min 1) of server sessions expire.
+    /// and at least 10% (min 1) of server sessions expire. Injects no
+    /// network faults (the PR 3 crash/expiry-only shape).
     pub fn covering(seed: u64, n_servers: u32, n_minisms: u32) -> Self {
         Self {
             seed,
@@ -89,7 +148,102 @@ impl FaultPlanConfig {
             server_crashes: (n_servers / 4).max(1),
             session_expiries: n_servers.div_ceil(10).max(1),
             extra_minism_crashes: 0,
+            partitions: 0,
+            asym_partitions: 0,
+            partition_max_len: (n_servers / 4).max(1),
+            partition_downtime: SimDuration::from_secs(18),
+            degrade_windows: 0,
+            drop_pct: 0,
+            dup_pct: 0,
         }
+    }
+}
+
+/// A named fault-plan shape the swarm runner explores. Each profile is
+/// a deterministic function of `(profile, seed, fleet size)`; together
+/// they cover the failure modes the paper's safety arguments must
+/// survive.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FaultProfile {
+    /// Crashes and session expiries only (the PR 3 baseline).
+    CrashOnly,
+    /// Symmetric partitions: an island of servers fully cut off.
+    SymPartition,
+    /// Asymmetric partitions: islanded servers still *hear* traffic
+    /// but nothing they send gets out — the worst case for fencing.
+    AsymPartition,
+    /// Probabilistic message drop and duplication windows.
+    LossyNet,
+    /// Everything at once.
+    Mixed,
+}
+
+impl FaultProfile {
+    /// All profiles, in grid order.
+    pub const ALL: [FaultProfile; 5] = [
+        FaultProfile::CrashOnly,
+        FaultProfile::SymPartition,
+        FaultProfile::AsymPartition,
+        FaultProfile::LossyNet,
+        FaultProfile::Mixed,
+    ];
+
+    /// Stable name used in reports and reproducer files.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::CrashOnly => "crash_only",
+            FaultProfile::SymPartition => "sym_partition",
+            FaultProfile::AsymPartition => "asym_partition",
+            FaultProfile::LossyNet => "lossy_net",
+            FaultProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a profile name back (reproducer files, CLI).
+    pub fn parse(s: &str) -> Option<FaultProfile> {
+        FaultProfile::ALL.into_iter().find(|p| p.name() == s.trim())
+    }
+
+    /// The compact plan shape the DST harness runs: faults inside a
+    /// one-minute window so a run (plus convergence slack) stays cheap
+    /// enough for a many-seed swarm.
+    pub fn config(self, seed: u64, n_servers: u32, n_minisms: u32) -> FaultPlanConfig {
+        let mut cfg = FaultPlanConfig {
+            seed,
+            n_servers,
+            n_minisms,
+            start: SimTime::from_secs(20),
+            window: SimDuration::from_secs(60),
+            downtime: SimDuration::from_secs(15),
+            server_crashes: (n_servers / 5).max(1),
+            session_expiries: 1,
+            extra_minism_crashes: 0,
+            partitions: 0,
+            asym_partitions: 0,
+            partition_max_len: (n_servers / 4).max(1),
+            partition_downtime: SimDuration::from_secs(18),
+            degrade_windows: 0,
+            drop_pct: 0,
+            dup_pct: 0,
+        };
+        match self {
+            FaultProfile::CrashOnly => {}
+            FaultProfile::SymPartition => cfg.partitions = 2,
+            FaultProfile::AsymPartition => cfg.asym_partitions = 2,
+            FaultProfile::LossyNet => {
+                cfg.degrade_windows = 2;
+                cfg.drop_pct = 5;
+                cfg.dup_pct = 3;
+            }
+            FaultProfile::Mixed => {
+                cfg.partitions = 1;
+                cfg.asym_partitions = 1;
+                cfg.degrade_windows = 1;
+                cfg.drop_pct = 3;
+                cfg.dup_pct = 2;
+            }
+        }
+        cfg
     }
 }
 
@@ -157,6 +311,42 @@ pub fn fault_plan(cfg: &FaultPlanConfig) -> Vec<(SimTime, Fault)> {
         );
     }
 
+    // Partitions: the simulated net models one partition at a time, so
+    // each gets its own time slot — windows of the same kind never
+    // overlap, and every start has a heal inside its slot.
+    let total_partitions = cfg.partitions + cfg.asym_partitions;
+    if total_partitions > 0 && cfg.n_servers > 0 {
+        let slot_ms = window_ms / f64::from(total_partitions);
+        let free_ms = (slot_ms - cfg.partition_downtime.as_millis_f64()).max(0.0);
+        for i in 0..total_partitions {
+            let asym = i >= cfg.partitions;
+            let widest = cfg.partition_max_len.clamp(1, cfg.n_servers) as usize;
+            let len = 1 + rng.index(widest) as u32;
+            let lo = rng.index((cfg.n_servers - len + 1) as usize) as u32;
+            let at = cfg.start
+                + SimDuration::from_millis_f64(f64::from(i) * slot_ms + rng.f64() * free_ms);
+            plan.push((at, Fault::PartitionStart(PartitionSpec { lo, len, asym })));
+            plan.push((at + cfg.partition_downtime, Fault::PartitionHeal));
+        }
+    }
+    // Degradation windows, slotted the same way.
+    if cfg.degrade_windows > 0 {
+        let slot_ms = window_ms / f64::from(cfg.degrade_windows);
+        let free_ms = (slot_ms - cfg.downtime.as_millis_f64()).max(0.0);
+        for i in 0..cfg.degrade_windows {
+            let at = cfg.start
+                + SimDuration::from_millis_f64(f64::from(i) * slot_ms + rng.f64() * free_ms);
+            plan.push((
+                at,
+                Fault::NetDegrade {
+                    drop_pct: cfg.drop_pct,
+                    dup_pct: cfg.dup_pct,
+                },
+            ));
+            plan.push((at + cfg.downtime, Fault::NetHeal));
+        }
+    }
+
     // Stable sort: ties resolve by generation order, identically on
     // every run with the same config.
     plan.sort_by_key(|(at, _)| *at);
@@ -215,14 +405,20 @@ mod tests {
         );
     }
 
-    #[test]
-    fn every_fault_has_a_later_recovery() {
-        let plan = fault_plan(&cfg(3));
+    /// Asserts every hit fault in `plan` has a later matching recovery
+    /// and returns the hits seen, for coverage checks.
+    fn check_pairing(plan: &[(SimTime, Fault)]) -> Vec<Fault> {
         let mut down: Vec<Fault> = Vec::new();
-        for (_, f) in &plan {
+        let mut hits: Vec<Fault> = Vec::new();
+        for (_, f) in plan {
             match f {
-                Fault::ServerCrash(_) | Fault::SessionExpiry(_) | Fault::MiniSmCrash(_) => {
-                    down.push(*f)
+                Fault::ServerCrash(_)
+                | Fault::SessionExpiry(_)
+                | Fault::MiniSmCrash(_)
+                | Fault::PartitionStart(_)
+                | Fault::NetDegrade { .. } => {
+                    down.push(*f);
+                    hits.push(*f);
                 }
                 Fault::ServerRestart(s) => {
                     let i = down
@@ -245,9 +441,105 @@ mod tests {
                         .expect("restart pairs with a crash");
                     down.remove(i);
                 }
+                Fault::PartitionHeal => {
+                    let i = down
+                        .iter()
+                        .position(|d| matches!(d, Fault::PartitionStart(_)))
+                        .expect("heal pairs with a partition start");
+                    down.remove(i);
+                }
+                Fault::NetHeal => {
+                    let i = down
+                        .iter()
+                        .position(|d| matches!(d, Fault::NetDegrade { .. }))
+                        .expect("heal pairs with a degrade");
+                    down.remove(i);
+                }
             }
         }
         assert!(down.is_empty(), "unrecovered faults: {down:?}");
+        hits
+    }
+
+    #[test]
+    fn every_fault_has_a_later_recovery() {
+        check_pairing(&fault_plan(&cfg(3)));
+    }
+
+    #[test]
+    fn profile_plans_pair_and_cover_their_fault_kinds() {
+        for profile in FaultProfile::ALL {
+            for seed in [1, 2, 3] {
+                let c = profile.config(seed, 12, 3);
+                let plan = fault_plan(&c);
+                let hits = check_pairing(&plan);
+                let parts: Vec<PartitionSpec> = hits
+                    .iter()
+                    .filter_map(|f| match f {
+                        Fault::PartitionStart(p) => Some(*p),
+                        _ => None,
+                    })
+                    .collect();
+                let n_sym = parts.iter().filter(|p| !p.asym).count() as u32;
+                let n_asym = parts.iter().filter(|p| p.asym).count() as u32;
+                assert_eq!(n_sym, c.partitions, "{profile:?} seed {seed}");
+                assert_eq!(n_asym, c.asym_partitions, "{profile:?} seed {seed}");
+                for p in &parts {
+                    assert!(p.len >= 1 && p.lo + p.len <= c.n_servers, "{p:?}");
+                }
+                let degrades = hits
+                    .iter()
+                    .filter(|f| matches!(f, Fault::NetDegrade { .. }))
+                    .count() as u32;
+                assert_eq!(degrades, c.degrade_windows, "{profile:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_kind_windows_never_overlap() {
+        // The net models one partition (and one degradation level) at a
+        // time, so the plan must serialize windows of the same kind.
+        for seed in 0..20 {
+            let c = FaultProfile::Mixed.config(seed, 12, 3);
+            let plan = fault_plan(&c);
+            let mut partition_open = false;
+            let mut degrade_open = false;
+            for (_, f) in &plan {
+                match f {
+                    Fault::PartitionStart(_) => {
+                        assert!(!partition_open, "overlapping partitions, seed {seed}");
+                        partition_open = true;
+                    }
+                    Fault::PartitionHeal => partition_open = false,
+                    Fault::NetDegrade { .. } => {
+                        assert!(!degrade_open, "overlapping degrades, seed {seed}");
+                        degrade_open = true;
+                    }
+                    Fault::NetHeal => degrade_open = false,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in FaultProfile::ALL {
+            assert_eq!(FaultProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(FaultProfile::parse("no_such_profile"), None);
+    }
+
+    #[test]
+    fn covering_plan_shape_is_unchanged_by_net_fault_support() {
+        // PR 3's chaos gate replays covering plans; adding net faults
+        // must not disturb the crash/expiry draw sequence.
+        let plan = fault_plan(&cfg(7));
+        assert!(plan.iter().all(|(_, f)| !matches!(
+            f,
+            Fault::PartitionStart(_) | Fault::PartitionHeal | Fault::NetDegrade { .. }
+        )));
     }
 
     #[test]

@@ -15,21 +15,29 @@
 //!   [`World`] by delivering timestamped events in order.
 //! - [`rng`] — a seeded RNG with the sampling helpers components need.
 //! - [`net`] — a region-pair latency model (the FRC/PRN/ODN geometry of
-//!   §8.3 ships as a preset).
+//!   §8.3 ships as a preset) plus [`SimNet`], a message-level network
+//!   with seeded partitions, drops, and duplication for DST runs.
+//! - [`faults`] — seeded fault plans (crashes, session expiries,
+//!   partitions, lossy-net windows) and the named [`FaultProfile`]s the
+//!   swarm runner sweeps.
+//! - [`oracle`] — the always-on invariant [`Oracle`] checking the
+//!   paper's safety claims continuously during a run.
 //! - [`trace`] — time-series recording for the figure harness.
 //! - [`stats`] — percentiles and windowed counters.
 
 pub mod engine;
 pub mod faults;
 pub mod net;
+pub mod oracle;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Simulation, World};
-pub use faults::{fault_plan, Fault, FaultPlanConfig};
-pub use net::LatencyModel;
+pub use faults::{fault_plan, Fault, FaultPlanConfig, FaultProfile};
+pub use net::{Endpoint, Envelope, LatencyModel, NetStats, PartitionSpec, SimNet, Transmission};
+pub use oracle::{InvariantKind, Oracle, OracleViolation};
 pub use rng::SimRng;
 pub use stats::{percentile, WindowedCounter};
 pub use time::{SimDuration, SimTime};

@@ -31,6 +31,9 @@ cargo run -q -p sm-lint
 step "chaos gate (control-plane fault tolerance)"
 cargo test --test chaos -q
 
+step "DST gate (fixed-seed smoke swarm + fencing-mutation shrink)"
+cargo test --test dst -q
+
 step "tests"
 cargo test --workspace -q
 

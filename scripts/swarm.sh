@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Seed-swarm DST exploration: N seeds across every fault profile, with
+# automatic shrinking of any failure to a replayable JSON reproducer.
+#
+# Usage: scripts/swarm.sh [SEEDS] [extra swarm flags...]
+#   scripts/swarm.sh                  # 64 seeds x all profiles
+#   scripts/swarm.sh 256              # bigger sweep
+#   scripts/swarm.sh 16 --mutate      # demonstrate the oracle catching
+#                                     # the broken-fencing mutation
+#   scripts/swarm.sh 8 --replay out/repro-lossy_net-2.json
+#
+# Reproducers land in target/swarm/ and replay with:
+#   cargo run --release -p sm-bench --bin swarm -- --replay <file>
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-64}"
+shift || true
+
+exec cargo run --release -q -p sm-bench --bin swarm -- \
+  --seeds "$SEEDS" --out target/swarm "$@"

@@ -1,7 +1,7 @@
 //! Tier-1 gate: the workspace must be clean under `sm-lint`.
 //!
 //! The linter enforces the repo-specific determinism and robustness
-//! invariants (rules D1–D3, R1–R2; see DESIGN.md and the `sm-lint`
+//! invariants (rules D1–D4, R1–R3; see DESIGN.md and the `sm-lint`
 //! crate docs). A violation either gets fixed or gets an inline
 //! `// sm-lint: allow(..) — justification` waiver; anything else fails
 //! this test and therefore the build.
