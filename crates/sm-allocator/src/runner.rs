@@ -51,6 +51,7 @@ impl Allocator {
         Self::plan(&limited, PRIO_PLACEMENT)
     }
 
+    // sm-lint: allow(P1) — diff loop indexes parallel vectors built by build_problem from one entity enumeration
     fn plan(input: &AllocInput, max_priority: u8) -> AllocationPlan {
         let (problem, specs, server_ids, slot_index) = build_problem(input, max_priority);
         let mut specs = specs;
@@ -122,6 +123,7 @@ enum ServerIndex {
 }
 
 impl ServerIndex {
+    // sm-lint: allow(P1) — table is sized max_raw + 1, every id is <= max_raw
     fn build(servers: impl Iterator<Item = (ServerId, BinId)> + Clone, n: usize) -> Self {
         let max_raw = servers.clone().map(|(s, _)| s.raw()).max().unwrap_or(0);
         if (max_raw as usize) < 4 * n + 1024 {

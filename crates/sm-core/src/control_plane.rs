@@ -122,6 +122,7 @@ impl ApplicationManager {
     /// distributed round-robin so every partition gets a proportional
     /// slice. Replicas of one shard live in one partition by
     /// construction (the shard itself belongs to exactly one).
+    // sm-lint: allow(P1) — indexes are `i % n_parts` with n_parts = len ≥ 1
     pub fn partition_app(
         &mut self,
         app: AppId,

@@ -464,6 +464,15 @@ impl Orchestrator {
         self.send_rpc(target, first_rpc);
     }
 
+    /// Writes an updated migration back by index. A stale index (which
+    /// the `position()` lookups above the call sites rule out) is a
+    /// no-op rather than a panic.
+    fn store_migration(&mut self, idx: usize, mig: Migration) {
+        if let Some(slot) = self.migrations.get_mut(idx) {
+            *slot = mig;
+        }
+    }
+
     /// Handles an RPC acknowledgement from an application server,
     /// advancing the corresponding migration/promotion state machine.
     pub fn rpc_acked(&mut self, server: ServerId, rpc: ServerRpc) {
@@ -546,13 +555,15 @@ impl Orchestrator {
             return;
         };
 
-        let mut mig = self.migrations[idx];
+        let Some(mut mig) = self.migrations.get(idx).copied() else {
+            return;
+        };
         match (mig.kind, mig.phase) {
             // -- Graceful primary: steps 1..5 --
             (MigrationKind::GracefulPrimary, Phase::PrepareAdd) => {
                 let Some(src) = mig.from else { return };
                 mig.phase = Phase::PrepareDrop;
-                self.migrations[idx] = mig;
+                self.store_migration(idx, mig);
                 self.send_rpc(
                     src,
                     ServerRpc::PrepareDropShard {
@@ -564,7 +575,7 @@ impl Orchestrator {
             }
             (MigrationKind::GracefulPrimary, Phase::PrepareDrop) => {
                 mig.phase = Phase::Add;
-                self.migrations[idx] = mig;
+                self.store_migration(idx, mig);
                 self.send_rpc(
                     mig.to,
                     ServerRpc::AddShard {
@@ -580,7 +591,7 @@ impl Orchestrator {
                 let _outcome = self.assignment.move_replica(mig.shard, src, mig.to);
                 self.publish_map();
                 mig.phase = Phase::Drop;
-                self.migrations[idx] = mig;
+                self.store_migration(idx, mig);
                 self.send_rpc(src, ServerRpc::DropShard { shard: mig.shard });
             }
             (MigrationKind::GracefulPrimary, Phase::Drop) => {
@@ -592,7 +603,7 @@ impl Orchestrator {
                 let Some(src) = mig.from else { return };
                 self.assignment.remove_replica(mig.shard, src);
                 mig.phase = Phase::Add;
-                self.migrations[idx] = mig;
+                self.store_migration(idx, mig);
                 self.send_rpc(
                     mig.to,
                     ServerRpc::AddShard {
@@ -613,7 +624,7 @@ impl Orchestrator {
                 let _outcome = self.assignment.add_replica(mig.shard, mig.to, mig.role);
                 self.publish_map();
                 mig.phase = Phase::Drop;
-                self.migrations[idx] = mig;
+                self.store_migration(idx, mig);
                 self.send_rpc(src, ServerRpc::DropShard { shard: mig.shard });
             }
             (MigrationKind::SecondaryMove, Phase::Drop) => {

@@ -1,0 +1,7 @@
+//! D5 fixture, file 2 of 2: the wall-clock read lives in `sm-bench`,
+//! where direct use is legal (D1 exempts it) — but reaching it from
+//! `sm-sim` still breaks replay determinism.
+
+pub fn measure() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

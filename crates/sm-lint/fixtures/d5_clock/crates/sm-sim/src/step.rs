@@ -1,0 +1,7 @@
+//! D5 fixture, file 1 of 2: deterministic simulation code that calls
+//! into a helper crate. The wall-clock read is transitive — `step`
+//! itself contains no `Instant::now`, so line rule D1 can't see it.
+
+pub fn step(tick: u64) -> u64 {
+    tick + measure()
+}

@@ -1,0 +1,21 @@
+//! L1 fixture: the same two locks as `l1_cycle`, but both functions
+//! acquire them in the same order — no cycle, no finding.
+
+pub struct Registry {
+    shards: std::sync::Mutex<u64>,
+    servers: std::sync::Mutex<u64>,
+}
+
+impl Registry {
+    pub fn forward(&self) -> u64 {
+        let a = self.shards.lock();
+        let b = self.servers.lock();
+        0
+    }
+
+    pub fn also_forward(&self) -> u64 {
+        let a = self.shards.lock();
+        let b = self.servers.lock();
+        1
+    }
+}

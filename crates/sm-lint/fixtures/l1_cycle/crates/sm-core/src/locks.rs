@@ -1,0 +1,21 @@
+//! L1 fixture: two functions acquire the same two locks in opposite
+//! orders — a textbook deadlock.
+
+pub struct Registry {
+    shards: std::sync::Mutex<u64>,
+    servers: std::sync::Mutex<u64>,
+}
+
+impl Registry {
+    pub fn forward(&self) -> u64 {
+        let a = self.shards.lock();
+        let b = self.servers.lock();
+        0
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.servers.lock();
+        let a = self.shards.lock();
+        0
+    }
+}

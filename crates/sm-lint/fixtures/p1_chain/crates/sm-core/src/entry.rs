@@ -1,0 +1,7 @@
+//! P1 fixture, file 1 of 2: the public control-plane entry point.
+//! `assign` itself never panics — the panic is two hops away in
+//! `registry.rs`, so only whole-graph analysis can flag it.
+
+pub fn assign(shard: u64) -> u64 {
+    route(shard)
+}

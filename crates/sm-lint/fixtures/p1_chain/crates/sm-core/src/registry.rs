@@ -1,0 +1,11 @@
+//! P1 fixture, file 2 of 2: the panic site `place` indexes with `[]`.
+
+static TABLE: [u64; 4] = [0, 1, 2, 3];
+
+pub fn route(shard: u64) -> u64 {
+    place(shard as usize)
+}
+
+fn place(slot: usize) -> u64 {
+    TABLE[slot]
+}

@@ -1,0 +1,7 @@
+//! Ratchet fixture: one brand-new P1 finding. Compared against an
+//! empty baseline this must register as a regression and fail the
+//! gate — the scratch tree for the ratchet integration test.
+
+pub fn fresh_regression(v: &[u64]) -> u64 {
+    v[0]
+}

@@ -1,0 +1,12 @@
+//! W1 fixture: the `unwrap` this waiver once justified has been
+//! cleaned up, so the waiver is stale and must be flagged — otherwise
+//! it would silently hide the next violation on that line.
+
+// sm-lint: allow(R1) — value checked two lines above
+pub fn now_clean(v: Option<u64>) -> u64 {
+    v.unwrap_or(0)
+}
+
+pub fn still_waived(v: Option<u64>) -> u64 {
+    v.unwrap() // sm-lint: allow(R1) — fixture: a live, earning waiver
+}

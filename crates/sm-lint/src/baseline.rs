@@ -1,0 +1,236 @@
+//! The ratcheting baseline: per-(rule, crate) unwaived finding counts
+//! checked into `lint-baseline.json`.
+//!
+//! The gate semantics are **monotone burn-down**:
+//!
+//! - any count *rising* above its baseline entry fails the gate (a new
+//!   violation was introduced — fix it or waive it with a reason);
+//! - any count *falling* below its entry is auto-lowered in the file
+//!   on the next `--baseline` run, so a cleanup can never silently
+//!   regress later;
+//! - `--fix-baseline` rewrites the file wholesale — the explicit,
+//!   reviewable way to accept a higher count (e.g. after adding a
+//!   rule).
+//!
+//! The JSON is hand-rolled and hand-parsed (the workspace is
+//! std-only): a flat `"RULE/crate": count` map under `"counts"`.
+
+use crate::report::Report;
+use crate::rules::classify;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baseline counts keyed `"RULE/crate"` (e.g. `"P1/sm-core"`).
+pub type Counts = BTreeMap<String, usize>;
+
+/// The result of comparing current counts against the baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// `(key, baseline, current)` where current exceeds baseline.
+    pub regressions: Vec<(String, usize, usize)>,
+    /// `(key, baseline, current)` where current improved.
+    pub improvements: Vec<(String, usize, usize)>,
+}
+
+impl Ratchet {
+    /// True when no count rose above its baseline.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Current per-(rule, crate) unwaived counts of a report.
+pub fn counts(report: &Report) -> Counts {
+    let mut out = Counts::new();
+    for v in report.unwaived() {
+        let key = format!("{}/{}", v.rule.name(), classify(&v.file).crate_name);
+        *out.entry(key).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Compares current counts against the baseline. Keys absent from the
+/// baseline count as 0 (a brand-new kind of violation is always a
+/// regression); baseline keys absent from current are improvements.
+pub fn compare(current: &Counts, baseline: &Counts) -> Ratchet {
+    let mut r = Ratchet::default();
+    for (key, &now) in current {
+        let was = baseline.get(key).copied().unwrap_or(0);
+        if now > was {
+            r.regressions.push((key.clone(), was, now));
+        } else if now < was {
+            r.improvements.push((key.clone(), was, now));
+        }
+    }
+    for (key, &was) in baseline {
+        if !current.contains_key(key) && was > 0 {
+            r.improvements.push((key.clone(), was, 0));
+        }
+    }
+    r
+}
+
+/// Applies the monotone ratchet: baseline entries drop to the current
+/// count where it improved, never rise. Returns the updated counts.
+pub fn lowered(current: &Counts, baseline: &Counts) -> Counts {
+    let mut out = Counts::new();
+    for (key, &was) in baseline {
+        let now = current.get(key).copied().unwrap_or(0);
+        let floor = was.min(now);
+        if floor > 0 {
+            out.insert(key.clone(), floor);
+        }
+    }
+    out
+}
+
+/// Renders the baseline file.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"_comment\": \"sm-lint ratchet: per-(rule, crate) unwaived finding counts. \
+         Counts may only fall; regenerate intentionally with \
+         `cargo run -p sm-lint -- --baseline lint-baseline.json --fix-baseline`.\",\n",
+    );
+    out.push_str("  \"counts\": {\n");
+    for (i, (key, n)) in counts.iter().enumerate() {
+        let sep = if i + 1 < counts.len() { "," } else { "" };
+        let _unused = writeln!(out, "    \"{key}\": {n}{sep}");
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parses a baseline file: every `"key": <integer>` pair found in the
+/// text (string-valued keys like `_comment` are skipped).
+pub fn parse(text: &str) -> Counts {
+    let mut out = Counts::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < bytes.len() && bytes[j] != b'"' {
+            if bytes[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        if j >= bytes.len() {
+            break;
+        }
+        let key = &text[start..j];
+        i = j + 1;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            continue;
+        }
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let num_start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i > num_start {
+            if let Ok(n) = text[num_start..i].parse::<usize>() {
+                out.insert(key.to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleId, Violation};
+
+    fn report_with(entries: &[(&str, RuleId, bool)]) -> Report {
+        Report {
+            violations: entries
+                .iter()
+                .map(|(file, rule, waived)| Violation {
+                    rule: *rule,
+                    file: (*file).to_string(),
+                    line: 1,
+                    pattern: "x".into(),
+                    waiver: waived.then(|| "why".to_string()),
+                })
+                .collect(),
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn counts_group_by_rule_and_crate_unwaived_only() {
+        let r = report_with(&[
+            ("crates/sm-core/src/a.rs", RuleId::P1, false),
+            ("crates/sm-core/src/b.rs", RuleId::P1, false),
+            ("crates/sm-zk/src/c.rs", RuleId::P1, false),
+            ("crates/sm-core/src/a.rs", RuleId::R1, true),
+        ]);
+        let c = counts(&r);
+        assert_eq!(c.get("P1/sm-core"), Some(&2));
+        assert_eq!(c.get("P1/sm-zk"), Some(&1));
+        assert_eq!(c.get("R1/sm-core"), None, "waived entries don't count");
+    }
+
+    #[test]
+    fn roundtrip_and_comment_key_skipped() {
+        let mut c = Counts::new();
+        c.insert("P1/sm-core".into(), 3);
+        c.insert("L1/sm-apps".into(), 1);
+        let parsed = parse(&render(&c));
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_improvements() {
+        let mut base = Counts::new();
+        base.insert("P1/sm-core".into(), 3);
+        base.insert("D5/sm-sim".into(), 2);
+        let mut cur = Counts::new();
+        cur.insert("P1/sm-core".into(), 4);
+        cur.insert("W1/sm-zk".into(), 1);
+        let r = compare(&cur, &base);
+        assert!(!r.passed());
+        assert_eq!(
+            r.regressions,
+            vec![
+                ("P1/sm-core".to_string(), 3, 4),
+                ("W1/sm-zk".to_string(), 0, 1)
+            ]
+        );
+        assert_eq!(r.improvements, vec![("D5/sm-sim".to_string(), 2, 0)]);
+    }
+
+    #[test]
+    fn ratchet_lowers_but_never_raises() {
+        let mut base = Counts::new();
+        base.insert("P1/sm-core".into(), 3);
+        base.insert("P1/sm-zk".into(), 2);
+        let mut cur = Counts::new();
+        cur.insert("P1/sm-core".into(), 1); // improved
+        cur.insert("P1/sm-zk".into(), 9); // regressed (gate fails, but
+                                          // the file still never rises)
+        let low = lowered(&cur, &base);
+        assert_eq!(low.get("P1/sm-core"), Some(&1));
+        assert_eq!(low.get("P1/sm-zk"), Some(&2));
+    }
+
+    #[test]
+    fn cleaned_entries_disappear() {
+        let mut base = Counts::new();
+        base.insert("P1/sm-core".into(), 2);
+        let low = lowered(&Counts::new(), &base);
+        assert!(low.is_empty());
+    }
+}

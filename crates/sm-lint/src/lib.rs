@@ -5,7 +5,9 @@
 //! expects identical traces for identical seeds, and the control plane
 //! earns its availability numbers by degrading through [`SmError`]
 //! rather than panicking. No off-the-shelf linter knows either
-//! contract, so this crate enforces them:
+//! contract, so this crate enforces them — with per-line pattern rules
+//! and, since v2, cross-file rules over a workspace **call graph**
+//! (see [`lex`], [`graph`], [`callrules`]):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -13,17 +15,28 @@
 //! | D2   | no ambient RNG — only the seeded `sm_sim::SimRng` |
 //! | D3   | no `HashMap`/`HashSet` in deterministic crates |
 //! | D4   | no literal `SimNet` seeds in test code — seeds come from the harness |
+//! | D5   | no *transitive* wall-clock/entropy reach from `sm-sim`/`sm-solver`/`sm-apps` |
 //! | R1   | no `unwrap`/`expect`/`panic!` in control-plane non-test code |
 //! | R2   | no `let _ =` value discards |
 //! | R3   | no discarded `WatchEvent`s in control-plane code |
+//! | P1   | no control-plane `pub fn` transitively reaching a panic / `[]` |
+//! | L1   | no cycles in the global lock-acquisition order |
+//! | W1   | no stale waivers — an `allow(..)` must still trigger |
 //!
 //! Legitimate exceptions are *documented*, not hidden, with an inline
-//! waiver: `// sm-lint: allow(D3) — justification`. The tier-1 test
-//! `tests/lint.rs` runs the linter over the workspace and fails on any
-//! unwaived violation.
+//! waiver: `// sm-lint: allow(D3) — justification` (parsed only from
+//! real comments — never from strings or doc text). The tier-1 test
+//! `tests/lint.rs` runs the linter over the workspace, requires zero
+//! unwaived line-rule violations, and holds the graph-rule counts to
+//! the checked-in ratchet [`baseline`] (`lint-baseline.json`), which
+//! may only burn down.
 //!
 //! [`SmError`]: https://docs.rs/sm-types
 
+pub mod baseline;
+pub mod callrules;
+pub mod graph;
+pub mod lex;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -31,15 +44,19 @@ pub mod scan;
 pub use report::Report;
 pub use rules::{check_file, classify, RuleId, Violation};
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Directories scanned inside the workspace root.
 const SCAN_ROOTS: [&str; 4] = ["src", "tests", "examples", "crates"];
 
-/// Directory names never descended into.
-const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+/// Directory names never descended into. `fixtures` holds sm-lint's
+/// own seeded-violation test trees, which must not lint the workspace.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "node_modules", "fixtures"];
 
-/// Lints every `.rs` file of the workspace rooted at `root`.
+/// Lints every `.rs` file of the workspace rooted at `root`: line
+/// rules per file, then graph rules (P1/L1/D5) over the extracted
+/// call graph, then the W1 stale-waiver audit over everything.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for sub in SCAN_ROOTS {
@@ -51,6 +68,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     files.sort();
 
     let mut report = Report::default();
+    let mut parsed: Vec<(String, Vec<scan::LineInfo>)> = Vec::with_capacity(files.len());
     for file in &files {
         let src = std::fs::read_to_string(file)?;
         let rel = file
@@ -61,7 +79,33 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         let lines = scan::analyze(&src);
         report.violations.extend(rules::check_file(&rel, &lines));
         report.files_scanned += 1;
+        parsed.push((rel, lines));
     }
+
+    // Cross-file rules over the call graph.
+    let g = graph::Graph::build(&parsed);
+    report.fns_indexed = g.fns.len();
+    report.call_edges = g.edge_count();
+    let by_file: BTreeMap<String, Vec<scan::LineInfo>> = parsed.into_iter().collect();
+    let findings = callrules::check_graph(&g, &by_file);
+    report.violations.extend(findings.violations);
+
+    // W1: audit every waiver against what actually triggered.
+    let mut used: BTreeSet<(String, usize, RuleId)> = g.used_fact_waivers.clone();
+    used.extend(findings.used_waivers);
+    let waived: BTreeSet<(String, usize, RuleId)> = report
+        .violations
+        .iter()
+        .filter(|v| v.waiver.is_some())
+        .map(|v| (v.file.clone(), v.line, v.rule))
+        .collect();
+    report
+        .violations
+        .extend(callrules::stale_waivers(&by_file, &waived, &used));
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
 }
 
@@ -105,9 +149,21 @@ mod tests {
         .expect("write");
         let report = lint_workspace(&dir).expect("lint");
         assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.fns_indexed, 2);
         assert_eq!(report.unwaived().count(), 2, "{:?}", report.violations);
         assert_eq!(report.waived().count(), 1);
         assert!(!report.is_clean());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn fixture_dirs_are_not_scanned() {
+        let dir = std::env::temp_dir().join(format!("sm-lint-fix-{}", std::process::id()));
+        let fixtures = dir.join("crates/sm-lint/fixtures/p1/crates/sm-core/src");
+        std::fs::create_dir_all(&fixtures).expect("mkdir");
+        std::fs::write(fixtures.join("bad.rs"), "fn f() { x.unwrap(); }\n").expect("write");
+        let report = lint_workspace(&dir).expect("lint");
+        assert_eq!(report.files_scanned, 0, "fixtures must be skipped");
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

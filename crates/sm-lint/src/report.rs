@@ -10,6 +10,10 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Number of `fn` items indexed into the call graph.
+    pub fns_indexed: usize,
+    /// Number of resolved call edges in the graph.
+    pub call_edges: usize,
 }
 
 impl Report {
@@ -46,8 +50,8 @@ impl Report {
         let unwaived = self.unwaived().count();
         let _ignored = writeln!(
             out,
-            "sm-lint: {} files, {} violation(s), {} waived",
-            self.files_scanned, unwaived, waived
+            "sm-lint: {} files, {} fns, {} call edges, {} violation(s), {} waived",
+            self.files_scanned, self.fns_indexed, self.call_edges, unwaived, waived
         );
         if unwaived == 0 && waived > 0 {
             for v in self.waived() {
@@ -69,6 +73,8 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ignored = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ignored = writeln!(out, "  \"fns_indexed\": {},", self.fns_indexed);
+        let _ignored = writeln!(out, "  \"call_edges\": {},", self.call_edges);
         let _ignored = writeln!(out, "  \"unwaived\": {},", self.unwaived().count());
         let _ignored = writeln!(out, "  \"waived\": {},", self.waived().count());
         let mut per_rule: Vec<(RuleId, usize)> = RuleId::ALL
@@ -82,6 +88,15 @@ impl Report {
                 out.push_str(", ");
             }
             let _ignored = write!(out, "\"{}\": {}", rule.name(), n);
+        }
+        out.push_str("},\n");
+        let by_rule_crate = crate::baseline::counts(self);
+        out.push_str("  \"by_rule_crate\": {");
+        for (i, (key, n)) in by_rule_crate.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ignored = write!(out, "\"{}\": {}", json_escape(key), n);
         }
         out.push_str("},\n");
         out.push_str("  \"violations\": [\n");
@@ -148,6 +163,7 @@ mod tests {
                 },
             ],
             files_scanned: 2,
+            ..Report::default()
         }
     }
 
@@ -179,9 +195,10 @@ mod tests {
         let r = Report {
             violations: vec![],
             files_scanned: 5,
+            ..Report::default()
         };
         assert!(r.is_clean());
-        assert!(r.render_text().contains("5 files, 0 violation(s)"));
+        assert!(r.render_text().contains("0 violation(s)"));
     }
 
     #[test]

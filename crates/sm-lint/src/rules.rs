@@ -48,30 +48,60 @@ pub enum RuleId {
     /// and failures undetected. Deliver the events or waive with a
     /// justification.
     R3,
+    /// Panic reachability (call-graph rule): a non-test `pub fn` in a
+    /// control-plane crate (`sm-core`, `sm-zk`, `sm-routing`) must not
+    /// *transitively* reach `panic!` / `unwrap` / `expect` /
+    /// `unreachable!` / `[]` indexing through workspace calls. The
+    /// report prints the shortest offending call chain.
+    P1,
+    /// Lock-order consistency (call-graph rule): per-function ordered
+    /// lock-acquisition sequences, propagated one call level, must not
+    /// form a cycle in the global lock-order graph — a cycle is a
+    /// latent deadlock between concurrent paths.
+    L1,
+    /// Transitive wall-clock / entropy reach (call-graph rule): a
+    /// non-test fn in a deterministic crate (`sm-sim`, `sm-solver`,
+    /// `sm-apps`) must not reach `Instant::now` / `SystemTime::now` /
+    /// ambient RNG through calls — even when the reading fn lives in a
+    /// D1-exempt crate like `sm-bench`.
+    D5,
+    /// Stale-waiver audit: an `sm-lint: allow(..)` comment whose
+    /// governed line no longer triggers the named rule is itself a
+    /// finding — waivers must not outlive the code they excuse. Not
+    /// waivable; delete the stale waiver instead.
+    W1,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
+        RuleId::D5,
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
+        RuleId::P1,
+        RuleId::L1,
+        RuleId::W1,
     ];
 
-    /// The rule's short name as used in waivers (`D1`...`R2`).
+    /// The rule's short name as used in waivers (`D1`...`W1`).
     pub fn name(self) -> &'static str {
         match self {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
             RuleId::R1 => "R1",
             RuleId::R2 => "R2",
             RuleId::R3 => "R3",
+            RuleId::P1 => "P1",
+            RuleId::L1 => "L1",
+            RuleId::W1 => "W1",
         }
     }
 
@@ -82,9 +112,13 @@ impl RuleId {
             "D2" => Some(RuleId::D2),
             "D3" => Some(RuleId::D3),
             "D4" => Some(RuleId::D4),
+            "D5" => Some(RuleId::D5),
             "R1" => Some(RuleId::R1),
             "R2" => Some(RuleId::R2),
             "R3" => Some(RuleId::R3),
+            "P1" => Some(RuleId::P1),
+            "L1" => Some(RuleId::L1),
+            "W1" => Some(RuleId::W1),
             _ => None,
         }
     }
@@ -102,12 +136,25 @@ impl RuleId {
                 "SimNet constructed with a literal seed in test code \
                  (take the seed from the harness so failures replay)"
             }
+            RuleId::D5 => {
+                "deterministic-crate fn transitively reaches a wall-clock/entropy \
+                 read (keep measurement at the sm-bench boundary)"
+            }
             RuleId::R1 => "panic path in control-plane code (propagate SmError)",
             RuleId::R2 => "`let _ =` discards a value (name the binding)",
             RuleId::R3 => {
                 "watch events ignored in control-plane code \
                  (deliver the WatchEvents or waive with justification)"
             }
+            RuleId::P1 => {
+                "control-plane pub fn transitively reaches a panic \
+                 (break the chain with SmError or waive the proven-safe site)"
+            }
+            RuleId::L1 => {
+                "lock-order cycle across the call graph \
+                 (acquire locks in one global order)"
+            }
+            RuleId::W1 => "stale waiver: governed line no longer triggers the rule (delete it)",
         }
     }
 }
@@ -174,30 +221,57 @@ pub struct Violation {
     pub waiver: Option<String>,
 }
 
-/// Returns the waivers declared on a raw source line, as
+/// Returns the waivers declared on a line's *comment channel*, as
 /// `(rule, justification)` pairs.
 ///
 /// Waiver syntax: `// sm-lint: allow(D3) — justification`, with
 /// multiple rules separated by commas: `allow(D1, R1)`. A waiver on a
 /// line applies to that line; a whole-line waiver comment applies to
-/// the next line instead.
-pub fn waivers_on(raw: &str) -> Vec<(RuleId, String)> {
-    let Some(at) = raw.find("sm-lint: allow(") else {
-        return Vec::new();
+/// the next line instead. Only plain comments count: the caller passes
+/// [`crate::scan::LineInfo::comment`], so a string literal or doc
+/// comment containing the waiver syntax never waives anything.
+pub fn waivers_on(comment: &str) -> Vec<(RuleId, String)> {
+    let (names, justification) = match waiver_decls(comment) {
+        Some(d) => d,
+        None => return Vec::new(),
     };
-    let after = &raw[at + "sm-lint: allow(".len()..];
-    let Some(close) = after.find(')') else {
-        return Vec::new();
-    };
+    names
+        .iter()
+        .filter_map(|n| RuleId::parse(n))
+        .map(|r| (r, justification.clone()))
+        .collect()
+}
+
+/// Like [`waivers_on`], but keeps the raw rule-name tokens so the W1
+/// audit can flag `allow(..)` entries naming unknown rules. Returns
+/// `(names, justification)` when the line declares a waiver.
+pub fn waiver_decls(comment: &str) -> Option<(Vec<String>, String)> {
+    let at = comment.find("sm-lint: allow(")?;
+    let after = &comment[at + "sm-lint: allow(".len()..];
+    let close = after.find(')')?;
     let justification = after[close + 1..]
         .trim_start_matches([' ', '-', '—', ':'])
         .trim()
         .to_string();
-    after[..close]
+    let names = after[..close]
         .split(',')
-        .filter_map(RuleId::parse)
-        .map(|r| (r, justification.clone()))
-        .collect()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    Some((names, justification))
+}
+
+/// The waivers governing line `idx` (0-based): declared on the line
+/// itself, or on a directly preceding whole-line comment.
+pub fn waivers_governing(lines: &[LineInfo], idx: usize) -> Vec<(RuleId, String)> {
+    let mut active = waivers_on(&lines[idx].comment);
+    if idx > 0 {
+        let above = &lines[idx - 1];
+        if above.masked.trim().is_empty() {
+            active.extend(waivers_on(&above.comment));
+        }
+    }
+    active
 }
 
 /// Patterns that constitute a D1 violation.
@@ -389,13 +463,7 @@ pub fn check_file(rel_path: &str, lines: &[LineInfo]) -> Vec<Violation> {
 
         // Waivers: same line, or a whole-line waiver comment directly
         // above.
-        let mut active: Vec<(RuleId, String)> = waivers_on(&info.raw);
-        if idx > 0 {
-            let above = &lines[idx - 1];
-            if above.masked.trim().is_empty() {
-                active.extend(waivers_on(&above.raw));
-            }
-        }
+        let active: Vec<(RuleId, String)> = waivers_governing(lines, idx);
         for (rule, pattern) in hits {
             let waiver = active
                 .iter()

@@ -1,20 +1,34 @@
 //! Lexical preprocessing: masking and test-region tracking.
 //!
-//! The rules in [`crate::rules`] are substring checks, so before
-//! matching we *mask* everything a substring check must not see —
+//! The line rules in [`crate::rules`] are substring checks and the
+//! graph rules in [`crate::callrules`] work on a token stream, so
+//! before matching we *mask* everything those passes must not see —
 //! comment bodies, string/char literal contents — replacing each
 //! masked character with a space (newlines survive, so line numbers
 //! are preserved). A full `syn`-style parse would be overkill: every
 //! invariant sm-lint enforces is visible at the token level, and the
 //! masker only has to get Rust's lexical grammar right (nested block
-//! comments, raw strings, lifetimes vs. char literals).
+//! comments, raw strings, byte literals, lifetimes vs. char literals).
+//!
+//! Masking produces *two* channels with identical shape:
+//!
+//! - the **code channel**: comments and literal bodies blanked — what
+//!   rules match against;
+//! - the **comment channel**: only plain (non-doc) comment bodies kept,
+//!   code and literals blanked — what the waiver parser reads, so a
+//!   string containing `sm-lint: allow(..)` can never waive anything
+//!   and a doc comment *describing* the waiver syntax is never
+//!   mistaken for a live waiver.
 
 /// Per-line view of a masked source file.
 #[derive(Debug, Clone)]
 pub struct LineInfo {
     /// Line text with comments and literal bodies blanked out.
     pub masked: String,
-    /// Raw line text (used for waiver comments).
+    /// Line text with everything *but* plain comment bodies blanked
+    /// out — the only channel waivers are parsed from.
+    pub comment: String,
+    /// Raw line text (kept for error display).
     pub raw: String,
     /// True when the line sits inside a `#[cfg(test)]` region or a
     /// `#[test]` function.
@@ -24,41 +38,109 @@ pub struct LineInfo {
 #[derive(Clone, Copy, PartialEq)]
 enum State {
     Code,
-    LineComment,
-    BlockComment(u32),
+    /// `doc` distinguishes `///` / `//!` from plain `//`.
+    LineComment {
+        doc: bool,
+    },
+    BlockComment {
+        depth: u32,
+        doc: bool,
+    },
     Str,
     RawStr(u32),
     CharLit,
 }
 
+/// Both masking channels for one source file.
+pub struct Masked {
+    /// Code with comments and literal bodies blanked.
+    pub code: String,
+    /// Plain-comment bodies with everything else blanked.
+    pub comments: String,
+}
+
 /// Masks comment and literal bodies, preserving length and newlines.
 pub fn mask_source(src: &str) -> String {
+    mask_source_full(src).code
+}
+
+/// Masks `src` into the code and comment channels (see module docs).
+pub fn mask_source_full(src: &str) -> Masked {
     let chars: Vec<char> = src.chars().collect();
-    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut code: Vec<char> = Vec::with_capacity(chars.len());
+    let mut comments: Vec<char> = Vec::with_capacity(chars.len());
     let mut state = State::Code;
     let mut i = 0usize;
+    // Pushes one position to both channels: comments get the char only
+    // inside a plain comment body, code only outside comments/literals.
+    macro_rules! emit {
+        (code $c:expr) => {{
+            code.push($c);
+            comments.push(if $c == '\n' { '\n' } else { ' ' });
+        }};
+        (comment $c:expr, $doc:expr) => {{
+            code.push(if $c == '\n' { '\n' } else { ' ' });
+            comments.push(if $c == '\n' || !$doc { $c } else { ' ' });
+        }};
+        (blank $c:expr) => {{
+            let keep = if $c == '\n' { '\n' } else { ' ' };
+            code.push(keep);
+            comments.push(keep);
+        }};
+    }
     while i < chars.len() {
         let c = chars[i];
         let next = chars.get(i + 1).copied();
         match state {
             State::Code => match c {
                 '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push(' ');
+                    // `///x` and `//!` are doc comments; `//` and
+                    // `////...` are plain. Waivers live in plain ones.
+                    let c2 = chars.get(i + 2).copied();
+                    let c3 = chars.get(i + 3).copied();
+                    let doc = (c2 == Some('/') && c3 != Some('/')) || c2 == Some('!');
+                    state = State::LineComment { doc };
+                    emit!(blank c);
                 }
                 '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push(' ');
-                    out.push(' ');
+                    let c2 = chars.get(i + 2).copied();
+                    let c3 = chars.get(i + 3).copied();
+                    let doc =
+                        (c2 == Some('*') && c3 != Some('/') && c3.is_some()) || c2 == Some('!');
+                    state = State::BlockComment { depth: 1, doc };
+                    emit!(blank c);
+                    emit!(blank '*');
                     i += 1;
                 }
                 '"' => {
                     state = State::Str;
-                    out.push(' ');
+                    emit!(blank c);
                 }
-                'r' | 'b' if !prev_is_ident(&out) => {
-                    // Possible raw/byte string: r"..", r#".."#, b"..",
-                    // br#".."# — but not raw identifiers like r#fn.
+                'b' if next == Some('\'') => {
+                    // Byte char literal `b'x'` / `b'\n'`: always a
+                    // literal — the lifetime ambiguity of bare `'`
+                    // does not apply after `b`.
+                    if !prev_is_ident(&code) {
+                        emit!(blank c);
+                        emit!(blank '\'');
+                        i += 1;
+                        state = State::CharLit;
+                    } else {
+                        emit!(code c);
+                    }
+                }
+                'b' if next == Some('"') && !prev_is_ident(&code) => {
+                    // Byte string `b"..."`: escape-aware, like `"..."`
+                    // (it is *not* a raw string — `b"a\"b"` must not
+                    // close at the escaped quote).
+                    emit!(blank c);
+                    emit!(blank '"');
+                    i += 1;
+                    state = State::Str;
+                }
+                'r' | 'b' if !prev_is_ident(&code) => {
+                    // Raw (byte) string: r"..", r#".."#, br#".."# —
+                    // but not raw identifiers like r#fn.
                     let mut j = i + 1;
                     if c == 'b' && chars.get(j) == Some(&'r') {
                         j += 1;
@@ -68,12 +150,14 @@ pub fn mask_source(src: &str) -> String {
                         hashes += 1;
                         j += 1;
                     }
-                    if chars.get(j) == Some(&'"') {
-                        out.extend(std::iter::repeat_n(' ', j - i + 1));
+                    if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                        for _ in 0..(j - i + 1) {
+                            emit!(blank ' ');
+                        }
                         i = j;
                         state = State::RawStr(hashes);
                     } else {
-                        out.push(c);
+                        emit!(code c);
                     }
                 }
                 '\'' => {
@@ -89,53 +173,55 @@ pub fn mask_source(src: &str) -> String {
                     if is_char_lit {
                         state = State::CharLit;
                     }
-                    out.push(' ');
+                    emit!(blank c);
                 }
-                _ => out.push(c),
+                _ => emit!(code c),
             },
-            State::LineComment => {
+            State::LineComment { doc } => {
                 if c == '\n' {
                     state = State::Code;
-                    out.push('\n');
+                    emit!(blank '\n');
                 } else {
-                    out.push(' ');
+                    emit!(comment c, doc);
                 }
             }
-            State::BlockComment(depth) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
+            State::BlockComment { depth, doc } => {
                 if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push(' ');
+                    state = State::BlockComment {
+                        depth: depth + 1,
+                        doc,
+                    };
+                    emit!(comment c, doc);
+                    emit!(comment '*', doc);
                     i += 1;
                 } else if c == '*' && next == Some('/') {
-                    out.push(' ');
+                    emit!(comment c, doc);
+                    emit!(comment '/', doc);
                     i += 1;
                     state = if depth == 1 {
                         State::Code
                     } else {
-                        State::BlockComment(depth - 1)
+                        State::BlockComment {
+                            depth: depth - 1,
+                            doc,
+                        }
                     };
+                } else {
+                    emit!(comment c, doc);
                 }
             }
             State::Str => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
                 if c == '\\' {
-                    if next == Some('\n') {
-                        out.push('\n');
-                    } else {
-                        out.push(' ');
+                    emit!(blank c);
+                    if let Some(n) = next {
+                        emit!(blank n);
                     }
                     i += 1;
-                } else if c == '"' {
-                    state = State::Code;
+                } else {
+                    emit!(blank c);
+                    if c == '"' {
+                        state = State::Code;
+                    }
                 }
             }
             State::RawStr(hashes) => {
@@ -149,35 +235,39 @@ pub fn mask_source(src: &str) -> String {
                         }
                     }
                     if ok {
-                        out.extend(std::iter::repeat_n(' ', hashes as usize + 1));
+                        for _ in 0..hashes as usize + 1 {
+                            emit!(blank ' ');
+                        }
                         i += hashes as usize;
                         state = State::Code;
                     } else {
-                        out.push(' ');
+                        emit!(blank c);
                     }
-                } else if c == '\n' {
-                    out.push('\n');
                 } else {
-                    out.push(' ');
+                    emit!(blank c);
                 }
             }
             State::CharLit => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
                 if c == '\\' {
-                    out.push(' ');
+                    emit!(blank c);
+                    if let Some(n) = next {
+                        emit!(blank n);
+                    }
                     i += 1;
-                } else if c == '\'' {
-                    state = State::Code;
+                } else {
+                    emit!(blank c);
+                    if c == '\'' {
+                        state = State::Code;
+                    }
                 }
             }
         }
         i += 1;
     }
-    out.into_iter().collect()
+    Masked {
+        code: code.into_iter().collect(),
+        comments: comments.into_iter().collect(),
+    }
 }
 
 fn prev_is_ident(out: &[char]) -> bool {
@@ -187,9 +277,10 @@ fn prev_is_ident(out: &[char]) -> bool {
 /// Splits a file into [`LineInfo`]s, tracking `#[cfg(test)]` / `#[test]`
 /// regions by brace depth so rule R1 can exempt test code.
 pub fn analyze(src: &str) -> Vec<LineInfo> {
-    let masked = mask_source(src);
+    let masked = mask_source_full(src);
     let raw_lines: Vec<&str> = src.lines().collect();
-    let masked_lines: Vec<&str> = masked.lines().collect();
+    let masked_lines: Vec<&str> = masked.code.lines().collect();
+    let comment_lines: Vec<&str> = masked.comments.lines().collect();
 
     let mut infos = Vec::with_capacity(raw_lines.len());
     let mut depth: i64 = 0;
@@ -234,8 +325,11 @@ pub fn analyze(src: &str) -> Vec<LineInfo> {
                 }
                 ';'
                     // `#[cfg(test)] use foo;` — attribute consumed by a
-                    // braceless item.
-                    if pending_test_attr && depth == 0 => {
+                    // braceless item. Cleared at *any* depth: inside a
+                    // module the item sits at depth ≥ 1, and leaving
+                    // the flag set would leak test-ness onto the next
+                    // braced item and exempt live code.
+                    if pending_test_attr => {
                         pending_test_attr = false;
                     }
                 _ => {}
@@ -243,6 +337,7 @@ pub fn analyze(src: &str) -> Vec<LineInfo> {
         }
         infos.push(LineInfo {
             masked: (*mline).to_string(),
+            comment: comment_lines.get(idx).copied().unwrap_or("").to_string(),
             raw: raw_lines.get(idx).copied().unwrap_or("").to_string(),
             in_test: line_is_test,
         });
@@ -316,13 +411,75 @@ mod tests {
     }
 
     #[test]
-    fn lifetimes_survive_char_literals_masked() {
-        let m = mask_source("fn f<'a>(v: &'a str) { let c = 'x'; let d = '\\n'; }");
-        assert!(m.contains("fn f<"));
-        assert!(m.contains("str"), "lifetime must not eat code: {m}");
-        assert!(m.contains("let c ="));
-        assert!(m.contains("let d ="));
-        assert!(!m.contains('x'), "char literal body must be masked: {m}");
+    fn masks_byte_char_literals() {
+        let m = mask_source("let nl = b'\\n'; let q = b'x'; after");
+        assert!(!m.contains('x'), "byte char body must be masked: {m}");
+        assert!(m.contains("let nl ="));
+        assert!(m.contains("after"));
+    }
+
+    #[test]
+    fn byte_string_is_escape_aware() {
+        // `b"a\"unwrap()"` must not close at the escaped quote.
+        let m = mask_source("let s = b\"a\\\"unwrap()\"; let t = 2;");
+        assert!(!m.contains("unwrap"), "{m}");
+        assert!(m.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn raw_byte_string_without_hashes() {
+        let m = mask_source("let s = br\"panic!\"; tail");
+        assert!(!m.contains("panic"), "{m}");
+        assert!(m.contains("tail"));
+    }
+
+    #[test]
+    fn ident_ending_in_b_before_quote_is_not_a_byte_string() {
+        let m = mask_source("let grab = ab\"x\";");
+        // `ab` is an identifier; the string after it still masks, and
+        // the identifier itself survives.
+        assert!(m.contains("ab"));
+        assert!(!m.contains('x'));
+    }
+
+    #[test]
+    fn doc_comment_with_close_marker_in_string() {
+        // A line doc comment quoting `*/` must stay a one-line comment.
+        let m = mask_source("/// quoting \"*/\" here\nlet live = 1;\n");
+        assert!(m.contains("let live = 1;"), "{m}");
+        assert!(!m.contains("quoting"));
+    }
+
+    #[test]
+    fn block_comment_closes_at_first_marker_even_inside_quotes() {
+        // Rust's lexer has no string-awareness inside block comments:
+        // `/* "*/` ends at the `*/` even though a quote is open. The
+        // masker must agree, so `b` afterwards is live code.
+        let m = mask_source("a /* quote \" then */ b");
+        assert!(m.contains('a'));
+        assert!(m.contains('b'), "{m}");
+        assert!(!m.contains("quote"), "comment body masked: {m}");
+        let m = mask_source("a /* \"*/ b");
+        assert!(m.contains('b'), "close marker honored inside quote: {m}");
+        assert!(!m.contains('"'), "{m}");
+    }
+
+    #[test]
+    fn comment_channel_sees_plain_comments_only() {
+        let src = "let a = \"sm-lint: allow(R1) in a string\"; // sm-lint: allow(D3) real\n\
+                   /// doc: sm-lint: allow(D1) — syntax example\n\
+                   //! inner doc: sm-lint: allow(D2)\n\
+                   /* block sm-lint: allow(R2) */\n";
+        let m = mask_source_full(src);
+        let lines: Vec<&str> = m.comments.lines().collect();
+        assert!(lines[0].contains("sm-lint: allow(D3) real"));
+        assert!(
+            !lines[0].contains("allow(R1)"),
+            "string contents must not reach the comment channel"
+        );
+        assert!(!lines[1].contains("allow"), "doc comments are not waivers");
+        assert!(!lines[2].contains("allow"), "inner docs are not waivers");
+        assert!(lines[3].contains("allow(R2)"), "plain block comments count");
     }
 
     #[test]
@@ -333,10 +490,23 @@ mod tests {
     }
 
     #[test]
+    fn lifetimes_survive_char_literals_masked() {
+        let m = mask_source("fn f<'a>(v: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(m.contains("fn f<"));
+        assert!(m.contains("str"), "lifetime must not eat code: {m}");
+        assert!(m.contains("let c ="));
+        assert!(m.contains("let d ="));
+        assert!(!m.contains('x'), "char literal body must be masked: {m}");
+    }
+
+    #[test]
     fn newlines_and_line_count_preserved() {
         let src = "a\n\"multi\nline\"\nb\n";
-        let m = mask_source(src);
-        assert_eq!(m.lines().count(), src.lines().count());
+        let m = mask_source_full(src);
+        assert_eq!(m.code.lines().count(), src.lines().count());
+        assert_eq!(m.comments.lines().count(), src.lines().count());
+        assert_eq!(m.code.chars().count(), src.chars().count());
+        assert_eq!(m.comments.chars().count(), src.chars().count());
     }
 
     #[test]
@@ -383,6 +553,27 @@ fn live() { x.unwrap(); }
         let infos = analyze(src);
         assert!(infos[1].in_test);
         assert!(!infos[2].in_test, "region must not leak past the `;`");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_inside_module_does_not_leak() {
+        // The attribute sits at depth 1 (inside `mod inner`); the `;`
+        // of the `use` must clear it there too, or `live()` would be
+        // wrongly exempted from R1.
+        let src = "\
+mod inner {
+    #[cfg(test)]
+    use std::collections::BTreeMap;
+    fn live() { x.unwrap(); }
+}
+";
+        let infos = analyze(src);
+        assert!(infos[1].in_test, "the attribute line itself is test");
+        assert!(infos[2].in_test, "the use item is test");
+        assert!(
+            !infos[3].in_test,
+            "region must not leak onto the next item at depth > 0"
+        );
     }
 
     #[test]

@@ -101,6 +101,7 @@ impl ServiceRouter {
                     return Err(SmError::Unavailable(format!("{shard} has no replicas")));
                 }
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                // sm-lint: allow(P1) — index is modulo len of a non-empty vec
                 replicas[(self.rr_cursor as usize) % replicas.len()]
             }
         };
@@ -134,7 +135,9 @@ impl ServiceRouter {
             .min_by(|a, b| {
                 let la = self.server_distance(client_region, *a, latency);
                 let lb = self.server_distance(client_region, *b, latency);
-                la.partial_cmp(&lb).expect("latencies are finite")
+                // NaN (a corrupt latency table) degrades to an
+                // arbitrary-but-served replica instead of panicking.
+                la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
             })
             .ok_or_else(|| SmError::Unavailable(format!("{shard} has no replicas")))?;
         Ok(RouteDecision {

@@ -96,6 +96,7 @@ impl LatencyModel {
     pub fn base_ms(&self, a: RegionId, b: RegionId) -> f64 {
         let (i, j) = (a.raw() as usize, b.raw() as usize);
         if i < self.matrix.len() && j < self.matrix.len() {
+            // sm-lint: allow(P1) — bounds checked above; matrix is square
             self.matrix[i][j]
         } else {
             self.matrix.iter().flatten().copied().fold(1.0, f64::max)

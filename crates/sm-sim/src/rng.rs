@@ -54,6 +54,7 @@ impl SimRng {
     }
 
     /// The raw xoshiro256++ step: uniform over all of `u64`.
+    // sm-lint: allow(P1) — fixed `[u64; 4]` state, const indices
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
         let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);

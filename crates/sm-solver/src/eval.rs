@@ -157,6 +157,7 @@ impl Evaluator {
     /// Like [`Self::new`] but seeded from an explicit assignment — used
     /// by goal batching (§5.3) to carry the working assignment from one
     /// priority batch into the next.
+    // sm-lint: allow(P1) — solver-internal dense ids index parallel vectors sized from the same Problem
     pub fn with_assignment(
         problem: &Problem,
         specs: &SpecSet,

@@ -167,6 +167,7 @@ impl ZkStore {
         Ok(())
     }
 
+    // sm-lint: allow(P1) — rfind returns a char boundary inside path
     fn parent_of(path: &str) -> &str {
         match path.rfind('/') {
             Some(0) => "/",

@@ -1,15 +1,23 @@
 //! Tier-1 gate: the workspace must be clean under `sm-lint`.
 //!
 //! The linter enforces the repo-specific determinism and robustness
-//! invariants (rules D1–D4, R1–R3; see DESIGN.md and the `sm-lint`
-//! crate docs). A violation either gets fixed or gets an inline
-//! `// sm-lint: allow(..) — justification` waiver; anything else fails
-//! this test and therefore the build.
+//! invariants (line rules D1–D4, R1–R3 and graph rules P1/L1/D5/W1;
+//! see DESIGN.md and the `sm-lint` crate docs). Line rules are held at
+//! **zero** unwaived violations: a hit either gets fixed or gets an
+//! inline `// sm-lint: allow(..) — justification` waiver. Graph rules
+//! carry a known backlog, so they are held to the checked-in ratchet
+//! `lint-baseline.json` instead: no per-(rule, crate) count may rise.
+//! This test only *compares* — the binary (`scripts/check.sh`) is what
+//! auto-lowers the baseline as findings burn down.
 
+use sm_lint::RuleId;
 use std::path::Path;
 
+/// Graph rules whose findings are ratcheted rather than zeroed.
+const RATCHETED: [RuleId; 3] = [RuleId::P1, RuleId::L1, RuleId::D5];
+
 #[test]
-fn workspace_has_zero_unwaived_lint_violations() {
+fn workspace_has_zero_unwaived_line_rule_violations() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = sm_lint::lint_workspace(root).expect("scan workspace sources");
     assert!(
@@ -17,14 +25,43 @@ fn workspace_has_zero_unwaived_lint_violations() {
         "suspiciously few files scanned ({}) — lint roots moved?",
         report.files_scanned
     );
+    assert!(
+        report.fns_indexed > 500,
+        "suspiciously few fns indexed ({}) — graph extraction broke?",
+        report.fns_indexed
+    );
     let failures: Vec<String> = report
         .unwaived()
+        .filter(|v| !RATCHETED.contains(&v.rule))
         .map(|v| format!("{}:{}: [{}] `{}`", v.file, v.line, v.rule.name(), v.pattern))
         .collect();
     assert!(
         failures.is_empty(),
         "unwaived sm-lint violations:\n{}\n(fix them or add `// sm-lint: allow(<rule>) — why`)",
         failures.join("\n")
+    );
+}
+
+#[test]
+fn graph_rule_findings_stay_within_the_ratchet_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = sm_lint::lint_workspace(root).expect("scan workspace sources");
+    let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is checked in");
+    let baseline = sm_lint::baseline::parse(&text);
+    let current = sm_lint::baseline::counts(&report);
+    let ratchet = sm_lint::baseline::compare(&current, &baseline);
+    assert!(
+        ratchet.passed(),
+        "sm-lint ratchet regressions (count rose above lint-baseline.json):\n{}\n\
+         Fix the new finding, waive it with a justification, or — to accept it\n\
+         deliberately — run `cargo run -p sm-lint -- --baseline lint-baseline.json --fix-baseline`.",
+        ratchet
+            .regressions
+            .iter()
+            .map(|(k, was, now)| format!("  {k}: baseline {was}, now {now}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
@@ -36,5 +73,6 @@ fn lint_report_renders_both_formats() {
     assert!(text.contains("sm-lint:"), "text summary present: {text}");
     let json = report.render_json();
     assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"by_rule_crate\""));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
