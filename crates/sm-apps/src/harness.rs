@@ -418,6 +418,9 @@ pub struct SimWorld {
     pub fenced_writes: u64,
     servers: BTreeMap<ServerId, Host>,
     clients: Vec<Client>,
+    /// Subscriber -> index into `clients`, so each map delivery is a
+    /// lookup instead of a scan over every client.
+    client_by_subscriber: BTreeMap<SubscriberId, usize>,
     /// Outcome counters.
     pub stats: WorldStats,
     /// Recorded series: `success_rate`, `latency_ms`, `moves`,
@@ -559,6 +562,11 @@ impl SimWorld {
                 });
             }
         }
+        let client_by_subscriber = clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.subscriber, i))
+            .collect();
 
         let tc = TaskController::new(cfg.policy.clone());
         let orch_region = cfg.regions[0].0;
@@ -577,6 +585,7 @@ impl SimWorld {
             fenced_writes: 0,
             servers,
             clients,
+            client_by_subscriber,
             stats: WorldStats::default(),
             trace: TraceLog::new(),
             window_ok: 0,
@@ -1097,10 +1106,9 @@ impl World for SimWorld {
                 self.flush_orch(ctx);
             }
             WorldEvent::MapDeliver { subscriber, map } => {
-                for client in &mut self.clients {
-                    if client.subscriber == subscriber {
+                if let Some(&idx) = self.client_by_subscriber.get(&subscriber) {
+                    if let Some(client) = self.clients.get_mut(idx) {
                         client.router.install_map(self.app, map);
-                        break;
                     }
                 }
             }

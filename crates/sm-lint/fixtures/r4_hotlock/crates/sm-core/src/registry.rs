@@ -1,0 +1,12 @@
+//! A hot-marked locking fn *outside* the R4 crates: out of scope.
+
+pub struct Registry;
+
+impl Registry {
+    /// Control-plane code may lock even when someone marks it hot.
+    // sm-lint: hot-path
+    pub fn resolve(&self) -> u64 {
+        let table = self.table.lock();
+        table
+    }
+}

@@ -1,0 +1,29 @@
+//! R4 fixture: a hot-marked fn reaching a lock through a helper, and
+//! an unmarked locking fn that must stay clean.
+
+pub struct Table;
+
+impl Table {
+    /// Hot lookup that (wrongly) snapshots through a mutex.
+    // sm-lint: hot-path
+    pub fn lookup(&self, key: u64) -> u64 {
+        self.snapshot(key)
+    }
+
+    fn snapshot(&self, key: u64) -> u64 {
+        let state = self.state.lock();
+        state + key
+    }
+
+    /// Unmarked admin path: locking here is fine.
+    pub fn rebuild(&self) {
+        let state = self.state.lock();
+        drop(state);
+    }
+
+    /// Hot and lock-free: must not be flagged.
+    // sm-lint: hot-path
+    pub fn probe(&self, key: u64) -> u64 {
+        key.wrapping_mul(3)
+    }
+}

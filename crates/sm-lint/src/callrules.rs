@@ -1,6 +1,7 @@
 //! Cross-file rules over the workspace call graph: P1
 //! (panic-reachability), L1 (lock-order cycles), D5 (transitive
-//! wall-clock/entropy reach), and the W1 stale-waiver audit.
+//! wall-clock/entropy reach), R4 (hot-path lock freedom), and the W1
+//! stale-waiver audit.
 //!
 //! P1 and D5 are reachability problems: one reverse BFS from every
 //! "fact" function marks everything that can reach a panic (or clock
@@ -22,6 +23,10 @@ pub const P1_CRATES: [&str; 3] = ["sm-core", "sm-zk", "sm-routing"];
 /// reads (D5) — the replay-deterministic simulator stack.
 pub const D5_CRATES: [&str; 3] = ["sm-sim", "sm-solver", "sm-apps"];
 
+/// Crates whose `// sm-lint: hot-path` fns must not transitively
+/// acquire a lock (R4) — the request plane's lock-free read side.
+pub const R4_CRATES: [&str; 2] = ["sm-routing", "sm-types"];
+
 /// Output of the graph rules.
 pub struct GraphFindings {
     /// P1/L1/D5 violations (waiver-annotated like line rules).
@@ -31,7 +36,7 @@ pub struct GraphFindings {
     pub used_waivers: BTreeSet<(String, usize, RuleId)>,
 }
 
-/// Runs P1, L1 and D5 over the graph.
+/// Runs P1, L1, D5 and R4 over the graph.
 pub fn check_graph(g: &Graph, files: &BTreeMap<String, Vec<LineInfo>>) -> GraphFindings {
     let mut out = GraphFindings {
         violations: Vec::new(),
@@ -46,7 +51,7 @@ pub fn check_graph(g: &Graph, files: &BTreeMap<String, Vec<LineInfo>>) -> GraphF
         &mut out,
         RuleId::P1,
         |f| !f.panic_sites.is_empty(),
-        |f| f.panic_sites.first(),
+        |f| f.panic_sites.first().cloned(),
         // A root that panics directly is its own one-hop chain; it is
         // still reported (R1 does not cover `[]` indexing).
         |f| P1_CRATES.contains(&f.crate_name.as_str()) && f.is_pub && !f.is_test,
@@ -58,7 +63,7 @@ pub fn check_graph(g: &Graph, files: &BTreeMap<String, Vec<LineInfo>>) -> GraphF
         &mut out,
         RuleId::D5,
         |f| !f.clock_sites.is_empty(),
-        |f| f.clock_sites.first(),
+        |f| f.clock_sites.first().cloned(),
         |f| {
             D5_CRATES.contains(&f.crate_name.as_str())
                 && !f.is_test
@@ -67,12 +72,31 @@ pub fn check_graph(g: &Graph, files: &BTreeMap<String, Vec<LineInfo>>) -> GraphF
                 && f.clock_sites.is_empty()
         },
     );
+    check_reachability(
+        g,
+        &adj,
+        files,
+        &mut out,
+        RuleId::R4,
+        |f| !f.locks().is_empty(),
+        |f| {
+            f.locks().first().map(|&(lock, line)| crate::graph::Site {
+                pattern: format!("{lock}.lock()"),
+                line,
+            })
+        },
+        // A hot-marked fn that locks directly is its own one-hop
+        // chain — marking it hot-path *is* the claim being checked.
+        |f| R4_CRATES.contains(&f.crate_name.as_str()) && f.hot_path && !f.is_test,
+    );
     check_lock_order(g, &adj, files, &mut out);
     out
 }
 
-/// Shared engine for P1 and D5: reverse-reach from fact fns, then a
-/// shortest forward chain per flagged root.
+/// Shared engine for P1, D5 and R4: reverse-reach from fact fns, then
+/// a shortest forward chain per flagged root. `first_site` returns an
+/// owned [`Site`] so rules whose facts are not stored as sites (R4's
+/// lock events) can synthesize one for the report.
 #[allow(clippy::too_many_arguments)]
 fn check_reachability(
     g: &Graph,
@@ -81,7 +105,7 @@ fn check_reachability(
     out: &mut GraphFindings,
     rule: RuleId,
     has_fact: impl Fn(&FnNode) -> bool,
-    first_site: impl Fn(&FnNode) -> Option<&crate::graph::Site>,
+    first_site: impl Fn(&FnNode) -> Option<crate::graph::Site>,
     is_root: impl Fn(&FnNode) -> bool,
 ) {
     let n = g.fns.len();
@@ -530,6 +554,47 @@ impl Locks {
         // inner alone orders beta→alpha: cycle.
         let v = run(&[("crates/sm-routing/src/x.rs", src)]);
         assert!(v.iter().any(|v| v.rule == RuleId::L1), "{v:?}");
+    }
+
+    #[test]
+    fn r4_flags_only_marked_fns_in_scope_and_honors_waivers() {
+        let src = "\
+// sm-lint: hot-path
+pub fn fast() { slow(); }
+fn slow(&self) { let g = self.guard.lock(); }
+pub fn admin() { let g = self.guard.lock(); }
+";
+        let v = run(&[("crates/sm-routing/src/x.rs", src)]);
+        let r4: Vec<&Violation> = v.iter().filter(|v| v.rule == RuleId::R4).collect();
+        assert_eq!(r4.len(), 1, "{r4:?}");
+        assert!(r4[0].pattern.contains("fast → slow"), "{}", r4[0].pattern);
+        assert!(
+            r4[0].pattern.contains("`guard.lock()`"),
+            "{}",
+            r4[0].pattern
+        );
+
+        // Out-of-scope crate: same code, no finding.
+        let v = run(&[("crates/sm-core/src/x.rs", src)]);
+        assert!(v.iter().all(|v| v.rule != RuleId::R4), "{v:?}");
+
+        // A root-level waiver suppresses (and is recorded for W1).
+        let waived = "\
+// sm-lint: hot-path
+// sm-lint: allow(R4) — cold-start fill, measured uncontended
+pub fn fast() { let g = self.guard.lock(); }
+";
+        let parsed = vec![("crates/sm-routing/src/x.rs".to_string(), analyze(waived))];
+        let g = Graph::build(&parsed);
+        let map: BTreeMap<String, Vec<LineInfo>> = parsed.into_iter().collect();
+        let f = check_graph(&g, &map);
+        let r4: Vec<&Violation> = f
+            .violations
+            .iter()
+            .filter(|v| v.rule == RuleId::R4)
+            .collect();
+        assert_eq!(r4.len(), 1, "{r4:?}");
+        assert!(r4[0].waiver.is_some(), "waiver attached: {:?}", r4[0]);
     }
 
     #[test]

@@ -97,6 +97,9 @@ pub struct FnNode {
     /// Inside a `#[cfg(test)]` region / `#[test]` fn, or in a test
     /// target (`tests/`, `benches/`).
     pub is_test: bool,
+    /// Marked `// sm-lint: hot-path` (on the `fn` line or a comment
+    /// line above it) — a root for rule R4's lock-freedom check.
+    pub hot_path: bool,
     /// Ordered calls and lock acquisitions.
     pub events: Vec<Event>,
     /// Names bound to closures in the body (`let f = |..|`). A bare
@@ -357,6 +360,7 @@ fn extract_file(g: &mut Graph, rel: &str, lines: &[LineInfo]) {
                         crate_name: class.crate_name.clone(),
                         is_pub: p.is_pub,
                         is_test: in_test_line(p.line),
+                        hot_path: hot_path_marked(lines, p.line),
                         events: Vec::new(),
                         local_closures: BTreeSet::new(),
                         panic_sites: Vec::new(),
@@ -451,6 +455,38 @@ fn extract_file(g: &mut Graph, rel: &str, lines: &[LineInfo]) {
         }
         i += 1;
     }
+}
+
+/// Is the fn whose header starts on 1-based `line` marked
+/// `// sm-lint: hot-path`? The marker may trail the header line itself
+/// or sit on a comment line above it — doc comments and `#[..]`
+/// attribute lines between the marker and the header are skipped, so
+/// the natural `/// docs` → `// sm-lint: hot-path` → `#[inline]` →
+/// `pub fn` stack works in any order. The walk stops at the first
+/// blank or code line, so a marker never leaks across items.
+fn hot_path_marked(lines: &[LineInfo], line: usize) -> bool {
+    const MARKER: &str = "sm-lint: hot-path";
+    let idx = line.saturating_sub(1);
+    if lines.get(idx).is_some_and(|l| l.comment.contains(MARKER)) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let Some(l) = lines.get(j) else { break };
+        let code = l.masked.trim();
+        let attribute = code.starts_with('#');
+        let comment_only = code.is_empty() && !l.raw.trim().is_empty();
+        if !attribute && !comment_only {
+            // Blank line or real code: the marker (like a waiver
+            // trailing a code line) governs that line, not this fn.
+            break;
+        }
+        if l.comment.contains(MARKER) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Was the `fn` at token `at` declared `pub` (incl. `pub(crate)`)?

@@ -19,6 +19,7 @@
 //! | R1   | no `unwrap`/`expect`/`panic!` in control-plane non-test code |
 //! | R2   | no `let _ =` value discards |
 //! | R3   | no discarded `WatchEvent`s in control-plane code |
+//! | R4   | no lock acquisition reachable from `// sm-lint: hot-path` fns |
 //! | P1   | no control-plane `pub fn` transitively reaching a panic / `[]` |
 //! | L1   | no cycles in the global lock-acquisition order |
 //! | W1   | no stale waivers — an `allow(..)` must still trigger |
@@ -55,7 +56,7 @@ const SCAN_ROOTS: [&str; 4] = ["src", "tests", "examples", "crates"];
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "node_modules", "fixtures"];
 
 /// Lints every `.rs` file of the workspace rooted at `root`: line
-/// rules per file, then graph rules (P1/L1/D5) over the extracted
+/// rules per file, then graph rules (P1/L1/D5/R4) over the extracted
 /// call graph, then the W1 stale-waiver audit over everything.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();

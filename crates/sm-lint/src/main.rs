@@ -56,7 +56,7 @@ fn main() -> ExitCode {
                      D4 no-literal-seeds  R1 no-panic-control-plane\n             \
                      R2 no-silent-discards  R3 no-dropped-watch-events\n\
                      graph rules: P1 panic-reachability  L1 lock-order-cycles\n             \
-                     D5 transitive-wall-clock  W1 stale-waivers\n\
+                     D5 transitive-wall-clock  R4 hot-path-locks  W1 stale-waivers\n\
                      waiver:  // sm-lint: allow(D3) — justification\n\
                      ratchet: --baseline compares per-(rule, crate) counts against FILE,\n         \
                      fails on any rise, auto-lowers improvements; --fix-baseline\n         \

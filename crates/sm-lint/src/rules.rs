@@ -59,6 +59,14 @@ pub enum RuleId {
     /// form a cycle in the global lock-order graph — a cycle is a
     /// latent deadlock between concurrent paths.
     L1,
+    /// Hot-path lock freedom (call-graph rule): a function marked
+    /// `// sm-lint: hot-path` in a request-plane crate (`sm-routing`,
+    /// `sm-types`) must not reach a `Mutex`/`RwLock` acquisition
+    /// (`.lock()` / `.read()` / `.write()`) through workspace calls —
+    /// the concurrent router's read side is advertised as lock-free,
+    /// and this rule is what keeps that claim honest as the code
+    /// evolves. The report prints the shortest marked-fn → lock chain.
+    R4,
     /// Transitive wall-clock / entropy reach (call-graph rule): a
     /// non-test fn in a deterministic crate (`sm-sim`, `sm-solver`,
     /// `sm-apps`) must not reach `Instant::now` / `SystemTime::now` /
@@ -74,7 +82,7 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -83,6 +91,7 @@ impl RuleId {
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
+        RuleId::R4,
         RuleId::P1,
         RuleId::L1,
         RuleId::W1,
@@ -99,6 +108,7 @@ impl RuleId {
             RuleId::R1 => "R1",
             RuleId::R2 => "R2",
             RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
             RuleId::P1 => "P1",
             RuleId::L1 => "L1",
             RuleId::W1 => "W1",
@@ -116,6 +126,7 @@ impl RuleId {
             "R1" => Some(RuleId::R1),
             "R2" => Some(RuleId::R2),
             "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
             "P1" => Some(RuleId::P1),
             "L1" => Some(RuleId::L1),
             "W1" => Some(RuleId::W1),
@@ -145,6 +156,10 @@ impl RuleId {
             RuleId::R3 => {
                 "watch events ignored in control-plane code \
                  (deliver the WatchEvents or waive with justification)"
+            }
+            RuleId::R4 => {
+                "hot-path fn transitively acquires a lock \
+                 (keep `// sm-lint: hot-path` code lock-free or drop the marker)"
             }
             RuleId::P1 => {
                 "control-plane pub fn transitively reaches a panic \

@@ -78,6 +78,34 @@ fn d5_flags_transitive_wall_clock_reach_from_sim_code() {
 }
 
 #[test]
+fn r4_flags_hot_path_fns_that_reach_a_lock() {
+    let report = lint_fixture("r4_hotlock");
+    let r4: Vec<_> = report.unwaived().filter(|v| v.rule == RuleId::R4).collect();
+    assert_eq!(r4.len(), 1, "only the marked transitive locker: {r4:?}");
+    assert!(r4[0].file.ends_with("fast.rs"), "rooted at the hot fn");
+    assert!(
+        r4[0].pattern.contains("Table::lookup → Table::snapshot"),
+        "chain printed: {}",
+        r4[0].pattern
+    );
+    assert!(
+        r4[0].pattern.contains("`state.lock()`"),
+        "lock site named: {}",
+        r4[0].pattern
+    );
+    // The unmarked locker, the lock-free hot fn, and the hot-marked
+    // locker outside the R4 crates are all clean.
+    assert!(
+        report.violations.iter().all(|v| v.rule != RuleId::R4
+            || (!v.pattern.contains("rebuild")
+                && !v.pattern.contains("probe")
+                && !v.pattern.contains("resolve"))),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
 fn w1_flags_the_stale_waiver_and_spares_the_live_one() {
     let report = lint_fixture("w1_stale");
     let w1: Vec<_> = report.unwaived().filter(|v| v.rule == RuleId::W1).collect();

@@ -20,10 +20,19 @@ pub struct SubscriberId(pub u64);
 #[derive(Debug)]
 pub struct DiscoveryService {
     maps: BTreeMap<AppId, Rc<ShardMap>>,
-    subscribers: Vec<SubscriberId>,
+    /// Subscribers with their tree depth, computed once at subscribe
+    /// time so `publish` is O(subscribers) instead of
+    /// O(subscribers x depth).
+    subscribers: Vec<(SubscriberId, u32)>,
     fanout: usize,
     per_hop_delay: SimDuration,
     next_subscriber: u64,
+    /// Capacity of the depth currently being filled (`fanout^depth`).
+    level_size: u64,
+    /// Subscribers already placed at the current depth.
+    level_used: u64,
+    /// The depth new subscribers are placed at (root children = 1).
+    next_depth: u32,
 }
 
 impl DiscoveryService {
@@ -36,14 +45,27 @@ impl DiscoveryService {
             fanout,
             per_hop_delay,
             next_subscriber: 0,
+            level_size: fanout as u64,
+            level_used: 0,
+            next_depth: 1,
         }
     }
 
     /// Registers a new subscriber and returns its id.
+    ///
+    /// The subscriber's tree depth is assigned here (with fanout `f`,
+    /// depth `d` holds `f^d` subscribers, `d >= 1`) and stored, so each
+    /// later `publish` reads it back in O(1).
     pub fn subscribe(&mut self) -> SubscriberId {
         let id = SubscriberId(self.next_subscriber);
         self.next_subscriber += 1;
-        self.subscribers.push(id);
+        if self.level_used >= self.level_size {
+            self.next_depth += 1;
+            self.level_size *= self.fanout as u64;
+            self.level_used = 0;
+        }
+        self.level_used += 1;
+        self.subscribers.push((id, self.next_depth));
         id
     }
 
@@ -52,18 +74,10 @@ impl DiscoveryService {
         self.subscribers.len()
     }
 
-    /// The tree depth of subscriber index `i` (root children at depth 1).
+    /// The stored tree depth of subscriber index `i` (0 if unknown).
+    #[cfg(test)]
     fn depth(&self, i: usize) -> u32 {
-        // With fanout f, depth d holds f^d subscribers (d >= 1).
-        let mut remaining = i as u64;
-        let mut level_size = self.fanout as u64;
-        let mut d = 1u32;
-        while remaining >= level_size {
-            remaining -= level_size;
-            level_size *= self.fanout as u64;
-            d += 1;
-        }
-        d
+        self.subscribers.get(i).map(|(_, d)| *d).unwrap_or(0)
     }
 
     /// Publishes a new map version for `app`. Returns the deliveries the
@@ -84,9 +98,8 @@ impl DiscoveryService {
         let deliveries = self
             .subscribers
             .iter()
-            .enumerate()
-            .map(|(i, &s)| {
-                let hops = u64::from(self.depth(i));
+            .map(|&(s, depth)| {
+                let hops = u64::from(depth);
                 let base = self.per_hop_delay.mul(hops);
                 let jitter =
                     SimDuration::from_millis_f64(rng.f64() * self.per_hop_delay.as_millis_f64());
@@ -163,11 +176,15 @@ mod tests {
 
     #[test]
     fn depth_computation() {
-        let d = DiscoveryService::new(3, SimDuration::from_millis(1));
+        let mut d = DiscoveryService::new(3, SimDuration::from_millis(1));
+        for _ in 0..13 {
+            d.subscribe();
+        }
         assert_eq!(d.depth(0), 1);
         assert_eq!(d.depth(2), 1);
         assert_eq!(d.depth(3), 2);
         assert_eq!(d.depth(11), 2);
         assert_eq!(d.depth(12), 3);
+        assert_eq!(d.depth(99), 0, "unknown index");
     }
 }

@@ -18,7 +18,6 @@
 
 use sm_types::{AppKey, ServerId};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 fn hash64(value: &impl Hash) -> u64 {
@@ -53,10 +52,18 @@ impl StaticSharding {
 }
 
 /// A consistent-hash ring with virtual nodes.
+///
+/// The ring is a sorted `(hash, server)` slice: lookups binary-search a
+/// contiguous array instead of walking `BTreeMap` nodes, and the
+/// distinct-server count is maintained at (rare) mutation time instead
+/// of being recomputed per query.
 #[derive(Clone, Debug, Default)]
 pub struct ConsistentHashRing {
-    ring: BTreeMap<u64, ServerId>,
+    /// Vnodes sorted by hash (the clockwise ring order).
+    ring: Vec<(u64, ServerId)>,
     vnodes: u32,
+    /// Number of distinct servers, updated on add/remove.
+    distinct: usize,
 }
 
 impl ConsistentHashRing {
@@ -68,43 +75,48 @@ impl ConsistentHashRing {
     pub fn new(vnodes: u32) -> Self {
         assert!(vnodes > 0, "need at least one vnode per server");
         Self {
-            ring: BTreeMap::new(),
+            ring: Vec::new(),
             vnodes,
+            distinct: 0,
         }
     }
 
-    /// Adds a server's vnodes to the ring.
+    /// Adds a server's vnodes to the ring (idempotent).
     pub fn add_server(&mut self, server: ServerId) {
-        for v in 0..self.vnodes {
-            self.ring.insert(hash64(&(server.raw(), v)), server);
+        if self.ring.iter().any(|&(_, s)| s == server) {
+            return;
         }
+        for v in 0..self.vnodes {
+            self.ring.push((hash64(&(server.raw(), v)), server));
+        }
+        self.ring.sort_unstable();
+        self.distinct += 1;
     }
 
     /// Removes a server's vnodes.
     pub fn remove_server(&mut self, server: ServerId) {
-        self.ring.retain(|_, s| *s != server);
+        let before = self.ring.len();
+        self.ring.retain(|&(_, s)| s != server);
+        if self.ring.len() != before {
+            self.distinct -= 1;
+        }
     }
 
     /// Number of distinct servers on the ring.
     pub fn server_count(&self) -> usize {
-        let mut servers: Vec<ServerId> = self.ring.values().copied().collect();
-        servers.sort();
-        servers.dedup();
-        servers.len()
+        self.distinct
     }
 
     /// The server owning `key`: the first vnode clockwise from the
-    /// key's hash. Returns `None` on an empty ring.
+    /// key's hash (binary search). Returns `None` on an empty ring.
     pub fn server_for(&self, key: &AppKey) -> Option<ServerId> {
         if self.ring.is_empty() {
             return None;
         }
         let h = hash64(&key.0);
-        self.ring
-            .range(h..)
-            .next()
-            .or_else(|| self.ring.iter().next())
-            .map(|(_, s)| *s)
+        let idx = self.ring.partition_point(|&(vh, _)| vh < h);
+        let idx = if idx == self.ring.len() { 0 } else { idx };
+        self.ring.get(idx).map(|&(_, s)| s)
     }
 }
 

@@ -12,11 +12,23 @@
 //! can be stale; the protocols in `sm-core` (request forwarding during
 //! graceful migration) are what keep that staleness from turning into
 //! dropped requests.
+//!
+//! Routing itself happens in the [`ResolvedMap`] kernel — an immutable,
+//! dense, allocation-free form of one app's spec + shard map. Two
+//! front-ends share it: the single-threaded [`ServiceRouter`] used by
+//! the deterministic simulation worlds, and the [`ConcurrentRouter`] /
+//! [`RouterHandle`] pair, which shares one epoch-swapped kernel set
+//! across N real threads with zero read-side locks (see DESIGN.md,
+//! "Request-plane throughput").
 
+pub mod concurrent;
 pub mod discovery;
 pub mod hashing;
+pub mod resolved;
 pub mod router;
 
+pub use concurrent::{ConcurrentRouter, RouterHandle};
 pub use discovery::{DiscoveryService, SubscriberId};
 pub use hashing::{ConsistentHashRing, StaticSharding};
+pub use resolved::ResolvedMap;
 pub use router::{RouteDecision, ServiceRouter};

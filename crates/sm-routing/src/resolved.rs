@@ -1,0 +1,374 @@
+//! The immutable per-(app, version) resolution kernel.
+//!
+//! A [`ResolvedMap`] is built once per installed shard-map version and
+//! never mutated: key → shard resolution is a binary search over a
+//! sorted slice of range starts (accelerated by a packed 8-byte key
+//! prefix column, so most comparisons are a single `u64` compare), and
+//! shard → replica-set resolution is a [`DenseShardTable`] span read.
+//! Each range entry also carries its shard's *precomputed* dense slot,
+//! so the common `route(key)` path is **one** binary search plus two
+//! array reads — no `BTreeMap` walk, no allocation, no locking.
+//!
+//! Both [`crate::ServiceRouter`] (single-threaded, DES worlds) and
+//! [`crate::ConcurrentRouter`] (epoch-swapped, shared by N threads)
+//! route through this kernel, so the deterministic oracles exercise the
+//! exact code the throughput bench measures.
+
+use crate::router::RouteDecision;
+use sm_types::{AppKey, DenseShardTable, ServerId, ShardId, ShardMap, ShardingSpec, SmError};
+
+/// Sentinel slot for "this range's shard is absent from the map".
+const NO_SLOT: u32 = u32::MAX;
+
+/// The first eight bytes of a key, big-endian, zero-padded — an order-
+/// preserving prefix: `prefix64(a) < prefix64(b)` implies `a < b`, and
+/// `a <= b` implies `prefix64(a) <= prefix64(b)`. Ties fall back to a
+/// full lexicographic compare.
+// sm-lint: hot-path
+fn prefix64(bytes: &[u8]) -> u64 {
+    let mut out = [0u8; 8];
+    for (dst, src) in out.iter_mut().zip(bytes.iter()) {
+        *dst = *src;
+    }
+    u64::from_be_bytes(out)
+}
+
+/// One app's sharding spec and shard map, resolved into flat sorted
+/// columns for allocation-free, lock-free-read routing.
+#[derive(Clone, Debug, Default)]
+pub struct ResolvedMap {
+    /// The shard-map version this kernel was built from.
+    version: u64,
+    /// Whether a sharding spec was available at build time (key routing
+    /// needs one; shard-direct routing does not).
+    has_spec: bool,
+    /// 8-byte big-endian prefixes of `starts`, the binary-search
+    /// fast column.
+    starts_p64: Vec<u64>,
+    /// Range start keys, ascending (the tie-break column).
+    starts: Vec<AppKey>,
+    /// Range end keys (`None` = unbounded), parallel to `starts`.
+    ends: Vec<Option<AppKey>>,
+    /// Owning shard of each range.
+    range_shards: Vec<ShardId>,
+    /// Precomputed dense slot of each range's shard ([`NO_SLOT`] when
+    /// the shard is not in the map).
+    range_slots: Vec<u32>,
+    /// Shard → replica-set table.
+    table: DenseShardTable,
+}
+
+impl ResolvedMap {
+    /// Resolves `spec` (if known) against `map` into the dense form.
+    ///
+    /// Cost is O(ranges + shards); it is paid once per installed map
+    /// version, off the read path.
+    pub fn build(spec: Option<&ShardingSpec>, map: &ShardMap) -> Self {
+        let table = DenseShardTable::from_map(map);
+        let ranges = spec.map(|s| s.shard_count()).unwrap_or(0);
+        let mut out = Self {
+            version: map.version,
+            has_spec: spec.is_some(),
+            starts_p64: Vec::with_capacity(ranges),
+            starts: Vec::with_capacity(ranges),
+            ends: Vec::with_capacity(ranges),
+            range_shards: Vec::with_capacity(ranges),
+            range_slots: Vec::with_capacity(ranges),
+            table,
+        };
+        if let Some(spec) = spec {
+            // `ShardingSpec::iter` yields ranges sorted by start, so
+            // the columns come out sorted without another sort pass.
+            for (range, shard) in spec.iter() {
+                out.starts_p64.push(prefix64(&range.start.0));
+                out.starts.push(range.start.clone());
+                out.ends.push(range.end.clone());
+                out.range_shards.push(*shard);
+                let slot = match out.table.slot_of(*shard) {
+                    Some(s) => s as u32,
+                    None => NO_SLOT,
+                };
+                out.range_slots.push(slot);
+            }
+        }
+        out
+    }
+
+    /// The shard-map version this kernel resolves.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether key → shard resolution is available (a spec was known
+    /// at build time).
+    pub fn has_spec(&self) -> bool {
+        self.has_spec
+    }
+
+    /// The dense shard → replica-set table (for nearest-replica and
+    /// other whole-replica-set policies).
+    pub fn table(&self) -> &DenseShardTable {
+        &self.table
+    }
+
+    /// Index of the range containing `key`, or `None` when the key
+    /// falls in a gap (or no spec was available).
+    ///
+    /// `partition_point`-style binary search over the start column:
+    /// the prefix column decides all but prefix-tied comparisons with
+    /// one branchless `u64` compare each.
+    // sm-lint: hot-path
+    fn covering_range(&self, key: &AppKey) -> Option<usize> {
+        let kp = prefix64(&key.0);
+        let mut lo = 0usize;
+        let mut hi = self.starts.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let sp = self.starts_p64.get(mid).copied()?;
+            // Is starts[mid] <= key?  Decided by the prefix unless tied.
+            let le = if sp < kp {
+                true
+            } else if sp > kp {
+                false
+            } else {
+                self.starts.get(mid).is_some_and(|s| s <= key)
+            };
+            if le {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let idx = lo.checked_sub(1)?;
+        match self.ends.get(idx)? {
+            Some(end) if key >= end => None,
+            _ => Some(idx),
+        }
+    }
+
+    /// Resolves the shard owning `key`, or `None` for gap keys / no
+    /// spec.
+    // sm-lint: hot-path
+    pub fn shard_for(&self, key: &AppKey) -> Option<ShardId> {
+        let idx = self.covering_range(key)?;
+        self.range_shards.get(idx).copied()
+    }
+
+    /// Routes `key` preferring the shard's primary; secondary-only
+    /// shards round-robin across replicas via the caller-owned cursor.
+    ///
+    /// One binary search (range → shard + precomputed slot), then span
+    /// reads — no allocation on any path.
+    // sm-lint: hot-path
+    pub fn route(&self, key: &AppKey, rr_cursor: &mut u64) -> Result<RouteDecision, SmError> {
+        let idx = match self.covering_range(key) {
+            Some(i) => i,
+            None => {
+                return Err(SmError::not_found(format!("no shard covers key {key}")));
+            }
+        };
+        let shard = self
+            .range_shards
+            .get(idx)
+            .copied()
+            .ok_or_else(|| SmError::Unavailable("resolved columns out of sync".to_string()))?;
+        let slot = self.range_slots.get(idx).copied().unwrap_or(NO_SLOT);
+        if slot == NO_SLOT {
+            return Err(SmError::Unavailable(format!(
+                "{shard} not in map v{}",
+                self.version
+            )));
+        }
+        self.decide(shard, slot as usize, rr_cursor)
+    }
+
+    /// Routes directly to `shard`, preferring its primary.
+    // sm-lint: hot-path
+    pub fn route_shard(
+        &self,
+        shard: ShardId,
+        rr_cursor: &mut u64,
+    ) -> Result<RouteDecision, SmError> {
+        let slot = self
+            .table
+            .slot_of(shard)
+            .ok_or_else(|| SmError::Unavailable(format!("{shard} not in map v{}", self.version)))?;
+        self.decide(shard, slot, rr_cursor)
+    }
+
+    /// Picks a server for an already-resolved `(shard, slot)` pair.
+    // sm-lint: hot-path
+    fn decide(
+        &self,
+        shard: ShardId,
+        slot: usize,
+        rr_cursor: &mut u64,
+    ) -> Result<RouteDecision, SmError> {
+        let server = match self.table.primary_at(slot) {
+            Some(primary) => primary,
+            None => {
+                // Secondary-only: round-robin straight off the replica
+                // span — no intermediate Vec.
+                let replicas = self.table.servers_at(slot);
+                *rr_cursor = rr_cursor.wrapping_add(1);
+                let n = replicas.len();
+                let picked = match n {
+                    0 => None,
+                    _ => replicas.get((*rr_cursor as usize) % n).copied(),
+                };
+                picked.ok_or_else(|| SmError::Unavailable(format!("{shard} has no replicas")))?
+            }
+        };
+        Ok(RouteDecision {
+            shard,
+            server,
+            map_version: self.version,
+        })
+    }
+
+    /// The replica servers of `shard` as a slice (empty when absent) —
+    /// the nearest-replica policy iterates this without allocating.
+    // sm-lint: hot-path
+    pub fn servers_of(&self, shard: ShardId) -> &[ServerId] {
+        match self.table.slot_of(shard) {
+            Some(slot) => self.table.servers_at(slot),
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sm_types::{AppId, Assignment, KeyRange, ReplicaRole};
+
+    fn assignment(shards: u64) -> Assignment {
+        let mut a = Assignment::new();
+        for s in 0..shards {
+            a.add_replica(ShardId(s), ServerId(s as u32), ReplicaRole::Primary)
+                .unwrap();
+            a.add_replica(ShardId(s), ServerId(s as u32 + 100), ReplicaRole::Secondary)
+                .unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn prefix64_preserves_order() {
+        let keys: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0, 1],
+            b"abc".to_vec(),
+            b"abcdefgh".to_vec(),
+            b"abcdefghi".to_vec(),
+            vec![0xff; 12],
+        ];
+        for a in &keys {
+            for b in &keys {
+                if prefix64(a) < prefix64(b) {
+                    assert!(a < b, "{a:?} {b:?}");
+                }
+                if a <= b {
+                    assert!(prefix64(a) <= prefix64(b), "{a:?} {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_spec_shard_for() {
+        let spec = ShardingSpec::uniform_u64(64);
+        let map = ShardMap::from_assignment(3, &assignment(64));
+        let r = ResolvedMap::build(Some(&spec), &map);
+        assert_eq!(r.version(), 3);
+        for i in 0..5000u64 {
+            let key = AppKey::from_u64(i.wrapping_mul(0x9E3779B97F4A7C15));
+            assert_eq!(r.shard_for(&key), spec.shard_for(&key), "key {key}");
+        }
+        // Long / short byte-string keys exercise the prefix tie-break.
+        for raw in [b"".to_vec(), b"abc".to_vec(), vec![0xff; 16], vec![0u8; 9]] {
+            let key = AppKey::new(raw);
+            assert_eq!(r.shard_for(&key), spec.shard_for(&key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn gap_keys_are_not_found() {
+        // S0:[10,20), S1:[30,40) with gaps around them.
+        let spec = ShardingSpec::new(vec![
+            (
+                KeyRange::new(AppKey::from_u64(10), AppKey::from_u64(20)),
+                ShardId(0),
+            ),
+            (
+                KeyRange::new(AppKey::from_u64(30), AppKey::from_u64(40)),
+                ShardId(1),
+            ),
+        ])
+        .unwrap();
+        let map = ShardMap::from_assignment(1, &assignment(2));
+        let r = ResolvedMap::build(Some(&spec), &map);
+        let mut rr = 0u64;
+        assert_eq!(r.shard_for(&AppKey::from_u64(15)), Some(ShardId(0)));
+        assert_eq!(r.shard_for(&AppKey::from_u64(5)), None);
+        assert_eq!(r.shard_for(&AppKey::from_u64(25)), None);
+        assert_eq!(r.shard_for(&AppKey::from_u64(45)), None);
+        let err = r.route(&AppKey::from_u64(25), &mut rr).unwrap_err();
+        assert!(matches!(err, SmError::NotFound(_)), "{err}");
+    }
+
+    #[test]
+    fn routes_to_primary_and_round_robins_secondaries() {
+        let spec = ShardingSpec::uniform_u64(4);
+        let map = ShardMap::from_assignment(2, &assignment(4));
+        let r = ResolvedMap::build(Some(&spec), &map);
+        let mut rr = 0u64;
+        let d = r.route(&AppKey::from_u64(0), &mut rr).unwrap();
+        assert_eq!(d.shard, ShardId(0));
+        assert_eq!(d.server, ServerId(0));
+        assert_eq!(d.map_version, 2);
+
+        // Secondary-only shard round-robins without allocating.
+        let mut a = Assignment::new();
+        for srv in [1u32, 2, 3] {
+            a.add_replica(ShardId(0), ServerId(srv), ReplicaRole::Secondary)
+                .unwrap();
+        }
+        let spec = ShardingSpec::uniform_u64(1);
+        let r = ResolvedMap::build(Some(&spec), &ShardMap::from_assignment(1, &a));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..9 {
+            seen.insert(r.route(&AppKey::from_u64(7), &mut rr).unwrap().server);
+        }
+        assert_eq!(seen.len(), 3, "all three secondaries used");
+    }
+
+    #[test]
+    fn missing_shard_and_missing_spec_errors() {
+        // Spec says 4 shards but the map only has 2 of them.
+        let spec = ShardingSpec::uniform_u64(4);
+        let map = ShardMap::from_assignment(1, &assignment(2));
+        let r = ResolvedMap::build(Some(&spec), &map);
+        let mut rr = 0u64;
+        let err = r.route(&AppKey::from_u64(u64::MAX), &mut rr).unwrap_err();
+        assert!(matches!(err, SmError::Unavailable(_)), "{err}");
+        assert!(err.to_string().contains("not in map v1"), "{err}");
+
+        // No spec: key routing is NotFound, shard routing still works.
+        let r = ResolvedMap::build(None, &ShardMap::from_assignment(1, &assignment(2)));
+        assert!(!r.has_spec());
+        assert_eq!(r.shard_for(&AppKey::from_u64(0)), None);
+        let d = r.route_shard(ShardId(1), &mut rr).unwrap();
+        assert_eq!(d.server, ServerId(1));
+    }
+
+    #[test]
+    fn servers_of_exposes_replica_spans() {
+        let map = ShardMap::from_assignment(1, &assignment(2));
+        let r = ResolvedMap::build(None, &map);
+        assert_eq!(r.servers_of(ShardId(0)), &[ServerId(0), ServerId(100)]);
+        assert!(r.servers_of(ShardId(9)).is_empty());
+        let _ = AppId(0); // silence unused import on narrow builds
+    }
+}

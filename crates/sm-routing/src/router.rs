@@ -5,7 +5,16 @@
 //! that resolution logic: sharding spec (key -> shard) plus the latest
 //! received shard map (shard -> servers), with primary-preferring and
 //! nearest-replica policies.
+//!
+//! Since the concurrent request plane landed, `ServiceRouter` is a thin
+//! single-threaded wrapper over the same immutable [`ResolvedMap`]
+//! kernel that [`crate::ConcurrentRouter`] publishes: each installed
+//! map is resolved once into the dense form, and every route is one
+//! binary search with no per-route allocation. The deterministic DES
+//! worlds therefore oracle-check the exact code the threaded bench
+//! measures.
 
+use crate::resolved::ResolvedMap;
 use sm_sim::LatencyModel;
 use sm_types::{AppId, AppKey, RegionId, ServerId, ShardId, ShardMap, ShardingSpec, SmError};
 use std::collections::BTreeMap;
@@ -28,6 +37,8 @@ pub struct RouteDecision {
 pub struct ServiceRouter {
     specs: BTreeMap<AppId, ShardingSpec>,
     maps: BTreeMap<AppId, Rc<ShardMap>>,
+    /// Per-app resolution kernels, rebuilt on spec/map changes.
+    resolved: BTreeMap<AppId, Rc<ResolvedMap>>,
     /// Region of each application server, for nearest-replica routing.
     server_regions: BTreeMap<ServerId, RegionId>,
     /// Round-robin cursor for secondary-only apps.
@@ -42,6 +53,10 @@ impl ServiceRouter {
 
     /// Registers an app's (static, app-defined) sharding spec.
     pub fn register_app(&mut self, app: AppId, spec: ShardingSpec) {
+        if let Some(map) = self.maps.get(&app) {
+            self.resolved
+                .insert(app, Rc::new(ResolvedMap::build(Some(&spec), map)));
+        }
         self.specs.insert(app, spec);
     }
 
@@ -51,6 +66,8 @@ impl ServiceRouter {
         match self.maps.get(&app) {
             Some(existing) if map.version <= existing.version => false,
             _ => {
+                self.resolved
+                    .insert(app, Rc::new(ResolvedMap::build(self.specs.get(&app), &map)));
                 self.maps.insert(app, map);
                 true
             }
@@ -79,37 +96,26 @@ impl ServiceRouter {
 
     /// Routes `key` preferring the shard's primary; secondary-only
     /// shards round-robin across replicas.
+    // sm-lint: hot-path
     pub fn route(&mut self, app: AppId, key: &AppKey) -> Result<RouteDecision, SmError> {
-        let shard = self.shard_for(app, key)?;
-        self.route_shard(app, shard)
+        if let Some(resolved) = self.resolved.get(&app) {
+            if resolved.has_spec() {
+                return resolved.route(key, &mut self.rr_cursor);
+            }
+        }
+        // No usable kernel: reproduce the legacy error order (app
+        // registration, then key coverage, then map availability).
+        self.shard_for(app, key)?;
+        Err(SmError::Unavailable(format!("no shard map for {app}")))
     }
 
     /// Routes directly to a shard, preferring its primary.
+    // sm-lint: hot-path
     pub fn route_shard(&mut self, app: AppId, shard: ShardId) -> Result<RouteDecision, SmError> {
-        let map = self
-            .maps
-            .get(&app)
-            .ok_or_else(|| SmError::Unavailable(format!("no shard map for {app}")))?;
-        let entry = map
-            .entry(shard)
-            .ok_or_else(|| SmError::Unavailable(format!("{shard} not in map v{}", map.version)))?;
-        let server = match entry.primary() {
-            Some(p) => p,
-            None => {
-                let replicas: Vec<ServerId> = entry.servers().collect();
-                if replicas.is_empty() {
-                    return Err(SmError::Unavailable(format!("{shard} has no replicas")));
-                }
-                self.rr_cursor = self.rr_cursor.wrapping_add(1);
-                // sm-lint: allow(P1) — index is modulo len of a non-empty vec
-                replicas[(self.rr_cursor as usize) % replicas.len()]
-            }
-        };
-        Ok(RouteDecision {
-            shard,
-            server,
-            map_version: map.version,
-        })
+        match self.resolved.get(&app) {
+            Some(resolved) => resolved.route_shard(shard, &mut self.rr_cursor),
+            None => Err(SmError::Unavailable(format!("no shard map for {app}"))),
+        }
     }
 
     /// Routes `key` to the replica whose region is closest to
@@ -123,15 +129,20 @@ impl ServiceRouter {
         latency: &LatencyModel,
     ) -> Result<RouteDecision, SmError> {
         let shard = self.shard_for(app, key)?;
-        let map = self
-            .maps
+        let resolved = self
+            .resolved
             .get(&app)
             .ok_or_else(|| SmError::Unavailable(format!("no shard map for {app}")))?;
-        let entry = map
-            .entry(shard)
-            .ok_or_else(|| SmError::Unavailable(format!("{shard} not in map v{}", map.version)))?;
-        let server = entry
-            .servers()
+        let replicas = resolved.servers_of(shard);
+        if replicas.is_empty() && resolved.table().slot_of(shard).is_none() {
+            return Err(SmError::Unavailable(format!(
+                "{shard} not in map v{}",
+                resolved.version()
+            )));
+        }
+        let server = replicas
+            .iter()
+            .copied()
             .min_by(|a, b| {
                 let la = self.server_distance(client_region, *a, latency);
                 let lb = self.server_distance(client_region, *b, latency);
@@ -143,7 +154,7 @@ impl ServiceRouter {
         Ok(RouteDecision {
             shard,
             server,
-            map_version: map.version,
+            map_version: resolved.version(),
         })
     }
 
@@ -239,6 +250,22 @@ mod tests {
         let err = r.route(APP, &AppKey::from_u64(1)).unwrap_err();
         assert!(matches!(err, SmError::Unavailable(_)));
         assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn spec_registered_after_map_still_routes() {
+        // Dissemination can race registration: the map arrives first.
+        let mut r = ServiceRouter::new();
+        let map = ShardMap::from_assignment(2, &assignment_with_primary());
+        r.install_map(APP, Rc::new(map));
+        // Shard-direct routing works without a spec; key routing after
+        // late registration picks up the already-installed map.
+        assert!(r.route_shard(APP, ShardId(1)).is_ok());
+        assert!(r.route(APP, &AppKey::from_u64(0)).is_err());
+        r.register_app(APP, ShardingSpec::uniform_u64(4));
+        let d = r.route(APP, &AppKey::from_u64(0)).unwrap();
+        assert_eq!(d.server, ServerId(0));
+        assert_eq!(d.map_version, 2);
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub mod load;
 pub mod policy;
 pub mod topology;
 
-pub use assignment::{Assignment, ReplicaAssignment, ShardMap, ShardMapEntry};
+pub use assignment::{
+    Assignment, DenseShardTable, ReplicaAssignment, ReplicaSpan, ShardMap, ShardMapEntry,
+    NO_PRIMARY,
+};
 pub use error::SmError;
 pub use ids::{
     AppId, ContainerId, GlobalShardId, MachineId, MiniSmId, PartitionId, RegionId, ReplicaRole,

@@ -1,16 +1,35 @@
 #!/usr/bin/env bash
-# Solver benchmark: runs the machine-readable bench over the Figure-21
-# problem sizes and records the result as BENCH_solver.json.
+# Machine-readable benchmarks. Targets:
+#   scripts/bench.sh [solver] [--threads 1,8]   -> BENCH_solver.json
+#   scripts/bench.sh router                     -> BENCH_router.json
 #
-# Usage: scripts/bench.sh [--threads 1,8]
-#   SM_SCALE=paper scripts/bench.sh    # full paper sizes (slow)
+#   SM_SCALE=paper scripts/bench.sh             # full paper sizes (slow)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_solver.json"
+TARGET="solver"
+if [[ $# -gt 0 && $1 != --* ]]; then
+  TARGET="$1"
+  shift
+fi
+
+case "$TARGET" in
+  solver)
+    OUT="BENCH_solver.json"
+    BIN="bench_solver"
+    ;;
+  router)
+    OUT="BENCH_router.json"
+    BIN="bench_router"
+    ;;
+  *)
+    echo "unknown bench target '$TARGET' (expected: solver, router)" >&2
+    exit 2
+    ;;
+esac
 
 cargo build --release -q -p sm-bench
 
-./target/release/bench_solver "$@" > "$OUT"
+"./target/release/$BIN" "$@" > "$OUT"
 
 echo "wrote $OUT"

@@ -5,7 +5,7 @@
 # sm-lint ratchet workflow
 # ------------------------
 # Line rules (D1-D4, R1-R3) are held at zero unwaived violations. Graph
-# rules (P1/L1/D5; audited by W1) carry a known backlog, tracked per
+# rules (P1/L1/D5/R4; audited by W1) carry a known backlog, tracked per
 # (rule, crate) in lint-baseline.json:
 #   * a count RISING above its baseline entry fails this gate — fix the
 #     new finding or waive it with `// sm-lint: allow(<rule>) — why`;
