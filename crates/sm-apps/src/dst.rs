@@ -210,6 +210,27 @@ pub fn shrink(cfg: DstConfig, plan: &[(SimTime, Fault)]) -> Option<Vec<(SimTime,
     if kinds.is_empty() {
         return None;
     }
+    shrink_plan(plan, |candidate| still_fails(cfg, candidate, &kinds))
+}
+
+/// The world-agnostic shrinking core behind [`shrink`]: ddmin-style
+/// group removal followed by recovery-time narrowing, driven entirely
+/// by the caller's `still_fails` predicate. Any harness that executes a
+/// `(SimTime, Fault)` plan — the chaos world, the reconfiguration world
+/// — can shrink its failures through this one implementation.
+///
+/// `still_fails` must return true for a candidate plan that still
+/// reproduces the original failure; the shrinker never assumes
+/// monotonicity, it only keeps candidates the predicate accepts.
+/// Returns `None` when the predicate rejects the full plan (nothing to
+/// shrink).
+pub fn shrink_plan(
+    plan: &[(SimTime, Fault)],
+    mut still_fails: impl FnMut(&[(SimTime, Fault)]) -> bool,
+) -> Option<Vec<(SimTime, Fault)>> {
+    if !still_fails(plan) {
+        return None;
+    }
 
     // Stage 1: ddmin over atomic groups.
     let mut groups = group_plan(plan);
@@ -227,7 +248,7 @@ pub fn shrink(cfg: DstConfig, plan: &[(SimTime, Fault)]) -> Option<Vec<(SimTime,
             if candidate.is_empty() {
                 continue;
             }
-            if still_fails(cfg, &flatten(&candidate), &kinds) {
+            if still_fails(&flatten(&candidate)) {
                 groups = candidate;
                 chunks = chunks.saturating_sub(1).max(2);
                 reduced = true;
@@ -256,7 +277,7 @@ pub fn shrink(cfg: DstConfig, plan: &[(SimTime, Fault)]) -> Option<Vec<(SimTime,
             let mid = lo + (hi - lo) / 2;
             let mut candidate = groups.clone();
             candidate[gi][1].0 = SimTime(mid);
-            if still_fails(cfg, &flatten(&candidate), &kinds) {
+            if still_fails(&flatten(&candidate)) {
                 hi = mid;
             } else {
                 lo = mid;
@@ -272,7 +293,7 @@ pub fn shrink(cfg: DstConfig, plan: &[(SimTime, Fault)]) -> Option<Vec<(SimTime,
 // Replayable reproducer JSON (hand-rolled: the workspace is std-only).
 // ---------------------------------------------------------------------
 
-fn fault_to_json(fault: Fault) -> String {
+pub(crate) fn fault_to_json(fault: Fault) -> String {
     let mut fields = format!("\"kind\":\"{}\"", fault.label());
     match fault {
         Fault::ServerCrash(i)
@@ -311,7 +332,7 @@ pub fn repro_to_json(cfg: DstConfig, plan: &[(SimTime, Fault)]) -> String {
 
 /// A minimal JSON value — just enough for reproducer documents.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -321,28 +342,28 @@ enum Json {
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
     }
 
-    fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -350,9 +371,9 @@ impl Json {
     }
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Parser<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -426,7 +447,7 @@ impl<'a> Parser<'a> {
             .ok()
     }
 
-    fn value(&mut self) -> Option<Json> {
+    pub(crate) fn value(&mut self) -> Option<Json> {
         match self.peek()? {
             b'"' => Some(Json::Str(self.string()?)),
             b'{' => {
@@ -486,7 +507,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn fault_from_json(v: &Json) -> Option<Fault> {
+pub(crate) fn fault_from_json(v: &Json) -> Option<Fault> {
     let id = || v.get("id").and_then(Json::as_u64).map(|i| i as u32);
     match v.get("kind")?.as_str()? {
         "server_crash" => Some(Fault::ServerCrash(id()?)),

@@ -702,8 +702,21 @@ impl Orchestrator {
             }
             self.pump_scheduler();
         }
+        // A failed *promotion* retries on the next live secondary: the
+        // application may have nacked because a safe joint election was
+        // momentarily impossible there (stale log, unreachable quorum),
+        // while another replica can win right now. Without the retry
+        // the shard stays primary-less until an unrelated event.
+        let was_promotion = matches!(rpc, ServerRpc::ChangeRole { new, .. } if new.is_primary())
+            && self
+                .promotions
+                .iter()
+                .any(|&(s, srv)| s == shard && srv == server);
         self.promotions
             .retain(|&(s, srv)| !(s == shard && srv == server));
+        if was_promotion {
+            self.retry_promotion(shard, server);
+        }
         // "Failed" only means no ack arrived — the server may well have
         // applied the RPC (a lossy network can eat the ack rather than
         // the request). If the server is still alive and the assignment
@@ -1044,6 +1057,43 @@ impl Orchestrator {
             })
             .map(|r| r.server);
         if let Some(server) = successor {
+            self.promotions.push((shard, server));
+            self.send_rpc(
+                server,
+                ServerRpc::ChangeRole {
+                    shard,
+                    current: ReplicaRole::Secondary,
+                    new: ReplicaRole::Primary,
+                },
+            );
+        }
+    }
+
+    /// Re-drives a failed promotion on the next candidate: live
+    /// non-primary replicas in server order, starting just past the
+    /// server that nacked and wrapping around to it last — a sole
+    /// secondary gets retried too (it may only have needed one more
+    /// catch-up round). No-op when another promotion for the shard is
+    /// already pending.
+    fn retry_promotion(&mut self, shard: ShardId, failed: ServerId) {
+        if self.promotions.iter().any(|&(s, _)| s == shard) {
+            return;
+        }
+        let mut candidates: Vec<ServerId> = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .filter(|r| !r.role.is_primary())
+            .map(|r| r.server)
+            .filter(|srv| self.servers.get(srv).map(|e| e.alive).unwrap_or(false))
+            .collect();
+        candidates.sort_unstable();
+        let next = candidates
+            .iter()
+            .copied()
+            .find(|&srv| srv > failed)
+            .or_else(|| candidates.first().copied());
+        if let Some(server) = next {
             self.promotions.push((shard, server));
             self.send_rpc(
                 server,
@@ -1734,6 +1784,48 @@ mod tests {
             assert!(p.is_some(), "shard {s} has a primary again: {p:?}");
             assert_ne!(p, Some(victim));
         }
+    }
+
+    #[test]
+    fn nacked_promotion_immediately_retries_the_next_secondary() {
+        let mut o = orch(AppPolicy::primary_secondary(2), 4, 1);
+        o.run_emergency();
+        settle(&mut o);
+        let victim = o.assignment().primary_of(ShardId(0)).unwrap();
+        o.server_down(victim);
+        // Nack the promotion (the application's safe election can
+        // reject a momentarily stale candidate); ack everything else.
+        let cmds = o.take_commands();
+        let mut nacked = None;
+        for c in &cmds {
+            if let OrchCommand::Rpc { server, rpc } = c {
+                match rpc {
+                    ServerRpc::ChangeRole { new, .. } if new.is_primary() && nacked.is_none() => {
+                        o.rpc_failed(*server, *rpc);
+                        nacked = Some(*server);
+                    }
+                    _ => o.rpc_acked(*server, *rpc),
+                }
+            }
+        }
+        let nacked = nacked.expect("a promotion was attempted");
+        // The retry is already queued — no periodic sweep needed — and
+        // goes to a different secondary.
+        let retry = o
+            .take_commands()
+            .into_iter()
+            .find_map(|c| match c {
+                OrchCommand::Rpc {
+                    server,
+                    rpc: rpc @ ServerRpc::ChangeRole { new, .. },
+                } if new.is_primary() => Some((server, rpc)),
+                _ => None,
+            })
+            .expect("immediate promotion retry");
+        assert_ne!(retry.0, nacked, "retry targets the next candidate");
+        o.rpc_acked(retry.0, retry.1);
+        settle(&mut o);
+        assert_eq!(o.assignment().primary_of(ShardId(0)), Some(retry.0));
     }
 
     #[test]

@@ -19,6 +19,23 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// are driven by the solver, not by live control-plane traffic.
 pub const P1_CRATES: [&str; 3] = ["sm-core", "sm-zk", "sm-routing"];
 
+/// Individual files outside [`P1_CRATES`] whose non-test `pub fn`s are
+/// also P1 roots: the replicated-log data plane. A panic there loses a
+/// replica's availability — the exact failure mode the reconfiguration
+/// protocol exists to survive — so membership-change and append paths
+/// must degrade to `SmError`, never to a crash.
+pub const P1_FILES: [&str; 2] = [
+    "crates/sm-apps/src/replication.rs",
+    "crates/sm-apps/src/replstore.rs",
+];
+
+/// True when `f` is a P1 root by crate or by file.
+fn p1_root(f: &FnNode) -> bool {
+    (P1_CRATES.contains(&f.crate_name.as_str()) || P1_FILES.contains(&f.file.as_str()))
+        && f.is_pub
+        && !f.is_test
+}
+
 /// Crates whose fns must not transitively reach wall-clock/entropy
 /// reads (D5) — the replay-deterministic simulator stack.
 pub const D5_CRATES: [&str; 3] = ["sm-sim", "sm-solver", "sm-apps"];
@@ -54,7 +71,7 @@ pub fn check_graph(g: &Graph, files: &BTreeMap<String, Vec<LineInfo>>) -> GraphF
         |f| f.panic_sites.first().cloned(),
         // A root that panics directly is its own one-hop chain; it is
         // still reported (R1 does not cover `[]` indexing).
-        |f| P1_CRATES.contains(&f.crate_name.as_str()) && f.is_pub && !f.is_test,
+        p1_root,
     );
     check_reachability(
         g,

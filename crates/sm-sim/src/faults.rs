@@ -176,16 +176,23 @@ pub enum FaultProfile {
     LossyNet,
     /// Everything at once.
     Mixed,
+    /// Reconfiguration chaos: dense crashes, session expiries, and one
+    /// symmetric plus one asymmetric partition with short downtimes —
+    /// tuned so faults land while the embedding world is continuously
+    /// driving replica-set reconfigurations, hitting joint membership
+    /// changes mid-flight.
+    ReconfigChaos,
 }
 
 impl FaultProfile {
     /// All profiles, in grid order.
-    pub const ALL: [FaultProfile; 5] = [
+    pub const ALL: [FaultProfile; 6] = [
         FaultProfile::CrashOnly,
         FaultProfile::SymPartition,
         FaultProfile::AsymPartition,
         FaultProfile::LossyNet,
         FaultProfile::Mixed,
+        FaultProfile::ReconfigChaos,
     ];
 
     /// Stable name used in reports and reproducer files.
@@ -196,6 +203,7 @@ impl FaultProfile {
             FaultProfile::AsymPartition => "asym_partition",
             FaultProfile::LossyNet => "lossy_net",
             FaultProfile::Mixed => "mixed",
+            FaultProfile::ReconfigChaos => "reconfig_chaos",
         }
     }
 
@@ -241,6 +249,18 @@ impl FaultProfile {
                 cfg.degrade_windows = 1;
                 cfg.drop_pct = 3;
                 cfg.dup_pct = 2;
+            }
+            FaultProfile::ReconfigChaos => {
+                // Dense, short-downtime faults so several land inside
+                // in-flight membership changes: the embedding world
+                // churns reconfigurations continuously through the
+                // whole fault window.
+                cfg.server_crashes = (n_servers / 3).max(2);
+                cfg.session_expiries = 2.min(n_servers);
+                cfg.downtime = SimDuration::from_secs(10);
+                cfg.partitions = 1;
+                cfg.asym_partitions = 1;
+                cfg.partition_downtime = SimDuration::from_secs(12);
             }
         }
         cfg

@@ -49,6 +49,13 @@ pub enum InvariantKind {
     /// The client-visible routing table disagrees with the
     /// orchestrators' assignment past the convergence deadline.
     RouterDivergence,
+    /// Replica-set reconfiguration safety broke: either the committed
+    /// configuration history contains adjacent configurations whose
+    /// quorums can be disjoint (two leaders could commit independently
+    /// — the hazard joint consensus exists to prevent), or replicas'
+    /// views of the committed configuration fail to converge at
+    /// quiescence.
+    ReplicaSetAgreement,
 }
 
 impl InvariantKind {
@@ -61,8 +68,33 @@ impl InvariantKind {
             InvariantKind::RegistryDivergence => "registry_divergence",
             InvariantKind::Unconverged => "unconverged",
             InvariantKind::RouterDivergence => "router_divergence",
+            InvariantKind::ReplicaSetAgreement => "replica_set_agreement",
         }
     }
+}
+
+/// True when voter sets `a` and `b` admit a pair of disjoint quorums —
+/// i.e. a majority of `a` and a majority of `b` that share no member,
+/// so two leaders could commit independently. Adjacent configurations
+/// in a safe reconfiguration history must never admit this; the joint
+/// phase (`C_old,new`) exists precisely to bridge two such sets.
+pub fn quorums_can_be_disjoint(
+    a: &std::collections::BTreeSet<u64>,
+    b: &std::collections::BTreeSet<u64>,
+) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return true;
+    }
+    let quorum_a = a.len() / 2 + 1;
+    let quorum_b = b.len() / 2 + 1;
+    let a_only = a.difference(b).count();
+    let b_only = b.difference(a).count();
+    let shared = a.intersection(b).count();
+    // Build the quorums from private members first; they collide only
+    // over what each still needs from the intersection.
+    let need_a = quorum_a.saturating_sub(a_only);
+    let need_b = quorum_b.saturating_sub(b_only);
+    need_a + need_b <= shared
 }
 
 /// One observed invariant violation.
@@ -262,6 +294,64 @@ impl Oracle {
         }
     }
 
+    /// Audits one shard's committed configuration history. Each
+    /// configuration is the list of voter sets a commit needs a quorum
+    /// in (one set when stable, two during a joint change). Adjacent
+    /// configurations must share at least one pair of voter sets whose
+    /// quorums always intersect; otherwise the reconfiguration stepped
+    /// between memberships that could elect two independent leaders —
+    /// the single-step hazard.
+    pub fn replica_config_chain(
+        &mut self,
+        at: SimTime,
+        shard: u64,
+        chain: &[Vec<std::collections::BTreeSet<u64>>],
+    ) {
+        self.observations += 1;
+        for (i, pair) in chain.windows(2).enumerate() {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let bridged = prev
+                .iter()
+                .any(|x| next.iter().any(|y| !quorums_can_be_disjoint(x, y)));
+            if !bridged {
+                self.violate(
+                    at,
+                    InvariantKind::ReplicaSetAgreement,
+                    format!(
+                        "shard {shard}: committed configs {i}->{} admit disjoint quorums",
+                        i + 1
+                    ),
+                );
+            }
+        }
+    }
+
+    /// At quiescence, every replica of a shard must hold the same view
+    /// of the committed configuration (`views` carries one entry per
+    /// live replica). Divergence past convergence means the membership
+    /// change never reached agreement.
+    pub fn replica_views_converged(
+        &mut self,
+        at: SimTime,
+        shard: u64,
+        views: &[Vec<std::collections::BTreeSet<u64>>],
+    ) {
+        self.observations += 1;
+        let distinct: std::collections::BTreeSet<&Vec<std::collections::BTreeSet<u64>>> =
+            views.iter().collect();
+        if distinct.len() > 1 {
+            self.violate(
+                at,
+                InvariantKind::ReplicaSetAgreement,
+                format!(
+                    "shard {shard}: {} distinct committed-config views across {} replicas",
+                    distinct.len(),
+                    views.len()
+                ),
+            );
+        }
+    }
+
     /// Requests still outstanding (issued, neither served nor
     /// dropped); nonzero at the end of a drained run means the world
     /// lost track of traffic.
@@ -394,6 +484,59 @@ mod tests {
         assert_eq!(o.violations().len(), 1);
         assert_eq!(o.violations()[0].kind, InvariantKind::LostRequest);
         assert_eq!(o.outstanding_requests(), 0);
+    }
+
+    #[test]
+    fn disjoint_quorum_math() {
+        use std::collections::BTreeSet;
+        let s = |ids: &[u64]| ids.iter().copied().collect::<BTreeSet<u64>>();
+        // A set against itself: majorities always intersect.
+        assert!(!quorums_can_be_disjoint(&s(&[1, 2, 3]), &s(&[1, 2, 3])));
+        // One-member swap in a 3-set: {1,2} vs {3,4} are disjoint
+        // majorities of {1,2,3} and {2,3,4}.
+        assert!(quorums_can_be_disjoint(&s(&[1, 2, 3]), &s(&[2, 3, 4])));
+        // Overlap of one: trivially separable.
+        assert!(quorums_can_be_disjoint(&s(&[1, 2, 3]), &s(&[3, 4, 5])));
+        // Supersets that share a majority cannot be split.
+        assert!(!quorums_can_be_disjoint(&s(&[1, 2, 3]), &s(&[1, 2, 3, 4])));
+        // Degenerate empty set counts as breakable.
+        assert!(quorums_can_be_disjoint(&s(&[]), &s(&[1])));
+    }
+
+    #[test]
+    fn config_chain_requires_joint_bridges() {
+        use std::collections::BTreeSet;
+        let s = |ids: &[u64]| ids.iter().copied().collect::<BTreeSet<u64>>();
+        let mut o = Oracle::new();
+        // Safe history: old → joint(old,new) → new.
+        o.replica_config_chain(
+            t(1),
+            7,
+            &[
+                vec![s(&[1, 2, 3])],
+                vec![s(&[1, 2, 3]), s(&[2, 3, 4])],
+                vec![s(&[2, 3, 4])],
+            ],
+        );
+        assert!(o.is_clean(), "{}", o.summary());
+        // Single-step history: old → new with no joint bridge.
+        o.replica_config_chain(t(2), 7, &[vec![s(&[1, 2, 3])], vec![s(&[2, 3, 4])]]);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::ReplicaSetAgreement);
+        assert!(o.summary().contains("replica_set_agreement"));
+    }
+
+    #[test]
+    fn replica_view_convergence() {
+        use std::collections::BTreeSet;
+        let s = |ids: &[u64]| ids.iter().copied().collect::<BTreeSet<u64>>();
+        let mut o = Oracle::new();
+        let agreed = vec![s(&[1, 2, 3])];
+        o.replica_views_converged(t(1), 9, &[agreed.clone(), agreed.clone(), agreed.clone()]);
+        assert!(o.is_clean());
+        o.replica_views_converged(t(2), 9, &[agreed, vec![s(&[2, 3, 4])]]);
+        assert_eq!(o.violations().len(), 1);
+        assert_eq!(o.violations()[0].kind, InvariantKind::ReplicaSetAgreement);
     }
 
     #[test]

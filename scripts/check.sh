@@ -49,6 +49,9 @@ cargo test --test chaos -q
 step "DST gate (fixed-seed smoke swarm + fencing-mutation shrink)"
 cargo test --test dst -q
 
+step "reconfig gate (joint-consensus membership changes under chaos)"
+cargo test --test reconfig -q
+
 step "tests"
 cargo test --workspace -q
 
