@@ -40,7 +40,7 @@ use sm_core::{ApplicationManager, OrchCommand, OrchestratorConfig, Partition, Se
 use sm_sim::faults::{fault_plan, Fault, FaultPlanConfig, FaultProfile};
 use sm_sim::net::{Endpoint, NetStats, SimNet};
 use sm_sim::oracle::{Oracle, OracleViolation};
-use sm_sim::{Ctx, LatencyModel, SimDuration, SimTime, Simulation, TraceLog, World};
+use sm_sim::{Ctx, LatencyModel, QueueKind, SimDuration, SimTime, Simulation, TraceLog, World};
 use sm_types::{
     AppId, AppKey, AppPolicy, LoadVector, Location, MachineId, Metric, MiniSmId, RegionId,
     ServerId, ShardId, ShardingSpec,
@@ -223,8 +223,6 @@ pub enum ChaosEvent {
     FaultHit(usize),
     /// Clients re-read the shard map (service discovery refresh).
     RouterRefresh,
-    /// Invariant scan: oracle sweep, ZK session expiry, trace points.
-    Scan,
     /// Server `i` runs its heartbeat step: self-fence check, beat,
     /// resignation, or re-registration.
     HeartbeatTick(u32),
@@ -310,6 +308,13 @@ pub struct ChaosWorld {
     last_beat: BTreeMap<ServerId, SimTime>,
     /// Correlation ids of control-plane RPCs awaiting an answer.
     outstanding: BTreeMap<u64, (ServerId, ServerRpc)>,
+    /// Correlation ids already executed at a server, with the recorded
+    /// outcome. A duplicated request copy must answer from here instead
+    /// of re-dispatching (exactly-once apply per command attempt): a
+    /// late duplicate of an `AddShard` landing after a subsequent
+    /// `DropShard` would otherwise re-create hosting state the
+    /// orchestrator believes is gone.
+    rpc_applied: BTreeMap<u64, bool>,
     next_rpc: u64,
     next_req: u64,
     /// Monotone write counter: the value stored for every put and the
@@ -465,6 +470,7 @@ impl ChaosWorld {
             router: BTreeMap::new(),
             last_beat,
             outstanding: BTreeMap::new(),
+            rpc_applied: BTreeMap::new(),
             next_rpc: 0,
             next_req: 0,
             write_tag: 0,
@@ -722,10 +728,25 @@ impl ChaosWorld {
         // A dead process never applies anything; a self-fenced server
         // refuses shard placements (§3.2) until it re-registers. Either
         // way the connection attempt fails fast and the failure travels
-        // back through the net like any other message.
-        let ok = match self.hosts.get_mut(&server) {
-            Some(h) if h.serving() => rpc.dispatch(&mut h.kv).is_ok(),
-            _ => false,
+        // back through the net like any other message. A duplicated
+        // copy of an already-executed command answers with the recorded
+        // outcome instead of re-dispatching (exactly-once apply per
+        // command attempt, as a request id gives a real RPC layer).
+        let ok = if let Some(&ok) = self.rpc_applied.get(&id) {
+            ok
+        } else {
+            let ok = match self.hosts.get_mut(&server) {
+                Some(h) if h.serving() => rpc.dispatch(&mut h.kv).is_ok(),
+                _ => false,
+            };
+            self.rpc_applied.insert(id, ok);
+            if ok {
+                // The server's hosted-shard set just changed — the
+                // instant a dual primary can first exist. Sweep now,
+                // not at the next poll.
+                ctx.state_changed();
+            }
+            ok
         };
         let t = self
             .net
@@ -761,6 +782,7 @@ impl ChaosWorld {
         };
         self.dispatch_zk(events, ctx);
         self.flush_commands(ctx);
+        ctx.state_changed();
     }
 
     fn rpc_timeout(&mut self, id: u64, ctx: &mut Ctx<'_, ChaosEvent>) {
@@ -771,6 +793,7 @@ impl ChaosWorld {
         let events = self.cp.rpc_failed(&mut self.zk, server, rpc);
         self.dispatch_zk(events, ctx);
         self.flush_commands(ctx);
+        ctx.state_changed();
     }
 
     /// One server-side heartbeat step: check the self-fence deadline,
@@ -801,6 +824,7 @@ impl ChaosWorld {
                     host.kv.restart();
                     host.fenced = true;
                     self.stats.self_fences += 1;
+                    ctx.state_changed();
                     return;
                 }
             }
@@ -860,6 +884,7 @@ impl ChaosWorld {
         };
         let events = lease.expire(&mut self.zk);
         self.dispatch_zk(events, ctx);
+        ctx.state_changed();
     }
 
     fn register_arrive(&mut self, s: u32, ctx: &mut Ctx<'_, ChaosEvent>) {
@@ -881,6 +906,7 @@ impl ChaosWorld {
             }
             self.last_beat.insert(server, now);
             self.dispatch_zk(events, ctx);
+            ctx.state_changed();
         }
     }
 
@@ -1008,10 +1034,16 @@ impl ChaosWorld {
         }
     }
 
+    /// The oracle sweep body, run by the engine (change-driven plus a
+    /// coarse safety net — see [`World::sweep`]): ZK-side session
+    /// expiry, the dual-primary audit, recovery bookkeeping, and trace
+    /// points. Gated to the experiment window: after `end` the periodic
+    /// heartbeats have stopped by design, and sweeping the drain would
+    /// mass-expire healthy sessions that are merely no longer beating.
     fn scan(&mut self, ctx: &mut Ctx<'_, ChaosEvent>) {
         let now = ctx.now();
-        if now < self.cfg.end {
-            ctx.schedule_in(SimDuration::from_millis(500), ChaosEvent::Scan);
+        if now > self.cfg.end {
+            return;
         }
         // ZooKeeper-side session expiry: a server whose heartbeats
         // stopped arriving (partition, not crash) loses its ephemeral,
@@ -1125,11 +1157,13 @@ impl World for ChaosWorld {
                 let events = self.cp.handle_event(&mut self.zk, &watch);
                 self.dispatch_zk(events, ctx);
                 self.flush_commands(ctx);
+                ctx.state_changed();
             }
             ChaosEvent::FaultHit(i) => {
                 if let Some((_, fault)) = self.plan.get(i).copied() {
                     self.apply_fault(fault, ctx);
                     self.flush_commands(ctx);
+                    ctx.state_changed();
                 }
             }
             ChaosEvent::RouterRefresh => {
@@ -1138,13 +1172,24 @@ impl World for ChaosWorld {
                 }
                 self.refresh_router();
             }
-            ChaosEvent::Scan => self.scan(ctx),
             ChaosEvent::HeartbeatTick(s) => self.heartbeat_tick(s, ctx),
             ChaosEvent::BeatArrive(s) => self.beat_arrive(s, ctx),
             ChaosEvent::BeatAck(s) => self.beat_ack(s, ctx),
             ChaosEvent::ResignArrive(s) => self.resign_arrive(s, ctx),
             ChaosEvent::RegisterArrive(s) => self.register_arrive(s, ctx),
         }
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_, ChaosEvent>) {
+        self.scan(ctx);
+    }
+
+    fn sweep_interval(&self) -> Option<SimDuration> {
+        // Coarse safety net only: the interesting sweeps are the
+        // change-driven ones right after placement- or liveness-
+        // affecting events. ZK session expiry bounds how coarse this
+        // may get — well within a second of the 8s timeout is plenty.
+        Some(SimDuration::from_secs(1))
     }
 }
 
@@ -1184,25 +1229,40 @@ pub struct ChaosReport {
 /// Runs one seeded chaos experiment to completion and reports. The
 /// fault plan derives from the config (covering or profile).
 pub fn run_chaos(cfg: ChaosConfig) -> ChaosReport {
-    run_world(ChaosWorld::new(cfg), cfg)
+    run_chaos_queued(cfg, QueueKind::default())
+}
+
+/// [`run_chaos`] on an explicit engine queue implementation — the
+/// differential-testing entry point (both kinds must produce
+/// byte-identical reports).
+pub fn run_chaos_queued(cfg: ChaosConfig, kind: QueueKind) -> ChaosReport {
+    run_world(ChaosWorld::new(cfg), cfg, kind)
 }
 
 /// Runs a chaos experiment with an explicit fault plan — the
 /// replay/shrink path. The plan must be time-sorted.
 pub fn run_chaos_with_plan(cfg: ChaosConfig, plan: Vec<(SimTime, Fault)>) -> ChaosReport {
-    run_world(ChaosWorld::new_with_plan(cfg, plan), cfg)
+    run_chaos_with_plan_queued(cfg, plan, QueueKind::default())
 }
 
-fn run_world(world: ChaosWorld, cfg: ChaosConfig) -> ChaosReport {
+/// [`run_chaos_with_plan`] on an explicit engine queue implementation.
+pub fn run_chaos_with_plan_queued(
+    cfg: ChaosConfig,
+    plan: Vec<(SimTime, Fault)>,
+    kind: QueueKind,
+) -> ChaosReport {
+    run_world(ChaosWorld::new_with_plan(cfg, plan), cfg, kind)
+}
+
+fn run_world(world: ChaosWorld, cfg: ChaosConfig, kind: QueueKind) -> ChaosReport {
     let plan_times: Vec<SimTime> = world.plan.iter().map(|(at, _)| *at).collect();
-    let mut sim = Simulation::new(world, cfg.seed);
+    let mut sim = Simulation::with_queue(world, cfg.seed, kind);
     for (i, at) in plan_times.iter().enumerate() {
         sim.schedule_at(*at, ChaosEvent::FaultHit(i));
     }
     for c in 0..cfg.clients {
         sim.schedule_at(SimTime::from_secs(5), ChaosEvent::ClientTick(c));
     }
-    sim.schedule_at(SimTime::from_secs(1), ChaosEvent::Scan);
     sim.schedule_at(SimTime::from_secs(1), ChaosEvent::RouterRefresh);
     for s in 0..cfg.servers {
         // Staggered start so the fleet's heartbeats don't all land on

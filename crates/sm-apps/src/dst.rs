@@ -18,10 +18,11 @@
 //! failure found by the swarm binary can be replayed in a test or a
 //! debugger with nothing but the JSON string.
 
-use crate::chaos::{run_chaos, run_chaos_with_plan, ChaosConfig, ChaosReport};
+use crate::chaos::{run_chaos, run_chaos_queued, run_chaos_with_plan, ChaosConfig, ChaosReport};
 use sm_sim::faults::{Fault, FaultProfile};
 use sm_sim::net::PartitionSpec;
 use sm_sim::oracle::InvariantKind;
+use sm_sim::QueueKind;
 use sm_sim::SimTime;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,6 +94,16 @@ pub fn run_dst(cfg: DstConfig) -> DstReport {
     DstReport {
         cfg,
         chaos: run_chaos(cfg.chaos()),
+    }
+}
+
+/// [`run_dst`] on an explicit engine queue implementation — the
+/// differential-testing entry point (both kinds must produce
+/// byte-identical reports).
+pub fn run_dst_queued(cfg: DstConfig, kind: QueueKind) -> DstReport {
+    DstReport {
+        cfg,
+        chaos: run_chaos_queued(cfg.chaos(), kind),
     }
 }
 

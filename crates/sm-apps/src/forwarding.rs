@@ -131,10 +131,22 @@ impl ShardHost {
         Ok(())
     }
 
-    /// Decides what to do with a request for `shard`. `forwarded` is
+    /// Decides what to do with a **primary-type** request for `shard` —
+    /// one only the shard's single primary may serve. `forwarded` is
     /// true when the request came from the shard's previous owner rather
     /// than directly from a client.
     pub fn admit(&self, shard: ShardId, forwarded: bool) -> AppResponse {
+        self.admit_class(shard, forwarded, true)
+    }
+
+    /// Decides what to do with a **secondary-type** request — one any
+    /// replica of the shard may serve (reads under a secondary-only
+    /// replication policy, §2's read-only applications).
+    pub fn admit_secondary(&self, shard: ShardId, forwarded: bool) -> AppResponse {
+        self.admit_class(shard, forwarded, false)
+    }
+
+    fn admit_class(&self, shard: ShardId, forwarded: bool, needs_primary: bool) -> AppResponse {
         // Step-2/-5 forwarding takes precedence: the handover is in
         // progress or completed and the new owner serves.
         if let Some(&target) = self.forward_to.get(&shard) {
@@ -151,10 +163,18 @@ impl ShardHost {
                 AppResponse::NotMine
             };
         }
-        if self.shards.contains_key(&shard) {
-            AppResponse::Serve
-        } else {
-            AppResponse::NotMine
+        match self.shards.get(&shard) {
+            Some(role) if !needs_primary || role.is_primary() => AppResponse::Serve,
+            // A secondary replica holds the data but must never admit a
+            // primary-type request: after a failover rebuilds
+            // replication, the demoted server may be re-added as a
+            // secondary of the very shard it used to lead, and a
+            // role-blind Serve here is a permanent dual primary (found
+            // by the 1000-seed swarm, `lossy_net` seed 809). The
+            // client's retry goes back through the router, which points
+            // at the real primary.
+            Some(_) => AppResponse::NotMine,
+            None => AppResponse::NotMine,
         }
     }
 
@@ -220,6 +240,23 @@ mod tests {
         old.drop_shard(S).unwrap();
         assert_eq!(old.admit(S, false), AppResponse::Forward(NEW));
         assert_eq!(old.shard_count(), 0);
+    }
+
+    #[test]
+    fn secondary_replica_never_admits_primary_requests() {
+        // Failover aftermath: the old primary is wiped and re-added as
+        // a secondary of its former shard. It holds the data, but a
+        // direct request must bounce to the router (and thence the real
+        // primary) — a role-blind Serve here is a permanent dual
+        // primary (1000-seed swarm, lossy_net seed 809).
+        let mut h = ShardHost::new();
+        h.add_shard(S, ReplicaRole::Secondary).unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::NotMine);
+        assert_eq!(h.admit(S, true), AppResponse::NotMine);
+        // Promotion makes it servable.
+        h.change_role(S, ReplicaRole::Secondary, ReplicaRole::Primary)
+            .unwrap();
+        assert_eq!(h.admit(S, false), AppResponse::Serve);
     }
 
     #[test]

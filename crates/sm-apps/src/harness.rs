@@ -350,10 +350,15 @@ impl AppLogic {
             AppLogic::Queue(s) => s,
         }
     }
-    fn admit(&self, shard: ShardId, forwarded: bool) -> AppResponse {
-        match self {
-            AppLogic::Kv(s) => s.admit(shard, forwarded),
-            AppLogic::Queue(s) => s.admit(shard, forwarded),
+    /// Admission for this app's request class: under a policy with a
+    /// primary, requests are primary-type (only the primary serves);
+    /// under a secondary-only policy every replica serves reads.
+    fn admit(&self, shard: ShardId, forwarded: bool, primary_type: bool) -> AppResponse {
+        match (self, primary_type) {
+            (AppLogic::Kv(s), true) => s.admit(shard, forwarded),
+            (AppLogic::Kv(s), false) => s.admit_secondary(shard, forwarded),
+            (AppLogic::Queue(s), true) => s.admit(shard, forwarded),
+            (AppLogic::Queue(s), false) => s.admit_secondary(shard, forwarded),
         }
     }
     fn serve(&mut self, shard: ShardId, key: &AppKey) {
@@ -1027,7 +1032,11 @@ impl World for SimWorld {
                     return;
                 }
                 let host = self.servers.get_mut(&req.target).expect("serving server");
-                match host.logic.admit(req.shard, req.forwarded_from.is_some()) {
+                let primary_type = self.cfg.policy.replication.has_primary();
+                match host
+                    .logic
+                    .admit(req.shard, req.forwarded_from.is_some(), primary_type)
+                {
                     AppResponse::Serve => {
                         host.logic.serve(req.shard, &req.key);
                         let region = self.region_of_client(req.client);

@@ -32,18 +32,22 @@ pub mod replication;
 pub mod replstore;
 pub mod stream;
 
-pub use chaos::{run_chaos, run_chaos_with_plan, ChaosConfig, ChaosReport, ChaosStats, ChaosWorld};
+pub use chaos::{
+    run_chaos, run_chaos_queued, run_chaos_with_plan, run_chaos_with_plan_queued, ChaosConfig,
+    ChaosReport, ChaosStats, ChaosWorld,
+};
 pub use dst::{
-    repro_from_json, repro_to_json, run_dst, run_dst_with_plan, run_swarm, shrink, shrink_plan,
-    DstConfig, DstReport,
+    repro_from_json, repro_to_json, run_dst, run_dst_queued, run_dst_with_plan, run_swarm, shrink,
+    shrink_plan, DstConfig, DstReport,
 };
 pub use forwarding::{AppResponse, ShardHost};
 pub use harness::{ExperimentConfig, SimWorld, WorldEvent, WorldStats};
 pub use kv::{ExternalStore, KvServer};
 pub use queue::QueueServer;
 pub use reconfig::{
-    reconfig_repro_from_json, reconfig_repro_to_json, run_reconfig, run_reconfig_with_plan,
-    shrink_reconfig, ReconfigConfig, ReconfigReport, ReconfigStats, ReconfigWorld,
+    reconfig_repro_from_json, reconfig_repro_to_json, run_reconfig, run_reconfig_queued,
+    run_reconfig_with_plan, shrink_reconfig, ReconfigConfig, ReconfigReport, ReconfigStats,
+    ReconfigWorld,
 };
 pub use replstore::ReplStoreServer;
 pub use stream::StreamServer;

@@ -30,9 +30,15 @@ impl QueueServer {
         Self::default()
     }
 
-    /// Routing decision for a request on `shard`.
+    /// Routing decision for a primary-type request on `shard`.
     pub fn admit(&self, shard: ShardId, forwarded: bool) -> AppResponse {
         self.host.admit(shard, forwarded)
+    }
+
+    /// Routing decision for a secondary-type request (any replica
+    /// serves — secondary-only replication policies).
+    pub fn admit_secondary(&self, shard: ShardId, forwarded: bool) -> AppResponse {
+        self.host.admit_secondary(shard, forwarded)
     }
 
     /// Enqueues a message, returning its sequence number.

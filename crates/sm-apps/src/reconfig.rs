@@ -44,7 +44,7 @@ use sm_core::{OrchCommand, Orchestrator, OrchestratorConfig, ServerRpc};
 use sm_sim::faults::{fault_plan, Fault, FaultProfile};
 use sm_sim::net::{Endpoint, NetStats, SimNet};
 use sm_sim::oracle::{InvariantKind, Oracle, OracleViolation};
-use sm_sim::{Ctx, LatencyModel, SimDuration, SimTime, Simulation, World};
+use sm_sim::{Ctx, LatencyModel, QueueKind, SimDuration, SimTime, Simulation, TraceLog, World};
 use sm_types::{
     AppId, AppPolicy, LoadVector, Location, MachineId, Metric, RegionId, ServerId, ShardId,
 };
@@ -154,8 +154,10 @@ pub enum ReconfigEvent {
     DetectDown(u32),
     /// The i-th entry of the fault plan fires.
     FaultHit(usize),
-    /// Invariant scan: config-chain audit, write acks, re-placement.
-    Scan,
+    /// Retry pacemaker: re-issue nacked or timed-out migration steps
+    /// and plan replacements on a fixed 500ms backoff. (The invariant
+    /// audit itself is an engine-scheduled sweep, not an event.)
+    RetryTick,
 }
 
 /// Counters accumulated over a run.
@@ -256,6 +258,10 @@ pub struct ReconfigWorld {
     plan: Vec<(SimTime, Fault)>,
     /// Correlation ids of control-plane RPCs awaiting an answer.
     outstanding: BTreeMap<u64, (ServerId, ServerRpc)>,
+    /// Correlation ids already executed at a server, with the recorded
+    /// outcome: duplicated request copies answer from here instead of
+    /// re-running the migration step (see the chaos world's twin field).
+    rpc_applied: BTreeMap<u64, bool>,
     next_rpc: u64,
     /// Monotone write counter: the payload of every write and the tag
     /// the oracle checks the acked set against.
@@ -272,8 +278,13 @@ pub struct ReconfigWorld {
     partitioned: BTreeSet<ServerId>,
     /// True during a lossy-net window.
     degraded: bool,
+    /// Sum of every group's commit watermark at the last replication
+    /// round — cheap change detection for the oracle sweep.
+    committed_sum: u64,
     /// Counters.
     pub stats: ReconfigStats,
+    /// Recorded time series (writes, reconfigurations, interruptions).
+    pub trace: TraceLog,
 }
 
 impl ReconfigWorld {
@@ -354,6 +365,7 @@ impl ReconfigWorld {
             oracle: Oracle::new(),
             plan: Vec::new(),
             outstanding: BTreeMap::new(),
+            rpc_applied: BTreeMap::new(),
             next_rpc: 0,
             write_tag: 0,
             pending: Vec::new(),
@@ -363,7 +375,9 @@ impl ReconfigWorld {
             draining: None,
             partitioned: BTreeSet::new(),
             degraded: false,
+            committed_sum: 0,
             stats: ReconfigStats::default(),
+            trace: TraceLog::new(),
         }
     }
 
@@ -536,10 +550,24 @@ impl ReconfigWorld {
         // A dead process never answers — the control plane's give-up
         // timer reaps the RPC. A live one runs the real migration step,
         // which fails honestly (bounded replication pump) when the
-        // group cannot commit the membership change.
-        let ok = match self.hosts.get_mut(&server) {
-            Some(h) if h.up => rpc.dispatch(&mut h.server).is_ok(),
-            _ => return,
+        // group cannot commit the membership change. A duplicated copy
+        // of an already-executed step answers with the recorded outcome
+        // instead of re-dispatching (a late duplicate re-running a
+        // promotion after a later drop would resurrect a zombie).
+        let ok = if let Some(&ok) = self.rpc_applied.get(&id) {
+            ok
+        } else {
+            let ok = match self.hosts.get_mut(&server) {
+                Some(h) if h.up => rpc.dispatch(&mut h.server).is_ok(),
+                _ => return,
+            };
+            self.rpc_applied.insert(id, ok);
+            if ok {
+                // A migration step just ran at the server: group
+                // membership or roles changed — audit at this instant.
+                ctx.state_changed();
+            }
+            ok
         };
         let t = self
             .net
@@ -601,19 +629,21 @@ impl ReconfigWorld {
             self.note_interrupted(rpc);
             self.cp.rpc_failed(server, rpc);
             // No immediate flush: the re-issued command leaves with the
-            // next scan tick, so a persistently failing step retries on
+            // next retry tick, so a persistently failing step retries on
             // a 500ms backoff instead of melting into a 2×RTT storm.
         }
+        ctx.state_changed();
     }
 
-    fn rpc_timeout(&mut self, id: u64, _ctx: &mut Ctx<'_, ReconfigEvent>) {
+    fn rpc_timeout(&mut self, id: u64, ctx: &mut Ctx<'_, ReconfigEvent>) {
         let Some((server, rpc)) = self.outstanding.remove(&id) else {
             return; // answered in time
         };
         self.stats.rpc_timeouts += 1;
         self.note_interrupted(rpc);
         self.cp.rpc_failed(server, rpc);
-        // Retry leaves with the next scan tick (see `rpc_result`).
+        // Retry leaves with the next retry tick (see `rpc_result`).
+        ctx.state_changed();
     }
 
     fn write_tick(&mut self, client: u32, ctx: &mut Ctx<'_, ReconfigEvent>) {
@@ -651,8 +681,17 @@ impl ReconfigWorld {
         if ctx.now() < self.cfg.end {
             ctx.schedule_in(self.cfg.replicate_interval, ReconfigEvent::ReplicateTick);
         }
+        let mut committed_sum = 0u64;
         for g in self.groups.borrow_mut().values_mut() {
             g.pump();
+            committed_sum += g.committed() as u64;
+        }
+        // Most replication rounds move nothing; only a commit-watermark
+        // advance (a config or data entry just committed somewhere) is
+        // worth an oracle sweep.
+        if committed_sum != self.committed_sum {
+            self.committed_sum = committed_sum;
+            ctx.state_changed();
         }
         self.check_pending(ctx.now());
     }
@@ -686,6 +725,7 @@ impl ReconfigWorld {
             }
         }
         self.flush_commands(ctx);
+        ctx.state_changed();
     }
 
     /// Marks a server crashed in every group: it stops voting and
@@ -816,6 +856,7 @@ impl ReconfigWorld {
         }
         self.cp.server_down(s);
         self.flush_commands(ctx);
+        ctx.state_changed();
     }
 
     /// One shard's committed configuration chain with ids flattened for
@@ -833,10 +874,28 @@ impl ReconfigWorld {
             .collect()
     }
 
-    fn scan(&mut self, ctx: &mut Ctx<'_, ReconfigEvent>) {
+    /// The retry pacemaker. Nacked and timed-out migration steps are
+    /// deliberately *not* re-flushed inline (see `rpc_result`): they
+    /// leave here, on a fixed 500ms backoff, alongside replacement
+    /// planning for failed-over shards.
+    fn retry_tick(&mut self, ctx: &mut Ctx<'_, ReconfigEvent>) {
         let now = ctx.now();
         if now < self.cfg.end {
-            ctx.schedule_in(SimDuration::from_millis(500), ReconfigEvent::Scan);
+            ctx.schedule_in(SimDuration::from_millis(500), ReconfigEvent::RetryTick);
+        }
+        self.check_pending(now);
+        self.cp.run_emergency();
+        self.flush_commands(ctx);
+    }
+
+    /// The oracle sweep body, run by the engine (change-driven plus a
+    /// coarse safety net): audit every shard's committed configuration
+    /// chain, count newly committed configuration entries, and record
+    /// trace points.
+    fn scan(&mut self, ctx: &mut Ctx<'_, ReconfigEvent>) {
+        let now = ctx.now();
+        if now > self.cfg.end {
+            return;
         }
         // The mutation switch must also corrupt groups (re)created
         // after bootstrap.
@@ -845,8 +904,6 @@ impl ReconfigWorld {
                 g.set_single_step(true);
             }
         }
-        // Audit every shard's committed configuration chain, and count
-        // newly committed configuration entries.
         let chains: Vec<(ShardId, Vec<Vec<BTreeSet<u64>>>)> = self
             .groups
             .borrow()
@@ -858,11 +915,22 @@ impl ReconfigWorld {
             self.stats.reconfigs_completed += chain.len().saturating_sub(prev) as u64;
             self.oracle.replica_config_chain(now, shard.raw(), &chain);
         }
-        self.check_pending(now);
-        // Keep re-placing: a failed-over shard missing replicas gets
-        // replacements planned here.
-        self.cp.run_emergency();
-        self.flush_commands(ctx);
+        self.trace
+            .record("pending_writes", now, self.pending.len() as f64);
+        self.trace
+            .record("acked_total", now, self.stats.writes_acked as f64);
+        self.trace.record(
+            "reconfigs_completed",
+            now,
+            self.stats.reconfigs_completed as f64,
+        );
+        self.trace
+            .record("rpc_nacks", now, self.stats.rpc_nacks as f64);
+        self.trace.record(
+            "in_flight_migrations",
+            now,
+            self.cp.in_flight_migrations() as f64,
+        );
     }
 
     /// Quiescence: heal everything, settle the control plane against a
@@ -987,10 +1055,19 @@ impl World for ReconfigWorld {
                 if let Some((_, fault)) = self.plan.get(i).copied() {
                     self.apply_fault(fault, ctx);
                     self.flush_commands(ctx);
+                    ctx.state_changed();
                 }
             }
-            ReconfigEvent::Scan => self.scan(ctx),
+            ReconfigEvent::RetryTick => self.retry_tick(ctx),
         }
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_, ReconfigEvent>) {
+        self.scan(ctx);
+    }
+
+    fn sweep_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(1))
     }
 }
 
@@ -1012,6 +1089,9 @@ pub struct ReconfigReport {
     pub unplaced: usize,
     /// The fault plan the run executed (replay/shrink input).
     pub plan: Vec<(SimTime, Fault)>,
+    /// The run's time-series trace, rendered as CSV (5 s buckets) —
+    /// byte-identical across reruns of the same seed and plan.
+    pub trace_csv: String,
 }
 
 impl ReconfigReport {
@@ -1038,13 +1118,23 @@ impl ReconfigReport {
 
 /// Runs one seeded reconfiguration-chaos experiment to completion.
 pub fn run_reconfig(cfg: ReconfigConfig) -> ReconfigReport {
-    run_world(ReconfigWorld::new(cfg), cfg)
+    run_reconfig_queued(cfg, QueueKind::default())
+}
+
+/// [`run_reconfig`] on an explicit engine queue implementation — the
+/// differential-testing entry point.
+pub fn run_reconfig_queued(cfg: ReconfigConfig, kind: QueueKind) -> ReconfigReport {
+    run_world(ReconfigWorld::new(cfg), cfg, kind)
 }
 
 /// Runs a reconfiguration experiment with an explicit fault plan — the
 /// replay and shrink path. The plan must be time-sorted.
 pub fn run_reconfig_with_plan(cfg: ReconfigConfig, plan: Vec<(SimTime, Fault)>) -> ReconfigReport {
-    run_world(ReconfigWorld::new_with_plan(cfg, plan), cfg)
+    run_world(
+        ReconfigWorld::new_with_plan(cfg, plan),
+        cfg,
+        QueueKind::default(),
+    )
 }
 
 /// Shrinks a failing reconfiguration fault plan to a minimal
@@ -1067,9 +1157,9 @@ pub fn shrink_reconfig(
     })
 }
 
-fn run_world(world: ReconfigWorld, cfg: ReconfigConfig) -> ReconfigReport {
+fn run_world(world: ReconfigWorld, cfg: ReconfigConfig, kind: QueueKind) -> ReconfigReport {
     let plan_times: Vec<SimTime> = world.plan.iter().map(|(at, _)| *at).collect();
-    let mut sim = Simulation::new(world, cfg.seed);
+    let mut sim = Simulation::with_queue(world, cfg.seed, kind);
     for (i, at) in plan_times.iter().enumerate() {
         sim.schedule_at(*at, ReconfigEvent::FaultHit(i));
     }
@@ -1080,7 +1170,7 @@ fn run_world(world: ReconfigWorld, cfg: ReconfigConfig) -> ReconfigReport {
         );
     }
     sim.schedule_at(SimTime::from_secs(1), ReconfigEvent::ReplicateTick);
-    sim.schedule_at(SimTime::from_secs(1), ReconfigEvent::Scan);
+    sim.schedule_at(SimTime::from_secs(1), ReconfigEvent::RetryTick);
     sim.schedule_at(SimTime::from_secs(10), ReconfigEvent::ChurnTick);
     sim.run_until(cfg.end);
     // Whatever is still in flight at `end` (unanswered RPCs, retry
@@ -1098,6 +1188,7 @@ fn run_world(world: ReconfigWorld, cfg: ReconfigConfig) -> ReconfigReport {
         converged,
         unplaced,
         plan: world.plan.clone(),
+        trace_csv: world.trace.to_csv(5),
     }
 }
 

@@ -2,10 +2,12 @@
 //! upgrades of the queue service.
 //!
 //! A primary-only queue service (the instant-messaging queue of §8.2)
-//! serves a diurnal request load over two simulated days. Each day a
-//! small canary wave restarts a few containers, followed three hours
-//! later by a full-scale rolling upgrade. The shard-move curve spikes
-//! with each wave while the client error rate stays flat.
+//! serves a diurnal request load over a full simulated week at paper
+//! scale (two days at small scale — the calendar event queue makes the
+//! week affordable). Each day a small canary wave restarts a few
+//! containers, followed three hours later by a full-scale rolling
+//! upgrade. The shard-move curve spikes with each wave while the
+//! client error rate stays flat.
 
 use sm_apps::harness::{AppKind, ExperimentConfig, SimWorld, WorldEvent};
 use sm_bench::{banner, compare, table, Scale};
@@ -17,9 +19,9 @@ fn main() {
         "Figure 18",
         "queue service: diurnal load, daily upgrades, flat error rate",
     );
-    let (servers, shards) = match Scale::from_env() {
-        Scale::Paper => (40, 4_000),
-        Scale::Small => (16, 600),
+    let (servers, shards, days) = match Scale::from_env() {
+        Scale::Paper => (40, 4_000, 7u64),
+        Scale::Small => (16, 600, 2u64),
     };
     let mut cfg = ExperimentConfig::single_region(servers, shards);
     cfg.app = AppKind::Queue;
@@ -30,8 +32,8 @@ fn main() {
     let mut sim = SimWorld::primed(cfg);
     sim.world_mut().sample_interval = sm_sim::SimDuration::from_secs(60);
 
-    // Two days: canary at 09:00, full upgrade at 12:00.
-    for day in 0..2u64 {
+    // Each day: canary at 09:00, full upgrade at 12:00.
+    for day in 0..days {
         let base = day * 86_400;
         sim.schedule_at(
             SimTime::from_secs(base + 9 * 3600),
@@ -48,7 +50,7 @@ fn main() {
             },
         );
     }
-    sim.run_until(SimTime::from_secs(2 * 86_400));
+    sim.run_until(SimTime::from_secs(days * 86_400));
 
     let w = sim.world();
     let req = w
@@ -93,7 +95,9 @@ fn main() {
     );
 
     // Moves spike during upgrade hours, error rate stays flat.
-    let upgrade_hours: Vec<u64> = vec![9, 12, 13, 33, 36, 37];
+    let upgrade_hours: Vec<u64> = (0..days)
+        .flat_map(|d| [d * 24 + 9, d * 24 + 12, d * 24 + 13])
+        .collect();
     let moves_in_upgrades: f64 = moves
         .iter()
         .filter(|(t, _)| upgrade_hours.contains(&(t / 3600)))

@@ -1,7 +1,8 @@
 //! Figure 23: load balancing is a continuous-optimization process.
 //!
-//! A ZippyDB-like deployment runs for three simulated days under
-//! diurnal, per-shard load. Every five minutes the allocator re-runs:
+//! A ZippyDB-like deployment runs for a full simulated week at paper
+//! scale (three days at small scale) under diurnal, per-shard load.
+//! Every five minutes the allocator re-runs:
 //! a small number of new violations constantly emerge as load shifts,
 //! the allocator fixes them with a modest number of moves, and the P99
 //! CPU utilization stays below the threshold throughout.
@@ -19,9 +20,9 @@ fn main() {
         "Figure 23",
         "continuous load balancing under diurnal load (three days)",
     );
-    let servers = match Scale::from_env() {
-        Scale::Paper => 240,
-        Scale::Small => 60,
+    let (servers, days) = match Scale::from_env() {
+        Scale::Paper => (240, 7u64),
+        Scale::Small => (60, 3u64),
     };
     let cfg = SnapshotConfig::figure21_scaled(servers);
     let snapshot = ZippyDbSnapshot::generate(cfg);
@@ -58,7 +59,6 @@ fn main() {
     let mut violations_series = Vec::new();
     let mut moves_series = Vec::new();
     let round_secs = 300u64;
-    let days = 3u64;
     // Transient hotspots: realtime user activity makes individual
     // shards spike for an hour or two — the source of the constantly
     // emerging violations in the production plot.

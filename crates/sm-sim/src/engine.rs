@@ -1,16 +1,29 @@
 //! The discrete-event loop.
 //!
-//! A [`Simulation`] owns a user-defined [`World`] plus a priority queue
-//! of timestamped events. `run_until` repeatedly pops the earliest event,
+//! A [`Simulation`] owns a user-defined [`World`] plus an event queue
+//! of timestamped events (a calendar queue by default — see
+//! [`QueueKind`]). `run_until` repeatedly pops the earliest event,
 //! advances the clock, and hands the event to the world, which may
 //! schedule more events through the [`Ctx`] it receives. Ties in time
 //! break by insertion order, so same-instant events are FIFO and runs
 //! are fully deterministic.
+//!
+//! # Oracle sweeps
+//!
+//! Worlds that audit invariants implement [`World::sweep`] and return a
+//! safety-net cadence from [`World::sweep_interval`]. The engine then
+//! owns the sweep schedule: it runs a sweep immediately after any event
+//! whose handler called [`Ctx::state_changed`] (same timestamp, so
+//! sub-interval violation windows are observed), and fires a coarse
+//! safety-net sweep whenever a full interval passes without one. Worlds
+//! cannot forget to arm the sweep, and the old fixed-poll blind spot —
+//! a violation that opens and closes between two polls — is gone.
 
+use crate::queue::{EventQueue, Scheduled};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+pub use crate::queue::QueueKind;
 
 /// The simulated system: owns all component state and reacts to events.
 pub trait World {
@@ -19,28 +32,17 @@ pub trait World {
 
     /// Handles one event at `ctx.now()`; schedule follow-ups via `ctx`.
     fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
-}
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
+    /// Audits world state at `ctx.now()` (invariant checks, trace
+    /// samples). The engine calls this after state-changing events and
+    /// on the safety-net cadence; worlds never schedule it themselves.
+    fn sweep(&mut self, _ctx: &mut Ctx<'_, Self::Event>) {}
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+    /// Safety-net sweep cadence, or `None` for no sweeps. Read once at
+    /// [`Simulation`] construction; returning a different value later
+    /// has no effect.
+    fn sweep_interval(&self) -> Option<SimDuration> {
+        None
     }
 }
 
@@ -48,7 +50,9 @@ impl<E> Ord for Scheduled<E> {
 pub struct Ctx<'a, E> {
     now: SimTime,
     rng: &'a mut SimRng,
-    pending: Vec<(SimTime, E)>,
+    queue: &'a mut EventQueue<E>,
+    seq: &'a mut u64,
+    dirty: &'a mut bool,
 }
 
 impl<'a, E> Ctx<'a, E> {
@@ -64,13 +68,23 @@ impl<'a, E> Ctx<'a, E> {
 
     /// Schedules `event` to fire `delay` from now.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
-        self.pending.push((self.now + delay, event));
+        self.schedule_at(self.now + delay, event);
     }
 
     /// Schedules `event` at an absolute time; times in the past fire at
     /// the current instant (events never travel backwards).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        self.pending.push((at.max(self.now), event));
+        let at = at.max(self.now);
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Marks that this event changed oracle-relevant state: the engine
+    /// runs [`World::sweep`] at this same timestamp, right after the
+    /// current handler returns.
+    pub fn state_changed(&mut self) {
+        *self.dirty = true;
     }
 }
 
@@ -102,23 +116,42 @@ impl<'a, E> Ctx<'a, E> {
 /// ```
 pub struct Simulation<W: World> {
     world: W,
-    queue: BinaryHeap<Reverse<Scheduled<W::Event>>>,
+    queue: EventQueue<W::Event>,
     now: SimTime,
     seq: u64,
     rng: SimRng,
     steps: u64,
+    sweeps: u64,
+    dirty: bool,
+    /// Safety-net cadence, captured from the world at construction.
+    sweep_every: Option<SimDuration>,
+    /// When the next safety-net sweep is due (pushed out by any sweep).
+    sweep_next: Option<SimTime>,
 }
 
 impl<W: World> Simulation<W> {
-    /// Creates a simulation over `world` with the given RNG seed.
+    /// Creates a simulation over `world` with the given RNG seed,
+    /// running on the default calendar queue.
     pub fn new(world: W, seed: u64) -> Self {
+        Self::with_queue(world, seed, QueueKind::default())
+    }
+
+    /// Creates a simulation on an explicit queue implementation. Both
+    /// kinds produce byte-identical runs; non-default kinds exist for
+    /// differential tests.
+    pub fn with_queue(world: W, seed: u64, kind: QueueKind) -> Self {
+        let sweep_every = world.sweep_interval();
         Self {
             world,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             now: SimTime::ZERO,
             seq: 0,
             rng: SimRng::seeded(seed),
             steps: 0,
+            sweeps: 0,
+            dirty: false,
+            sweep_every,
+            sweep_next: sweep_every.map(|every| SimTime::ZERO + every),
         }
     }
 
@@ -130,6 +163,18 @@ impl<W: World> Simulation<W> {
     /// Number of events processed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Number of oracle sweeps run so far (not counted in [`steps`]).
+    ///
+    /// [`steps`]: Simulation::steps
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Number of events still waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Read access to the world.
@@ -152,7 +197,7 @@ impl<W: World> Simulation<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, event }));
+        self.queue.push(Scheduled { at, seq, event });
     }
 
     /// Schedules an event `delay` after the current time.
@@ -160,9 +205,58 @@ impl<W: World> Simulation<W> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Processes a single event; returns false if the queue was empty.
-    pub fn step(&mut self) -> bool {
-        let Some(Reverse(next)) = self.queue.pop() else {
+    /// Runs the sweep at the current instant and re-arms the safety
+    /// net a full interval out.
+    fn sweep_now(&mut self) {
+        self.sweeps += 1;
+        self.dirty = false;
+        let mut ctx = Ctx {
+            now: self.now,
+            rng: &mut self.rng,
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            dirty: &mut self.dirty,
+        };
+        self.world.sweep(&mut ctx);
+        // A sweep observing its own writes must not re-trigger itself.
+        self.dirty = false;
+        if let Some(every) = self.sweep_every {
+            self.sweep_next = Some(self.now + every);
+        }
+    }
+
+    /// Advances past exactly one thing — a due safety-net sweep or the
+    /// next event (plus its change-driven sweep) — and returns true.
+    /// Returns false when nothing remains at or before `limit`.
+    ///
+    /// With no events left, safety-net sweeps only run inside a bounded
+    /// window (`limit = Some`): an unbounded drain would never finish.
+    fn advance_once(&mut self, limit: Option<SimTime>) -> bool {
+        let head = self.queue.next_at();
+        if let Some(due) = self.sweep_next {
+            // The safety net fires only strictly before the next event:
+            // an event at the due instant goes first and usually
+            // resolves the sweep by marking itself dirty.
+            let before_head = head.map_or(limit.is_some(), |h| due < h);
+            if before_head {
+                if limit.is_some_and(|lim| due > lim) {
+                    // Neither the sweep nor any event fits the window
+                    // (the head, if any, is even later than the sweep).
+                    return false;
+                }
+                debug_assert!(due >= self.now, "time must not go backwards");
+                self.now = due;
+                self.sweep_now();
+                return true;
+            }
+        }
+        let Some(h) = head else {
+            return false;
+        };
+        if limit.is_some_and(|lim| h > lim) {
+            return false;
+        }
+        let Some(next) = self.queue.pop() else {
             return false;
         };
         debug_assert!(next.at >= self.now, "time must not go backwards");
@@ -171,36 +265,38 @@ impl<W: World> Simulation<W> {
         let mut ctx = Ctx {
             now: self.now,
             rng: &mut self.rng,
-            pending: Vec::new(),
+            queue: &mut self.queue,
+            seq: &mut self.seq,
+            dirty: &mut self.dirty,
         };
         self.world.handle(&mut ctx, next.event);
-        for (at, event) in ctx.pending {
-            let seq = self.seq;
-            self.seq += 1;
-            self.queue.push(Reverse(Scheduled { at, seq, event }));
+        if self.dirty {
+            self.sweep_now();
         }
         true
     }
 
+    /// Processes a single event (or due sweep); returns false if
+    /// nothing remains.
+    pub fn step(&mut self) -> bool {
+        self.advance_once(None)
+    }
+
     /// Runs until the queue drains or the next event is after `deadline`;
-    /// the clock then rests at `min(deadline, last event time)`.
+    /// the clock then rests at `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            self.step();
-        }
-        if self.now < deadline && self.queue.is_empty() {
-            // Nothing left to do; park the clock at the deadline so
-            // callers can keep scheduling relative to it.
+        while self.advance_once(Some(deadline)) {}
+        if self.now < deadline {
+            // Nothing before the deadline remains; the bounded run has
+            // semantically advanced time to it, so callers can keep
+            // scheduling relative to the deadline.
             self.now = deadline;
         }
     }
 
     /// Runs until the event queue is empty.
     pub fn run(&mut self) {
-        while self.step() {}
+        while self.advance_once(None) {}
     }
 
     /// Consumes the simulation, returning the world.
@@ -233,28 +329,38 @@ mod tests {
         Simulation::new(Recorder { seen: Vec::new() }, 1)
     }
 
+    fn sim_on(kind: QueueKind) -> Simulation<Recorder> {
+        Simulation::with_queue(Recorder { seen: Vec::new() }, 1, kind)
+    }
+
+    const BOTH: [QueueKind; 2] = [QueueKind::Calendar, QueueKind::BinaryHeap];
+
     #[test]
     fn events_fire_in_time_order() {
-        let mut s = sim();
-        s.schedule_at(SimTime::from_secs(3), 3);
-        s.schedule_at(SimTime::from_secs(1), 1);
-        s.schedule_at(SimTime::from_secs(2), 2);
-        s.run();
-        let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
-        assert_eq!(evs, vec![1, 2, 3]);
-        assert_eq!(s.now(), SimTime::from_secs(3));
-        assert_eq!(s.steps(), 3);
+        for kind in BOTH {
+            let mut s = sim_on(kind);
+            s.schedule_at(SimTime::from_secs(3), 3);
+            s.schedule_at(SimTime::from_secs(1), 1);
+            s.schedule_at(SimTime::from_secs(2), 2);
+            s.run();
+            let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
+            assert_eq!(evs, vec![1, 2, 3]);
+            assert_eq!(s.now(), SimTime::from_secs(3));
+            assert_eq!(s.steps(), 3);
+        }
     }
 
     #[test]
     fn same_instant_events_are_fifo() {
-        let mut s = sim();
-        for i in 0..10 {
-            s.schedule_at(SimTime::from_secs(5), i);
+        for kind in BOTH {
+            let mut s = sim_on(kind);
+            for i in 0..10 {
+                s.schedule_at(SimTime::from_secs(5), i);
+            }
+            s.run();
+            let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
+            assert_eq!(evs, (0..10).collect::<Vec<_>>());
         }
-        s.run();
-        let evs: Vec<u32> = s.world().seen.iter().map(|(_, e)| *e).collect();
-        assert_eq!(evs, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
@@ -294,5 +400,127 @@ mod tests {
         s.schedule_at(SimTime::from_secs(1), 2); // in the past
         s.run();
         assert_eq!(s.world().seen[1].0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn both_queues_produce_identical_runs() {
+        let run = |kind| {
+            let mut s = sim_on(kind);
+            // A mix of ties, out-of-order pushes, and a fan-out chain.
+            s.schedule_at(SimTime::from_secs(7), 7);
+            s.schedule_at(SimTime::from_secs(1), 100);
+            for i in 0..5 {
+                s.schedule_at(SimTime::from_secs(2), i);
+            }
+            s.run();
+            s.world().seen.clone()
+        };
+        assert_eq!(run(QueueKind::Calendar), run(QueueKind::BinaryHeap));
+    }
+
+    /// A world with a sweep subscription: records each sweep instant
+    /// and whether the flag was up at that moment.
+    struct Swept {
+        flag: bool,
+        sweeps_at: Vec<(SimTime, bool)>,
+    }
+
+    /// Events: 1 = raise flag (dirty), 2 = lower flag (dirty),
+    /// 0 = unrelated event (not dirty).
+    impl World for Swept {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+            match ev {
+                1 => {
+                    self.flag = true;
+                    ctx.state_changed();
+                }
+                2 => {
+                    self.flag = false;
+                    ctx.state_changed();
+                }
+                _ => {}
+            }
+        }
+        fn sweep(&mut self, ctx: &mut Ctx<'_, u32>) {
+            self.sweeps_at.push((ctx.now(), self.flag));
+        }
+        fn sweep_interval(&self) -> Option<SimDuration> {
+            Some(SimDuration::from_millis(500))
+        }
+    }
+
+    fn swept() -> Simulation<Swept> {
+        Simulation::new(
+            Swept {
+                flag: false,
+                sweeps_at: Vec::new(),
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn change_driven_sweep_fires_at_the_marking_instant() {
+        let mut s = swept();
+        // Flag is up only for 40ms, entirely inside one 500ms interval.
+        s.schedule_at(SimTime::from_millis(130), 1);
+        s.schedule_at(SimTime::from_millis(170), 2);
+        s.run_until(SimTime::from_secs(1));
+        let seen = &s.world().sweeps_at;
+        assert!(seen.contains(&(SimTime::from_millis(130), true)));
+        assert!(seen.contains(&(SimTime::from_millis(170), false)));
+    }
+
+    #[test]
+    fn unmarked_events_do_not_sweep() {
+        let mut s = swept();
+        s.schedule_at(SimTime::from_millis(100), 0);
+        s.schedule_at(SimTime::from_millis(200), 0);
+        s.run_until(SimTime::from_millis(400));
+        assert!(s.world().sweeps_at.is_empty());
+        assert_eq!(s.sweeps(), 0);
+        assert_eq!(s.steps(), 2);
+    }
+
+    #[test]
+    fn safety_net_keeps_cadence_through_idle_windows() {
+        let mut s = swept();
+        s.run_until(SimTime::from_secs(2));
+        // Sweeps at 500ms, 1s, 1.5s, 2s even with zero events.
+        let at: Vec<SimTime> = s.world().sweeps_at.iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            at,
+            (1..=4)
+                .map(|i| SimTime::from_millis(500 * i))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(s.now(), SimTime::from_secs(2));
+        assert_eq!(s.steps(), 0);
+        assert_eq!(s.sweeps(), 4);
+    }
+
+    #[test]
+    fn change_driven_sweep_pushes_the_safety_net_out() {
+        let mut s = swept();
+        // Dirty event at 400ms → sweep at 400ms; next safety net is
+        // then due at 900ms, not 500ms.
+        s.schedule_at(SimTime::from_millis(400), 1);
+        s.run_until(SimTime::from_millis(1000));
+        let at: Vec<SimTime> = s.world().sweeps_at.iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            at,
+            vec![SimTime::from_millis(400), SimTime::from_millis(900)]
+        );
+    }
+
+    #[test]
+    fn drain_run_does_not_sweep_forever() {
+        let mut s = swept();
+        s.schedule_at(SimTime::from_millis(600), 1);
+        s.run(); // unbounded drain: must terminate
+        assert_eq!(s.now(), SimTime::from_millis(600));
+        // One safety-net sweep (500ms) + the change-driven one (600ms).
+        assert_eq!(s.sweeps(), 2);
     }
 }

@@ -29,14 +29,17 @@ pub mod engine;
 pub mod faults;
 pub mod net;
 pub mod oracle;
+mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Ctx, Simulation, World};
+pub use engine::{Ctx, QueueKind, Simulation, World};
 pub use faults::{fault_plan, Fault, FaultPlanConfig, FaultProfile};
-pub use net::{Endpoint, Envelope, LatencyModel, NetStats, PartitionSpec, SimNet, Transmission};
+pub use net::{
+    CopySet, Endpoint, Envelope, LatencyModel, NetStats, PartitionSpec, SimNet, Transmission,
+};
 pub use oracle::{InvariantKind, Oracle, OracleViolation};
 pub use rng::SimRng;
 pub use stats::{percentile, WindowedCounter};

@@ -196,16 +196,67 @@ pub struct NetStats {
     pub blocked: u64,
 }
 
+/// The delivered copies of one transmission, stored inline.
+///
+/// A transmission yields at most two copies (the original plus one
+/// duplicate), so the delays live in a fixed two-slot array instead of
+/// a heap `Vec` — the simulator's hottest allocation site, gone.
+/// Dereferences to a slice, so indexing, `len`, `iter`, and `is_empty`
+/// all work as they did on the `Vec`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CopySet {
+    buf: [SimDuration; 2],
+    len: u8,
+}
+
+impl CopySet {
+    /// Appends a copy's delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two copies are already present.
+    pub(crate) fn push(&mut self, d: SimDuration) {
+        assert!(
+            (self.len as usize) < 2,
+            "a transmission has at most 2 copies"
+        );
+        self.buf[self.len as usize] = d;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for CopySet {
+    type Target = [SimDuration];
+    fn deref(&self) -> &[SimDuration] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl PartialEq for CopySet {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+impl Eq for CopySet {}
+
+impl IntoIterator for CopySet {
+    type Item = SimDuration;
+    type IntoIter = std::iter::Take<std::array::IntoIter<SimDuration, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().take(self.len as usize)
+    }
+}
+
 /// The outcome of one transmission: zero, one, or two delivery delays.
 ///
 /// Empty means the message was lost (dropped or blocked); two entries
 /// mean it was duplicated, each copy with its own sampled delay.
 /// Because every copy samples delay independently, jitter alone
 /// reorders messages between the same pair of endpoints.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Transmission {
     /// One sampled delay per delivered copy.
-    pub copies: Vec<SimDuration>,
+    pub copies: CopySet,
     /// True when an active partition blocked the message.
     pub blocked: bool,
 }
@@ -299,7 +350,7 @@ impl SimNet {
             if p.blocks(src, dst) {
                 self.stats.blocked += 1;
                 return Transmission {
-                    copies: Vec::new(),
+                    copies: CopySet::default(),
                     blocked: true,
                 };
             }
@@ -309,7 +360,8 @@ impl SimNet {
             return Transmission::default();
         }
         let (a, b) = (self.region(src), self.region(dst));
-        let mut copies = vec![self.latency.sample(a, b, &mut self.rng)];
+        let mut copies = CopySet::default();
+        copies.push(self.latency.sample(a, b, &mut self.rng));
         if self.dup_p > 0.0 && self.rng.chance(self.dup_p) {
             copies.push(self.latency.sample(a, b, &mut self.rng));
             self.stats.duplicated += 1;

@@ -29,6 +29,16 @@ impl SimTime {
         SimTime(ms * 1_000)
     }
 
+    /// Builds an instant `hours` hours after start.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600_000_000)
+    }
+
+    /// Builds an instant `days` days after start.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 86_400_000_000)
+    }
+
     /// Whole seconds since start (truncating).
     pub const fn as_secs(self) -> u64 {
         self.0 / 1_000_000
@@ -57,6 +67,16 @@ impl SimDuration {
     /// Builds a span of `ms` milliseconds.
     pub const fn from_millis(ms: u64) -> Self {
         SimDuration(ms * 1_000)
+    }
+
+    /// Builds a span of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000_000)
+    }
+
+    /// Builds a span of `days` days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400_000_000)
     }
 
     /// Builds a span of `us` microseconds.
@@ -154,6 +174,42 @@ mod tests {
             SimDuration::ZERO
         );
         assert_eq!(SimDuration::from_secs(1).mul(3).as_secs(), 3);
+    }
+
+    #[test]
+    fn multi_week_horizons_stay_exact() {
+        // Six weeks of microseconds is nowhere near u64 range: the
+        // representable horizon is u64::MAX µs ≈ 584 thousand years.
+        let six_weeks = SimTime::from_days(42);
+        assert_eq!(six_weeks.0, 42 * 86_400 * 1_000_000);
+        assert_eq!(six_weeks.as_secs(), 42 * 86_400);
+        assert_eq!(SimTime::from_hours(24 * 42), six_weeks);
+
+        // Microsecond arithmetic at that horizon is still exact.
+        let t = six_weeks + SimDuration::from_micros(1);
+        assert_eq!((t - six_weeks).0, 1);
+        assert_eq!(
+            t - SimTime::ZERO,
+            SimDuration::from_days(42) + SimDuration::from_micros(1)
+        );
+
+        // And the f64 view has not lost precision: 2^53 µs ≈ 285 years,
+        // so week-scale instants round-trip through as_secs_f64.
+        assert!((six_weeks.0 as f64) < (1u64 << 53) as f64);
+        let secs = six_weeks.as_secs_f64();
+        assert_eq!((secs * 1e6) as u64, six_weeks.0);
+
+        // Repeated accumulation of a sub-millisecond tick lands on the
+        // closed-form instant exactly (integer µs: no drift to amass).
+        let mut t = SimTime::from_days(42);
+        let tick = SimDuration::from_micros(500);
+        for _ in 0..200_000 {
+            t += tick;
+        }
+        assert_eq!(
+            t,
+            SimTime::from_days(42) + SimDuration::from_micros(500 * 200_000)
+        );
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Regression test for the fixed-poll oracle blind spot.
+//!
+//! A violation that opens and closes strictly between two 500ms poll
+//! points — here, a 250ms dual-primary window from t=1.20s to t=1.45s —
+//! was invisible to a world that swept on a hand-rolled 500ms timer.
+//! The engine's change-driven sweep subscription closes the hole: the
+//! events that open and close the window mark state as changed, so the
+//! sweep observes the system *inside* the window.
+//!
+//! Both halves are asserted: the fixed-poll world provably misses the
+//! window (non-vacuity — the bug was real), and the subscribed world
+//! catches it.
+
+use sm_sim::oracle::{InvariantKind, Oracle};
+use sm_sim::{Ctx, SimDuration, SimTime, Simulation, World};
+
+/// How the world arranges its oracle sweeps.
+#[derive(Clone, Copy, PartialEq)]
+enum SweepStyle {
+    /// The old pattern: a self-scheduled 500ms poll event, no
+    /// change-driven sweeps.
+    FixedPoll,
+    /// The engine subscription: `state_changed()` on mutations plus the
+    /// engine's coarse safety net.
+    Subscribed,
+}
+
+/// One shard, two "servers": `willing` counts how many would serve.
+/// The schedule briefly raises it to 2 (a second unfenced primary)
+/// and lowers it again, entirely between 500ms marks.
+struct TwoPrimaries {
+    style: SweepStyle,
+    willing: usize,
+    oracle: Oracle,
+}
+
+/// Events: 0 = second primary appears, 1 = it is fenced again,
+/// 2 = the fixed 500ms poll.
+impl World for TwoPrimaries {
+    type Event = u8;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, u8>, ev: u8) {
+        match ev {
+            0 => {
+                self.willing = 2;
+                if self.style == SweepStyle::Subscribed {
+                    ctx.state_changed();
+                }
+            }
+            1 => {
+                self.willing = 1;
+                if self.style == SweepStyle::Subscribed {
+                    ctx.state_changed();
+                }
+            }
+            _ => {
+                // The old hand-rolled poll: sweep, reschedule.
+                self.oracle.primaries_observed(ctx.now(), 0, self.willing);
+                if ctx.now() < SimTime::from_secs(3) {
+                    ctx.schedule_in(SimDuration::from_millis(500), 2);
+                }
+            }
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_, u8>) {
+        self.oracle.primaries_observed(ctx.now(), 0, self.willing);
+    }
+
+    fn sweep_interval(&self) -> Option<SimDuration> {
+        match self.style {
+            SweepStyle::FixedPoll => None,
+            SweepStyle::Subscribed => Some(SimDuration::from_millis(500)),
+        }
+    }
+}
+
+fn run(style: SweepStyle) -> Oracle {
+    let mut sim = Simulation::new(
+        TwoPrimaries {
+            style,
+            willing: 1,
+            oracle: Oracle::new(),
+        },
+        7,
+    );
+    // The dual-primary window: opens at 1.20s, closes at 1.45s —
+    // strictly inside the (1.0s, 1.5s) gap between 500ms marks.
+    sim.schedule_at(SimTime::from_millis(1_200), 0);
+    sim.schedule_at(SimTime::from_millis(1_450), 1);
+    if style == SweepStyle::FixedPoll {
+        sim.schedule_at(SimTime::from_millis(500), 2);
+    }
+    sim.run_until(SimTime::from_secs(3));
+    sim.into_world().oracle
+}
+
+#[test]
+fn fixed_poll_misses_the_sub_interval_window() {
+    // Non-vacuity: the blind spot was real. Every poll lands at a
+    // multiple of 500ms, the window lives entirely between two of
+    // them, and the poll-only world sees nothing.
+    let oracle = run(SweepStyle::FixedPoll);
+    assert!(
+        oracle.observations() >= 5,
+        "the poll did run: {} observations",
+        oracle.observations()
+    );
+    assert_eq!(
+        oracle.total_violations(),
+        0,
+        "a fixed poll must NOT see the 1.20s–1.45s window: {:?}",
+        oracle.violations()
+    );
+}
+
+#[test]
+fn change_driven_sweep_catches_the_same_window() {
+    let oracle = run(SweepStyle::Subscribed);
+    assert!(
+        oracle.total_violations() >= 1,
+        "the change-driven sweep must observe the window"
+    );
+    let v = &oracle.violations()[0];
+    assert_eq!(v.kind, InvariantKind::DualPrimary);
+    assert_eq!(
+        v.at,
+        SimTime::from_millis(1_200),
+        "caught at the instant the window opened, not at a later poll"
+    );
+}

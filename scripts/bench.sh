@@ -2,6 +2,7 @@
 # Machine-readable benchmarks. Targets:
 #   scripts/bench.sh [solver] [--threads 1,8]   -> BENCH_solver.json
 #   scripts/bench.sh router                     -> BENCH_router.json
+#   scripts/bench.sh sim                        -> BENCH_sim.json
 #
 #   SM_SCALE=paper scripts/bench.sh             # full paper sizes (slow)
 set -euo pipefail
@@ -22,8 +23,12 @@ case "$TARGET" in
     OUT="BENCH_router.json"
     BIN="bench_router"
     ;;
+  sim)
+    OUT="BENCH_sim.json"
+    BIN="bench_sim"
+    ;;
   *)
-    echo "unknown bench target '$TARGET' (expected: solver, router)" >&2
+    echo "unknown bench target '$TARGET' (expected: solver, router, sim)" >&2
     exit 2
     ;;
 esac

@@ -52,6 +52,12 @@ cargo test --test dst -q
 step "reconfig gate (joint-consensus membership changes under chaos)"
 cargo test --test reconfig -q
 
+step "bench gates (recorded router + simulator floors)"
+cargo test --test bench_router --test bench_sim -q
+
+step "queue differential gate (calendar vs heap, byte-identical runs)"
+cargo test --release --test sim_queue_diff -q
+
 step "tests"
 cargo test --workspace -q
 
