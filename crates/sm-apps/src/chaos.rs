@@ -348,6 +348,7 @@ fn orch_config() -> OrchestratorConfig {
         graceful_migration: true,
         move_caps: MoveCaps::default(),
         alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+        skip_cutover_ack: false,
     }
 }
 

@@ -470,6 +470,7 @@ impl SimWorld {
                 max_per_shard: 1,
             },
             alloc,
+            skip_cutover_ack: false,
         };
         let mut orch = Orchestrator::new(app, cfg.policy.clone(), orch_cfg.clone());
         orch.register_shards((0..cfg.shards).map(ShardId));

@@ -30,6 +30,7 @@ pub mod queue;
 pub mod reconfig;
 pub mod replication;
 pub mod replstore;
+pub mod split;
 pub mod stream;
 
 pub use chaos::{
@@ -50,4 +51,8 @@ pub use reconfig::{
     ReconfigWorld,
 };
 pub use replstore::ReplStoreServer;
+pub use split::{
+    run_split, run_split_queued, run_split_swarm, run_split_with_plan, shrink_split,
+    split_repro_from_json, split_repro_to_json, SplitConfig, SplitReport, SplitStats, SplitWorld,
+};
 pub use stream::StreamServer;

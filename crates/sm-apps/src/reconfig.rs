@@ -244,6 +244,7 @@ fn orch_config() -> OrchestratorConfig {
             max_per_shard: 1,
         },
         alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+        skip_cutover_ack: false,
     }
 }
 
@@ -606,7 +607,10 @@ impl ReconfigWorld {
                     self.stats.joint_interruptions += 1;
                 }
             }
-            ServerRpc::PrepareAddShard { .. } => {}
+            // The reconfig world's orchestrator never splits or merges.
+            ServerRpc::PrepareAddShard { .. }
+            | ServerRpc::SplitForward { .. }
+            | ServerRpc::MergeForward { .. } => {}
         }
     }
 

@@ -3,26 +3,36 @@
 //! replayable JSON.
 //!
 //! ```text
-//! swarm [--seeds N] [--start-seed S] [--profiles a,b,c] [--threads T]
-//!       [--mutate] [--out DIR] [--replay FILE]
+//! swarm [--world chaos|split] [--seeds N] [--start-seed S]
+//!       [--profiles a,b,c] [--threads T] [--mutate] [--out DIR]
+//!       [--replay FILE]
 //! ```
 //!
 //! - Default grid: seeds `S..S+N` (N = 8) across every fault profile.
-//! - `--mutate` disables §3.2 self-fencing — the documented fencing
-//!   mutation — to demonstrate the oracle catching real violations and
-//!   the shrinker reducing them.
+//! - `--world split` swaps the chaos world for the skew-storm
+//!   adaptive-sharding world (splits and merges under load skew).
+//! - `--mutate` enables the world's documented mutation — disabled
+//!   §3.2 self-fencing for the chaos world, commit-at-cutover-send
+//!   (`skip_cutover_ack`) for the split world — to demonstrate the
+//!   oracle catching real violations and the shrinker reducing them.
 //! - `--replay FILE` re-runs one reproducer JSON (as emitted by a
-//!   failing swarm) and reports its oracle verdict.
+//!   failing swarm) and reports its oracle verdict. The file itself
+//!   names the world it reproduces.
 //!
 //! Exit status: 0 when every cell is violation-free, 1 otherwise.
 
 use sm_apps::dst::{
     repro_from_json, repro_to_json, run_dst_with_plan, run_swarm, shrink, DstConfig,
 };
+use sm_apps::split::{
+    run_split_swarm, run_split_with_plan, shrink_split, split_repro_from_json, split_repro_to_json,
+    SplitConfig,
+};
 use sm_sim::faults::FaultProfile;
 use std::process::ExitCode;
 
 struct Args {
+    world: WorldKind,
     seeds: u64,
     start_seed: u64,
     profiles: Vec<FaultProfile>,
@@ -32,8 +42,15 @@ struct Args {
     replay: Option<String>,
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WorldKind {
+    Chaos,
+    Split,
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        world: WorldKind::Chaos,
         seeds: 8,
         start_seed: 0,
         profiles: FaultProfile::ALL.to_vec(),
@@ -46,6 +63,13 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
+            "--world" => {
+                args.world = match val("--world")?.as_str() {
+                    "chaos" => WorldKind::Chaos,
+                    "split" => WorldKind::Split,
+                    other => return Err(format!("unknown world: {other}")),
+                }
+            }
             "--seeds" => args.seeds = val("--seeds")?.parse().map_err(|e| format!("{e}"))?,
             "--start-seed" => {
                 args.start_seed = val("--start-seed")?.parse().map_err(|e| format!("{e}"))?
@@ -74,6 +98,25 @@ fn replay(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The reproducer names its world: split reproducers carry
+    // `"world": "split"`, chaos reproducers predate the field.
+    if let Some((cfg, plan)) = split_repro_from_json(&text) {
+        println!(
+            "replaying world=split seed={} profile={} mutation={} ({} fault events)",
+            cfg.seed,
+            cfg.profile.name(),
+            cfg.skip_cutover_ack,
+            plan.len()
+        );
+        let report = run_split_with_plan(cfg, plan);
+        print!("{}", report.verdict());
+        return if report.failed() {
+            ExitCode::FAILURE
+        } else {
+            println!("reproducer no longer fails");
+            ExitCode::SUCCESS
+        };
+    }
     let Some((cfg, plan)) = repro_from_json(&text) else {
         eprintln!("swarm: {path} is not a reproducer JSON");
         return ExitCode::FAILURE;
@@ -95,18 +138,7 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("swarm: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Some(path) = &args.replay {
-        return replay(path);
-    }
-
+fn chaos_swarm(args: &Args) -> ExitCode {
     let jobs: Vec<DstConfig> = args
         .profiles
         .iter()
@@ -194,5 +226,103 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn split_swarm(args: &Args) -> ExitCode {
+    let jobs: Vec<SplitConfig> = args
+        .profiles
+        .iter()
+        .flat_map(|&profile| {
+            (args.start_seed..args.start_seed + args.seeds).map(move |seed| {
+                let mut cfg = SplitConfig::dst(seed, profile);
+                cfg.skip_cutover_ack = args.mutate;
+                cfg
+            })
+        })
+        .collect();
+    println!(
+        "swarm: world=split, {} cells ({} seeds x {} profiles), {} threads{}",
+        jobs.len(),
+        args.seeds,
+        args.profiles.len(),
+        args.threads,
+        if args.mutate {
+            ", CUTOVER-ACK MUTATION ON"
+        } else {
+            ""
+        }
+    );
+
+    let reports = run_split_swarm(&jobs, args.threads);
+    let mut failures = 0u64;
+    for (cfg, report) in jobs.iter().zip(&reports) {
+        let tag = format!("seed={:<4} profile={:<14}", cfg.seed, cfg.profile.name());
+        if !report.failed() {
+            println!(
+                "  ok   {tag} served={} splits={}+{}a merges={}+{}a peak={}",
+                report.stats.served,
+                report.stats.splits_completed,
+                report.stats.splits_aborted,
+                report.stats.merges_completed,
+                report.stats.merges_aborted,
+                report.stats.peak_shards
+            );
+            continue;
+        }
+        failures += 1;
+        println!(
+            "  FAIL {tag} {} violation(s): {:?}",
+            report.total_violations,
+            report.violated_kinds()
+        );
+        let original = &report.plan;
+        let minimal = shrink_split(*cfg, original).unwrap_or_else(|| original.clone());
+        println!(
+            "       shrunk {} -> {} fault events",
+            original.len(),
+            minimal.len()
+        );
+        let json = split_repro_to_json(cfg, &minimal);
+        match &args.out {
+            Some(dir) => {
+                let file = format!("{dir}/repro-split-{}-{}.json", cfg.profile.name(), cfg.seed);
+                if let Err(e) =
+                    std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&file, &json))
+                {
+                    eprintln!("swarm: writing {file}: {e}");
+                } else {
+                    println!("       reproducer: {file}");
+                }
+            }
+            None => print!("{json}"),
+        }
+    }
+    println!(
+        "swarm: {}/{} cells violation-free",
+        reports.len() as u64 - failures,
+        reports.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swarm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+    match args.world {
+        WorldKind::Chaos => chaos_swarm(&args),
+        WorldKind::Split => split_swarm(&args),
     }
 }

@@ -47,6 +47,44 @@ pub trait ShardServer {
 
     /// Current per-shard load, pulled periodically by the orchestrator.
     fn report_load(&self) -> Vec<(ShardId, LoadVector)>;
+
+    /// Split analogue of `prepare_drop_shard` (§4.3 generalized to 1→N):
+    /// the server keeps `parent`'s data but stops serving it directly,
+    /// forwarding each request to the prepared child owner covering its
+    /// key (`left_to` / `right_to`). The child ranges are fetched from
+    /// the spec service by correlation, so the RPC stays tiny.
+    ///
+    /// The default refuses — an application must opt into resharding.
+    fn split_forward(
+        &mut self,
+        parent: ShardId,
+        left: ShardId,
+        left_to: ServerId,
+        right: ShardId,
+        right_to: ServerId,
+    ) -> Result<(), SmError> {
+        Err(SmError::conflict(format!(
+            "split of {parent} into {left}@{left_to}/{right}@{right_to} \
+             not supported by this application"
+        )))
+    }
+
+    /// Merge analogue of `prepare_drop_shard` (§4.3 generalized to N→1):
+    /// stop serving `source` directly and forward its requests to the
+    /// prepared owner of the merged shard `target`.
+    ///
+    /// The default refuses — an application must opt into resharding.
+    fn merge_forward(
+        &mut self,
+        source: ShardId,
+        target: ShardId,
+        target_to: ServerId,
+    ) -> Result<(), SmError> {
+        Err(SmError::conflict(format!(
+            "merge of {source} into {target}@{target_to} \
+             not supported by this application"
+        )))
+    }
 }
 
 /// One orchestrator-to-server RPC.
@@ -91,6 +129,28 @@ pub enum ServerRpc {
         /// Role being transferred.
         role: ReplicaRole,
     },
+    /// `split_forward(parent, left, left_to, right, right_to)`.
+    SplitForward {
+        /// The shard being split (hosted by the receiving server).
+        parent: ShardId,
+        /// Child owning the low half of the parent's range.
+        left: ShardId,
+        /// Server prepared to host `left`.
+        left_to: ServerId,
+        /// Child owning the high half of the parent's range.
+        right: ShardId,
+        /// Server prepared to host `right`.
+        right_to: ServerId,
+    },
+    /// `merge_forward(source, target, target_to)`.
+    MergeForward {
+        /// The shard being merged away (hosted by the receiving server).
+        source: ShardId,
+        /// The merged shard absorbing `source`'s range.
+        target: ShardId,
+        /// Server prepared to host `target`.
+        target_to: ServerId,
+    },
 }
 
 impl ServerRpc {
@@ -102,6 +162,8 @@ impl ServerRpc {
             | ServerRpc::ChangeRole { shard, .. }
             | ServerRpc::PrepareAddShard { shard, .. }
             | ServerRpc::PrepareDropShard { shard, .. } => *shard,
+            ServerRpc::SplitForward { parent, .. } => *parent,
+            ServerRpc::MergeForward { source, .. } => *source,
         }
     }
 
@@ -125,6 +187,18 @@ impl ServerRpc {
                 new_owner,
                 role,
             } => server.prepare_drop_shard(shard, new_owner, role),
+            ServerRpc::SplitForward {
+                parent,
+                left,
+                left_to,
+                right,
+                right_to,
+            } => server.split_forward(parent, left, left_to, right, right_to),
+            ServerRpc::MergeForward {
+                source,
+                target,
+                target_to,
+            } => server.merge_forward(source, target, target_to),
         }
     }
 }
@@ -271,6 +345,39 @@ mod tests {
             }
             .shard(),
             ShardId(1)
+        );
+    }
+
+    #[test]
+    fn resharding_rpcs_default_to_refusal() {
+        let mut srv = Recorder::default();
+        let err = ServerRpc::SplitForward {
+            parent: ShardId(1),
+            left: ShardId(2),
+            left_to: ServerId(4),
+            right: ShardId(3),
+            right_to: ServerId(5),
+        }
+        .dispatch(&mut srv)
+        .unwrap_err();
+        assert!(matches!(err, SmError::Conflict(_)));
+        let err = ServerRpc::MergeForward {
+            source: ShardId(1),
+            target: ShardId(2),
+            target_to: ServerId(4),
+        }
+        .dispatch(&mut srv)
+        .unwrap_err();
+        assert!(matches!(err, SmError::Conflict(_)));
+        assert_eq!(
+            ServerRpc::MergeForward {
+                source: ShardId(1),
+                target: ShardId(2),
+                target_to: ServerId(4),
+            }
+            .shard(),
+            ShardId(1),
+            "forward RPCs key on the shard leaving the spec"
         );
     }
 

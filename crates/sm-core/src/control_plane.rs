@@ -594,6 +594,7 @@ mod tests {
             graceful_migration: true,
             move_caps: MoveCaps::default(),
             alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+            skip_cutover_ack: false,
         };
         for p in &parts {
             let orch = minism.adopt_partition(

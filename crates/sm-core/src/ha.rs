@@ -886,6 +886,7 @@ mod tests {
             graceful_migration: true,
             move_caps: MoveCaps::default(),
             alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+            skip_cutover_ack: false,
         }
     }
 

@@ -22,12 +22,16 @@
 //!   partition failover with snapshot bootstrap.
 //! - [`scaler`] — the shard scaler: per-shard replica-count adjustment
 //!   in response to load.
+//! - [`splitter`] — the adaptive shard splitter (beyond the paper):
+//!   key-range split/merge decisions the orchestrator executes with a
+//!   generalized (1→2, 2→1) graceful migration.
 
 pub mod api;
 pub mod control_plane;
 pub mod ha;
 pub mod orchestrator;
 pub mod scaler;
+pub mod splitter;
 pub mod taskcontroller;
 
 pub use api::{OrchCommand, ServerRpc, ShardServer};
@@ -38,4 +42,5 @@ pub use control_plane::{
 pub use ha::{HaControlPlane, HaMiniSm, HaStats, ServerLease, ZkLease};
 pub use orchestrator::{Orchestrator, OrchestratorConfig, ServerEntry};
 pub use scaler::{ScaleDecision, ShardScaler, ShardScalerConfig};
+pub use splitter::{ReshardOp, SplitScaler, SplitScalerConfig};
 pub use taskcontroller::{AvailabilityView, TaskController, TcReview};

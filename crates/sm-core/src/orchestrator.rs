@@ -18,14 +18,16 @@
 //! delivering RPCs to application servers and feeding acks back in.
 
 use crate::api::{OrchCommand, ServerRpc};
+use crate::splitter::{ReshardOp, SplitScaler};
 use sm_allocator::{
     AllocConfig, AllocInput, Allocator, MoveCaps, MoveScheduler, ReplicaMove, ServerInfo,
     ShardPlacement,
 };
 use sm_types::{
-    AppId, AppPolicy, Assignment, LoadVector, Location, ReplicaRole, ServerId, ShardId, ShardMap,
+    AppId, AppKey, AppPolicy, Assignment, LoadVector, Location, ReplicaRole, ServerId, ShardId,
+    ShardMap, ShardingSpec, SmError,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Orchestrator tuning and ablation switches.
 #[derive(Clone, Debug)]
@@ -39,6 +41,12 @@ pub struct OrchestratorConfig {
     pub move_caps: MoveCaps,
     /// Allocator configuration.
     pub alloc: AllocConfig,
+    /// Fault-injection ablation for the resharding protocol: commit a
+    /// split/merge as soon as the cutover `add_shard`s are *sent*
+    /// instead of waiting for their acks. A child that dies before
+    /// applying then owns a range nobody serves — the skew-storm world's
+    /// oracle catches this as a lost request. Never enable outside DST.
+    pub skip_cutover_ack: bool,
 }
 
 impl OrchestratorConfig {
@@ -95,6 +103,89 @@ struct Migration {
     mv: ReplicaMove,
 }
 
+/// Phases of the generalized (1→2 / 2→1) graceful resharding protocol.
+/// `Prepare` and `Cutover` each await acks from the shards entering the
+/// spec; `Forward` awaits acks from the shards leaving it. Commit — the
+/// point of no return, where the spec and assignment swap atomically —
+/// is not a phase: it happens inside the final cutover ack, so an op
+/// observed in any phase can still abort cleanly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ScalePhase {
+    Prepare,
+    Forward,
+    Cutover,
+}
+
+/// An in-flight split: `parent`'s range divides at `at` into
+/// `left` = [start, at) on `left_to` and `right` = [at, end) on
+/// `right_to`. The children are *not* in `shards`, the spec, or any
+/// published map until commit, so clients cannot reach them and an
+/// abort only has to reclaim unpublished state.
+#[derive(Clone, Debug)]
+struct SplitOp {
+    parent: ShardId,
+    parent_primary: ServerId,
+    at: AppKey,
+    left: ShardId,
+    left_to: ServerId,
+    right: ShardId,
+    right_to: ServerId,
+    phase: ScalePhase,
+    // Per-phase ack flags for the two-sided phases (Prepare/Cutover
+    // await both children; reset on every phase transition).
+    left_ready: bool,
+    right_ready: bool,
+}
+
+/// An in-flight merge: the inverse shape — two sources forward into one
+/// prepared `target` on `target_to`.
+#[derive(Clone, Debug)]
+struct MergeOp {
+    left: ShardId,
+    left_primary: ServerId,
+    right: ShardId,
+    right_primary: ServerId,
+    target: ShardId,
+    target_to: ServerId,
+    phase: ScalePhase,
+    left_ready: bool,
+    right_ready: bool,
+}
+
+#[derive(Clone, Debug)]
+enum ScaleOpState {
+    Split(SplitOp),
+    Merge(MergeOp),
+}
+
+impl ScaleOpState {
+    fn involves_server(&self, server: ServerId) -> bool {
+        match self {
+            ScaleOpState::Split(op) => {
+                server == op.parent_primary || server == op.left_to || server == op.right_to
+            }
+            ScaleOpState::Merge(op) => {
+                server == op.left_primary || server == op.right_primary || server == op.target_to
+            }
+        }
+    }
+
+    fn involves_shard(&self, shard: ShardId) -> bool {
+        match self {
+            ScaleOpState::Split(op) => shard == op.parent || shard == op.left || shard == op.right,
+            ScaleOpState::Merge(op) => shard == op.left || shard == op.right || shard == op.target,
+        }
+    }
+
+    /// Every shard the op touches, for the busy set.
+    fn shards(&self) -> [ShardId; 3] {
+        match self {
+            ScaleOpState::Split(op) => [op.parent, op.left, op.right],
+            ScaleOpState::Merge(op) => [op.left, op.right, op.target],
+        }
+    }
+}
+
 /// Counters exposed for tests and experiment reporting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OrchStats {
@@ -106,6 +197,18 @@ pub struct OrchStats {
     pub promotions: u64,
     /// Shard map versions published.
     pub maps_published: u64,
+    /// Promotion acks whose assignment transition was rejected — each
+    /// one also surfaces an [`SmError`] via
+    /// [`Orchestrator::drain_errors`].
+    pub failed_transitions: u64,
+    /// Splits committed (spec swapped to the two children).
+    pub splits_completed: u64,
+    /// Splits aborted before commit (children reclaimed, parent kept).
+    pub splits_aborted: u64,
+    /// Merges committed (spec swapped to the merged shard).
+    pub merges_completed: u64,
+    /// Merges aborted before commit (target reclaimed, sources kept).
+    pub merges_aborted: u64,
 }
 
 /// The per-partition orchestrator.
@@ -132,6 +235,22 @@ pub struct Orchestrator {
     reclaims: Vec<(ShardId, ServerId)>,
     scheduler: Option<MoveScheduler>,
     stats: OrchStats,
+    /// The authoritative key-range spec, once registered. Resharding
+    /// (split/merge) rewrites it; `spec_version` counts the rewrites so
+    /// routers can detect staleness independent of the map version.
+    spec: Option<ShardingSpec>,
+    spec_version: u64,
+    /// Next never-used shard id for minting split/merge children.
+    next_shard_id: u64,
+    /// In-flight split/merge operations.
+    scale_ops: Vec<ScaleOpState>,
+    /// Post-abort resumes awaiting an `AddShard` ack: the source shard's
+    /// primary was told to resume direct serving (cancelling forward
+    /// state); retried on failure like reclaims.
+    restores: Vec<(ShardId, ServerId)>,
+    /// Surfaced anomalies (e.g. rejected promotion transitions), drained
+    /// by the embedding world for logging. Bounded.
+    errors: Vec<SmError>,
 }
 
 impl Orchestrator {
@@ -153,6 +272,12 @@ impl Orchestrator {
             reclaims: Vec::new(),
             scheduler: None,
             stats: OrchStats::default(),
+            spec: None,
+            spec_version: 0,
+            next_shard_id: 0,
+            scale_ops: Vec::new(),
+            restores: Vec::new(),
+            errors: Vec::new(),
         }
     }
 
@@ -212,6 +337,66 @@ impl Orchestrator {
         for s in shards {
             self.shards.push(s);
             self.desired_replicas.insert(s, n);
+            self.next_shard_id = self.next_shard_id.max(s.raw() + 1);
+        }
+    }
+
+    /// Registers the application's key-range spec, enabling adaptive
+    /// resharding ([`Self::start_split`] / [`Self::start_merge`]). The
+    /// spec's shards should also be registered via
+    /// [`Self::register_shards`].
+    pub fn register_spec(&mut self, spec: ShardingSpec) {
+        if let Some(max) = spec.max_shard_id() {
+            self.next_shard_id = self.next_shard_id.max(max.raw() + 1);
+        }
+        self.spec = Some(spec);
+        self.spec_version += 1;
+    }
+
+    /// The current key-range spec, if one was registered. Resharding
+    /// rewrites it at each commit; readers pair it with
+    /// [`Self::current_map`] to route by key.
+    pub fn sharding_spec(&self) -> Option<&ShardingSpec> {
+        self.spec.as_ref()
+    }
+
+    /// Monotonic counter of spec rewrites.
+    pub fn spec_version(&self) -> u64 {
+        self.spec_version
+    }
+
+    /// The pending split point of `parent`, while a split of it is in
+    /// flight. The world uses this to derive the child ranges when it
+    /// delivers the `SplitForward` RPC (the RPC itself carries only ids,
+    /// keeping [`ServerRpc`] `Copy`).
+    pub fn pending_split(&self, parent: ShardId) -> Option<&AppKey> {
+        self.scale_ops.iter().find_map(|op| match op {
+            ScaleOpState::Split(s) if s.parent == parent => Some(&s.at),
+            _ => None,
+        })
+    }
+
+    /// The `(target, target_server)` of an in-flight merge consuming
+    /// `source`, if any.
+    pub fn pending_merge(&self, source: ShardId) -> Option<(ShardId, ServerId)> {
+        self.scale_ops.iter().find_map(|op| match op {
+            ScaleOpState::Merge(m) if m.left == source || m.right == source => {
+                Some((m.target, m.target_to))
+            }
+            _ => None,
+        })
+    }
+
+    /// Drains surfaced anomalies (rejected transitions, failed commits)
+    /// for the embedding world to log.
+    pub fn drain_errors(&mut self) -> Vec<SmError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    fn push_error(&mut self, err: SmError) {
+        // Bounded: an unread backlog must not grow without limit.
+        if self.errors.len() < 64 {
+            self.errors.push(err);
         }
     }
 
@@ -385,9 +570,13 @@ impl Orchestrator {
             .any(|r| r.server == mv.to);
         // A shard with a suspect unacked copy must not be re-placed
         // until the reclaim resolves; nor may any shard be placed onto
-        // a server we are currently reclaiming it from.
+        // a server we are currently reclaiming it from. Shards inside a
+        // split/merge are equally off-limits: moving the parent's
+        // primary mid-forward would strand the forwarding chain.
         let reclaiming = self.reclaims.iter().any(|&(s, _)| s == shard);
-        if stale_source || already_migrating || target_occupied || reclaiming {
+        let resharding = self.scale_ops.iter().any(|op| op.involves_shard(shard))
+            || self.restores.iter().any(|&(s, _)| s == shard);
+        if stale_source || already_migrating || target_occupied || reclaiming || resharding {
             if let Some(s) = self.scheduler.as_mut() {
                 s.complete(&mv);
             }
@@ -508,12 +697,42 @@ impl Orchestrator {
             {
                 self.promotions.swap_remove(pos);
                 if new.is_primary() {
-                    let _outcome = self.assignment.change_role(shard, server, new);
-                    self.stats.promotions += 1;
-                    self.publish_map();
+                    match self.assignment.change_role(shard, server, new) {
+                        Ok(()) => {
+                            self.stats.promotions += 1;
+                            self.publish_map();
+                        }
+                        Err(reason) => {
+                            // The server acked the promotion but the
+                            // assignment refused it (e.g. a concurrent
+                            // path already installed another primary).
+                            // The acker now wrongly believes it is
+                            // primary: demote it, surface the anomaly,
+                            // and re-run role reconciliation instead of
+                            // publishing a map that contradicts
+                            // reality.
+                            self.stats.failed_transitions += 1;
+                            self.push_error(SmError::conflict(format!(
+                                "promotion of {shard} at {server} acked but rejected: {reason}"
+                            )));
+                            self.send_rpc(
+                                server,
+                                ServerRpc::ChangeRole {
+                                    shard,
+                                    current: ReplicaRole::Primary,
+                                    new: ReplicaRole::Secondary,
+                                },
+                            );
+                            self.ensure_primary_for(shard);
+                        }
+                    }
                 }
                 return;
             }
+        }
+
+        if self.restore_acked(server, rpc) || self.scale_rpc_acked(server, rpc) {
+            return;
         }
 
         let Some(idx) = self.migrations.iter().position(|m| match m.phase {
@@ -676,6 +895,31 @@ impl Orchestrator {
     /// repair happens through [`Self::server_down`].
     pub fn rpc_failed(&mut self, server: ServerId, rpc: ServerRpc) {
         let shard = rpc.shard();
+        // A failed post-abort resume retries while the server lives (a
+        // source primary that never resumes serving blackholes its
+        // range); a dead server resolves through `server_down`.
+        if let ServerRpc::AddShard { .. } = rpc {
+            if self
+                .restores
+                .iter()
+                .any(|&(s, srv)| s == shard && srv == server)
+            {
+                if self.server_alive(server) {
+                    self.send_rpc(server, rpc);
+                }
+                return;
+            }
+        }
+        // Any nack inside an in-flight split/merge aborts the whole op
+        // pre-commit: children are reclaimed, sources resume serving.
+        if let Some(idx) = self
+            .scale_ops
+            .iter()
+            .position(|op| op.involves_shard(shard) && op.involves_server(server))
+        {
+            self.abort_scale_op(idx, None);
+            return;
+        }
         if let Some(idx) = self
             .migrations
             .iter()
@@ -760,6 +1004,22 @@ impl Orchestrator {
             return;
         }
         entry.alive = false;
+
+        // Abort split/merge ops touching the dead server while the
+        // assignment still reflects pre-failure reality (the abort's
+        // source-resume check needs it). The dead server's own reclaims
+        // and restores are fenced by lease expiry below.
+        let doomed_ops: Vec<usize> = self
+            .scale_ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.involves_server(server))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in doomed_ops.into_iter().rev() {
+            self.abort_scale_op(idx, Some(server));
+        }
+        self.restores.retain(|&(_, srv)| srv != server);
 
         // Abort migrations touching the dead server.
         let doomed: Vec<usize> = self
@@ -1136,6 +1396,632 @@ impl Orchestrator {
         changed
     }
 
+    // ---- Adaptive resharding (beyond the paper; ROADMAP item 3) ----
+    //
+    // A split runs the §4.3 graceful protocol generalized to 1→2:
+    //
+    // 1. `prepare_add_shard(left)` → left_to, `prepare_add_shard(right)`
+    //    → right_to (children accept only forwarded requests);
+    // 2. `split_forward(parent, ...)` → parent's primary (keeps the
+    //    data, stops serving directly, forwards each request to the
+    //    child covering its key);
+    // 3. `add_shard(left)` → left_to, `add_shard(right)` → right_to;
+    // 4. on both acks, *commit*: rewrite the spec, swap the assignment,
+    //    publish the new map — one atomic step, so every shard id keeps
+    //    a single immutable range from mint to removal;
+    // 5. `drop_shard(parent)` → old primary via the reclaim machinery
+    //    (drains residual forwarded traffic; retried like any reclaim).
+    //
+    // A merge is the mirror image (2→1): prepare the target, tell both
+    // source primaries to `merge_forward`, cut over, commit, reclaim
+    // the sources. Any nack, involved-server death, or involved-server
+    // restart before commit aborts the whole op: the unpublished
+    // children/target are reclaimed and the sources resume serving.
+
+    /// Begins a graceful split of `parent` at its range midpoint.
+    pub fn start_split(&mut self, parent: ShardId) -> Result<(), SmError> {
+        let spec = self
+            .spec
+            .as_ref()
+            .ok_or_else(|| SmError::conflict("no sharding spec registered"))?;
+        let range = spec
+            .range_of(parent)
+            .ok_or_else(|| SmError::not_found(parent))?;
+        let at = range
+            .midpoint()
+            .ok_or_else(|| SmError::conflict(format!("{parent} is too narrow to split")))?;
+        if self.reshard_busy().contains(&parent) {
+            return Err(SmError::conflict(format!("{parent} is busy")));
+        }
+        let parent_primary = self
+            .assignment
+            .primary_of(parent)
+            .filter(|&p| self.server_alive(p))
+            .ok_or_else(|| SmError::Unavailable(format!("{parent} has no live primary")))?;
+        // Each child inherits half the parent's observed load; targets
+        // are picked like drain targets, spreading the two halves.
+        let half = self
+            .loads
+            .get(&parent)
+            .copied()
+            .unwrap_or_else(default_shard_load)
+            .scale(0.5);
+        let mut extra: BTreeMap<ServerId, LoadVector> = BTreeMap::new();
+        let no_target = || SmError::Unavailable("no server can host a split child".into());
+        let left_to = self
+            .pick_scale_target(&[parent_primary], &extra, &half)
+            .ok_or_else(no_target)?;
+        extra.insert(left_to, half);
+        let right_to = self
+            .pick_scale_target(&[parent_primary], &extra, &half)
+            .ok_or_else(no_target)?;
+        let left = self.mint_shard_id();
+        let right = self.mint_shard_id();
+        self.loads.insert(left, half);
+        self.loads.insert(right, half);
+        self.scale_ops.push(ScaleOpState::Split(SplitOp {
+            parent,
+            parent_primary,
+            at,
+            left,
+            left_to,
+            right,
+            right_to,
+            phase: ScalePhase::Prepare,
+            left_ready: false,
+            right_ready: false,
+        }));
+        self.send_rpc(
+            left_to,
+            ServerRpc::PrepareAddShard {
+                shard: left,
+                current_owner: parent_primary,
+                role: ReplicaRole::Primary,
+            },
+        );
+        self.send_rpc(
+            right_to,
+            ServerRpc::PrepareAddShard {
+                shard: right,
+                current_owner: parent_primary,
+                role: ReplicaRole::Primary,
+            },
+        );
+        Ok(())
+    }
+
+    /// Begins a graceful merge of the adjacent shards `left` and
+    /// `right` into one freshly minted shard.
+    pub fn start_merge(&mut self, left: ShardId, right: ShardId) -> Result<(), SmError> {
+        let spec = self
+            .spec
+            .as_ref()
+            .ok_or_else(|| SmError::conflict("no sharding spec registered"))?;
+        let lr = spec
+            .range_of(left)
+            .ok_or_else(|| SmError::not_found(left))?;
+        let rr = spec
+            .range_of(right)
+            .ok_or_else(|| SmError::not_found(right))?;
+        if lr.merge(rr).is_none() {
+            return Err(SmError::InvalidArgument(format!(
+                "{left} and {right} are not adjacent"
+            )));
+        }
+        let busy = self.reshard_busy();
+        if busy.contains(&left) || busy.contains(&right) {
+            return Err(SmError::conflict(format!("{left} or {right} is busy")));
+        }
+        let live_primary = |o: &Self, s: ShardId| {
+            o.assignment
+                .primary_of(s)
+                .filter(|&p| o.server_alive(p))
+                .ok_or_else(|| SmError::Unavailable(format!("{s} has no live primary")))
+        };
+        let left_primary = live_primary(self, left)?;
+        let right_primary = live_primary(self, right)?;
+        let mut combined = self
+            .loads
+            .get(&left)
+            .copied()
+            .unwrap_or_else(default_shard_load);
+        combined += self
+            .loads
+            .get(&right)
+            .copied()
+            .unwrap_or_else(default_shard_load);
+        let target_to = self
+            .pick_scale_target(&[left_primary, right_primary], &BTreeMap::new(), &combined)
+            .ok_or_else(|| SmError::Unavailable("no server can host the merged shard".into()))?;
+        let target = self.mint_shard_id();
+        self.loads.insert(target, combined);
+        self.scale_ops.push(ScaleOpState::Merge(MergeOp {
+            left,
+            left_primary,
+            right,
+            right_primary,
+            target,
+            target_to,
+            phase: ScalePhase::Prepare,
+            left_ready: false,
+            right_ready: false,
+        }));
+        self.send_rpc(
+            target_to,
+            ServerRpc::PrepareAddShard {
+                shard: target,
+                current_owner: left_primary,
+                role: ReplicaRole::Primary,
+            },
+        );
+        Ok(())
+    }
+
+    /// Runs the split scaler over the latest load reports and starts as
+    /// many recommended operations as the concurrency budget allows.
+    /// Returns the number started.
+    pub fn run_reshard(&mut self, scaler: &SplitScaler) -> usize {
+        let Some(spec) = self.spec.clone() else {
+            return 0;
+        };
+        let slots = scaler
+            .config()
+            .max_concurrent
+            .saturating_sub(self.scale_ops.len());
+        if slots == 0 {
+            return 0;
+        }
+        let busy = self.reshard_busy();
+        let ops = scaler.evaluate(&spec, &self.loads, &busy);
+        let mut started = 0;
+        for op in ops.into_iter().take(slots) {
+            let outcome = match op {
+                ReshardOp::Split { shard } => self.start_split(shard),
+                ReshardOp::Merge { left, right } => self.start_merge(left, right),
+            };
+            // A refused start (no target with headroom, primary briefly
+            // missing) is not an anomaly; the next tick retries.
+            if outcome.is_ok() {
+                started += 1;
+            }
+        }
+        started
+    }
+
+    /// Shards the split scaler must leave alone: anything mid-migration,
+    /// mid-promotion, mid-reclaim, mid-restore, or inside a scale op.
+    fn reshard_busy(&self) -> BTreeSet<ShardId> {
+        let mut busy: BTreeSet<ShardId> = BTreeSet::new();
+        busy.extend(self.migrations.iter().map(|m| m.shard));
+        busy.extend(self.promotions.iter().map(|&(s, _)| s));
+        busy.extend(self.reclaims.iter().map(|&(s, _)| s));
+        busy.extend(self.restores.iter().map(|&(s, _)| s));
+        for op in &self.scale_ops {
+            busy.extend(op.shards());
+        }
+        busy
+    }
+
+    fn mint_shard_id(&mut self) -> ShardId {
+        let id = ShardId(self.next_shard_id);
+        self.next_shard_id += 1;
+        id
+    }
+
+    /// Drain-style target pick for shards entering the spec, excluding
+    /// the servers already involved in the op.
+    fn pick_scale_target(
+        &self,
+        exclude: &[ServerId],
+        extra: &BTreeMap<ServerId, LoadVector>,
+        load: &LoadVector,
+    ) -> Option<ServerId> {
+        self.servers
+            .iter()
+            .filter(|(id, e)| e.alive && !e.draining && !exclude.contains(id))
+            .filter(|(id, e)| {
+                let mut usage = self.usage_of(**id);
+                if let Some(x) = extra.get(id) {
+                    usage += *x;
+                }
+                usage += *load;
+                usage.fits_within(&e.capacity) || e.capacity == LoadVector::zero()
+            })
+            .min_by(|(a, ea), (b, eb)| {
+                let ua = self.usage_of(**a).max_utilization(&ea.capacity);
+                let ub = self.usage_of(**b).max_utilization(&eb.capacity);
+                ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// Matches an ack against in-flight scale ops and advances the
+    /// owning state machine. Returns true when consumed.
+    fn scale_rpc_acked(&mut self, server: ServerId, rpc: ServerRpc) -> bool {
+        for idx in 0..self.scale_ops.len() {
+            let advanced = match self.scale_ops.get(idx) {
+                Some(ScaleOpState::Split(op)) => {
+                    let op = op.clone();
+                    self.split_acked(idx, &op, server, rpc)
+                }
+                Some(ScaleOpState::Merge(op)) => {
+                    let op = op.clone();
+                    self.merge_acked(idx, &op, server, rpc)
+                }
+                None => false,
+            };
+            if advanced {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn split_acked(&mut self, idx: usize, op: &SplitOp, server: ServerId, rpc: ServerRpc) -> bool {
+        let mut op = op.clone();
+        match op.phase {
+            ScalePhase::Prepare => {
+                let expected = |child: ShardId| ServerRpc::PrepareAddShard {
+                    shard: child,
+                    current_owner: op.parent_primary,
+                    role: ReplicaRole::Primary,
+                };
+                if server == op.left_to && rpc == expected(op.left) {
+                    op.left_ready = true;
+                } else if server == op.right_to && rpc == expected(op.right) {
+                    op.right_ready = true;
+                } else {
+                    return false;
+                }
+                if op.left_ready && op.right_ready {
+                    op.phase = ScalePhase::Forward;
+                    op.left_ready = false;
+                    op.right_ready = false;
+                    self.send_rpc(
+                        op.parent_primary,
+                        ServerRpc::SplitForward {
+                            parent: op.parent,
+                            left: op.left,
+                            left_to: op.left_to,
+                            right: op.right,
+                            right_to: op.right_to,
+                        },
+                    );
+                }
+                self.store_scale_op(idx, ScaleOpState::Split(op));
+                true
+            }
+            ScalePhase::Forward => {
+                let expected = ServerRpc::SplitForward {
+                    parent: op.parent,
+                    left: op.left,
+                    left_to: op.left_to,
+                    right: op.right,
+                    right_to: op.right_to,
+                };
+                if server != op.parent_primary || rpc != expected {
+                    return false;
+                }
+                self.send_rpc(
+                    op.left_to,
+                    ServerRpc::AddShard {
+                        shard: op.left,
+                        role: ReplicaRole::Primary,
+                    },
+                );
+                self.send_rpc(
+                    op.right_to,
+                    ServerRpc::AddShard {
+                        shard: op.right,
+                        role: ReplicaRole::Primary,
+                    },
+                );
+                if self.config.skip_cutover_ack {
+                    // DST ablation: commit at send time. See
+                    // `OrchestratorConfig::skip_cutover_ack`.
+                    self.scale_ops.swap_remove(idx);
+                    self.commit_split(&op);
+                } else {
+                    op.phase = ScalePhase::Cutover;
+                    self.store_scale_op(idx, ScaleOpState::Split(op));
+                }
+                true
+            }
+            ScalePhase::Cutover => {
+                let expected = |child: ShardId| ServerRpc::AddShard {
+                    shard: child,
+                    role: ReplicaRole::Primary,
+                };
+                if server == op.left_to && rpc == expected(op.left) {
+                    op.left_ready = true;
+                } else if server == op.right_to && rpc == expected(op.right) {
+                    op.right_ready = true;
+                } else {
+                    return false;
+                }
+                if op.left_ready && op.right_ready {
+                    self.scale_ops.swap_remove(idx);
+                    self.commit_split(&op);
+                } else {
+                    self.store_scale_op(idx, ScaleOpState::Split(op));
+                }
+                true
+            }
+        }
+    }
+
+    fn merge_acked(&mut self, idx: usize, op: &MergeOp, server: ServerId, rpc: ServerRpc) -> bool {
+        let mut op = op.clone();
+        match op.phase {
+            ScalePhase::Prepare => {
+                let expected = ServerRpc::PrepareAddShard {
+                    shard: op.target,
+                    current_owner: op.left_primary,
+                    role: ReplicaRole::Primary,
+                };
+                if server != op.target_to || rpc != expected {
+                    return false;
+                }
+                op.phase = ScalePhase::Forward;
+                self.send_rpc(
+                    op.left_primary,
+                    ServerRpc::MergeForward {
+                        source: op.left,
+                        target: op.target,
+                        target_to: op.target_to,
+                    },
+                );
+                self.send_rpc(
+                    op.right_primary,
+                    ServerRpc::MergeForward {
+                        source: op.right,
+                        target: op.target,
+                        target_to: op.target_to,
+                    },
+                );
+                self.store_scale_op(idx, ScaleOpState::Merge(op));
+                true
+            }
+            ScalePhase::Forward => {
+                let expected = |source: ShardId| ServerRpc::MergeForward {
+                    source,
+                    target: op.target,
+                    target_to: op.target_to,
+                };
+                if server == op.left_primary && rpc == expected(op.left) {
+                    op.left_ready = true;
+                } else if server == op.right_primary && rpc == expected(op.right) {
+                    op.right_ready = true;
+                } else {
+                    return false;
+                }
+                if op.left_ready && op.right_ready {
+                    self.send_rpc(
+                        op.target_to,
+                        ServerRpc::AddShard {
+                            shard: op.target,
+                            role: ReplicaRole::Primary,
+                        },
+                    );
+                    if self.config.skip_cutover_ack {
+                        self.scale_ops.swap_remove(idx);
+                        self.commit_merge(&op);
+                        return true;
+                    }
+                    op.phase = ScalePhase::Cutover;
+                }
+                self.store_scale_op(idx, ScaleOpState::Merge(op));
+                true
+            }
+            ScalePhase::Cutover => {
+                let expected = ServerRpc::AddShard {
+                    shard: op.target,
+                    role: ReplicaRole::Primary,
+                };
+                if server != op.target_to || rpc != expected {
+                    return false;
+                }
+                self.scale_ops.swap_remove(idx);
+                self.commit_merge(&op);
+                true
+            }
+        }
+    }
+
+    fn store_scale_op(&mut self, idx: usize, op: ScaleOpState) {
+        if let Some(slot) = self.scale_ops.get_mut(idx) {
+            *slot = op;
+        }
+    }
+
+    /// Commit step of a split: rewrite the spec, swap the assignment,
+    /// publish — then drain the old primary through the reclaim path.
+    fn commit_split(&mut self, op: &SplitOp) {
+        let Some(spec) = self.spec.as_ref() else {
+            return;
+        };
+        let new_spec = match spec.split_shard(op.parent, &op.at, op.left, op.right) {
+            Ok(s) => s,
+            Err(reason) => {
+                // Unreachable by construction (the op held exclusive
+                // ownership of the parent's range); surface and recover
+                // rather than corrupt the spec.
+                self.push_error(SmError::conflict(format!(
+                    "split of {} failed at commit: {reason}",
+                    op.parent
+                )));
+                self.stats.splits_aborted += 1;
+                self.reclaim_from(op.left, op.left_to, None);
+                self.reclaim_from(op.right, op.right_to, None);
+                self.loads.remove(&op.left);
+                self.loads.remove(&op.right);
+                self.restore_serving(op.parent, op.parent_primary, None);
+                return;
+            }
+        };
+        self.spec = Some(new_spec);
+        self.spec_version += 1;
+        let desired = self.desired_replicas.get(&op.parent).copied().unwrap_or(1);
+        for (child, to) in [(op.left, op.left_to), (op.right, op.right_to)] {
+            self.shards.push(child);
+            self.desired_replicas.insert(child, desired);
+            if let Err(reason) = self.assignment.add_replica(child, to, ReplicaRole::Primary) {
+                self.push_error(SmError::conflict(format!(
+                    "split child {child} could not be recorded at {to}: {reason}"
+                )));
+            }
+        }
+        self.retire_shard(op.parent);
+        self.publish_map();
+        self.stats.splits_completed += 1;
+        if desired > 1 {
+            // Children start primary-only; refill their secondaries.
+            self.run_emergency();
+        }
+    }
+
+    /// Commit step of a merge: mirror image of `commit_split`.
+    fn commit_merge(&mut self, op: &MergeOp) {
+        let Some(spec) = self.spec.as_ref() else {
+            return;
+        };
+        let new_spec = match spec.merge_shards(op.left, op.right, op.target) {
+            Ok(s) => s,
+            Err(reason) => {
+                self.push_error(SmError::conflict(format!(
+                    "merge into {} failed at commit: {reason}",
+                    op.target
+                )));
+                self.stats.merges_aborted += 1;
+                self.reclaim_from(op.target, op.target_to, None);
+                self.loads.remove(&op.target);
+                self.restore_serving(op.left, op.left_primary, None);
+                self.restore_serving(op.right, op.right_primary, None);
+                return;
+            }
+        };
+        self.spec = Some(new_spec);
+        self.spec_version += 1;
+        let desired = self
+            .desired_replicas
+            .get(&op.left)
+            .copied()
+            .unwrap_or(1)
+            .max(self.desired_replicas.get(&op.right).copied().unwrap_or(1));
+        self.shards.push(op.target);
+        self.desired_replicas.insert(op.target, desired);
+        if let Err(reason) =
+            self.assignment
+                .add_replica(op.target, op.target_to, ReplicaRole::Primary)
+        {
+            self.push_error(SmError::conflict(format!(
+                "merged shard {} could not be recorded at {}: {reason}",
+                op.target, op.target_to
+            )));
+        }
+        self.retire_shard(op.left);
+        self.retire_shard(op.right);
+        self.publish_map();
+        self.stats.merges_completed += 1;
+        if desired > 1 {
+            self.run_emergency();
+        }
+    }
+
+    /// Removes a committed-away shard from every book and drains its
+    /// remaining replicas through the reclaim path (step 5: the old
+    /// primary keeps forwarding residual traffic until dropped).
+    fn retire_shard(&mut self, shard: ShardId) {
+        let holders: Vec<ServerId> = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .map(|r| r.server)
+            .collect();
+        for server in holders {
+            self.assignment.remove_replica(shard, server);
+            self.reclaim_from(shard, server, None);
+        }
+        self.shards.retain(|&s| s != shard);
+        self.desired_replicas.remove(&shard);
+        self.loads.remove(&shard);
+    }
+
+    /// Aborts an in-flight scale op before commit: reclaim the
+    /// unpublished children/target, resume the sources' direct serving.
+    /// `dead` marks a server that just failed — nothing is sent to it
+    /// (lease expiry fences whatever it held).
+    fn abort_scale_op(&mut self, idx: usize, dead: Option<ServerId>) {
+        let op = self.scale_ops.swap_remove(idx);
+        match op {
+            ScaleOpState::Split(op) => {
+                self.stats.splits_aborted += 1;
+                self.loads.remove(&op.left);
+                self.loads.remove(&op.right);
+                self.reclaim_from(op.left, op.left_to, dead);
+                self.reclaim_from(op.right, op.right_to, dead);
+                self.restore_serving(op.parent, op.parent_primary, dead);
+            }
+            ScaleOpState::Merge(op) => {
+                self.stats.merges_aborted += 1;
+                self.loads.remove(&op.target);
+                self.reclaim_from(op.target, op.target_to, dead);
+                self.restore_serving(op.left, op.left_primary, dead);
+                self.restore_serving(op.right, op.right_primary, dead);
+            }
+        }
+    }
+
+    /// Sends a compensating `DropShard` through the reclaim machinery
+    /// (retried on failure, fenced by lease expiry on death).
+    fn reclaim_from(&mut self, shard: ShardId, server: ServerId, dead: Option<ServerId>) {
+        if Some(server) == dead || !self.server_alive(server) {
+            return;
+        }
+        if !self.reclaims.contains(&(shard, server)) {
+            self.reclaims.push((shard, server));
+        }
+        self.send_rpc(server, ServerRpc::DropShard { shard });
+    }
+
+    /// Tells a still-assigned source primary to resume direct serving
+    /// after an abort (an idempotent `AddShard` cancels forward state).
+    fn restore_serving(&mut self, shard: ShardId, server: ServerId, dead: Option<ServerId>) {
+        let still_assigned = self
+            .assignment
+            .replicas(shard)
+            .iter()
+            .any(|r| r.server == server);
+        if Some(server) == dead || !self.server_alive(server) || !still_assigned {
+            return;
+        }
+        if !self.restores.contains(&(shard, server)) {
+            self.restores.push((shard, server));
+        }
+        self.send_rpc(
+            server,
+            ServerRpc::AddShard {
+                shard,
+                role: ReplicaRole::Primary,
+            },
+        );
+    }
+
+    /// Matches an `AddShard` ack against pending post-abort restores.
+    fn restore_acked(&mut self, server: ServerId, rpc: ServerRpc) -> bool {
+        if let ServerRpc::AddShard { shard, .. } = rpc {
+            if let Some(pos) = self
+                .restores
+                .iter()
+                .position(|&(s, srv)| s == shard && srv == server)
+            {
+                self.restores.swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
     // ---- State persistence (§3.2, §6.2) ----
 
     /// Serializes the orchestrator's durable state — the assignment,
@@ -1234,6 +2120,22 @@ impl Orchestrator {
         if let Some(e) = self.servers.get_mut(&server) {
             e.alive = true;
         }
+        // An in-place restart silently discarded any split/merge
+        // forwarding or prepared-child state the server held. Committing
+        // such an op later would hand ownership to a child that no
+        // longer exists, or leave a "forwarding" parent serving
+        // directly — abort now and let the scaler retry once quiescent.
+        self.restores.retain(|&(_, srv)| srv != server);
+        let doomed: Vec<usize> = self
+            .scale_ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.involves_server(server))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in doomed.into_iter().rev() {
+            self.abort_scale_op(idx, Some(server));
+        }
         for (shard, role) in self.assignment.shards_on(server) {
             self.send_rpc(server, ServerRpc::AddShard { shard, role });
         }
@@ -1242,6 +2144,11 @@ impl Orchestrator {
     /// Count of in-flight migrations (tests / metrics).
     pub fn in_flight_migrations(&self) -> usize {
         self.migrations.len()
+    }
+
+    /// Count of in-flight split/merge operations (tests / metrics).
+    pub fn in_flight_reshards(&self) -> usize {
+        self.scale_ops.len()
     }
 }
 
@@ -1274,6 +2181,7 @@ mod tests {
                 max_per_shard: 1,
             },
             alloc,
+            skip_cutover_ack: false,
         }
     }
 
@@ -1875,5 +2783,282 @@ mod tests {
         let published = o.stats().maps_published;
         o.server_down(ServerId(0));
         assert_eq!(o.stats().maps_published, published, "second call no-ops");
+    }
+
+    // ---- Adaptive resharding ----
+
+    /// Drains the outbox into `(server, rpc)` pairs, dropping map
+    /// notices.
+    fn rpcs(o: &mut Orchestrator) -> Vec<(ServerId, ServerRpc)> {
+        o.take_commands()
+            .into_iter()
+            .filter_map(|c| match c {
+                OrchCommand::Rpc { server, rpc } => Some((server, rpc)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Bootstrapped primary-only orchestrator with a registered
+    /// two-shard uniform spec.
+    fn reshard_orch(servers: u32) -> Orchestrator {
+        let mut o = orch(AppPolicy::primary_only(), servers, 2);
+        o.register_spec(ShardingSpec::uniform_u64(2));
+        o.run_emergency();
+        settle(&mut o);
+        o
+    }
+
+    #[test]
+    fn graceful_split_walks_the_generalized_five_steps() {
+        let mut o = reshard_orch(3);
+        let parent = ShardId(0);
+        let old_primary = o.assignment().primary_of(parent).unwrap();
+        o.start_split(parent).unwrap();
+        assert_eq!(o.in_flight_reshards(), 1);
+
+        // Step 1: both children prepared on servers != the old primary.
+        let prepares = rpcs(&mut o);
+        assert_eq!(prepares.len(), 2);
+        for (s, r) in &prepares {
+            assert!(matches!(
+                r,
+                ServerRpc::PrepareAddShard {
+                    current_owner,
+                    role: ReplicaRole::Primary,
+                    ..
+                } if *current_owner == old_primary
+            ));
+            assert_ne!(*s, old_primary);
+            o.rpc_acked(*s, *r);
+        }
+
+        // Step 2: the parent stops serving directly and forwards
+        // per-key; the split point is exposed for the world.
+        assert!(o.pending_split(parent).is_some());
+        let fwd = rpcs(&mut o);
+        assert_eq!(fwd.len(), 1);
+        let (s, r) = fwd[0];
+        assert_eq!(s, old_primary);
+        assert!(matches!(r, ServerRpc::SplitForward { parent: p, .. } if p == parent));
+        o.rpc_acked(s, r);
+
+        // Step 3: cutover adds — nothing committed until both ack.
+        let adds = rpcs(&mut o);
+        assert_eq!(adds.len(), 2);
+        assert_eq!(o.sharding_spec().unwrap().shard_count(), 2);
+        for (s, r) in &adds {
+            assert!(matches!(
+                r,
+                ServerRpc::AddShard {
+                    role: ReplicaRole::Primary,
+                    ..
+                }
+            ));
+            o.rpc_acked(*s, *r);
+        }
+
+        // Step 4: atomic commit — spec rewritten, children published,
+        // parent retired. Step 5: residual drain via the reclaim path.
+        assert_eq!(o.stats().splits_completed, 1);
+        assert_eq!(o.in_flight_reshards(), 0);
+        assert!(o.pending_split(parent).is_none());
+        let spec = o.sharding_spec().unwrap();
+        assert_eq!(spec.shard_count(), 3, "shard 1 plus two children");
+        assert!(spec.range_of(parent).is_none());
+        for (child, _) in [(ShardId(2), ()), (ShardId(3), ())] {
+            assert!(spec.range_of(child).is_some(), "minted child in spec");
+            assert!(o.assignment().primary_of(child).is_some());
+        }
+        settle(&mut o); // acks the parent's DropShard reclaim
+        assert!(o.assignment().replicas(parent).is_empty());
+    }
+
+    #[test]
+    fn graceful_merge_walks_the_inverse_protocol() {
+        let mut o = reshard_orch(3);
+        let left_primary = o.assignment().primary_of(ShardId(0)).unwrap();
+        let right_primary = o.assignment().primary_of(ShardId(1)).unwrap();
+        o.start_merge(ShardId(0), ShardId(1)).unwrap();
+
+        // Prepare the target off both source primaries.
+        let prepares = rpcs(&mut o);
+        assert_eq!(prepares.len(), 1);
+        let (target_to, prep) = prepares[0];
+        assert_ne!(target_to, left_primary);
+        assert_ne!(target_to, right_primary);
+        o.rpc_acked(target_to, prep);
+
+        // Both sources forward into the target.
+        let fwds = rpcs(&mut o);
+        assert_eq!(fwds.len(), 2);
+        for (s, r) in &fwds {
+            assert!(matches!(r, ServerRpc::MergeForward { .. }));
+            o.rpc_acked(*s, *r);
+        }
+        assert!(o.pending_merge(ShardId(0)).is_some());
+
+        // Single cutover add, then commit.
+        let adds = rpcs(&mut o);
+        assert_eq!(adds.len(), 1);
+        assert_eq!(adds[0].0, target_to);
+        o.rpc_acked(adds[0].0, adds[0].1);
+        assert_eq!(o.stats().merges_completed, 1);
+        let spec = o.sharding_spec().unwrap();
+        assert_eq!(spec.shard_count(), 1);
+        let merged = ShardId(2);
+        assert!(spec.range_of(merged).is_some());
+        assert_eq!(o.assignment().primary_of(merged), Some(target_to));
+        settle(&mut o);
+        assert!(o.assignment().replicas(ShardId(0)).is_empty());
+        assert!(o.assignment().replicas(ShardId(1)).is_empty());
+    }
+
+    #[test]
+    fn split_aborts_on_nack_and_the_parent_resumes() {
+        let mut o = reshard_orch(3);
+        let parent = ShardId(0);
+        let old_primary = o.assignment().primary_of(parent).unwrap();
+        o.start_split(parent).unwrap();
+        for (s, r) in rpcs(&mut o) {
+            o.rpc_acked(s, r); // prepares
+        }
+        let fwd = rpcs(&mut o);
+        o.rpc_failed(fwd[0].0, fwd[0].1); // the parent refuses to forward
+
+        assert_eq!(o.stats().splits_aborted, 1);
+        assert_eq!(o.in_flight_reshards(), 0);
+        let cleanup = rpcs(&mut o);
+        // Both prepared children are reclaimed; the parent resumes.
+        assert_eq!(
+            cleanup
+                .iter()
+                .filter(|(_, r)| matches!(r, ServerRpc::DropShard { .. }))
+                .count(),
+            2
+        );
+        assert!(cleanup.iter().any(|(s, r)| *s == old_primary
+            && matches!(r, ServerRpc::AddShard { shard, .. } if *shard == parent)));
+        for (s, r) in cleanup {
+            o.rpc_acked(s, r);
+        }
+        settle(&mut o);
+        assert_eq!(
+            o.sharding_spec().unwrap().shard_count(),
+            2,
+            "spec untouched"
+        );
+        assert_eq!(o.assignment().primary_of(parent), Some(old_primary));
+        assert_eq!(o.in_flight_migrations(), 0);
+    }
+
+    #[test]
+    fn involved_server_failure_aborts_the_split() {
+        let mut o = reshard_orch(4);
+        let parent = ShardId(0);
+        let old_primary = o.assignment().primary_of(parent).unwrap();
+        o.start_split(parent).unwrap();
+        let prepares = rpcs(&mut o);
+        let (left_to, _) = prepares[0];
+        for (s, r) in &prepares {
+            o.rpc_acked(*s, *r);
+        }
+        // A child target dies mid-forward: the whole op aborts and the
+        // parent keeps (resumes) serving its original range.
+        o.server_down(left_to);
+        assert_eq!(o.stats().splits_aborted, 1);
+        assert_eq!(o.in_flight_reshards(), 0);
+        settle(&mut o);
+        assert_eq!(o.sharding_spec().unwrap().shard_count(), 2);
+        assert_eq!(o.assignment().primary_of(parent), Some(old_primary));
+    }
+
+    #[test]
+    fn skip_cutover_ack_commits_before_children_ack() {
+        let mut cfg = config();
+        cfg.skip_cutover_ack = true;
+        let mut o = Orchestrator::new(AppId(1), AppPolicy::primary_only(), cfg);
+        for i in 0..3 {
+            o.register_server(ServerId(i), loc(0, i), cap(1000.0));
+        }
+        o.register_shards((0..2).map(ShardId));
+        o.register_spec(ShardingSpec::uniform_u64(2));
+        o.run_emergency();
+        settle(&mut o);
+        o.start_split(ShardId(0)).unwrap();
+        for (s, r) in rpcs(&mut o) {
+            o.rpc_acked(s, r); // prepares
+        }
+        let fwd = rpcs(&mut o);
+        o.rpc_acked(fwd[0].0, fwd[0].1);
+        // Mutated behavior: committed the instant the cutover adds were
+        // *sent* — children own ranges they may never have applied.
+        assert_eq!(o.stats().splits_completed, 1);
+        assert_eq!(o.in_flight_reshards(), 0);
+        assert_eq!(o.sharding_spec().unwrap().shard_count(), 3);
+    }
+
+    #[test]
+    fn run_reshard_executes_scaler_recommendations() {
+        let mut o = reshard_orch(3);
+        o.report_load(
+            ServerId(0),
+            vec![(ShardId(0), cap(500.0)), (ShardId(1), cap(50.0))],
+        );
+        let scaler = crate::SplitScaler::new(crate::SplitScalerConfig::new(
+            Metric::ShardCount.id(),
+            100.0,
+            30.0,
+            1,
+            8,
+        ));
+        assert_eq!(o.run_reshard(&scaler), 1, "hot shard 0 splits");
+        assert_eq!(o.run_reshard(&scaler), 0, "concurrency cap holds");
+        settle(&mut o);
+        assert_eq!(o.stats().splits_completed, 1);
+        assert_eq!(o.sharding_spec().unwrap().shard_count(), 3);
+    }
+
+    #[test]
+    fn rejected_promotion_transition_is_surfaced_not_ignored() {
+        let mut o = orch(AppPolicy::primary_secondary(1), 4, 1);
+        o.run_emergency();
+        settle(&mut o);
+        let shard = ShardId(0);
+        let a = o.assignment().primary_of(shard).unwrap();
+        o.server_down(a);
+        // Hold back the promotion ack; drive everything else.
+        let mut promote = None;
+        loop {
+            let cmds = rpcs(&mut o);
+            if cmds.is_empty() {
+                break;
+            }
+            for (s, r) in cmds {
+                if promote.is_none()
+                    && matches!(r, ServerRpc::ChangeRole { new, .. } if new.is_primary())
+                {
+                    promote = Some((s, r));
+                } else {
+                    o.rpc_acked(s, r);
+                }
+            }
+        }
+        let (b, promote) = promote.expect("promotion queued");
+        // The candidate's lease expires while its ack is in flight...
+        o.server_down(b);
+        settle(&mut o);
+        // ...and the stale ack arrives: the assignment (which dropped
+        // b's replica) refuses the transition. Before the fix this was
+        // silently ignored and a contradictory map published.
+        let published = o.stats().maps_published;
+        o.rpc_acked(b, promote);
+        assert_eq!(o.stats().failed_transitions, 1);
+        assert_eq!(o.stats().maps_published, published, "no contradictory map");
+        let errs = o.drain_errors();
+        assert_eq!(errs.len(), 1, "anomaly surfaced: {errs:?}");
+        assert!(o.drain_errors().is_empty(), "drained");
+        settle(&mut o);
+        assert!(o.assignment().primary_of(shard).is_some(), "re-elected");
     }
 }

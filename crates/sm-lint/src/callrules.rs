@@ -19,14 +19,18 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// are driven by the solver, not by live control-plane traffic.
 pub const P1_CRATES: [&str; 3] = ["sm-core", "sm-zk", "sm-routing"];
 
-/// Individual files outside [`P1_CRATES`] whose non-test `pub fn`s are
-/// also P1 roots: the replicated-log data plane. A panic there loses a
-/// replica's availability — the exact failure mode the reconfiguration
-/// protocol exists to survive — so membership-change and append paths
-/// must degrade to `SmError`, never to a crash.
-pub const P1_FILES: [&str; 2] = [
+/// Individual files whose non-test `pub fn`s are P1 roots regardless
+/// of which crate they sit in: the replicated-log data plane and the
+/// adaptive split/merge scaler. A panic there loses a replica's
+/// availability — the exact failure mode the reconfiguration protocol
+/// exists to survive — or wedges resharding mid-storm, so these paths
+/// must degrade to `SmError`, never to a crash. Listing a file here is
+/// deliberate even when its crate is already in [`P1_CRATES`]: the pin
+/// survives module moves and crate-list changes.
+pub const P1_FILES: [&str; 3] = [
     "crates/sm-apps/src/replication.rs",
     "crates/sm-apps/src/replstore.rs",
+    "crates/sm-core/src/splitter.rs",
 ];
 
 /// True when `f` is a P1 root by crate or by file.

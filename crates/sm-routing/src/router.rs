@@ -51,13 +51,23 @@ impl ServiceRouter {
         Self::default()
     }
 
-    /// Registers an app's (static, app-defined) sharding spec.
+    /// Registers an app's (app-defined) sharding spec.
     pub fn register_app(&mut self, app: AppId, spec: ShardingSpec) {
         if let Some(map) = self.maps.get(&app) {
             self.resolved
                 .insert(app, Rc::new(ResolvedMap::build(Some(&spec), map)));
         }
         self.specs.insert(app, spec);
+    }
+
+    /// Installs an updated sharding spec received from discovery — the
+    /// resharding counterpart of [`Self::install_map`]. Since adaptive
+    /// splitting landed, the spec is no longer static: every split or
+    /// merge commit rewrites it, and clients must swap to the new
+    /// key→shard function together with the map that first references
+    /// the new shard ids. The resolution kernel is rebuilt immediately.
+    pub fn install_spec(&mut self, app: AppId, spec: ShardingSpec) {
+        self.register_app(app, spec);
     }
 
     /// Installs a shard map received from discovery; stale versions are
@@ -266,6 +276,42 @@ mod tests {
         let d = r.route(APP, &AppKey::from_u64(0)).unwrap();
         assert_eq!(d.server, ServerId(0));
         assert_eq!(d.map_version, 2);
+    }
+
+    #[test]
+    fn install_spec_reroutes_keys_after_a_split() {
+        // Before the split: shard 0 owns the low quarter of the
+        // keyspace from server 0.
+        let mut r = router_with(&assignment_with_primary(), 1);
+        let key = AppKey::from_u64(1);
+        assert_eq!(r.route(APP, &key).unwrap().shard, ShardId(0));
+
+        // The control plane splits shard 0 into shards 4 and 5 and
+        // publishes the rewritten spec plus the map that first carries
+        // the children.
+        let spec = ShardingSpec::uniform_u64(4);
+        let range = spec.range_of(ShardId(0)).unwrap();
+        let at = range.midpoint().unwrap();
+        let spec = spec
+            .split_shard(ShardId(0), &at, ShardId(4), ShardId(5))
+            .unwrap();
+        let mut a = assignment_with_primary();
+        a.drop_server(ServerId(0));
+        a.add_replica(ShardId(4), ServerId(20), ReplicaRole::Primary)
+            .unwrap();
+        a.add_replica(ShardId(5), ServerId(21), ReplicaRole::Primary)
+            .unwrap();
+        r.install_spec(APP, spec);
+        assert!(r.install_map(APP, Rc::new(ShardMap::from_assignment(2, &a))));
+
+        // Low half of the old range → left child, high half → right,
+        // untouched shards unchanged.
+        let d = r.route(APP, &key).unwrap();
+        assert_eq!((d.shard, d.server), (ShardId(4), ServerId(20)));
+        let d = r.route(APP, &AppKey::from_u64(u64::MAX / 4 - 1)).unwrap();
+        assert_eq!((d.shard, d.server), (ShardId(5), ServerId(21)));
+        let d = r.route(APP, &AppKey::from_u64(u64::MAX)).unwrap();
+        assert_eq!((d.shard, d.server), (ShardId(3), ServerId(3)));
     }
 
     #[test]

@@ -182,17 +182,23 @@ pub enum FaultProfile {
     /// driving replica-set reconfigurations, hitting joint membership
     /// changes mid-flight.
     ReconfigChaos,
+    /// Split chaos: the skew-storm world's shape — dense crashes,
+    /// expiries, and short partitions timed so they land while the
+    /// orchestrator is mid-split or mid-merge, hitting the resharding
+    /// protocol's prepare/forward/cutover windows.
+    SplitChaos,
 }
 
 impl FaultProfile {
     /// All profiles, in grid order.
-    pub const ALL: [FaultProfile; 6] = [
+    pub const ALL: [FaultProfile; 7] = [
         FaultProfile::CrashOnly,
         FaultProfile::SymPartition,
         FaultProfile::AsymPartition,
         FaultProfile::LossyNet,
         FaultProfile::Mixed,
         FaultProfile::ReconfigChaos,
+        FaultProfile::SplitChaos,
     ];
 
     /// Stable name used in reports and reproducer files.
@@ -204,6 +210,7 @@ impl FaultProfile {
             FaultProfile::LossyNet => "lossy_net",
             FaultProfile::Mixed => "mixed",
             FaultProfile::ReconfigChaos => "reconfig_chaos",
+            FaultProfile::SplitChaos => "split_chaos",
         }
     }
 
@@ -261,6 +268,24 @@ impl FaultProfile {
                 cfg.partitions = 1;
                 cfg.asym_partitions = 1;
                 cfg.partition_downtime = SimDuration::from_secs(12);
+            }
+            FaultProfile::SplitChaos => {
+                // Dense, short-downtime faults so several land inside
+                // in-flight splits and merges: the skew-storm world
+                // keeps the adaptive scaler resharding through the
+                // whole fault window. The lossy window additionally
+                // eats individual protocol RPCs (a lost cutover ack is
+                // the exact hazard the all-or-nothing commit defends
+                // against).
+                cfg.server_crashes = (n_servers / 3).max(2);
+                cfg.session_expiries = 2.min(n_servers);
+                cfg.downtime = SimDuration::from_secs(10);
+                cfg.partitions = 1;
+                cfg.asym_partitions = 1;
+                cfg.partition_downtime = SimDuration::from_secs(12);
+                cfg.degrade_windows = 2;
+                cfg.drop_pct = 12;
+                cfg.dup_pct = 3;
             }
         }
         cfg

@@ -56,6 +56,11 @@ pub enum InvariantKind {
     /// views of the committed configuration fail to converge at
     /// quiescence.
     ReplicaSetAgreement,
+    /// The union of live shard key ranges fails to partition the
+    /// keyspace: a gap (keys no shard owns) or an overlap (keys two
+    /// shards own). Splits and merges must preserve this at every
+    /// observable instant.
+    KeyspaceCoverage,
 }
 
 impl InvariantKind {
@@ -69,6 +74,7 @@ impl InvariantKind {
             InvariantKind::Unconverged => "unconverged",
             InvariantKind::RouterDivergence => "router_divergence",
             InvariantKind::ReplicaSetAgreement => "replica_set_agreement",
+            InvariantKind::KeyspaceCoverage => "keyspace_coverage",
         }
     }
 }
@@ -112,6 +118,11 @@ pub struct OracleViolation {
 /// Caps the violation list so a catastrophically broken run stays
 /// cheap to report; the count keeps the true total.
 const MAX_RECORDED: usize = 64;
+
+/// One live shard's key range as reported to
+/// [`Oracle::keyspace_coverage`]: `(shard, start, end)`, keys as byte
+/// strings in lexicographic order, `end == None` meaning unbounded.
+pub type ShardRange = (u64, Vec<u8>, Option<Vec<u8>>);
 
 /// Accumulates invariant observations over one simulated run.
 #[derive(Clone, Debug, Default)]
@@ -352,6 +363,78 @@ impl Oracle {
         }
     }
 
+    /// Audits keyspace coverage: `ranges` carries each live shard as a
+    /// [`ShardRange`] `(shard, start, end)` where keys are byte strings in
+    /// lexicographic order and `end == None` means unbounded. The
+    /// ranges must partition the keyspace — sorted by start, the first
+    /// starting at the empty (minimum) key, each range's end equal to
+    /// the next range's start, and exactly the last unbounded. A gap
+    /// means requests with no owner; an overlap means two owners — both
+    /// violations. An empty set of ranges is also a violation (the
+    /// whole keyspace is a gap).
+    pub fn keyspace_coverage(&mut self, at: SimTime, ranges: &[ShardRange]) {
+        self.observations += 1;
+        let mut sorted: Vec<&ShardRange> = ranges.iter().collect();
+        sorted.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+        let Some(first) = sorted.first() else {
+            self.violate(
+                at,
+                InvariantKind::KeyspaceCoverage,
+                "no live shard ranges: the whole keyspace is a gap".to_string(),
+            );
+            return;
+        };
+        if !first.1.is_empty() {
+            self.violate(
+                at,
+                InvariantKind::KeyspaceCoverage,
+                format!(
+                    "gap before shard {}: keyspace starts at {:02x?}",
+                    first.0, first.1
+                ),
+            );
+        }
+        for pair in sorted.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            match &prev.2 {
+                None => self.violate(
+                    at,
+                    InvariantKind::KeyspaceCoverage,
+                    format!(
+                        "overlap: shard {} is unbounded but shard {} starts at {:02x?}",
+                        prev.0, next.0, next.1
+                    ),
+                ),
+                Some(end) if *end < next.1 => self.violate(
+                    at,
+                    InvariantKind::KeyspaceCoverage,
+                    format!(
+                        "gap between shard {} (ends {:02x?}) and shard {} (starts {:02x?})",
+                        prev.0, end, next.0, next.1
+                    ),
+                ),
+                Some(end) if *end > next.1 => self.violate(
+                    at,
+                    InvariantKind::KeyspaceCoverage,
+                    format!(
+                        "overlap between shard {} (ends {:02x?}) and shard {} (starts {:02x?})",
+                        prev.0, end, next.0, next.1
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+        if let Some(last) = sorted.last() {
+            if let Some(end) = &last.2 {
+                self.violate(
+                    at,
+                    InvariantKind::KeyspaceCoverage,
+                    format!("gap at the top: shard {} ends at {:02x?}", last.0, end),
+                );
+            }
+        }
+    }
+
     /// Requests still outstanding (issued, neither served nor
     /// dropped); nonzero at the end of a drained run means the world
     /// lost track of traffic.
@@ -537,6 +620,39 @@ mod tests {
         o.replica_views_converged(t(2), 9, &[agreed, vec![s(&[2, 3, 4])]]);
         assert_eq!(o.violations().len(), 1);
         assert_eq!(o.violations()[0].kind, InvariantKind::ReplicaSetAgreement);
+    }
+
+    #[test]
+    fn keyspace_coverage_accepts_a_partition_and_flags_everything_else() {
+        let r =
+            |s: u64, start: &[u8], end: Option<&[u8]>| (s, start.to_vec(), end.map(<[u8]>::to_vec));
+        let mut o = Oracle::new();
+        // A clean three-way partition, deliberately unsorted.
+        o.keyspace_coverage(
+            t(1),
+            &[
+                r(2, &[0x80], None),
+                r(0, &[], Some(&[0x40])),
+                r(1, &[0x40], Some(&[0x80])),
+            ],
+        );
+        assert!(o.is_clean(), "{}", o.summary());
+
+        // Gap in the middle.
+        o.keyspace_coverage(t(2), &[r(0, &[], Some(&[0x40])), r(1, &[0x50], None)]);
+        assert_eq!(o.violations().len(), 1);
+        // Overlap in the middle.
+        o.keyspace_coverage(t(3), &[r(0, &[], Some(&[0x41])), r(1, &[0x40], None)]);
+        // Missing bottom, bounded top, empty set.
+        o.keyspace_coverage(t(4), &[r(0, &[0x01], None)]);
+        o.keyspace_coverage(t(5), &[r(0, &[], Some(&[0xff]))]);
+        o.keyspace_coverage(t(6), &[]);
+        assert_eq!(o.total_violations(), 5);
+        assert!(o
+            .violations()
+            .iter()
+            .all(|v| v.kind == InvariantKind::KeyspaceCoverage));
+        assert!(o.summary().contains("keyspace_coverage"));
     }
 
     #[test]

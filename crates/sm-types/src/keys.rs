@@ -137,6 +137,103 @@ impl KeyRange {
             None => self.overlaps(&KeyRange::from(lo)),
         }
     }
+
+    /// Splits the range at `at` into `([start, at), [at, end))`.
+    ///
+    /// Returns `None` unless `at` is strictly inside the range, so both
+    /// children are non-empty.
+    pub fn split_at(&self, at: &AppKey) -> Option<(KeyRange, KeyRange)> {
+        if *at <= self.start {
+            return None;
+        }
+        if let Some(end) = &self.end {
+            if at >= end {
+                return None;
+            }
+        }
+        let left = KeyRange::new(self.start.clone(), at.clone());
+        let right = KeyRange {
+            start: at.clone(),
+            end: self.end.clone(),
+        };
+        Some((left, right))
+    }
+
+    /// A key strictly inside the range, halving it by key-space measure.
+    ///
+    /// Byte strings are read as base-256 fractions in `[0, 1)` (the
+    /// unbounded end is `1`), so the midpoint of `[s, e)` is `(s+e)/2`
+    /// re-encoded as the shortest byte string — at most one byte longer
+    /// than the wider bound. Returns `None` when the range has no
+    /// interior key (e.g. `["a", "a\0")`), in which case it cannot be
+    /// split.
+    pub fn midpoint(&self) -> Option<AppKey> {
+        let s = &self.start.0;
+        // `int` is the integer part of start+end: the unbounded end is
+        // exactly 1.0 (all-zero digits), a bounded end is < 1.0.
+        let (mut int, e): (u16, &[u8]) = match &self.end {
+            Some(end) => (0, end.0.as_slice()),
+            None => (1, &[]),
+        };
+        let len = s.len().max(e.len());
+        // Digit-wise add with carry, least-significant (rightmost) first.
+        let mut sum = vec![0u16; len];
+        let mut carry: u16 = 0;
+        for i in (0..len).rev() {
+            let a = u16::from(s.get(i).copied().unwrap_or(0));
+            let b = u16::from(e.get(i).copied().unwrap_or(0));
+            let t = a + b + carry;
+            if let Some(slot) = sum.get_mut(i) {
+                *slot = t & 0xff;
+            }
+            carry = t >> 8;
+        }
+        int += carry;
+        // Halve: shift right one bit, the remainder flowing down a digit.
+        let mut rem = int & 1;
+        let mut mid = Vec::with_capacity(len + 1);
+        for digit in sum {
+            let t = (rem << 8) | digit;
+            mid.push((t >> 1) as u8);
+            rem = t & 1;
+        }
+        if rem == 1 {
+            mid.push(0x80);
+        }
+        // Trailing zero bytes add nothing to the fraction but make the
+        // string compare high; strip to the canonical shortest form.
+        while mid.last() == Some(&0) {
+            mid.pop();
+        }
+        let mid = AppKey(mid);
+        let above_start = self.start < mid;
+        let below_end = match &self.end {
+            Some(end) => mid < *end,
+            None => true,
+        };
+        (above_start && below_end).then_some(mid)
+    }
+
+    /// Merges two adjacent ranges (in either order) into one.
+    ///
+    /// Returns `None` unless one range ends exactly where the other
+    /// starts — merging non-adjacent ranges would swallow the keys in
+    /// between.
+    pub fn merge(&self, other: &KeyRange) -> Option<KeyRange> {
+        if self.end.as_ref() == Some(&other.start) {
+            return Some(KeyRange {
+                start: self.start.clone(),
+                end: other.end.clone(),
+            });
+        }
+        if other.end.as_ref() == Some(&self.start) {
+            return Some(KeyRange {
+                start: other.start.clone(),
+                end: self.end.clone(),
+            });
+        }
+        None
+    }
 }
 
 impl fmt::Display for KeyRange {
@@ -165,8 +262,11 @@ fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
 /// An application's key-to-shard mapping: an ordered set of disjoint
 /// ranges, each owned by a shard (§3.1).
 ///
-/// The ranges may be uneven and are entirely application-chosen; SM never
-/// splits or merges them.
+/// The ranges may be uneven and are entirely application-chosen. The
+/// paper's SM never resharded; here the shard scaler may additionally
+/// split a hot shard's range or merge cold neighbors via
+/// [`ShardingSpec::transfer_range`], producing a new spec version with
+/// the same no-gap/no-overlap guarantees.
 ///
 /// # Examples
 ///
@@ -179,7 +279,7 @@ fn prefix_successor(prefix: &[u8]) -> Option<Vec<u8>> {
 /// let s = spec.shard_for(&AppKey::from_u64(u64::MAX)).unwrap();
 /// assert_eq!(s, ShardId(3));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ShardingSpec {
     /// `(range, shard)` pairs sorted by `range.start`.
     entries: Vec<(KeyRange, ShardId)>,
@@ -210,7 +310,9 @@ impl ShardingSpec {
     }
 
     /// Splits the `u64` key space into `n` equal ranges, one per shard,
-    /// with shard ids `0..n`.
+    /// with shard ids `0..n`. The first range starts at [`AppKey::min`]
+    /// (the empty key), so the spec partitions the *whole* key space —
+    /// there is no gap below the smallest encodable key.
     ///
     /// # Panics
     ///
@@ -220,7 +322,11 @@ impl ShardingSpec {
         let step = u64::MAX / n;
         let mut entries = Vec::with_capacity(n as usize);
         for i in 0..n {
-            let start = AppKey::from_u64(i * step);
+            let start = if i == 0 {
+                AppKey::min()
+            } else {
+                AppKey::from_u64(i * step)
+            };
             let range = if i + 1 == n {
                 KeyRange::from(start)
             } else {
@@ -275,6 +381,153 @@ impl ShardingSpec {
             .iter()
             .find(|(_, s)| *s == shard)
             .map(|(r, _)| r)
+    }
+
+    /// The largest shard id in the spec (for minting child ids).
+    pub fn max_shard_id(&self) -> Option<ShardId> {
+        self.entries.iter().map(|(_, s)| *s).max()
+    }
+
+    /// Moves ownership of `range` — a non-empty prefix, suffix, or the
+    /// whole of `from`'s range — to shard `to`, returning the new spec.
+    ///
+    /// This is the single primitive behind split and merge cutovers:
+    /// * carving a child out of a parent narrows `from` and inserts
+    ///   `to` (a split cutover, one child at a time);
+    /// * transferring the whole range to a `to` that already owns an
+    ///   adjacent range extends `to` and removes `from` (a merge
+    ///   cutover, one source at a time).
+    ///
+    /// Ownership changes atomically: every key in `range` is owned both
+    /// before and after, by exactly one shard. Carving the middle of a
+    /// range (neither edge shared) is rejected — it would leave `from`
+    /// owning two disconnected pieces.
+    pub fn transfer_range(
+        &self,
+        from: ShardId,
+        range: &KeyRange,
+        to: ShardId,
+    ) -> Result<ShardingSpec, String> {
+        if from == to {
+            return Err(format!("cannot transfer {from} to itself"));
+        }
+        if range.is_empty() {
+            return Err(format!("cannot transfer empty range {range}"));
+        }
+        let mut entries = self.entries.clone();
+        let idx = entries
+            .iter()
+            .position(|(_, s)| *s == from)
+            .ok_or_else(|| format!("{from} not in spec"))?;
+        let owned = match entries.get(idx) {
+            Some((r, _)) => r.clone(),
+            None => return Err(format!("{from} not in spec")),
+        };
+        let within = range.start >= owned.start
+            && match (&range.end, &owned.end) {
+                (Some(re), Some(oe)) => re <= oe,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => true,
+            };
+        if !within {
+            return Err(format!("{range} is not within {from}'s range {owned}"));
+        }
+        let starts_at_edge = range.start == owned.start;
+        let ends_at_edge = range.end == owned.end;
+        match (starts_at_edge, ends_at_edge) {
+            (true, true) => {
+                entries.remove(idx);
+            }
+            (true, false) => {
+                // `range` is a proper prefix; `from` keeps the suffix.
+                // `range.end` must be `Some` here: a `None` end either
+                // matches `owned.end` (handled above) or fails `within`.
+                let rest_start = match &range.end {
+                    Some(re) => re.clone(),
+                    None => return Err(format!("{range} is not a prefix of {owned}")),
+                };
+                if let Some(slot) = entries.get_mut(idx) {
+                    slot.0 = KeyRange {
+                        start: rest_start,
+                        end: owned.end.clone(),
+                    };
+                }
+            }
+            (false, true) => {
+                // `range` is a proper suffix; `from` keeps the prefix.
+                if let Some(slot) = entries.get_mut(idx) {
+                    slot.0 = KeyRange::new(owned.start.clone(), range.start.clone());
+                }
+            }
+            (false, false) => {
+                return Err(format!(
+                    "{range} shares neither edge of {from}'s range {owned}"
+                ));
+            }
+        }
+        match entries.iter().position(|(_, s)| *s == to) {
+            Some(j) => {
+                let existing = match entries.get(j) {
+                    Some((r, _)) => r.clone(),
+                    None => return Err(format!("{to} not in spec")),
+                };
+                let merged = existing
+                    .merge(range)
+                    .ok_or_else(|| format!("{to}'s range {existing} is not adjacent to {range}"))?;
+                if let Some(slot) = entries.get_mut(j) {
+                    slot.0 = merged;
+                }
+            }
+            None => entries.push((range.clone(), to)),
+        }
+        ShardingSpec::new(entries)
+    }
+
+    /// Splits `parent`'s range at `at`: the left half goes to `left`,
+    /// the right half to `right` (two fresh shard ids), and `parent`
+    /// leaves the spec.
+    pub fn split_shard(
+        &self,
+        parent: ShardId,
+        at: &AppKey,
+        left: ShardId,
+        right: ShardId,
+    ) -> Result<ShardingSpec, String> {
+        if left == right {
+            return Err(format!("split children must differ, got {left} twice"));
+        }
+        let owned = self
+            .range_of(parent)
+            .ok_or_else(|| format!("{parent} not in spec"))?;
+        let (l, r) = owned
+            .split_at(at)
+            .ok_or_else(|| format!("split point {at} is not inside {owned}"))?;
+        self.transfer_range(parent, &l, left)?
+            .transfer_range(parent, &r, right)
+    }
+
+    /// Merges the adjacent ranges of `left` and `right` into the fresh
+    /// shard id `into`; both sources leave the spec.
+    pub fn merge_shards(
+        &self,
+        left: ShardId,
+        right: ShardId,
+        into: ShardId,
+    ) -> Result<ShardingSpec, String> {
+        let lr = self
+            .range_of(left)
+            .ok_or_else(|| format!("{left} not in spec"))?
+            .clone();
+        let rr = self
+            .range_of(right)
+            .ok_or_else(|| format!("{right} not in spec"))?
+            .clone();
+        if lr.merge(&rr).is_none() {
+            return Err(format!("{left} ({lr}) and {right} ({rr}) are not adjacent"));
+        }
+        self.transfer_range(left, &lr, into)?
+            .transfer_range(right, &rr, into)
     }
 }
 
@@ -407,5 +660,127 @@ mod tests {
         assert_eq!(k("user:42").to_string(), "user:42");
         assert_eq!(AppKey::new(vec![0x00, 0xab]).to_string(), "0x00ab");
         assert_eq!(KeyRange::new(k("a"), k("b")).to_string(), "[a, b)");
+    }
+
+    #[test]
+    fn split_at_partitions_the_range() {
+        let r = KeyRange::new(k("b"), k("h"));
+        let (l, rr) = r.split_at(&k("e")).unwrap();
+        assert_eq!(l, KeyRange::new(k("b"), k("e")));
+        assert_eq!(rr, KeyRange::new(k("e"), k("h")));
+        assert!(
+            r.split_at(&k("b")).is_none(),
+            "split at start is empty-left"
+        );
+        assert!(r.split_at(&k("h")).is_none(), "split at end is empty-right");
+        assert!(r.split_at(&k("z")).is_none(), "split outside");
+
+        let unbounded = KeyRange::from(k("m"));
+        let (l, rr) = unbounded.split_at(&k("q")).unwrap();
+        assert_eq!(l, KeyRange::new(k("m"), k("q")));
+        assert_eq!(rr, KeyRange::from(k("q")));
+    }
+
+    #[test]
+    fn midpoint_is_strictly_interior() {
+        // u64-encoded bounds halve numerically.
+        let r = KeyRange::new(AppKey::from_u64(0), AppKey::from_u64(1 << 32));
+        let m = r.midpoint().unwrap();
+        assert_eq!(m, AppKey::new(vec![0x00, 0x00, 0x00, 0x00, 0x80]));
+        // Odd-width ranges gain at most one byte.
+        let r = KeyRange::new(k("a"), k("b"));
+        let m = r.midpoint().unwrap();
+        assert_eq!(m.0, vec![0x61, 0x80]);
+        // Unbounded end acts as 1.0.
+        let m = KeyRange::full().midpoint().unwrap();
+        assert_eq!(m.0, vec![0x80]);
+        let m = KeyRange::from(AppKey::new(vec![0x80])).midpoint().unwrap();
+        assert_eq!(m.0, vec![0xc0]);
+        // No interior key -> unsplittable.
+        assert!(KeyRange::new(k("a"), AppKey::new(b"a\x00".to_vec()))
+            .midpoint()
+            .is_none());
+        // Interior exists even when bounds differ only deep in the tail.
+        let r = KeyRange::new(k("a"), AppKey::new(b"a\x00\x01".to_vec()));
+        let m = r.midpoint().unwrap();
+        assert!(r.start < m);
+        assert!(m < r.end.clone().unwrap());
+    }
+
+    #[test]
+    fn merge_requires_adjacency() {
+        let ab = KeyRange::new(k("a"), k("b"));
+        let bc = KeyRange::new(k("b"), k("c"));
+        let cd = KeyRange::new(k("c"), k("d"));
+        assert_eq!(ab.merge(&bc), Some(KeyRange::new(k("a"), k("c"))));
+        assert_eq!(
+            bc.merge(&ab),
+            Some(KeyRange::new(k("a"), k("c"))),
+            "order-agnostic"
+        );
+        assert!(ab.merge(&cd).is_none(), "gap between the two");
+        assert!(ab.merge(&ab).is_none(), "self-merge");
+        let tail = KeyRange::from(k("b"));
+        assert_eq!(ab.merge(&tail), Some(KeyRange::from(k("a"))));
+    }
+
+    #[test]
+    fn spec_split_and_merge_round_trip() {
+        let spec = ShardingSpec::uniform_u64(4);
+        let parent = ShardId(1);
+        let at = spec.range_of(parent).unwrap().midpoint().unwrap();
+        let split = spec
+            .split_shard(parent, &at, ShardId(4), ShardId(5))
+            .unwrap();
+        assert_eq!(split.shard_count(), 5);
+        assert!(split.range_of(parent).is_none(), "parent left the spec");
+        assert_eq!(split.shard_for(&at), Some(ShardId(5)));
+        // Children partition the parent exactly.
+        let l = split.range_of(ShardId(4)).unwrap();
+        let r = split.range_of(ShardId(5)).unwrap();
+        assert_eq!(l.merge(r), Some(spec.range_of(parent).unwrap().clone()));
+        // Merging the children back restores the original geometry.
+        let merged = split
+            .merge_shards(ShardId(4), ShardId(5), ShardId(6))
+            .unwrap();
+        assert_eq!(merged.shard_count(), 4);
+        assert_eq!(
+            merged.range_of(ShardId(6)),
+            spec.range_of(parent),
+            "merged range equals the original parent range"
+        );
+    }
+
+    #[test]
+    fn spec_transfer_rejects_bad_shapes() {
+        let spec = ShardingSpec::uniform_u64(2);
+        let owned = spec.range_of(ShardId(0)).unwrap().clone();
+        // Carving the middle is rejected.
+        let a = owned.midpoint().unwrap();
+        let inner_end = KeyRange::new(a.clone(), owned.end.clone().unwrap())
+            .midpoint()
+            .unwrap();
+        let middle = KeyRange::new(a, inner_end);
+        assert!(spec
+            .transfer_range(ShardId(0), &middle, ShardId(9))
+            .is_err());
+        // Transfers to a non-adjacent existing shard are rejected.
+        let spec3 = ShardingSpec::uniform_u64(3);
+        let prefix = KeyRange::new(
+            spec3.range_of(ShardId(0)).unwrap().start.clone(),
+            spec3.range_of(ShardId(0)).unwrap().midpoint().unwrap(),
+        );
+        assert!(spec3
+            .transfer_range(ShardId(0), &prefix, ShardId(2))
+            .is_err());
+        // Unknown shards, self-transfer, out-of-range.
+        assert!(spec.transfer_range(ShardId(7), &owned, ShardId(9)).is_err());
+        assert!(spec.transfer_range(ShardId(0), &owned, ShardId(0)).is_err());
+        assert!(spec.transfer_range(ShardId(1), &owned, ShardId(9)).is_err());
+        // Non-adjacent spec-level merge is rejected.
+        assert!(spec3
+            .merge_shards(ShardId(0), ShardId(2), ShardId(9))
+            .is_err());
+        assert_eq!(spec3.max_shard_id(), Some(ShardId(2)));
     }
 }

@@ -3,6 +3,7 @@
 #   scripts/bench.sh [solver] [--threads 1,8]   -> BENCH_solver.json
 #   scripts/bench.sh router                     -> BENCH_router.json
 #   scripts/bench.sh sim                        -> BENCH_sim.json
+#   scripts/bench.sh split                      -> BENCH_split.json
 #
 #   SM_SCALE=paper scripts/bench.sh             # full paper sizes (slow)
 set -euo pipefail
@@ -27,8 +28,12 @@ case "$TARGET" in
     OUT="BENCH_sim.json"
     BIN="bench_sim"
     ;;
+  split)
+    OUT="BENCH_split.json"
+    BIN="fig_split"
+    ;;
   *)
-    echo "unknown bench target '$TARGET' (expected: solver, router, sim)" >&2
+    echo "unknown bench target '$TARGET' (expected: solver, router, sim, split)" >&2
     exit 2
     ;;
 esac

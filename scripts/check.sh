@@ -52,6 +52,9 @@ cargo test --test dst -q
 step "reconfig gate (joint-consensus membership changes under chaos)"
 cargo test --test reconfig -q
 
+step "split gate (adaptive splitting/merging under the skew storm)"
+cargo test --test split -q
+
 step "bench gates (recorded router + simulator floors)"
 cargo test --test bench_router --test bench_sim -q
 

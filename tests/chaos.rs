@@ -106,6 +106,7 @@ fn orch_config() -> OrchestratorConfig {
         graceful_migration: true,
         move_caps: MoveCaps::default(),
         alloc: AllocConfig::new(vec![Metric::ShardCount.id()]),
+        skip_cutover_ack: false,
     }
 }
 
@@ -204,6 +205,9 @@ fn rpc_shard(rpc: ServerRpc) -> ShardId {
         | ServerRpc::ChangeRole { shard, .. }
         | ServerRpc::PrepareAddShard { shard, .. }
         | ServerRpc::PrepareDropShard { shard, .. } => shard,
+        // The chaos world's orchestrator never splits or merges.
+        ServerRpc::SplitForward { parent, .. } => parent,
+        ServerRpc::MergeForward { source, .. } => source,
     }
 }
 

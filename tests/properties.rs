@@ -63,6 +63,164 @@ fn u64_key_order() {
     }
 }
 
+/// Draws a random non-empty range: arbitrary byte-string bounds (short
+/// keys hit the interesting prefix/adjacency edge cases), sometimes
+/// unbounded, sometimes anchored at the minimum key.
+fn random_range(rng: &mut SimRng) -> KeyRange {
+    loop {
+        let draw = |rng: &mut SimRng| {
+            let len = rng.range_u64(0, 5) as usize;
+            AppKey::new(
+                (0..len)
+                    .map(|_| rng.range_u64(0, 4) as u8)
+                    .collect::<Vec<u8>>(),
+            )
+        };
+        let start = if rng.chance(0.2) {
+            AppKey::min()
+        } else {
+            draw(rng)
+        };
+        let range = if rng.chance(0.2) {
+            KeyRange::from(start)
+        } else {
+            let end = draw(rng);
+            if end <= start {
+                continue;
+            }
+            KeyRange::new(start, end)
+        };
+        if !range.is_empty() {
+            return range;
+        }
+    }
+}
+
+#[test]
+fn split_children_partition_the_parent_exactly() {
+    let mut rng = SimRng::seeded(0x5711);
+    let mut split_cases = 0;
+    for case in 0..500 {
+        let parent = random_range(&mut rng);
+        // The canonical split point; skip unsplittable slivers.
+        let Some(at) = parent.midpoint() else {
+            continue;
+        };
+        split_cases += 1;
+        let (left, right) = parent
+            .split_at(&at)
+            .expect("midpoint is always a valid split point");
+        // Both halves are real shards-to-be.
+        assert!(!left.is_empty(), "case {case}: empty left of {parent}");
+        assert!(!right.is_empty(), "case {case}: empty right of {parent}");
+        // They tile the parent with no gap and no overlap.
+        assert_eq!(left.start, parent.start, "case {case}");
+        assert_eq!(left.end.as_ref(), Some(&at), "case {case}");
+        assert_eq!(right.start, at, "case {case}");
+        assert_eq!(right.end, parent.end, "case {case}");
+        assert!(!left.overlaps(&right), "case {case}: {left} vs {right}");
+        // Membership: random keys land in exactly one child iff they
+        // were in the parent.
+        for _ in 0..16 {
+            let len = rng.range_u64(0, 6) as usize;
+            let key = AppKey::new(
+                (0..len)
+                    .map(|_| rng.range_u64(0, 4) as u8)
+                    .collect::<Vec<u8>>(),
+            );
+            let in_children = usize::from(left.contains(&key)) + usize::from(right.contains(&key));
+            assert_eq!(
+                usize::from(parent.contains(&key)),
+                in_children,
+                "case {case}: key {key} parent {parent} at {at}"
+            );
+        }
+    }
+    assert!(split_cases > 400, "only {split_cases} splittable cases");
+}
+
+#[test]
+fn adjacent_merge_round_trips_a_split() {
+    let mut rng = SimRng::seeded(0x3E61);
+    for case in 0..500 {
+        let parent = random_range(&mut rng);
+        let Some(at) = parent.midpoint() else {
+            continue;
+        };
+        let (left, right) = parent.split_at(&at).expect("splittable");
+        // Merge heals the cut in either argument order.
+        assert_eq!(left.merge(&right), Some(parent.clone()), "case {case}");
+        assert_eq!(right.merge(&left), Some(parent.clone()), "case {case}");
+    }
+}
+
+#[test]
+fn non_adjacent_ranges_refuse_to_merge() {
+    let mut rng = SimRng::seeded(0x6A99);
+    for case in 0..500 {
+        let a = random_range(&mut rng);
+        let b = random_range(&mut rng);
+        let adjacent = a.end.as_ref() == Some(&b.start) || b.end.as_ref() == Some(&a.start);
+        assert_eq!(
+            a.merge(&b).is_some(),
+            adjacent,
+            "case {case}: {a} merge {b}"
+        );
+    }
+}
+
+#[test]
+fn spec_split_and_merge_preserve_coverage() {
+    let mut rng = SimRng::seeded(0x57EC);
+    for case in 0..200 {
+        let n = rng.range_u64(1, 16);
+        let mut spec = ShardingSpec::uniform_u64(n);
+        let mut next_id = n;
+        // A random walk of splits and merges; coverage must hold after
+        // every step.
+        for step in 0..8 {
+            let ids: Vec<ShardId> = spec.shard_ids().collect();
+            let tag = || format!("case {case} step {step}");
+            if rng.chance(0.5) {
+                // Split a random shard at its midpoint.
+                let parent = ids[rng.index(ids.len())];
+                let Some(at) = spec.range_of(parent).and_then(KeyRange::midpoint) else {
+                    continue;
+                };
+                let (l, r) = (ShardId(next_id), ShardId(next_id + 1));
+                next_id += 2;
+                spec = spec.split_shard(parent, &at, l, r).expect("valid split");
+                assert!(spec.range_of(parent).is_none(), "{}", tag());
+            } else if ids.len() >= 2 {
+                // Merge a random adjacent pair (sorted by range start,
+                // neighbors in iteration order are adjacent).
+                let entries: Vec<ShardId> = spec.iter().map(|(_, s)| *s).collect();
+                let i = rng.index(entries.len() - 1);
+                let into = ShardId(next_id);
+                next_id += 1;
+                spec = spec
+                    .merge_shards(entries[i], entries[i + 1], into)
+                    .expect("iteration neighbors are adjacent");
+                assert!(spec.range_of(into).is_some(), "{}", tag());
+            }
+            // Coverage: every random key has exactly one owner, and the
+            // owner's range agrees.
+            for _ in 0..8 {
+                let key = AppKey::from_u64(rng.next_u64());
+                let owner = spec.shard_for(&key);
+                let covering = spec.iter().filter(|(r, _)| r.contains(&key)).count();
+                assert_eq!(covering, 1, "{}: key {key} has {covering} owners", tag());
+                let shard = owner.expect("covered");
+                assert!(
+                    spec.range_of(shard).expect("owner in spec").contains(&key),
+                    "{}: owner range disagrees for {key}",
+                    tag()
+                );
+            }
+        }
+    }
+}
+
 fn range_intersects_prefix(range: &KeyRange, prefix: &[u8]) -> bool {
     // Oracle: brute force over the interval bounds.
     let lo = AppKey::new(prefix.to_vec());
